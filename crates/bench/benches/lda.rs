@@ -1,0 +1,33 @@
+//! Criterion bench: LDA Gibbs-sweep throughput (offline cost of AC2/LDA).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use longtail_data::{SyntheticConfig, SyntheticData};
+use longtail_topics::{LdaConfig, LdaModel};
+
+fn bench_lda(c: &mut Criterion) {
+    let data = SyntheticData::generate(&SyntheticConfig {
+        n_users: 300,
+        n_items: 220,
+        ..SyntheticConfig::movielens_like()
+    });
+    let counts = data.dataset.user_items();
+
+    let mut group = c.benchmark_group("lda_train");
+    for k in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("topics", k), &k, |b, &k| {
+            let config = LdaConfig {
+                iterations: 10,
+                ..LdaConfig::with_topics(k)
+            };
+            b.iter(|| std::hint::black_box(LdaModel::train(counts, &config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lda
+}
+criterion_main!(benches);

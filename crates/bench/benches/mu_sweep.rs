@@ -1,0 +1,53 @@
+//! Criterion bench: per-query cost of AC2 as the subgraph budget µ grows
+//! (the efficiency column of Table 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use longtail_core::{
+    AbsorbingCostConfig, AbsorbingCostRecommender, GraphRecConfig, Recommender,
+};
+use longtail_data::{SyntheticConfig, SyntheticData};
+use longtail_topics::{LdaConfig, LdaModel};
+
+fn bench_mu(c: &mut Criterion) {
+    let data = SyntheticData::generate(&SyntheticConfig {
+        n_users: 800,
+        n_items: 700,
+        ..SyntheticConfig::douban_like()
+    });
+    let lda = LdaModel::train(data.dataset.user_items(), &LdaConfig::with_topics(8));
+    let users: Vec<u32> = (0..data.dataset.n_users() as u32)
+        .filter(|&u| data.dataset.rated_items(u).len() >= 3)
+        .take(8)
+        .collect();
+
+    let mut group = c.benchmark_group("ac2_mu");
+    for mu in [50usize, 150, 350, 700] {
+        let rec = AbsorbingCostRecommender::topic_entropy(
+            &data.dataset,
+            &lda,
+            AbsorbingCostConfig {
+                graph: GraphRecConfig {
+                    max_items: mu,
+                    iterations: 15,
+                },
+                ..AbsorbingCostConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(mu), &rec, |b, rec| {
+            let mut cursor = 0usize;
+            b.iter(|| {
+                let u = users[cursor % users.len()];
+                cursor += 1;
+                std::hint::black_box(rec.recommend(u, 10))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mu
+}
+criterion_main!(benches);

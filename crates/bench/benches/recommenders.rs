@@ -1,0 +1,52 @@
+//! Criterion bench: per-query recommendation latency of every algorithm
+//! (the statistically careful version of Table 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use longtail_bench::{Roster, RosterConfig};
+use longtail_data::{SyntheticConfig, SyntheticData};
+
+fn bench_recommenders(c: &mut Criterion) {
+    // A mid-size corpus keeps the bench under a minute while preserving the
+    // relative cost structure (subgraph methods vs model-based vs full-graph).
+    let data = SyntheticData::generate(&SyntheticConfig {
+        n_users: 500,
+        n_items: 400,
+        ..SyntheticConfig::douban_like()
+    });
+    let roster = Roster::train(
+        &data.dataset,
+        &RosterConfig {
+            n_topics: 8,
+            svd_rank: 16,
+            ..RosterConfig::default()
+        },
+    );
+
+    let users: Vec<u32> = (0..data.dataset.n_users() as u32)
+        .filter(|&u| data.dataset.rated_items(u).len() >= 3)
+        .take(16)
+        .collect();
+    let mut group = c.benchmark_group("top10_query");
+    for rec in roster.all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rec.name()),
+            &users,
+            |b, users| {
+                let mut cursor = 0usize;
+                b.iter(|| {
+                    let u = users[cursor % users.len()];
+                    cursor += 1;
+                    std::hint::black_box(rec.recommend(u, 10))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_recommenders
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: randomized SVD factorization (offline cost of PureSVD).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use longtail_core::PureSvdRecommender;
+use longtail_data::{SyntheticConfig, SyntheticData};
+
+fn bench_svd(c: &mut Criterion) {
+    let data = SyntheticData::generate(&SyntheticConfig {
+        n_users: 400,
+        n_items: 300,
+        ..SyntheticConfig::movielens_like()
+    });
+
+    let mut group = c.benchmark_group("puresvd_train");
+    for rank in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("rank", rank), &rank, |b, &rank| {
+            b.iter(|| std::hint::black_box(PureSvdRecommender::train(&data.dataset, rank)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_svd
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Figure 5 — Recall@N of all seven algorithms on both corpora.
+//!
+//! The paper's accuracy experiment (§5.2.1): hold out 5-star long-tail
+//! favourites, rank each among 1000 random unrated items, report Recall@N
+//! for N in [1, 50]. Expected shape: the absorbing-walk family on top
+//! (AC2 best), DPPR/PureSVD/LDA at well under half of AC2's recall.
+
+use longtail_bench::{emit, start_experiment, Corpus, Roster, RosterConfig};
+use longtail_data::{holdout_longtail_favorites, LongTailSplit, SplitConfig};
+use longtail_eval::{recall_at_n, RecallConfig, Series};
+
+fn main() {
+    let name = "fig5_recall";
+    start_experiment(name, "Figure 5 — Recall@N on both corpora");
+
+    for corpus in [Corpus::Movielens, Corpus::Douban] {
+        let data = corpus.generate();
+        let tail = LongTailSplit::by_rating_share(&data.dataset.item_popularity(), 0.2);
+        let split = holdout_longtail_favorites(
+            &data.dataset,
+            &tail,
+            &SplitConfig {
+                n_test: 400,
+                ..SplitConfig::default()
+            },
+        );
+        let roster = Roster::train(&split.train, &RosterConfig::default());
+        emit(
+            name,
+            &format!(
+                "\n## {} ({} test cases, {} training ratings)\n",
+                corpus.name(),
+                split.test_cases.len(),
+                split.train.n_ratings()
+            ),
+        );
+
+        let config = RecallConfig::default();
+        let mut series: Vec<Series> = Vec::new();
+        for rec in roster.all() {
+            let curve = recall_at_n(rec, &data.dataset, &split, &config);
+            series.push(Series {
+                label: rec.name().to_string(),
+                x: (1..=config.max_n).map(|n| n as f64).collect(),
+                y: curve.recall,
+            });
+        }
+
+        // Print the curve at the positions the paper's figure makes visible.
+        let positions = [1usize, 5, 10, 20, 30, 40, 50];
+        let mut header = String::from("| N |");
+        for s in &series {
+            header.push_str(&format!(" {} |", s.label));
+        }
+        emit(name, &header);
+        emit(name, &format!("|---|{}", "---|".repeat(series.len())));
+        for &n in &positions {
+            let mut row = format!("| {n} |");
+            for s in &series {
+                row.push_str(&format!(" {:.3} |", s.y[n - 1]));
+            }
+            emit(name, &row);
+        }
+
+        let at_10: Vec<(String, f64)> = series
+            .iter()
+            .map(|s| (s.label.clone(), s.y[9]))
+            .collect();
+        emit(
+            name,
+            &format!(
+                "\nRecall@10 summary: {}",
+                at_10
+                    .iter()
+                    .map(|(l, v)| format!("{l}={v:.3}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+        emit(
+            name,
+            "Paper shape: AC2 > AC1 > AT > HT among the walk methods, with \
+             DPPR, PureSVD and LDA below half of AC2's recall; recall is \
+             higher on the sparser (Douban-like) corpus.",
+        );
+    }
+}

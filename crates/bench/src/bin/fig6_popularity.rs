@@ -1,0 +1,58 @@
+//! Figure 6 — Popularity@N of the recommended items.
+//!
+//! §5.2.2: over 2000 testing users' top-10 lists, the mean rating-count of
+//! the item at each position. The walk methods and DPPR sit near the tail
+//! (low popularity); LDA and PureSVD recommend the head, with popularity
+//! *decreasing* in N (their top slots are the biggest hits).
+
+use longtail_bench::{emit, start_experiment, Corpus, Roster, RosterConfig};
+use longtail_eval::{popularity_at_n, sample_test_users, RecommendationLists, Series};
+
+fn main() {
+    let name = "fig6_popularity";
+    start_experiment(name, "Figure 6 — Popularity@N of recommendations");
+
+    for corpus in [Corpus::Douban, Corpus::Movielens] {
+        let data = corpus.generate();
+        let train = &data.dataset;
+        let popularity = train.item_popularity();
+        let roster = Roster::train(train, &RosterConfig::default());
+        let users = sample_test_users(&train.user_activity(), 2000, 3, 0x6161);
+        emit(
+            name,
+            &format!("\n## {} ({} testing users)\n", corpus.name(), users.len()),
+        );
+
+        let mut series: Vec<Series> = Vec::new();
+        for rec in roster.all() {
+            let lists = RecommendationLists::compute(rec, &users, 10, 4);
+            let curve = popularity_at_n(&lists, &popularity);
+            series.push(Series {
+                label: rec.name().to_string(),
+                x: (1..=curve.len()).map(|n| n as f64).collect(),
+                y: curve,
+            });
+        }
+
+        let mut header = String::from("| N |");
+        for s in &series {
+            header.push_str(&format!(" {} |", s.label));
+        }
+        emit(name, &header);
+        emit(name, &format!("|---|{}", "---|".repeat(series.len())));
+        for n in 1..=10usize {
+            let mut row = format!("| {n} |");
+            for s in &series {
+                row.push_str(&format!(" {:.1} |", s.y.get(n - 1).copied().unwrap_or(f64::NAN)));
+            }
+            emit(name, &row);
+        }
+        emit(
+            name,
+            "\nPaper shape: the four walk methods and DPPR recommend niche \
+             items at every position; PureSVD and LDA recommend hits, with \
+             Popularity@N *decreasing* in N for them (the top of their lists \
+             is the most popular).",
+        );
+    }
+}

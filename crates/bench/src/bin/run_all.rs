@@ -1,0 +1,45 @@
+//! Run every experiment binary in sequence (the full reproduction sweep).
+//!
+//! Each experiment also writes `experiments/<name>.md`; this driver just
+//! invokes the sibling binaries so a single command regenerates everything:
+//!
+//! ```text
+//! cargo run --release -p longtail-bench --bin run_all
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 11] = [
+    "fig1_longtail_shape",
+    "fig2_toy_example",
+    "table1_topics",
+    "fig5_recall",
+    "fig6_popularity",
+    "table2_diversity",
+    "table3_similarity",
+    "table4_mu_sweep",
+    "table5_efficiency",
+    "table6_user_study",
+    "ablation_sweeps",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n=== {name} ===\n");
+        let status = Command::new(bin_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            failures.push(name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll {} experiments completed; see experiments/*.md", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Table 1 / §4.2.3 — genre-coherent topics from rating counts alone.
+//!
+//! The paper's Table 1 shows two LDA topics from MovieLens whose top-5
+//! movies are genre-pure (Children's/Animation vs Action). On synthetic
+//! data the generator's genres play that role: this binary trains the same
+//! LDA, prints the top items per topic with their true genres, and scores
+//! genre purity quantitatively.
+
+use longtail_bench::{emit, start_experiment, Corpus};
+use longtail_topics::{top_items_per_topic, topic_label_purity, LdaConfig, LdaModel};
+
+fn main() {
+    let name = "table1_topics";
+    start_experiment(name, "Table 1 — topics extracted from rating counts");
+
+    let data = Corpus::Movielens.generate();
+    let n_genres = data
+        .item_genres
+        .iter()
+        .copied()
+        .max()
+        .map_or(1, |g| g as usize + 1);
+    let model = LdaModel::train(
+        data.dataset.user_items(),
+        &LdaConfig::with_topics(n_genres),
+    );
+
+    emit(
+        name,
+        &format!(
+            "Trained K={} topics on {} ratings ({} users x {} items).\n",
+            n_genres,
+            data.dataset.n_ratings(),
+            data.dataset.n_users(),
+            data.dataset.n_items()
+        ),
+    );
+
+    let tops = top_items_per_topic(&model, 5);
+    emit(name, "| topic | top-5 items (item:genre) |");
+    emit(name, "|---|---|");
+    for (z, top) in tops.iter().enumerate() {
+        let cells: Vec<String> = top
+            .iter()
+            .map(|&(i, p)| format!("{}:g{} ({:.3})", i, data.item_genres[i as usize], p))
+            .collect();
+        emit(name, &format!("| {} | {} |", z, cells.join(", ")));
+    }
+
+    let purity = topic_label_purity(&model, &data.item_genres, 5);
+    emit(
+        name,
+        &format!(
+            "\nTop-5 genre purity: {:.2} (1.0 = every topic's top movies share \
+             one genre). The paper's Table 1 exhibits exactly this pattern: \
+             one topic of Children's/Animation titles, one of Action titles.",
+            purity
+        ),
+    );
+    assert!(
+        purity > 0.5,
+        "topics should be meaningfully genre-aligned, got purity {purity}"
+    );
+}

@@ -1,0 +1,45 @@
+//! Table 2 — aggregate recommendation diversity (Eq. 17).
+//!
+//! §5.2.3: the fraction of distinct items across all testing users' top-10
+//! lists. The walk methods spread recommendations widely; LDA pushes nearly
+//! the same short list to everyone (paper: 0.035 on Douban).
+
+use longtail_bench::{emit, paper, start_experiment, Corpus, Roster, RosterConfig};
+use longtail_eval::{diversity, sample_test_users, RecommendationLists};
+
+fn main() {
+    let name = "table2_diversity";
+    start_experiment(name, "Table 2 — recommendation diversity");
+
+    for (corpus, reference) in [
+        (Corpus::Douban, &paper::DIVERSITY_DOUBAN),
+        (Corpus::Movielens, &paper::DIVERSITY_MOVIELENS),
+    ] {
+        let data = corpus.generate();
+        let train = &data.dataset;
+        let roster = Roster::train(train, &RosterConfig::default());
+        let users = sample_test_users(&train.user_activity(), 2000, 3, 0xd1e2);
+        emit(
+            name,
+            &format!("\n## {} ({} testing users, k=10)\n", corpus.name(), users.len()),
+        );
+        emit(name, "| algorithm | diversity (ours) | diversity (paper) |");
+        emit(name, "|---|---|---|");
+        for rec in roster.all() {
+            let lists = RecommendationLists::compute(rec, &users, 10, 4);
+            let d = diversity(&lists, train.n_items());
+            let p = reference
+                .iter()
+                .find(|(l, _)| *l == rec.name())
+                .map(|(_, v)| *v)
+                .unwrap_or(f64::NAN);
+            emit(name, &format!("| {} | {:.3} | {:.3} |", rec.name(), d, p));
+        }
+        emit(
+            name,
+            "\nPaper shape: walk methods ≥ DPPR > PureSVD ≫ LDA; diversity is \
+             lower on the denser (MovieLens-like) corpus because similar \
+             users collide on the same items.",
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Table 4 — impact of the subgraph budget µ on AC2 (Douban).
+//!
+//! §5.2.5: quality (popularity / similarity / diversity) saturates for µ in
+//! the low thousands while the per-query cost keeps growing with µ — the
+//! justification for the subgraph-bounded Algorithm 1. µ values are scaled
+//! to this corpus (the paper sweeps 3k..6k against an 89,908-item catalog).
+
+use longtail_bench::{emit, paper, start_experiment, Corpus, RosterConfig};
+use longtail_core::{AbsorbingCostConfig, AbsorbingCostRecommender, GraphRecConfig};
+use longtail_data::Ontology;
+use longtail_eval::{
+    diversity, mean_popularity, mean_similarity, sample_test_users, time_recommendations,
+    RecommendationLists,
+};
+use longtail_topics::{LdaConfig, LdaModel};
+
+fn main() {
+    let name = "table4_mu_sweep";
+    start_experiment(name, "Table 4 — impact of the subgraph budget µ (AC2, Douban-like)");
+
+    let data = Corpus::Douban.generate();
+    let train = &data.dataset;
+    let ontology = Ontology::from_genres(&data.item_genres, 4, 0x0470);
+    let roster_config = RosterConfig::default();
+    let lda = LdaModel::train(
+        train.user_items(),
+        &LdaConfig::with_topics(roster_config.n_topics),
+    );
+    let users = sample_test_users(&train.user_activity(), 400, 3, 0x0444);
+    let popularity = train.item_popularity();
+
+    // Scale the paper's µ grid (3k..6k of 89,908 items, i.e. 3.3%..6.7% of
+    // the catalog) to this catalog, then extend it through the saturation
+    // zone so the scaled sweep exhibits the same "quality flattens, cost
+    // keeps growing" shape the paper reports.
+    let catalog = train.n_items();
+    let paper_catalog = 89_908.0;
+    let mut fractions: Vec<f64> = paper::MU_SWEEP[..4]
+        .iter()
+        .map(|&(mu, ..)| mu as f64 / paper_catalog)
+        .collect();
+    fractions.extend([0.13, 0.2, 0.4]);
+    let mut mus: Vec<usize> = fractions
+        .iter()
+        .map(|f| ((f * catalog as f64).round() as usize).max(10))
+        .collect();
+    mus.push(catalog); // the paper's final column: the whole graph
+
+    emit(
+        name,
+        &format!(
+            "\nDouban-like corpus ({} items), {} testing users, k=10\n",
+            catalog,
+            users.len()
+        ),
+    );
+    emit(name, "| µ | popularity | similarity | diversity | sec/query |");
+    emit(name, "|---|---|---|---|---|");
+    for &mu in &mus {
+        let rec = AbsorbingCostRecommender::topic_entropy(
+            train,
+            &lda,
+            AbsorbingCostConfig {
+                graph: GraphRecConfig {
+                    max_items: mu,
+                    iterations: roster_config.graph.iterations,
+                },
+                ..AbsorbingCostConfig::default()
+            },
+        );
+        let lists = RecommendationLists::compute(&rec, &users, 10, 4);
+        let pop = mean_popularity(&lists, &popularity);
+        let sim = mean_similarity(&lists, train, &ontology);
+        let div = diversity(&lists, train.n_items());
+        let timing = time_recommendations(&rec, &users[..50.min(users.len())], 10);
+        emit(
+            name,
+            &format!(
+                "| {} | {:.1} | {:.3} | {:.3} | {:.4} |",
+                mu, pop, sim, div, timing.mean_seconds
+            ),
+        );
+    }
+    emit(
+        name,
+        "\nPaper shape (their µ grid 3000..89908): popularity drifts slightly \
+         down, similarity up then flat, diversity slightly down, and cost \
+         grows steeply once the subgraph approaches the whole catalog — so a \
+         modest µ already buys full quality.",
+    );
+}

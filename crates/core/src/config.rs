@@ -1,0 +1,56 @@
+//! Shared configuration for the graph-based recommenders.
+
+/// Parameters of the subgraph-bounded random-walk recommenders (HT, AT, AC).
+#[derive(Debug, Clone, Copy)]
+pub struct GraphRecConfig {
+    /// BFS item budget µ (Algorithm 1, step 2). Table 4 shows quality is
+    /// stable for µ in the thousands while cost grows, with 6k the paper's
+    /// default.
+    pub max_items: usize,
+    /// Truncation depth τ of the dynamic program (Algorithm 1, step 4). The
+    /// paper uses 15, which already reproduces the exact ranking.
+    pub iterations: usize,
+}
+
+impl Default for GraphRecConfig {
+    fn default() -> Self {
+        Self {
+            max_items: 6000,
+            iterations: 15,
+        }
+    }
+}
+
+/// Parameters of the Absorbing Cost recommenders (AC1/AC2).
+#[derive(Debug, Clone, Copy)]
+pub struct AbsorbingCostConfig {
+    /// Subgraph / truncation parameters shared with AT.
+    pub graph: GraphRecConfig,
+    /// The constant `C` of Eq. 9 — the mean cost of a user→item hop. The
+    /// paper treats it as a tuning parameter; 1.0 makes user→item hops cost
+    /// exactly one step, so only the item→user direction is entropy-biased.
+    pub item_entry_cost: f64,
+}
+
+impl Default for AbsorbingCostConfig {
+    fn default() -> Self {
+        Self {
+            graph: GraphRecConfig::default(),
+            item_entry_cost: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let g = GraphRecConfig::default();
+        assert_eq!(g.max_items, 6000);
+        assert_eq!(g.iterations, 15);
+        let c = AbsorbingCostConfig::default();
+        assert_eq!(c.item_entry_cost, 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Long-tail recommenders — the primary contribution of *Challenging the
+//! Long Tail Recommendation* (Yin et al., VLDB 2012) plus every baseline of
+//! its evaluation.
+//!
+//! The paper's four variants:
+//!
+//! * **HT** ([`HittingTimeRecommender`], §3.3) — rank items by the hitting
+//!   time of a random walk from the item to the query user;
+//! * **AT** ([`AbsorbingTimeRecommender`], §4.1) — absorb at the user's
+//!   rated set instead, with the truncated subgraph algorithm (Algorithm 1);
+//! * **AC1 / AC2** ([`AbsorbingCostRecommender`], §4.2) — bias the walk by
+//!   the *user entropy* of each hop, item-based (Eq. 10) or LDA topic-based
+//!   (Eq. 11).
+//!
+//! Baselines: [`LdaRecommender`], [`PureSvdRecommender`], and
+//! [`PageRankRecommender`] (plain and popularity-discounted, Eq. 15).
+//!
+//! All algorithms implement the [`Recommender`] trait, whose contract is
+//! the paper's evaluation protocol: score every catalog item for a user,
+//! rank, exclude the user's training items.
+//!
+//! ```
+//! use longtail_core::{Recommender, AbsorbingTimeRecommender, GraphRecConfig};
+//! use longtail_data::{Dataset, Rating};
+//!
+//! let ratings = [
+//!     Rating { user: 0, item: 0, value: 5.0 },
+//!     Rating { user: 0, item: 1, value: 4.0 },
+//!     Rating { user: 1, item: 1, value: 5.0 },
+//!     Rating { user: 1, item: 2, value: 5.0 },
+//! ];
+//! let train = Dataset::from_ratings(2, 3, &ratings);
+//! let rec = AbsorbingTimeRecommender::new(&train, GraphRecConfig::default());
+//! let top = rec.recommend(0, 1);
+//! assert_eq!(top[0].item, 2); // the item user 0 hasn't seen yet
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod recommenders;
+pub mod topk;
+mod walk_common;
+
+pub use config::{AbsorbingCostConfig, GraphRecConfig};
+pub use recommenders::{
+    AbsorbingCostRecommender, AbsorbingTimeRecommender, AssociationRuleRecommender,
+    EntropySource, HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor,
+    PageRankRecommender, PureSvdRecommender, RuleConfig, UserSimilarity,
+};
+pub use topk::{rank_of, top_k, ScoredItem};
+
+/// A top-N recommendation algorithm over a fixed training dataset.
+///
+/// The single required method is [`Recommender::score_items`]; ranking,
+/// exclusion of training items and top-k selection are provided. Scores are
+/// model-specific but always ordered "higher = more recommended"; items a
+/// model cannot reach score `f64::NEG_INFINITY` and are never recommended.
+pub trait Recommender {
+    /// Short display name ("HT", "AC2", "PureSVD", ...) used in experiment
+    /// tables.
+    fn name(&self) -> &'static str;
+
+    /// Score every item in the catalog for `user`.
+    fn score_items(&self, user: u32) -> Vec<f64>;
+
+    /// The items `user` rated in the training data (excluded from
+    /// recommendations).
+    fn rated_items(&self, user: u32) -> &[u32];
+
+    /// Catalog size.
+    fn n_items(&self) -> usize;
+
+    /// Top-`k` recommendations for `user`, excluding training items.
+    fn recommend(&self, user: u32, k: usize) -> Vec<ScoredItem> {
+        let scores = self.score_items(user);
+        let rated = self.rated_items(user);
+        top_k(&scores, k, |i| rated.binary_search(&i).is_ok())
+    }
+}

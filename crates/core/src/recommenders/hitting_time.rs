@@ -1,0 +1,154 @@
+//! HT — the Hitting Time recommender (§3.3, the paper's basic solution).
+//!
+//! Ranks items by the expected number of random-walk steps from the item
+//! node to the query-user node: `H(q|j)` small means `j` is both relevant to
+//! `q` (many short paths) and unpopular (low stationary mass — Eq. 5 divides
+//! by `π_j`). Computed as an absorbing walk with `S = {q}` on a BFS subgraph
+//! around the query user.
+
+use crate::config::GraphRecConfig;
+use crate::walk_common::scores_from_local_values;
+use crate::Recommender;
+use longtail_data::Dataset;
+use longtail_graph::{BipartiteGraph, Subgraph};
+use longtail_markov::AbsorbingWalk;
+
+/// The user-based Hitting Time recommender.
+#[derive(Debug, Clone)]
+pub struct HittingTimeRecommender {
+    graph: BipartiteGraph,
+    config: GraphRecConfig,
+}
+
+impl HittingTimeRecommender {
+    /// Build from training data.
+    pub fn new(train: &Dataset, config: GraphRecConfig) -> Self {
+        Self {
+            graph: train.to_graph(),
+            config,
+        }
+    }
+
+    /// The training graph.
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.graph
+    }
+}
+
+impl Recommender for HittingTimeRecommender {
+    fn name(&self) -> &'static str {
+        "HT"
+    }
+
+    fn score_items(&self, user: u32) -> Vec<f64> {
+        let q = self.graph.user_node(user);
+        let subgraph = Subgraph::bfs_from(&self.graph, &[q], self.config.max_items);
+        // An unrated (isolated) query user reaches nothing.
+        let Some(local_q) = subgraph.local_id(q) else {
+            return vec![f64::NEG_INFINITY; self.graph.n_items()];
+        };
+        if subgraph.n_nodes() == 1 {
+            return vec![f64::NEG_INFINITY; self.graph.n_items()];
+        }
+        let walk = AbsorbingWalk::new(subgraph.adjacency(), &[local_q as usize]);
+        let times = walk.truncated_times(self.config.iterations);
+        scores_from_local_values(&self.graph, &subgraph, &times)
+    }
+
+    fn rated_items(&self, user: u32) -> &[u32] {
+        self.graph.user_items().row(user as usize).0
+    }
+
+    fn n_items(&self) -> usize {
+        self.graph.n_items()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longtail_data::Rating;
+
+    /// The Figure 2 example dataset.
+    fn figure2() -> Dataset {
+        let ratings = [
+            (0, 0, 5.0),
+            (0, 1, 3.0),
+            (0, 4, 3.0),
+            (0, 5, 5.0),
+            (1, 0, 5.0),
+            (1, 1, 4.0),
+            (1, 2, 5.0),
+            (1, 4, 4.0),
+            (1, 5, 5.0),
+            (2, 0, 4.0),
+            (2, 1, 5.0),
+            (2, 2, 4.0),
+            (3, 2, 5.0),
+            (3, 3, 5.0),
+            (4, 1, 4.0),
+            (4, 2, 5.0),
+        ]
+        .map(|(user, item, value)| Rating { user, item, value });
+        Dataset::from_ratings(5, 6, &ratings)
+    }
+
+    #[test]
+    fn recommends_niche_movie_m4_to_u5() {
+        // §3.3's worked example: HT suggests the niche movie M4 to U5,
+        // where classic CF would pick the locally popular M1.
+        let rec = HittingTimeRecommender::new(
+            &figure2(),
+            GraphRecConfig {
+                max_items: 6000,
+                iterations: 60,
+            },
+        );
+        let top = rec.recommend(4, 1);
+        assert_eq!(top[0].item, 3, "expected M4 first, got {:?}", top);
+    }
+
+    #[test]
+    fn full_ranking_matches_paper_order() {
+        let rec = HittingTimeRecommender::new(
+            &figure2(),
+            GraphRecConfig {
+                max_items: 6000,
+                iterations: 60,
+            },
+        );
+        let top = rec.recommend(4, 4);
+        let order: Vec<u32> = top.iter().map(|s| s.item).collect();
+        assert_eq!(order, vec![3, 0, 4, 5]); // M4, M1, M5, M6
+    }
+
+    #[test]
+    fn rated_items_never_recommended() {
+        let rec = HittingTimeRecommender::new(&figure2(), GraphRecConfig::default());
+        let top = rec.recommend(4, 6);
+        assert!(top.iter().all(|s| s.item != 1 && s.item != 2));
+    }
+
+    #[test]
+    fn isolated_user_gets_nothing() {
+        let ratings = [Rating { user: 0, item: 0, value: 5.0 }];
+        let d = Dataset::from_ratings(2, 2, &ratings);
+        let rec = HittingTimeRecommender::new(&d, GraphRecConfig::default());
+        assert!(rec.recommend(1, 5).is_empty());
+    }
+
+    #[test]
+    fn budget_restricts_candidates() {
+        let rec = HittingTimeRecommender::new(
+            &figure2(),
+            GraphRecConfig {
+                max_items: 1,
+                iterations: 15,
+            },
+        );
+        // With µ = 1 only U5's own neighborhood is explored; M4 (two hops
+        // out) cannot be scored.
+        let scores = rec.score_items(4);
+        assert_eq!(scores[3], f64::NEG_INFINITY);
+    }
+}

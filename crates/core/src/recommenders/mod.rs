@@ -1,0 +1,20 @@
+//! The recommendation algorithms: the paper's four variants and the four
+//! baselines it compares against.
+
+pub mod absorbing_cost;
+pub mod absorbing_time;
+pub mod assoc_rules;
+pub mod hitting_time;
+pub mod knn;
+pub mod lda_rec;
+pub mod pagerank_rec;
+pub mod pure_svd;
+
+pub use absorbing_cost::{AbsorbingCostRecommender, EntropySource};
+pub use absorbing_time::AbsorbingTimeRecommender;
+pub use assoc_rules::{AssociationRuleRecommender, RuleConfig};
+pub use hitting_time::HittingTimeRecommender;
+pub use knn::{KnnRecommender, UserSimilarity};
+pub use lda_rec::LdaRecommender;
+pub use pagerank_rec::{PageRankFlavor, PageRankRecommender};
+pub use pure_svd::PureSvdRecommender;

@@ -1,0 +1,166 @@
+//! Top-k selection over item score vectors.
+
+/// An item with its recommendation score (higher is better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredItem {
+    /// Item index.
+    pub item: u32,
+    /// Model score; semantics differ per recommender (negated absorbing
+    /// time, PageRank mass, predicted rating, ...), but ordering is always
+    /// "higher = more recommended".
+    pub score: f64,
+}
+
+/// Select the `k` highest-scoring items, skipping those for which `exclude`
+/// returns true and those scored `-∞` or NaN.
+///
+/// Ties are broken by ascending item id, making results deterministic.
+/// Runs in `O(n log k)` via a bounded min-heap.
+pub fn top_k(scores: &[f64], k: usize, mut exclude: impl FnMut(u32) -> bool) -> Vec<ScoredItem> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Orderable wrapper: by score, then by *descending* id so that the heap
+    /// evicts higher ids first and ties resolve to ascending id in the
+    /// output.
+    #[derive(PartialEq)]
+    struct Entry(f64, Reverse<u32>);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::with_capacity(k + 1);
+    for (i, &s) in scores.iter().enumerate() {
+        if s.is_nan() || s == f64::NEG_INFINITY || exclude(i as u32) {
+            continue;
+        }
+        heap.push(Reverse(Entry(s, Reverse(i as u32))));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut out: Vec<ScoredItem> = heap
+        .into_iter()
+        .map(|Reverse(Entry(score, Reverse(item)))| ScoredItem { item, score })
+        .collect();
+    out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
+    out
+}
+
+/// Rank of `target` within `candidates` when ordered by descending score
+/// (0-based; ties resolved by ascending item id, consistently with
+/// [`top_k`]). Returns `None` if `target` is not among the candidates.
+///
+/// This is the primitive behind Recall@N: the held-out favourite's rank
+/// among the 1000 sampled distractors.
+pub fn rank_of(scores: &[f64], candidates: &[u32], target: u32) -> Option<usize> {
+    let target_score = scores[target as usize];
+    let mut found = false;
+    let mut rank = 0usize;
+    for &c in candidates {
+        if c == target {
+            found = true;
+            continue;
+        }
+        let s = scores[c as usize];
+        match s.total_cmp(&target_score) {
+            std::cmp::Ordering::Greater => rank += 1,
+            std::cmp::Ordering::Equal if c < target => rank += 1,
+            _ => {}
+        }
+    }
+    found.then_some(rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_highest_scores() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        let top = top_k(&scores, 2, |_| false);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].item, 1);
+        assert_eq!(top[1].item, 3);
+    }
+
+    #[test]
+    fn excludes_filtered_items() {
+        let scores = [0.1, 0.9, 0.5];
+        let top = top_k(&scores, 2, |i| i == 1);
+        assert_eq!(top[0].item, 2);
+        assert_eq!(top[1].item, 0);
+    }
+
+    #[test]
+    fn skips_neg_infinity_and_nan() {
+        let scores = [f64::NEG_INFINITY, f64::NAN, 0.3];
+        let top = top_k(&scores, 3, |_| false);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].item, 2);
+    }
+
+    #[test]
+    fn ties_resolve_to_ascending_ids() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let top = top_k(&scores, 2, |_| false);
+        assert_eq!(top[0].item, 0);
+        assert_eq!(top[1].item, 1);
+    }
+
+    #[test]
+    fn k_larger_than_catalog() {
+        let scores = [0.2, 0.4];
+        let top = top_k(&scores, 10, |_| false);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(top_k(&[1.0], 0, |_| false).is_empty());
+    }
+
+    #[test]
+    fn rank_of_counts_strictly_better_candidates() {
+        let scores = [0.9, 0.1, 0.5, 0.7];
+        // target = 1 (0.1); candidates all.
+        assert_eq!(rank_of(&scores, &[0, 1, 2, 3], 1), Some(3));
+        assert_eq!(rank_of(&scores, &[0, 1], 0), Some(0));
+    }
+
+    #[test]
+    fn rank_of_breaks_ties_by_id() {
+        let scores = [0.5, 0.5, 0.5];
+        // Equal scores: lower ids rank ahead.
+        assert_eq!(rank_of(&scores, &[0, 1, 2], 1), Some(1));
+        assert_eq!(rank_of(&scores, &[0, 1, 2], 0), Some(0));
+        assert_eq!(rank_of(&scores, &[0, 1, 2], 2), Some(2));
+    }
+
+    #[test]
+    fn rank_of_missing_target() {
+        assert_eq!(rank_of(&[0.1, 0.2], &[0], 1), None);
+    }
+
+    #[test]
+    fn rank_consistent_with_top_k() {
+        let scores = [0.3, 0.8, 0.8, 0.1, 0.9];
+        let candidates = [0u32, 1, 2, 3, 4];
+        let top = top_k(&scores, 5, |_| false);
+        for (pos, si) in top.iter().enumerate() {
+            assert_eq!(rank_of(&scores, &candidates, si.item), Some(pos));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared plumbing for the subgraph-bounded random-walk recommenders.
+//!
+//! HT, AT and AC all follow Algorithm 1's skeleton: grow a BFS subgraph
+//! around the query's seed nodes, run a truncated absorbing walk on it, and
+//! map the per-node results back to a global item score vector (negated
+//! walk value — smaller time/cost means more recommended).
+
+use longtail_graph::{BipartiteGraph, Subgraph};
+
+/// Build the seed node list for a query user's absorbing set `S_q`: the flat
+/// item-node ids of everything the user rated. Empty if the user rated
+/// nothing.
+pub(crate) fn rated_item_nodes(graph: &BipartiteGraph, user: u32) -> Vec<usize> {
+    graph
+        .user_items()
+        .row(user as usize)
+        .0
+        .iter()
+        .map(|&i| graph.item_node(i))
+        .collect()
+}
+
+/// Convert local walk values into a global item score vector.
+///
+/// Items inside the subgraph score `-value` (so *small* absorbing times
+/// rank first); items never reached score `-∞`, ranking strictly last and
+/// never entering a top-k. Non-finite local values (unreachable pockets
+/// inside the subgraph) also map to `-∞`.
+pub(crate) fn scores_from_local_values(
+    graph: &BipartiteGraph,
+    subgraph: &Subgraph,
+    values: &[f64],
+) -> Vec<f64> {
+    let mut scores = vec![f64::NEG_INFINITY; graph.n_items()];
+    for (local, &global) in subgraph.global_ids().iter().enumerate() {
+        if let longtail_graph::Node::Item(i) = graph.node(global) {
+            let v = values[local];
+            if v.is_finite() {
+                scores[i as usize] = -v;
+            }
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longtail_graph::Subgraph;
+
+    fn graph() -> BipartiteGraph {
+        BipartiteGraph::from_ratings(
+            2,
+            3,
+            &[(0, 0, 5.0), (0, 1, 4.0), (1, 1, 3.0), (1, 2, 5.0)],
+        )
+    }
+
+    #[test]
+    fn rated_item_nodes_maps_to_flat_ids() {
+        let g = graph();
+        assert_eq!(rated_item_nodes(&g, 0), vec![g.item_node(0), g.item_node(1)]);
+        assert_eq!(rated_item_nodes(&g, 1), vec![g.item_node(1), g.item_node(2)]);
+    }
+
+    #[test]
+    fn scores_negate_values_and_default_to_neg_inf() {
+        let g = graph();
+        let s = Subgraph::bfs_from(&g, &[g.user_node(0)], 1);
+        // Only items 0 and 1 are reachable within the budget.
+        let values = vec![1.5; s.n_nodes()];
+        let scores = scores_from_local_values(&g, &s, &values);
+        assert_eq!(scores[0], -1.5);
+        assert_eq!(scores[1], -1.5);
+        assert_eq!(scores[2], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn infinite_local_values_become_neg_inf() {
+        let g = graph();
+        let s = Subgraph::full(&g);
+        let mut values = vec![0.5; s.n_nodes()];
+        values[s.local_id(g.item_node(2)).unwrap() as usize] = f64::INFINITY;
+        let scores = scores_from_local_values(&g, &s, &values);
+        assert_eq!(scores[2], f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: recommender-level invariants on arbitrary datasets.
+
+use longtail_core::{
+    top_k, AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
+    GraphRecConfig, HittingTimeRecommender, PageRankRecommender, Recommender,
+};
+use longtail_data::{Dataset, Rating};
+use proptest::prelude::*;
+
+fn ratings() -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (0..8u32, 0..10u32, 1.0f64..5.0).prop_map(|(user, item, value)| Rating {
+            user,
+            item,
+            value: value.round().max(1.0),
+        }),
+        1..60,
+    )
+}
+
+/// Shared invariant check for any recommender.
+fn check_recommender(rec: &dyn Recommender, d: &Dataset) -> Result<(), TestCaseError> {
+    for u in 0..d.n_users() as u32 {
+        let top = rec.recommend(u, 5);
+        prop_assert!(top.len() <= 5);
+        // Never recommend training items.
+        for s in &top {
+            prop_assert!(
+                !d.has_rated(u, s.item),
+                "{} recommended rated item {} to {u}",
+                rec.name(),
+                s.item
+            );
+        }
+        // Scores are sorted descending.
+        for w in top.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        // recommend() is consistent with score_items().
+        let scores = rec.score_items(u);
+        for s in &top {
+            prop_assert!((scores[s.item as usize] - s.score).abs() < 1e-12);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hitting_time_invariants(rs in ratings()) {
+        let d = Dataset::from_ratings(8, 10, &rs);
+        let rec = HittingTimeRecommender::new(&d, GraphRecConfig::default());
+        check_recommender(&rec, &d)?;
+    }
+
+    #[test]
+    fn absorbing_time_invariants(rs in ratings()) {
+        let d = Dataset::from_ratings(8, 10, &rs);
+        let rec = AbsorbingTimeRecommender::new(&d, GraphRecConfig::default());
+        check_recommender(&rec, &d)?;
+    }
+
+    #[test]
+    fn absorbing_cost_invariants(rs in ratings()) {
+        let d = Dataset::from_ratings(8, 10, &rs);
+        let rec = AbsorbingCostRecommender::item_entropy(&d, AbsorbingCostConfig::default());
+        check_recommender(&rec, &d)?;
+    }
+
+    #[test]
+    fn pagerank_invariants(rs in ratings()) {
+        let d = Dataset::from_ratings(8, 10, &rs);
+        check_recommender(&PageRankRecommender::plain(&d), &d)?;
+        check_recommender(&PageRankRecommender::discounted(&d), &d)?;
+    }
+
+    #[test]
+    fn top_k_matches_full_sort(scores in prop::collection::vec(-10.0f64..10.0, 1..40), k in 0..12usize) {
+        let top = top_k(&scores, k, |_| false);
+        // Reference: full sort by (score desc, id asc).
+        let mut reference: Vec<(u32, f64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u32, s))
+            .collect();
+        reference.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        reference.truncate(k);
+        let got: Vec<(u32, f64)> = top.iter().map(|s| (s.item, s.score)).collect();
+        prop_assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn absorbing_time_exposed_times_match_scores(rs in ratings()) {
+        let d = Dataset::from_ratings(8, 10, &rs);
+        let rec = AbsorbingTimeRecommender::new(&d, GraphRecConfig::default());
+        for u in 0..4u32 {
+            let scores = rec.score_items(u);
+            let times = rec.absorbing_times(u);
+            for i in 0..d.n_items() {
+                if scores[i].is_finite() {
+                    prop_assert!((times[i] + scores[i]).abs() < 1e-12);
+                } else {
+                    prop_assert!(times[i].is_infinite());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Rating dataset container.
+//!
+//! A thin, validated wrapper around the sparse user→item rating matrix with
+//! the derived views every algorithm needs: the bipartite graph, item
+//! popularities, and per-user rated sets.
+
+use longtail_graph::{BipartiteGraph, CsrMatrix};
+use serde::{Deserialize, Serialize};
+
+/// A single `(user, item, value)` rating.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rating {
+    /// User index, `0..n_users`.
+    pub user: u32,
+    /// Item index, `0..n_items`.
+    pub item: u32,
+    /// Rating value (1–5 stars in both of the paper's datasets).
+    pub value: f64,
+}
+
+/// An immutable ratings dataset.
+///
+/// Stores the user→item matrix in CSR (duplicate ratings are summed at
+/// construction, matching the multigraph-collapsing of §3.1) and exposes the
+/// derived structures used throughout the workspace.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    user_items: CsrMatrix,
+}
+
+impl Dataset {
+    /// Build from a rating list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rating is out of bounds or non-positive: a zero or
+    /// negative "rating" has no interpretation as an edge weight.
+    pub fn from_ratings(n_users: usize, n_items: usize, ratings: &[Rating]) -> Self {
+        let triplets: Vec<(u32, u32, f64)> = ratings
+            .iter()
+            .map(|r| {
+                assert!(r.value > 0.0, "rating values must be positive, got {}", r.value);
+                (r.user, r.item, r.value)
+            })
+            .collect();
+        Self {
+            user_items: CsrMatrix::from_triplets(n_users, n_items, &triplets),
+        }
+    }
+
+    /// Wrap an existing user→item matrix.
+    pub fn from_matrix(user_items: CsrMatrix) -> Self {
+        Self { user_items }
+    }
+
+    /// Number of users.
+    #[inline]
+    pub fn n_users(&self) -> usize {
+        self.user_items.rows()
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.user_items.cols()
+    }
+
+    /// Number of ratings.
+    #[inline]
+    pub fn n_ratings(&self) -> usize {
+        self.user_items.nnz()
+    }
+
+    /// Fraction of the rating matrix that is filled.
+    pub fn density(&self) -> f64 {
+        let cells = self.n_users() * self.n_items();
+        if cells == 0 {
+            0.0
+        } else {
+            self.n_ratings() as f64 / cells as f64
+        }
+    }
+
+    /// The user→item rating matrix.
+    #[inline]
+    pub fn user_items(&self) -> &CsrMatrix {
+        &self.user_items
+    }
+
+    /// Items rated by `u` with values.
+    #[inline]
+    pub fn ratings_of(&self, u: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.user_items.iter_row(u as usize)
+    }
+
+    /// Item ids rated by `u`.
+    pub fn rated_items(&self, u: u32) -> &[u32] {
+        self.user_items.row(u as usize).0
+    }
+
+    /// Whether `u` has rated `i`.
+    pub fn has_rated(&self, u: u32, i: u32) -> bool {
+        self.user_items.get(u as usize, i).is_some()
+    }
+
+    /// Number of ratings per item (the paper's popularity measure).
+    pub fn item_popularity(&self) -> Vec<u32> {
+        let mut pops = vec![0u32; self.n_items()];
+        for u in 0..self.n_users() {
+            for (i, _) in self.user_items.iter_row(u) {
+                pops[i as usize] += 1;
+            }
+        }
+        pops
+    }
+
+    /// Number of ratings per user.
+    pub fn user_activity(&self) -> Vec<u32> {
+        (0..self.n_users())
+            .map(|u| self.user_items.row_nnz(u) as u32)
+            .collect()
+    }
+
+    /// All ratings as a flat list (row-major order).
+    pub fn to_ratings(&self) -> Vec<Rating> {
+        let mut out = Vec::with_capacity(self.n_ratings());
+        for u in 0..self.n_users() {
+            for (i, v) in self.user_items.iter_row(u) {
+                out.push(Rating {
+                    user: u as u32,
+                    item: i,
+                    value: v,
+                });
+            }
+        }
+        out
+    }
+
+    /// The weighted bipartite graph of §3.1.
+    pub fn to_graph(&self) -> BipartiteGraph {
+        BipartiteGraph::from_user_item_matrix(self.user_items.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_ratings(
+            3,
+            4,
+            &[
+                Rating { user: 0, item: 0, value: 5.0 },
+                Rating { user: 0, item: 2, value: 3.0 },
+                Rating { user: 1, item: 0, value: 4.0 },
+                Rating { user: 2, item: 3, value: 2.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_and_density() {
+        let d = sample();
+        assert_eq!(d.n_users(), 3);
+        assert_eq!(d.n_items(), 4);
+        assert_eq!(d.n_ratings(), 4);
+        assert!((d.density() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn popularity_and_activity() {
+        let d = sample();
+        assert_eq!(d.item_popularity(), vec![2, 0, 1, 1]);
+        assert_eq!(d.user_activity(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn rated_items_lookup() {
+        let d = sample();
+        assert_eq!(d.rated_items(0), &[0, 2]);
+        assert!(d.has_rated(0, 2));
+        assert!(!d.has_rated(0, 1));
+    }
+
+    #[test]
+    fn round_trip_through_ratings() {
+        let d = sample();
+        let d2 = Dataset::from_ratings(3, 4, &d.to_ratings());
+        assert_eq!(d.user_items(), d2.user_items());
+    }
+
+    #[test]
+    fn graph_conversion_preserves_weights() {
+        let d = sample();
+        let g = d.to_graph();
+        assert_eq!(g.rating(0, 0), Some(5.0));
+        assert_eq!(g.n_edges(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rating_rejected() {
+        Dataset::from_ratings(1, 1, &[Rating { user: 0, item: 0, value: 0.0 }]);
+    }
+}

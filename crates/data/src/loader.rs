@@ -1,0 +1,226 @@
+//! Parsers for the public MovieLens rating formats.
+//!
+//! The paper's MovieLens-1M dump is not bundled, but users who have it (or
+//! the 100k variant) can load the real data:
+//!
+//! * `ratings.dat` (MovieLens-1M): `user::item::rating::timestamp`;
+//! * `u.data` (MovieLens-100k): tab-separated `user item rating timestamp`.
+//!
+//! Raw ids are arbitrary (1-based with holes), so both loaders compact them
+//! to dense `0..n` indices and return the mapping.
+
+use crate::dataset::{Dataset, Rating};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors raised while loading rating files.
+#[derive(Debug)]
+pub enum DataError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The file contained no ratings.
+    Empty,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+            DataError::Empty => write!(f, "no ratings found"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+/// A loaded dataset with the original-id ↔ dense-index mappings.
+#[derive(Debug, Clone)]
+pub struct LoadedDataset {
+    /// The compacted dataset.
+    pub dataset: Dataset,
+    /// Original user id of each dense user index.
+    pub user_ids: Vec<u64>,
+    /// Original item id of each dense item index.
+    pub item_ids: Vec<u64>,
+}
+
+/// Load MovieLens-1M `ratings.dat` (`user::item::rating::timestamp`).
+///
+/// # Errors
+///
+/// I/O failures, malformed lines, or an empty file.
+pub fn load_movielens_1m(path: &Path) -> Result<LoadedDataset, DataError> {
+    let file = std::fs::File::open(path)?;
+    parse_ratings(std::io::BufReader::new(file), "::")
+}
+
+/// Load MovieLens-100k `u.data` (tab-separated `user item rating timestamp`).
+///
+/// # Errors
+///
+/// I/O failures, malformed lines, or an empty file.
+pub fn load_movielens_100k(path: &Path) -> Result<LoadedDataset, DataError> {
+    let file = std::fs::File::open(path)?;
+    parse_ratings(std::io::BufReader::new(file), "\t")
+}
+
+/// Parse `user<sep>item<sep>rating[<sep>timestamp]` records from a reader.
+///
+/// Blank lines are skipped; a trailing timestamp field is ignored.
+///
+/// # Errors
+///
+/// Malformed lines (wrong field count, non-numeric fields, ratings outside
+/// `(0, 10]`) or an empty stream.
+pub fn parse_ratings<R: BufRead>(reader: R, separator: &str) -> Result<LoadedDataset, DataError> {
+    let mut user_index: HashMap<u64, u32> = HashMap::new();
+    let mut item_index: HashMap<u64, u32> = HashMap::new();
+    let mut user_ids: Vec<u64> = Vec::new();
+    let mut item_ids: Vec<u64> = Vec::new();
+    let mut ratings: Vec<Rating> = Vec::new();
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(separator).collect();
+        if fields.len() < 3 {
+            return Err(DataError::Parse {
+                line: lineno + 1,
+                reason: format!("expected at least 3 fields, found {}", fields.len()),
+            });
+        }
+        let raw_user: u64 = fields[0].parse().map_err(|_| DataError::Parse {
+            line: lineno + 1,
+            reason: format!("bad user id {:?}", fields[0]),
+        })?;
+        let raw_item: u64 = fields[1].parse().map_err(|_| DataError::Parse {
+            line: lineno + 1,
+            reason: format!("bad item id {:?}", fields[1]),
+        })?;
+        let value: f64 = fields[2].parse().map_err(|_| DataError::Parse {
+            line: lineno + 1,
+            reason: format!("bad rating {:?}", fields[2]),
+        })?;
+        if !(value > 0.0 && value <= 10.0) {
+            return Err(DataError::Parse {
+                line: lineno + 1,
+                reason: format!("rating {value} outside (0, 10]"),
+            });
+        }
+
+        let user = *user_index.entry(raw_user).or_insert_with(|| {
+            user_ids.push(raw_user);
+            (user_ids.len() - 1) as u32
+        });
+        let item = *item_index.entry(raw_item).or_insert_with(|| {
+            item_ids.push(raw_item);
+            (item_ids.len() - 1) as u32
+        });
+        ratings.push(Rating { user, item, value });
+    }
+
+    if ratings.is_empty() {
+        return Err(DataError::Empty);
+    }
+    let dataset = Dataset::from_ratings(user_ids.len(), item_ids.len(), &ratings);
+    Ok(LoadedDataset {
+        dataset,
+        user_ids,
+        item_ids,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_movielens_1m_format() {
+        let input = "1::1193::5::978300760\n1::661::3::978302109\n2::1193::4::978298413\n";
+        let loaded = parse_ratings(Cursor::new(input), "::").unwrap();
+        assert_eq!(loaded.dataset.n_users(), 2);
+        assert_eq!(loaded.dataset.n_items(), 2);
+        assert_eq!(loaded.dataset.n_ratings(), 3);
+        assert_eq!(loaded.user_ids, vec![1, 2]);
+        assert_eq!(loaded.item_ids, vec![1193, 661]);
+        // User 0 (raw 1) rated item 0 (raw 1193) with 5 stars.
+        assert_eq!(
+            loaded.dataset.ratings_of(0).find(|&(i, _)| i == 0).unwrap().1,
+            5.0
+        );
+    }
+
+    #[test]
+    fn parses_tab_separated_100k_format() {
+        let input = "196\t242\t3\t881250949\n186\t302\t3\t891717742\n";
+        let loaded = parse_ratings(Cursor::new(input), "\t").unwrap();
+        assert_eq!(loaded.dataset.n_ratings(), 2);
+        assert_eq!(loaded.user_ids, vec![196, 186]);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let input = "1::2::3::0\n\n\n2::2::4::0\n";
+        let loaded = parse_ratings(Cursor::new(input), "::").unwrap();
+        assert_eq!(loaded.dataset.n_ratings(), 2);
+    }
+
+    #[test]
+    fn timestamp_optional() {
+        let input = "1::2::3\n";
+        let loaded = parse_ratings(Cursor::new(input), "::").unwrap();
+        assert_eq!(loaded.dataset.n_ratings(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_garbage() {
+        let input = "1::2::3::0\nnot-a-record\n";
+        match parse_ratings(Cursor::new(input), "::") {
+            Err(DataError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_rating() {
+        let input = "1::2::99::0\n";
+        assert!(matches!(
+            parse_ratings(Cursor::new(input), "::"),
+            Err(DataError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(
+            parse_ratings(Cursor::new(""), "::"),
+            Err(DataError::Empty)
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_movielens_1m(Path::new("/nonexistent/ratings.dat")).unwrap_err();
+        assert!(matches!(err, DataError::Io(_)));
+    }
+}

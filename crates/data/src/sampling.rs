@@ -1,0 +1,254 @@
+//! Sampling primitives the synthetic generator needs.
+//!
+//! The offline `rand` crate ships only uniform sampling, so the classic
+//! transforms are implemented here: Box-Muller normals, Marsaglia-Tsang
+//! gammas (hence Dirichlet), bounded power-law integers (user activity), and
+//! Zipf-weighted categorical draws (item popularity).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Standard normal via Box-Muller.
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        return (-2.0f64 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Gamma(shape, 1) via Marsaglia & Tsang (2000); the `shape < 1` case uses
+/// the standard boost `Gamma(α) = Gamma(α+1) · U^{1/α}`.
+///
+/// # Panics
+///
+/// Panics if `shape <= 0`.
+pub fn gamma(rng: &mut StdRng, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        let boost: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE).powf(1.0 / shape);
+        return gamma(rng, shape + 1.0) * boost;
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = gaussian(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random();
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Symmetric Dirichlet(α) sample of dimension `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `alpha <= 0`.
+pub fn dirichlet(rng: &mut StdRng, alpha: f64, k: usize) -> Vec<f64> {
+    assert!(k > 0, "dimension must be positive");
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma(rng, alpha)).collect();
+    let total: f64 = draws.iter().sum();
+    if total <= 0.0 {
+        // All-underflow corner: fall back to uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    for d in draws.iter_mut() {
+        *d /= total;
+    }
+    draws
+}
+
+/// Integer from a bounded power law `p(x) ∝ x^{-exponent}` on
+/// `[min, max]` by inverse-CDF of the continuous relaxation.
+///
+/// # Panics
+///
+/// Panics if `min == 0`, `min > max`, or `exponent <= 0`.
+pub fn power_law_integer(rng: &mut StdRng, min: usize, max: usize, exponent: f64) -> usize {
+    assert!(min > 0, "min must be positive");
+    assert!(min <= max, "min must not exceed max");
+    assert!(exponent > 0.0, "exponent must be positive");
+    if min == max {
+        return min;
+    }
+    let u: f64 = rng.random();
+    let (lo, hi) = (min as f64, (max + 1) as f64);
+    let x = if (exponent - 1.0).abs() < 1e-9 {
+        // Exponent 1: p(x) ∝ 1/x integrates to a log.
+        lo * (hi / lo).powf(u)
+    } else {
+        let a = 1.0 - exponent;
+        (lo.powf(a) + u * (hi.powf(a) - lo.powf(a))).powf(1.0 / a)
+    };
+    (x.floor() as usize).clamp(min, max)
+}
+
+/// Cumulative-weight categorical sampler (weights need not be normalized).
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Build from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative value, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0, "weights must be non-negative");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        Self { cumulative }
+    }
+
+    /// Draw an index with probability proportional to its weight.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let draw: f64 = rng.random_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&draw).unwrap())
+        {
+            Ok(idx) => (idx + 1).min(self.cumulative.len() - 1),
+            Err(idx) => idx,
+        }
+    }
+}
+
+/// Zipf weights `1/(rank+1)^exponent` for `n` ranks (rank 0 is the most
+/// popular).
+pub fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
+    (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut r = rng();
+        for shape in [0.5, 1.0, 3.0, 10.0] {
+            let n = 20_000;
+            let mean = (0..n).map(|_| gamma(&mut r, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut r = rng();
+        for alpha in [0.1, 1.0, 10.0] {
+            let d = dirichlet(&mut r, alpha, 6);
+            let sum: f64 = d.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(d.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn low_alpha_dirichlet_is_concentrated() {
+        let mut r = rng();
+        let trials = 300;
+        let peaked = |alpha: f64, r: &mut StdRng| {
+            (0..trials)
+                .map(|_| {
+                    dirichlet(r, alpha, 8)
+                        .into_iter()
+                        .fold(0.0f64, f64::max)
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        let sharp = peaked(0.1, &mut r);
+        let flat = peaked(10.0, &mut r);
+        assert!(sharp > flat + 0.2, "sharp {sharp} vs flat {flat}");
+    }
+
+    #[test]
+    fn power_law_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..2_000 {
+            let x = power_law_integer(&mut r, 5, 50, 1.4);
+            assert!((5..=50).contains(&x));
+        }
+    }
+
+    #[test]
+    fn power_law_prefers_small_values() {
+        let mut r = rng();
+        let n = 10_000;
+        let small = (0..n)
+            .filter(|_| power_law_integer(&mut r, 1, 100, 2.0) <= 10)
+            .count();
+        assert!(small as f64 / n as f64 > 0.7, "small fraction {small}/{n}");
+    }
+
+    #[test]
+    fn power_law_degenerate_range() {
+        let mut r = rng();
+        assert_eq!(power_law_integer(&mut r, 7, 7, 1.5), 7);
+    }
+
+    #[test]
+    fn categorical_frequencies_track_weights() {
+        let mut r = rng();
+        let cat = Categorical::new(&[1.0, 3.0, 6.0]);
+        let n = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[cat.sample(&mut r)] += 1;
+        }
+        assert!((counts[2] as f64 / n as f64 - 0.6).abs() < 0.03);
+        assert!((counts[1] as f64 / n as f64 - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = zipf_weights(4, 1.0);
+        assert_eq!(w[0], 1.0);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_categorical_rejected() {
+        Categorical::new(&[]);
+    }
+}

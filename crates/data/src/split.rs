@@ -1,0 +1,206 @@
+//! Train/test split for the Recall@N protocol (§5.2.1).
+//!
+//! The paper's accuracy methodology: hold out a set of *long-tail, 5-star*
+//! ratings as test cases (4000 of them on the full datasets); train on the
+//! rest; then for each held-out `(user, favourite-tail-item)` pair, rank the
+//! favourite among 1000 randomly sampled unrated items and record whether it
+//! lands in the top N.
+
+use crate::dataset::{Dataset, Rating};
+use crate::longtail::LongTailSplit;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A held-out test case: `user` rated `item` (a tail item) with the maximum
+/// star value in the original data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestCase {
+    /// The query user.
+    pub user: u32,
+    /// The held-out favourite tail item.
+    pub item: u32,
+}
+
+/// A protocol split: the training dataset plus the held-out test cases.
+#[derive(Debug, Clone)]
+pub struct ProtocolSplit {
+    /// Training data (held-out ratings removed).
+    pub train: Dataset,
+    /// Held-out long-tail favourite ratings.
+    pub test_cases: Vec<TestCase>,
+}
+
+/// Configuration of the hold-out.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitConfig {
+    /// Maximum number of test cases to hold out (the paper uses 4000).
+    pub n_test: usize,
+    /// Minimum star value of a held-out rating (the paper holds out
+    /// 5-star ratings).
+    pub min_value: f64,
+    /// Minimum number of ratings a user must *retain* in training for one of
+    /// their ratings to be eligible — graph methods need a non-empty seed
+    /// set `S_q`.
+    pub min_remaining_activity: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        Self {
+            n_test: 400,
+            min_value: 5.0,
+            min_remaining_activity: 3,
+            seed: 0x5911,
+        }
+    }
+}
+
+/// Hold out up to `config.n_test` long-tail high-star ratings as test cases.
+///
+/// Eligible ratings are those on tail items (per `tail`) with value at least
+/// `config.min_value`, whose user retains `min_remaining_activity` other
+/// ratings. Eligible ratings are shuffled (seeded) and at most one test case
+/// per user is taken until the budget is filled, then removed from the
+/// training data.
+pub fn holdout_longtail_favorites(
+    dataset: &Dataset,
+    tail: &LongTailSplit,
+    config: &SplitConfig,
+) -> ProtocolSplit {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let activity = dataset.user_activity();
+
+    let mut eligible: Vec<TestCase> = Vec::new();
+    for u in 0..dataset.n_users() as u32 {
+        if (activity[u as usize] as usize) < config.min_remaining_activity + 1 {
+            continue;
+        }
+        for (i, v) in dataset.ratings_of(u) {
+            if v >= config.min_value && tail.is_tail(i) {
+                eligible.push(TestCase { user: u, item: i });
+            }
+        }
+    }
+    eligible.shuffle(&mut rng);
+
+    let mut taken: Vec<TestCase> = Vec::new();
+    let mut user_taken = vec![false; dataset.n_users()];
+    for case in eligible {
+        if taken.len() >= config.n_test {
+            break;
+        }
+        // One case per user keeps the test set diverse and guarantees the
+        // remaining-activity invariant with a single check.
+        if user_taken[case.user as usize] {
+            continue;
+        }
+        user_taken[case.user as usize] = true;
+        taken.push(case);
+    }
+
+    let held: std::collections::HashSet<(u32, u32)> =
+        taken.iter().map(|c| (c.user, c.item)).collect();
+    let train_ratings: Vec<Rating> = dataset
+        .to_ratings()
+        .into_iter()
+        .filter(|r| !held.contains(&(r.user, r.item)))
+        .collect();
+
+    ProtocolSplit {
+        train: Dataset::from_ratings(dataset.n_users(), dataset.n_items(), &train_ratings),
+        test_cases: taken,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticConfig, SyntheticData};
+
+    fn setup() -> (Dataset, LongTailSplit) {
+        let data = SyntheticData::generate(&SyntheticConfig {
+            n_users: 200,
+            n_items: 150,
+            ..SyntheticConfig::movielens_like()
+        });
+        let pops = data.dataset.item_popularity();
+        let tail = LongTailSplit::by_rating_share(&pops, 0.2);
+        (data.dataset, tail)
+    }
+
+    #[test]
+    fn held_out_cases_are_tail_favorites() {
+        let (dataset, tail) = setup();
+        let split = holdout_longtail_favorites(&dataset, &tail, &SplitConfig::default());
+        assert!(!split.test_cases.is_empty());
+        for case in &split.test_cases {
+            assert!(tail.is_tail(case.item), "item {} not tail", case.item);
+            // The original rating was >= 5 stars.
+            let v = dataset
+                .ratings_of(case.user)
+                .find(|&(i, _)| i == case.item)
+                .unwrap()
+                .1;
+            assert!(v >= 5.0);
+        }
+    }
+
+    #[test]
+    fn held_out_ratings_removed_from_training() {
+        let (dataset, tail) = setup();
+        let split = holdout_longtail_favorites(&dataset, &tail, &SplitConfig::default());
+        for case in &split.test_cases {
+            assert!(!split.train.has_rated(case.user, case.item));
+        }
+        assert_eq!(
+            split.train.n_ratings(),
+            dataset.n_ratings() - split.test_cases.len()
+        );
+    }
+
+    #[test]
+    fn users_retain_minimum_activity() {
+        let (dataset, tail) = setup();
+        let config = SplitConfig {
+            min_remaining_activity: 5,
+            ..SplitConfig::default()
+        };
+        let split = holdout_longtail_favorites(&dataset, &tail, &config);
+        for case in &split.test_cases {
+            assert!(split.train.rated_items(case.user).len() >= 5);
+        }
+    }
+
+    #[test]
+    fn at_most_one_case_per_user() {
+        let (dataset, tail) = setup();
+        let split = holdout_longtail_favorites(&dataset, &tail, &SplitConfig::default());
+        let mut users: Vec<u32> = split.test_cases.iter().map(|c| c.user).collect();
+        let before = users.len();
+        users.sort_unstable();
+        users.dedup();
+        assert_eq!(users.len(), before);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let (dataset, tail) = setup();
+        let config = SplitConfig {
+            n_test: 7,
+            ..SplitConfig::default()
+        };
+        let split = holdout_longtail_favorites(&dataset, &tail, &config);
+        assert!(split.test_cases.len() <= 7);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (dataset, tail) = setup();
+        let a = holdout_longtail_favorites(&dataset, &tail, &SplitConfig::default());
+        let b = holdout_longtail_favorites(&dataset, &tail, &SplitConfig::default());
+        assert_eq!(a.test_cases, b.test_cases);
+    }
+}

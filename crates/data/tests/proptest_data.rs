@@ -1,0 +1,94 @@
+//! Property tests: dataset, tail-split and ontology invariants.
+
+use longtail_data::{Dataset, LongTailSplit, Ontology, Rating};
+use proptest::prelude::*;
+
+fn ratings() -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (0..10u32, 0..12u32, 1.0f64..5.0).prop_map(|(user, item, value)| Rating {
+            user,
+            item,
+            value: value.round().max(1.0),
+        }),
+        0..80,
+    )
+}
+
+proptest! {
+    #[test]
+    fn popularity_sums_to_rating_count(rs in ratings()) {
+        let d = Dataset::from_ratings(10, 12, &rs);
+        let total: u32 = d.item_popularity().iter().sum();
+        prop_assert_eq!(total as usize, d.n_ratings());
+        let total_act: u32 = d.user_activity().iter().sum();
+        prop_assert_eq!(total_act as usize, d.n_ratings());
+    }
+
+    #[test]
+    fn ratings_round_trip(rs in ratings()) {
+        let d = Dataset::from_ratings(10, 12, &rs);
+        let d2 = Dataset::from_ratings(10, 12, &d.to_ratings());
+        prop_assert_eq!(d.user_items(), d2.user_items());
+    }
+
+    #[test]
+    fn tail_split_partitions_catalog(pops in prop::collection::vec(0u32..50, 1..30), share in 0.05f64..0.95) {
+        let split = LongTailSplit::by_rating_share(&pops, share);
+        prop_assert_eq!(split.n_tail() + split.n_head(), pops.len());
+        // Achieved share never exceeds the budget.
+        prop_assert!(split.tail_rating_share() <= share + 1e-12);
+        // Every tail item is at most as popular as every head item.
+        let max_tail = split.tail_items().iter().map(|&i| pops[i as usize]).max().unwrap_or(0);
+        let min_head = (0..pops.len() as u32)
+            .filter(|&i| !split.is_tail(i))
+            .map(|i| pops[i as usize])
+            .min()
+            .unwrap_or(u32::MAX);
+        prop_assert!(max_tail <= min_head);
+    }
+
+    #[test]
+    fn larger_share_grows_the_tail(pops in prop::collection::vec(1u32..50, 2..25)) {
+        let small = LongTailSplit::by_rating_share(&pops, 0.2);
+        let large = LongTailSplit::by_rating_share(&pops, 0.6);
+        prop_assert!(large.n_tail() >= small.n_tail());
+    }
+
+    #[test]
+    fn ontology_similarity_is_a_bounded_symmetric_reflexive(genres in prop::collection::vec(0u32..5, 2..20)) {
+        let o = Ontology::from_genres(&genres, 3, 77);
+        let n = genres.len() as u32;
+        for i in 0..n {
+            prop_assert!((o.item_similarity(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..n {
+                let s = o.item_similarity(i, j);
+                prop_assert!((0.0..=1.0).contains(&s));
+                prop_assert_eq!(s, o.item_similarity(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn same_genre_never_less_similar_than_cross_genre(genres in prop::collection::vec(0u32..4, 4..16)) {
+        let o = Ontology::from_genres(&genres, 2, 13);
+        let n = genres.len();
+        let mut min_same = f64::INFINITY;
+        let mut max_cross = f64::NEG_INFINITY;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let s = o.item_similarity(i as u32, j as u32);
+                if genres[i] == genres[j] {
+                    min_same = min_same.min(s);
+                } else {
+                    max_cross = max_cross.max(s);
+                }
+            }
+        }
+        if min_same.is_finite() && max_cross.is_finite() {
+            prop_assert!(min_same >= max_cross);
+        }
+    }
+}

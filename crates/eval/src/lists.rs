@@ -1,0 +1,131 @@
+//! Batch top-k recommendation lists for the list-based metrics.
+//!
+//! §5.2.2–5.2.4 all evaluate the same artifact — each testing user's top-10
+//! list — under different lenses (popularity, diversity, similarity). This
+//! module computes the lists once so the metrics can share them.
+
+use longtail_core::{Recommender, ScoredItem};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Top-k lists for a set of users: `lists[j]` belongs to `users[j]`.
+#[derive(Debug, Clone)]
+pub struct RecommendationLists {
+    /// The evaluated users.
+    pub users: Vec<u32>,
+    /// Top-k list per user (may be shorter than k for sparse users).
+    pub lists: Vec<Vec<ScoredItem>>,
+    /// The requested list length.
+    pub k: usize,
+}
+
+impl RecommendationLists {
+    /// Compute top-`k` lists for `users`, fanning queries out over
+    /// `n_threads` workers.
+    pub fn compute(
+        recommender: &(dyn Recommender + Sync),
+        users: &[u32],
+        k: usize,
+        n_threads: usize,
+    ) -> Self {
+        let n = users.len();
+        let results = parking_lot::Mutex::new(vec![Vec::new(); n]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..n_threads.max(1) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let list = recommender.recommend(users[idx], k);
+                    results.lock()[idx] = list;
+                });
+            }
+        });
+        Self {
+            users: users.to_vec(),
+            lists: results.into_inner(),
+            k,
+        }
+    }
+
+    /// Total number of recommendation slots filled.
+    pub fn n_recommendations(&self) -> usize {
+        self.lists.iter().map(|l| l.len()).sum()
+    }
+}
+
+/// Sample `n` distinct testing users that have at least `min_activity`
+/// training ratings (the paper samples 2000 such users).
+pub fn sample_test_users(
+    activity: &[u32],
+    n: usize,
+    min_activity: u32,
+    seed: u64,
+) -> Vec<u32> {
+    let mut eligible: Vec<u32> = (0..activity.len() as u32)
+        .filter(|&u| activity[u as usize] >= min_activity)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    eligible.shuffle(&mut rng);
+    eligible.truncate(n);
+    eligible.sort_unstable();
+    eligible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longtail_core::GraphRecConfig;
+    use longtail_core::HittingTimeRecommender;
+    use longtail_data::{Dataset, Rating};
+
+    fn dataset() -> Dataset {
+        let ratings = [
+            Rating { user: 0, item: 0, value: 5.0 },
+            Rating { user: 0, item: 1, value: 4.0 },
+            Rating { user: 1, item: 1, value: 5.0 },
+            Rating { user: 1, item: 2, value: 5.0 },
+            Rating { user: 2, item: 0, value: 3.0 },
+        ];
+        Dataset::from_ratings(3, 4, &ratings)
+    }
+
+    #[test]
+    fn computes_one_list_per_user() {
+        let rec = HittingTimeRecommender::new(&dataset(), GraphRecConfig::default());
+        let lists = RecommendationLists::compute(&rec, &[0, 1, 2], 2, 2);
+        assert_eq!(lists.users, vec![0, 1, 2]);
+        assert_eq!(lists.lists.len(), 3);
+        assert!(lists.lists.iter().all(|l| l.len() <= 2));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let rec = HittingTimeRecommender::new(&dataset(), GraphRecConfig::default());
+        let a = RecommendationLists::compute(&rec, &[0, 1, 2], 3, 1);
+        let b = RecommendationLists::compute(&rec, &[0, 1, 2], 3, 3);
+        assert_eq!(a.lists, b.lists);
+    }
+
+    #[test]
+    fn sample_respects_activity_floor() {
+        let users = sample_test_users(&[5, 0, 3, 10], 10, 3, 7);
+        assert_eq!(users, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn sample_truncates_to_n() {
+        let users = sample_test_users(&[5, 5, 5, 5, 5], 2, 1, 7);
+        assert_eq!(users.len(), 2);
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let a = sample_test_users(&[5; 100], 10, 1, 42);
+        let b = sample_test_users(&[5; 100], 10, 1, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,189 @@
+//! List-based metrics: Popularity@N, Diversity, Similarity.
+//!
+//! §5.2.2 (Figure 6), §5.2.3 (Table 2) and §5.2.4 (Table 3) all evaluate
+//! each testing user's top-10 list:
+//!
+//! * **Popularity@N** — mean rating-count of the item at each list position;
+//!   low values mean the recommender reaches into the tail;
+//! * **Diversity** — `|∪_u R_u| / |I|` (Eq. 17): how many *distinct* items
+//!   the system pushes across the whole test population;
+//! * **Similarity** — `avg_u avg_{i∈R_u} max_{j∈S_u} Sim(i, j)` (Eq. 18–19)
+//!   over the category ontology: are the tail picks still on-taste?
+
+use crate::lists::RecommendationLists;
+use longtail_data::{Dataset, Ontology};
+
+/// Mean popularity of the item at each list position `1..=k` (Figure 6).
+///
+/// Positions that some lists do not fill (sparse users) average over the
+/// lists that do. Returns an empty vector if no list has any item.
+pub fn popularity_at_n(lists: &RecommendationLists, popularity: &[u32]) -> Vec<f64> {
+    let k = lists.k;
+    let mut sums = vec![0.0f64; k];
+    let mut counts = vec![0usize; k];
+    for list in &lists.lists {
+        for (pos, scored) in list.iter().enumerate() {
+            sums[pos] += popularity[scored.item as usize] as f64;
+            counts[pos] += 1;
+        }
+    }
+    (0..k)
+        .filter(|&pos| counts[pos] > 0)
+        .map(|pos| sums[pos] / counts[pos] as f64)
+        .collect()
+}
+
+/// Mean popularity over *all* recommended slots (scalar summary of Fig. 6).
+pub fn mean_popularity(lists: &RecommendationLists, popularity: &[u32]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for list in &lists.lists {
+        for scored in list {
+            sum += popularity[scored.item as usize] as f64;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Diversity (Eq. 17): distinct recommended items over the maximum possible.
+///
+/// The denominator follows the paper's accounting: an ideal recommender
+/// could surface `|users| * k` distinct items, but never more than the
+/// catalog holds, so `|I| = min(|users| * k, n_items)`.
+pub fn diversity(lists: &RecommendationLists, n_items: usize) -> f64 {
+    let mut seen = vec![false; n_items];
+    let mut unique = 0usize;
+    for list in &lists.lists {
+        for scored in list {
+            if !seen[scored.item as usize] {
+                seen[scored.item as usize] = true;
+                unique += 1;
+            }
+        }
+    }
+    let capacity = (lists.users.len() * lists.k).min(n_items);
+    if capacity == 0 {
+        0.0
+    } else {
+        unique as f64 / capacity as f64
+    }
+}
+
+/// Ontology similarity (Eq. 19 averaged): for every recommended item, its
+/// best category similarity to anything the user already rated; averaged
+/// over all slots of all users.
+pub fn mean_similarity(
+    lists: &RecommendationLists,
+    train: &Dataset,
+    ontology: &Ontology,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (idx, list) in lists.lists.iter().enumerate() {
+        let user = lists.users[idx];
+        let preferred = train.rated_items(user);
+        for scored in list {
+            sum += ontology.user_similarity(preferred, scored.item);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longtail_core::ScoredItem;
+    use longtail_data::Rating;
+
+    fn lists(users: Vec<u32>, raw: Vec<Vec<u32>>, k: usize) -> RecommendationLists {
+        RecommendationLists {
+            users,
+            lists: raw
+                .into_iter()
+                .map(|items| {
+                    items
+                        .into_iter()
+                        .map(|item| ScoredItem { item, score: 0.0 })
+                        .collect()
+                })
+                .collect(),
+            k,
+        }
+    }
+
+    #[test]
+    fn popularity_at_n_per_position() {
+        let pops = vec![10, 2, 30, 4];
+        let l = lists(vec![0, 1], vec![vec![0, 1], vec![2, 3]], 2);
+        let curve = popularity_at_n(&l, &pops);
+        assert_eq!(curve, vec![20.0, 3.0]);
+    }
+
+    #[test]
+    fn popularity_handles_ragged_lists() {
+        let pops = vec![10, 2];
+        let l = lists(vec![0, 1], vec![vec![0, 1], vec![0]], 2);
+        let curve = popularity_at_n(&l, &pops);
+        assert_eq!(curve, vec![10.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_popularity_over_all_slots() {
+        let pops = vec![10, 2, 30];
+        let l = lists(vec![0, 1], vec![vec![0], vec![1, 2]], 2);
+        assert!((mean_popularity(&l, &pops) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diversity_counts_unique_items() {
+        // 2 users x k=2 over a catalog of 10: capacity 4.
+        let l = lists(vec![0, 1], vec![vec![0, 1], vec![1, 2]], 2);
+        assert!((diversity(&l, 10) - 3.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diversity_caps_at_catalog_size() {
+        // 3 users x k=2 = 6 slots but only 3 items exist.
+        let l = lists(vec![0, 1, 2], vec![vec![0, 1], vec![1, 2], vec![0, 2]], 2);
+        assert!((diversity(&l, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_lists_have_low_diversity() {
+        let l = lists(vec![0, 1, 2, 3], vec![vec![0]; 4], 1);
+        assert!((diversity(&l, 100) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_uses_best_match_to_rated_set() {
+        // Items 0,1 share a genre; item 2 is elsewhere.
+        let ontology = Ontology::from_genres(&[0, 0, 1], 1, 5);
+        let train = Dataset::from_ratings(
+            1,
+            3,
+            &[Rating { user: 0, item: 0, value: 5.0 }],
+        );
+        let same = lists(vec![0], vec![vec![1]], 1);
+        let cross = lists(vec![0], vec![vec![2]], 1);
+        assert!(mean_similarity(&same, &train, &ontology) > mean_similarity(&cross, &train, &ontology));
+    }
+
+    #[test]
+    fn empty_lists_give_zero_metrics() {
+        let l = lists(vec![0], vec![vec![]], 3);
+        assert_eq!(mean_popularity(&l, &[1, 2, 3]), 0.0);
+        let ontology = Ontology::from_genres(&[0, 0, 0], 1, 5);
+        let train = Dataset::from_ratings(1, 3, &[Rating { user: 0, item: 0, value: 5.0 }]);
+        assert_eq!(mean_similarity(&l, &train, &ontology), 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The Recall@N protocol of §5.2.1 (Figure 5).
+//!
+//! For each held-out 5-star long-tail rating `(u, i)`: sample 1000 items the
+//! user never rated, rank `i` among them with the recommender's scores, and
+//! record a hit if `i` lands in the top N. `Recall@N = Σ hit@N / |L|`
+//! (Eq. 16). The distractors are uniform over the catalog, so they are
+//! mostly popular-ish items — a recommender that always boosts the head
+//! buries the tail favourite, which is exactly what Figure 5 punishes.
+
+use longtail_core::{rank_of, Recommender};
+use longtail_data::{Dataset, ProtocolSplit};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration of the Recall@N evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct RecallConfig {
+    /// Number of random unrated distractor items per test case (the paper
+    /// uses 1000; capped at the number of available unrated items).
+    pub n_distractors: usize,
+    /// Largest N of the reported curve (the paper plots N ∈ [1, 50]).
+    pub max_n: usize,
+    /// Distractor-sampling seed.
+    pub seed: u64,
+    /// Number of worker threads (1 = sequential).
+    pub n_threads: usize,
+}
+
+impl Default for RecallConfig {
+    fn default() -> Self {
+        Self {
+            n_distractors: 1000,
+            max_n: 50,
+            seed: 0xeca1,
+            n_threads: 4,
+        }
+    }
+}
+
+/// A Recall@N curve: `recall[n-1]` is Recall@n.
+#[derive(Debug, Clone)]
+pub struct RecallCurve {
+    /// Recall at positions `1..=max_n`.
+    pub recall: Vec<f64>,
+    /// Number of test cases evaluated.
+    pub n_cases: usize,
+}
+
+impl RecallCurve {
+    /// Recall at position `n` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or beyond the computed curve.
+    pub fn at(&self, n: usize) -> f64 {
+        assert!(n >= 1 && n <= self.recall.len(), "position {n} out of range");
+        self.recall[n - 1]
+    }
+}
+
+/// Evaluate `recommender` under the Recall@N protocol.
+///
+/// `full_data` is the pre-split dataset — distractors must be unrated in the
+/// *original* data so that none of them is a hidden positive of the test
+/// user. Rank ties are broken by item id, consistently with
+/// [`longtail_core::top_k`].
+pub fn recall_at_n(
+    recommender: &(dyn Recommender + Sync),
+    full_data: &Dataset,
+    split: &ProtocolSplit,
+    config: &RecallConfig,
+) -> RecallCurve {
+    let cases = &split.test_cases;
+    let n_cases = cases.len();
+    if n_cases == 0 {
+        return RecallCurve {
+            recall: vec![0.0; config.max_n],
+            n_cases: 0,
+        };
+    }
+
+    // Pre-draw candidate sets sequentially for determinism, then fan the
+    // (expensive) scoring out over threads.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let candidate_sets: Vec<Vec<u32>> = cases
+        .iter()
+        .map(|case| {
+            let mut unrated: Vec<u32> = (0..full_data.n_items() as u32)
+                .filter(|&i| i != case.item && !full_data.has_rated(case.user, i))
+                .collect();
+            unrated.shuffle(&mut rng);
+            unrated.truncate(config.n_distractors);
+            unrated.push(case.item);
+            unrated
+        })
+        .collect();
+
+    let hit_counts = parking_lot::Mutex::new(vec![0usize; config.max_n]);
+    let next_case = std::sync::atomic::AtomicUsize::new(0);
+    let n_threads = config.n_threads.max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| {
+                let mut local_hits = vec![0usize; config.max_n];
+                loop {
+                    let idx = next_case.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= n_cases {
+                        break;
+                    }
+                    let case = &cases[idx];
+                    let scores = recommender.score_items(case.user);
+                    if let Some(rank) = rank_of(&scores, &candidate_sets[idx], case.item) {
+                        if rank < config.max_n {
+                            for h in local_hits.iter_mut().skip(rank) {
+                                *h += 1;
+                            }
+                        }
+                    }
+                }
+                let mut shared = hit_counts.lock();
+                for (s, l) in shared.iter_mut().zip(local_hits.iter()) {
+                    *s += l;
+                }
+            });
+        }
+    });
+
+    let hits = hit_counts.into_inner();
+    RecallCurve {
+        recall: hits.iter().map(|&h| h as f64 / n_cases as f64).collect(),
+        n_cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longtail_core::ScoredItem;
+    use longtail_data::TestCase;
+
+    /// A recommender with a fixed preference list: scores = -item_id with a
+    /// per-user boost for `(user, item)` pairs in `favorites`.
+    struct Oracle {
+        n_items: usize,
+        favorites: Vec<(u32, u32)>,
+        empty: Vec<u32>,
+    }
+
+    impl Recommender for Oracle {
+        fn name(&self) -> &'static str {
+            "oracle"
+        }
+
+        fn score_items(&self, user: u32) -> Vec<f64> {
+            (0..self.n_items as u32)
+                .map(|i| {
+                    if self.favorites.contains(&(user, i)) {
+                        1e6
+                    } else {
+                        -(i as f64)
+                    }
+                })
+                .collect()
+        }
+
+        fn rated_items(&self, _user: u32) -> &[u32] {
+            &self.empty
+        }
+
+        fn n_items(&self) -> usize {
+            self.n_items
+        }
+
+        fn recommend(&self, user: u32, k: usize) -> Vec<ScoredItem> {
+            longtail_core::top_k(&self.score_items(user), k, |_| false)
+        }
+    }
+
+    fn tiny_setup(favorites: Vec<(u32, u32)>) -> (Dataset, ProtocolSplit, Oracle) {
+        // 3 users, 30 items; user 0 rated item 0 only.
+        let ratings = [longtail_data::Rating { user: 0, item: 0, value: 5.0 }];
+        let full = Dataset::from_ratings(3, 30, &ratings);
+        let split = ProtocolSplit {
+            train: full.clone(),
+            test_cases: vec![TestCase { user: 0, item: 5 }, TestCase { user: 1, item: 7 }],
+        };
+        let oracle = Oracle {
+            n_items: 30,
+            favorites,
+            empty: Vec::new(),
+        };
+        (full, split, oracle)
+    }
+
+    #[test]
+    fn perfect_oracle_has_recall_one_at_one() {
+        let (full, split, oracle) = tiny_setup(vec![(0, 5), (1, 7)]);
+        let curve = recall_at_n(
+            &oracle,
+            &full,
+            &split,
+            &RecallConfig {
+                max_n: 5,
+                ..RecallConfig::default()
+            },
+        );
+        assert_eq!(curve.n_cases, 2);
+        assert_eq!(curve.at(1), 1.0);
+        assert_eq!(curve.at(5), 1.0);
+    }
+
+    #[test]
+    fn anti_oracle_misses_everywhere() {
+        // Oracle favours nothing: item ids rank descending by -id, so test
+        // items 5 and 7 rank around position 5-7 of ~29 candidates.
+        let (full, split, oracle) = tiny_setup(vec![]);
+        let curve = recall_at_n(
+            &oracle,
+            &full,
+            &split,
+            &RecallConfig {
+                max_n: 4,
+                ..RecallConfig::default()
+            },
+        );
+        assert_eq!(curve.at(4), 0.0);
+    }
+
+    #[test]
+    fn recall_is_monotone_in_n() {
+        let (full, split, oracle) = tiny_setup(vec![(1, 7)]);
+        let curve = recall_at_n(
+            &oracle,
+            &full,
+            &split,
+            &RecallConfig {
+                max_n: 20,
+                ..RecallConfig::default()
+            },
+        );
+        for w in curve.recall.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let (full, split, oracle) = tiny_setup(vec![(0, 5)]);
+        let base = RecallConfig {
+            max_n: 10,
+            ..RecallConfig::default()
+        };
+        let seq = recall_at_n(&oracle, &full, &split, &RecallConfig { n_threads: 1, ..base });
+        let par = recall_at_n(&oracle, &full, &split, &RecallConfig { n_threads: 4, ..base });
+        assert_eq!(seq.recall, par.recall);
+    }
+
+    #[test]
+    fn empty_test_set_yields_zeros() {
+        let (full, mut split, oracle) = tiny_setup(vec![]);
+        split.test_cases.clear();
+        let curve = recall_at_n(&oracle, &full, &split, &RecallConfig::default());
+        assert_eq!(curve.n_cases, 0);
+        assert!(curve.recall.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn distractor_budget_caps_candidates() {
+        let (full, split, oracle) = tiny_setup(vec![]);
+        // With only 2 distractors the test item competes against 2 items;
+        // an id-descending oracle ranks item 5 by luck of the draw, but the
+        // curve must reach 1.0 by position 3.
+        let curve = recall_at_n(
+            &oracle,
+            &full,
+            &split,
+            &RecallConfig {
+                n_distractors: 2,
+                max_n: 3,
+                ..RecallConfig::default()
+            },
+        );
+        assert_eq!(curve.at(3), 1.0);
+    }
+}

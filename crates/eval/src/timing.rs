@@ -1,0 +1,73 @@
+//! Online recommendation latency (§5.2.6, Table 5).
+//!
+//! The paper times each algorithm producing a top-10 list per user
+//! (excluding offline training), finding the subgraph-bounded AC2 comparable
+//! to the model-based LDA/PureSVD and ~26x faster than full-graph DPPR.
+//! This module reproduces that measurement with plain wall-clock timing;
+//! the statistically careful version lives in the Criterion benches.
+
+use longtail_core::Recommender;
+use std::time::Instant;
+
+/// Wall-clock statistics over a batch of per-user recommendation queries.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingStats {
+    /// Mean seconds per query.
+    pub mean_seconds: f64,
+    /// Total seconds over the batch.
+    pub total_seconds: f64,
+    /// Number of queries timed.
+    pub n_queries: usize,
+}
+
+/// Time `recommender` producing top-`k` lists for each user in `users`.
+pub fn time_recommendations(
+    recommender: &dyn Recommender,
+    users: &[u32],
+    k: usize,
+) -> TimingStats {
+    let start = Instant::now();
+    for &u in users {
+        // The list itself is the product being timed; discard it.
+        let _ = recommender.recommend(u, k);
+    }
+    let total = start.elapsed().as_secs_f64();
+    TimingStats {
+        mean_seconds: if users.is_empty() { 0.0 } else { total / users.len() as f64 },
+        total_seconds: total,
+        n_queries: users.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longtail_core::{GraphRecConfig, HittingTimeRecommender};
+    use longtail_data::{Dataset, Rating};
+
+    #[test]
+    fn counts_and_accumulates() {
+        let d = Dataset::from_ratings(
+            2,
+            2,
+            &[
+                Rating { user: 0, item: 0, value: 5.0 },
+                Rating { user: 1, item: 1, value: 4.0 },
+            ],
+        );
+        let rec = HittingTimeRecommender::new(&d, GraphRecConfig::default());
+        let stats = time_recommendations(&rec, &[0, 1, 0], 1);
+        assert_eq!(stats.n_queries, 3);
+        assert!(stats.total_seconds >= 0.0);
+        assert!(stats.mean_seconds <= stats.total_seconds + 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        let d = Dataset::from_ratings(1, 1, &[Rating { user: 0, item: 0, value: 5.0 }]);
+        let rec = HittingTimeRecommender::new(&d, GraphRecConfig::default());
+        let stats = time_recommendations(&rec, &[], 5);
+        assert_eq!(stats.n_queries, 0);
+        assert_eq!(stats.mean_seconds, 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Flat symmetric adjacency view used by the random-walk machinery.
+//!
+//! [`crate::bipartite::BipartiteGraph`] keeps the two CSR blocks separately;
+//! the Markov-chain code (stationary distributions, absorbing walks,
+//! PageRank) wants one homogeneous node space. `Adjacency` is that view: a
+//! symmetric `n x n` CSR plus cached weighted degrees.
+
+use crate::bipartite::BipartiteGraph;
+use crate::csr::CsrMatrix;
+
+/// Symmetric weighted adjacency over a flat node id space.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    csr: CsrMatrix,
+    degree: Vec<f64>,
+}
+
+impl Adjacency {
+    /// Build from a symmetric CSR matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square. Symmetry is the caller's
+    /// responsibility (checked in debug builds).
+    pub fn from_symmetric_csr(csr: CsrMatrix) -> Self {
+        assert_eq!(csr.rows(), csr.cols(), "adjacency must be square");
+        #[cfg(debug_assertions)]
+        for r in 0..csr.rows() {
+            for (c, v) in csr.iter_row(r) {
+                debug_assert_eq!(
+                    csr.get(c as usize, r as u32),
+                    Some(v),
+                    "adjacency not symmetric at ({r}, {c})"
+                );
+            }
+        }
+        let degree = (0..csr.rows()).map(|r| csr.row_sum(r)).collect();
+        Self { csr, degree }
+    }
+
+    /// Materialize the full `[[0, W], [Wᵀ, 0]]` adjacency of a bipartite
+    /// graph: users first, items shifted by `n_users`.
+    pub fn from_bipartite(g: &BipartiteGraph) -> Self {
+        let n_users = g.n_users();
+        let n = g.n_nodes();
+        let nnz = 2 * g.n_edges();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for u in 0..n_users {
+            for (i, w) in g.user_items().iter_row(u) {
+                col_idx.push((i as usize + n_users) as u32);
+                values.push(w);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        for i in 0..g.n_items() {
+            for (u, w) in g.item_users().iter_row(i) {
+                col_idx.push(u);
+                values.push(w);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let csr = CsrMatrix::from_raw(n, n, row_ptr, col_idx, values);
+        let degree = (0..n).map(|r| csr.row_sum(r)).collect();
+        Self { csr, degree }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.csr.rows()
+    }
+
+    /// Number of stored directed arcs (twice the undirected edge count).
+    #[inline]
+    pub fn n_arcs(&self) -> usize {
+        self.csr.nnz()
+    }
+
+    /// Weighted degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: usize) -> f64 {
+        self.degree[node]
+    }
+
+    /// Weighted degrees of all nodes.
+    #[inline]
+    pub fn degrees(&self) -> &[f64] {
+        &self.degree
+    }
+
+    /// Neighbors of `node` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, node: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.csr.iter_row(node)
+    }
+
+    /// Number of neighbors of `node`.
+    #[inline]
+    pub fn n_neighbors(&self, node: usize) -> usize {
+        self.csr.row_nnz(node)
+    }
+
+    /// The underlying symmetric CSR.
+    #[inline]
+    pub fn csr(&self) -> &CsrMatrix {
+        &self.csr
+    }
+
+    /// Stationary probabilities `π_i = d_i / Σ d_j` (Eq. 2); all zeros for an
+    /// empty graph.
+    pub fn stationary_distribution(&self) -> Vec<f64> {
+        let total: f64 = self.degree.iter().sum();
+        if total == 0.0 {
+            return vec![0.0; self.n_nodes()];
+        }
+        self.degree.iter().map(|&d| d / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bipartite() -> BipartiteGraph {
+        BipartiteGraph::from_ratings(2, 3, &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0), (1, 2, 4.0)])
+    }
+
+    #[test]
+    fn bipartite_flattening_is_symmetric() {
+        let adj = Adjacency::from_bipartite(&tiny_bipartite());
+        assert_eq!(adj.n_nodes(), 5);
+        assert_eq!(adj.n_arcs(), 8);
+        for n in 0..adj.n_nodes() {
+            for (m, w) in adj.neighbors(n) {
+                assert_eq!(adj.csr().get(m as usize, n as u32), Some(w));
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_match_bipartite() {
+        let g = tiny_bipartite();
+        let adj = Adjacency::from_bipartite(&g);
+        for n in 0..g.n_nodes() {
+            assert_eq!(adj.degree(n), g.degree(n));
+        }
+    }
+
+    #[test]
+    fn stationary_matches_bipartite() {
+        let g = tiny_bipartite();
+        let adj = Adjacency::from_bipartite(&g);
+        assert_eq!(adj.stationary_distribution(), g.stationary_distribution());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        Adjacency::from_symmetric_csr(CsrMatrix::zeros(2, 3));
+    }
+}

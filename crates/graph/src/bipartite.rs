@@ -1,0 +1,288 @@
+//! The weighted undirected user-item bipartite graph of §3.1.
+//!
+//! Users and items are the two node classes; a `has rated` relation is an
+//! undirected edge whose weight is the rating value. Nodes are addressed in a
+//! single flat id space so that random-walk code can treat the graph
+//! uniformly: users occupy ids `0..n_users`, items occupy
+//! `n_users..n_users + n_items`.
+
+use crate::csr::CsrMatrix;
+
+/// A node of the bipartite graph, decoded from its flat id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A user node carrying the user index.
+    User(u32),
+    /// An item node carrying the item index.
+    Item(u32),
+}
+
+/// Weighted undirected user-item graph (§3.1 of the paper).
+///
+/// Stores the user→item adjacency block and its transpose so both
+/// neighborhood directions are O(degree). The full adjacency matrix is the
+/// symmetric block matrix `[[0, W], [Wᵀ, 0]]` and is never materialized.
+#[derive(Debug, Clone)]
+pub struct BipartiteGraph {
+    user_items: CsrMatrix,
+    item_users: CsrMatrix,
+    user_degree: Vec<f64>,
+    item_degree: Vec<f64>,
+    total_weight: f64,
+}
+
+impl BipartiteGraph {
+    /// Build from the user→item weight block (`n_users x n_items`).
+    pub fn from_user_item_matrix(user_items: CsrMatrix) -> Self {
+        let item_users = user_items.transpose();
+        let user_degree: Vec<f64> = (0..user_items.rows()).map(|u| user_items.row_sum(u)).collect();
+        let item_degree: Vec<f64> = (0..item_users.rows()).map(|i| item_users.row_sum(i)).collect();
+        let total_weight = user_degree.iter().sum();
+        Self {
+            user_items,
+            item_users,
+            user_degree,
+            item_degree,
+            total_weight,
+        }
+    }
+
+    /// Build from `(user, item, rating)` triplets.
+    pub fn from_ratings(n_users: usize, n_items: usize, ratings: &[(u32, u32, f64)]) -> Self {
+        Self::from_user_item_matrix(CsrMatrix::from_triplets(n_users, n_items, ratings))
+    }
+
+    /// Number of user nodes.
+    #[inline]
+    pub fn n_users(&self) -> usize {
+        self.user_items.rows()
+    }
+
+    /// Number of item nodes.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.user_items.cols()
+    }
+
+    /// Total number of nodes (users + items).
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n_users() + self.n_items()
+    }
+
+    /// Number of undirected edges (rated pairs).
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.user_items.nnz()
+    }
+
+    /// Sum of all edge weights, each edge counted once.
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// The user→item weight block.
+    #[inline]
+    pub fn user_items(&self) -> &CsrMatrix {
+        &self.user_items
+    }
+
+    /// The item→user weight block.
+    #[inline]
+    pub fn item_users(&self) -> &CsrMatrix {
+        &self.item_users
+    }
+
+    /// Flat node id of user `u`.
+    #[inline]
+    pub fn user_node(&self, u: u32) -> usize {
+        debug_assert!((u as usize) < self.n_users());
+        u as usize
+    }
+
+    /// Flat node id of item `i`.
+    #[inline]
+    pub fn item_node(&self, i: u32) -> usize {
+        debug_assert!((i as usize) < self.n_items());
+        self.n_users() + i as usize
+    }
+
+    /// Decode a flat node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= n_nodes()`.
+    #[inline]
+    pub fn node(&self, node: usize) -> Node {
+        if node < self.n_users() {
+            Node::User(node as u32)
+        } else {
+            assert!(node < self.n_nodes(), "node id {node} out of range");
+            Node::Item((node - self.n_users()) as u32)
+        }
+    }
+
+    /// Whether the flat id addresses an item node.
+    #[inline]
+    pub fn is_item_node(&self, node: usize) -> bool {
+        node >= self.n_users() && node < self.n_nodes()
+    }
+
+    /// Weighted degree `d_i = Σ_j a(i, j)` of a flat node id (Eq. 1).
+    #[inline]
+    pub fn degree(&self, node: usize) -> f64 {
+        match self.node(node) {
+            Node::User(u) => self.user_degree[u as usize],
+            Node::Item(i) => self.item_degree[i as usize],
+        }
+    }
+
+    /// Weighted degrees of all nodes in flat order.
+    pub fn degrees(&self) -> Vec<f64> {
+        let mut d = Vec::with_capacity(self.n_nodes());
+        d.extend_from_slice(&self.user_degree);
+        d.extend_from_slice(&self.item_degree);
+        d
+    }
+
+    /// Number of distinct raters of item `i` — the paper's *popularity*
+    /// measure ("frequency of rating", §5.1.3).
+    #[inline]
+    pub fn item_popularity(&self, i: u32) -> usize {
+        self.item_users.row_nnz(i as usize)
+    }
+
+    /// Number of items rated by user `u`.
+    #[inline]
+    pub fn user_activity(&self, u: u32) -> usize {
+        self.user_items.row_nnz(u as usize)
+    }
+
+    /// Edge weight between user `u` and item `i`, if the edge exists.
+    #[inline]
+    pub fn rating(&self, u: u32, i: u32) -> Option<f64> {
+        self.user_items.get(u as usize, i)
+    }
+
+    /// Neighbors of a flat node id with edge weights, as flat ids.
+    pub fn neighbors(&self, node: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let n_users = self.n_users();
+        let (cols, vals): (&[u32], &[f64]) = match self.node(node) {
+            Node::User(u) => self.user_items.row(u as usize),
+            Node::Item(i) => self.item_users.row(i as usize),
+        };
+        let shift = if node < n_users { n_users } else { 0 };
+        cols.iter()
+            .zip(vals.iter())
+            .map(move |(&c, &v)| (c as usize + shift, v))
+    }
+
+    /// Stationary probability of every node under the natural random walk:
+    /// `π_i = d_i / Σ_j d_j` (Eq. 2). Zero-degree nodes get probability 0.
+    pub fn stationary_distribution(&self) -> Vec<f64> {
+        let total: f64 = 2.0 * self.total_weight;
+        if total == 0.0 {
+            return vec![0.0; self.n_nodes()];
+        }
+        self.degrees().iter().map(|&d| d / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 2 example graph from the paper: 5 users, 6 movies.
+    pub(crate) fn figure2_graph() -> BipartiteGraph {
+        let ratings = [
+            (0, 0, 5.0),
+            (0, 1, 3.0),
+            (0, 4, 3.0),
+            (0, 5, 5.0),
+            (1, 0, 5.0),
+            (1, 1, 4.0),
+            (1, 2, 5.0),
+            (1, 4, 4.0),
+            (1, 5, 5.0),
+            (2, 0, 4.0),
+            (2, 1, 5.0),
+            (2, 2, 4.0),
+            (3, 2, 5.0),
+            (3, 3, 5.0),
+            (4, 1, 4.0),
+            (4, 2, 5.0),
+        ];
+        BipartiteGraph::from_ratings(5, 6, &ratings)
+    }
+
+    #[test]
+    fn shape_and_counts() {
+        let g = figure2_graph();
+        assert_eq!(g.n_users(), 5);
+        assert_eq!(g.n_items(), 6);
+        assert_eq!(g.n_nodes(), 11);
+        assert_eq!(g.n_edges(), 16);
+    }
+
+    #[test]
+    fn node_id_round_trip() {
+        let g = figure2_graph();
+        assert_eq!(g.node(g.user_node(3)), Node::User(3));
+        assert_eq!(g.node(g.item_node(5)), Node::Item(5));
+        assert!(g.is_item_node(g.item_node(0)));
+        assert!(!g.is_item_node(g.user_node(0)));
+    }
+
+    #[test]
+    fn degrees_are_weighted() {
+        let g = figure2_graph();
+        // U1 rated M1=5, M2=3, M5=3, M6=5.
+        assert_eq!(g.degree(g.user_node(0)), 16.0);
+        // M4 rated only by U4 with 5 stars.
+        assert_eq!(g.degree(g.item_node(3)), 5.0);
+    }
+
+    #[test]
+    fn popularity_counts_raters() {
+        let g = figure2_graph();
+        assert_eq!(g.item_popularity(0), 3); // M1: U1, U2, U3
+        assert_eq!(g.item_popularity(3), 1); // M4: U4 only
+        assert_eq!(g.user_activity(1), 5); // U2 rated five movies
+    }
+
+    #[test]
+    fn neighbors_cross_partition() {
+        let g = figure2_graph();
+        let nbrs: Vec<_> = g.neighbors(g.item_node(3)).collect();
+        assert_eq!(nbrs, vec![(g.user_node(3), 5.0)]);
+        let nbrs: Vec<_> = g.neighbors(g.user_node(4)).collect();
+        assert_eq!(nbrs, vec![(g.item_node(1), 4.0), (g.item_node(2), 5.0)]);
+    }
+
+    #[test]
+    fn stationary_distribution_sums_to_one_and_tracks_degree() {
+        let g = figure2_graph();
+        let pi = g.stationary_distribution();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // π proportional to degree (Eq. 2).
+        let d = g.degrees();
+        for n in 0..g.n_nodes() {
+            assert!((pi[n] - d[n] / (2.0 * g.total_weight())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rating_lookup() {
+        let g = figure2_graph();
+        assert_eq!(g.rating(0, 0), Some(5.0));
+        assert_eq!(g.rating(0, 3), None);
+    }
+
+    #[test]
+    fn empty_graph_stationary_is_zero() {
+        let g = BipartiteGraph::from_ratings(2, 2, &[]);
+        assert_eq!(g.stationary_distribution(), vec![0.0; 4]);
+    }
+}

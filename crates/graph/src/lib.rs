@@ -1,0 +1,28 @@
+//! Graph substrate for long-tail recommendation.
+//!
+//! This crate provides the weighted undirected user-item bipartite graph of
+//! §3.1 of *Challenging the Long Tail Recommendation* (Yin et al., VLDB
+//! 2012) and the sparse-matrix plumbing everything else is built on:
+//!
+//! * [`CsrMatrix`] — compressed sparse row matrices (the rating matrix and
+//!   both adjacency blocks);
+//! * [`BipartiteGraph`] — users and items in one flat node id space, with
+//!   weighted degrees, popularities and the stationary distribution of Eq. 2;
+//! * [`Adjacency`] — a homogeneous symmetric view for random-walk code;
+//! * [`Subgraph`] — BFS neighborhood extraction with an item budget µ
+//!   (Algorithm 1, step 2);
+//! * [`stats`] — dataset-level descriptive statistics (Figure 1 shape).
+
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod bipartite;
+pub mod csr;
+pub mod stats;
+pub mod subgraph;
+
+pub use adjacency::Adjacency;
+pub use bipartite::{BipartiteGraph, Node};
+pub use csr::CsrMatrix;
+pub use stats::GraphStats;
+pub use subgraph::Subgraph;

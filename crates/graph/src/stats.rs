@@ -1,0 +1,157 @@
+//! Descriptive statistics of a bipartite rating graph.
+//!
+//! These back the dataset tables of §5.1.2 (user/item counts, density,
+//! rating ranges) and the long-tail shape analysis behind Figure 1.
+
+use crate::bipartite::BipartiteGraph;
+
+/// Summary statistics of a rating graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// Number of ratings (edges).
+    pub n_ratings: usize,
+    /// Fraction of the user-item matrix that is filled.
+    pub density: f64,
+    /// Minimum ratings per item (over items with at least one rating).
+    pub min_item_popularity: usize,
+    /// Maximum ratings per item.
+    pub max_item_popularity: usize,
+    /// Minimum ratings per user (over users with at least one rating).
+    pub min_user_activity: usize,
+    /// Maximum ratings per user.
+    pub max_user_activity: usize,
+    /// Mean rating value.
+    pub mean_rating: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics for `graph`.
+    pub fn compute(graph: &BipartiteGraph) -> Self {
+        let n_users = graph.n_users();
+        let n_items = graph.n_items();
+        let n_ratings = graph.n_edges();
+        let density = if n_users * n_items == 0 {
+            0.0
+        } else {
+            n_ratings as f64 / (n_users as f64 * n_items as f64)
+        };
+        let pops: Vec<usize> = (0..n_items as u32)
+            .map(|i| graph.item_popularity(i))
+            .filter(|&p| p > 0)
+            .collect();
+        let acts: Vec<usize> = (0..n_users as u32)
+            .map(|u| graph.user_activity(u))
+            .filter(|&a| a > 0)
+            .collect();
+        let mean_rating = if n_ratings == 0 {
+            0.0
+        } else {
+            graph.total_weight() / n_ratings as f64
+        };
+        Self {
+            n_users,
+            n_items,
+            n_ratings,
+            density,
+            min_item_popularity: pops.iter().copied().min().unwrap_or(0),
+            max_item_popularity: pops.iter().copied().max().unwrap_or(0),
+            min_user_activity: acts.iter().copied().min().unwrap_or(0),
+            max_user_activity: acts.iter().copied().max().unwrap_or(0),
+            mean_rating,
+        }
+    }
+}
+
+/// Item popularities (rating counts) sorted descending — the rank-frequency
+/// curve of Figure 1.
+pub fn popularity_curve(graph: &BipartiteGraph) -> Vec<usize> {
+    let mut pops: Vec<usize> = (0..graph.n_items() as u32)
+        .map(|i| graph.item_popularity(i))
+        .collect();
+    pops.sort_unstable_by(|a, b| b.cmp(a));
+    pops
+}
+
+/// Gini coefficient of the item popularity distribution: 0 = perfectly even
+/// consumption, →1 = all ratings on one item. A quantitative handle on "how
+/// long is the tail".
+pub fn popularity_gini(graph: &BipartiteGraph) -> f64 {
+    let mut pops: Vec<f64> = (0..graph.n_items() as u32)
+        .map(|i| graph.item_popularity(i) as f64)
+        .collect();
+    pops.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = pops.len() as f64;
+    let total: f64 = pops.iter().sum();
+    if n == 0.0 || total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = pops
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as f64 + 1.0) * p)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> BipartiteGraph {
+        BipartiteGraph::from_ratings(
+            3,
+            4,
+            &[
+                (0, 0, 5.0),
+                (0, 1, 4.0),
+                (1, 0, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn stats_fields() {
+        let s = GraphStats::compute(&graph());
+        assert_eq!(s.n_users, 3);
+        assert_eq!(s.n_items, 4);
+        assert_eq!(s.n_ratings, 5);
+        assert!((s.density - 5.0 / 12.0).abs() < 1e-12);
+        assert_eq!(s.max_item_popularity, 3);
+        assert_eq!(s.min_item_popularity, 1);
+        assert_eq!(s.max_user_activity, 2);
+        assert_eq!(s.min_user_activity, 1);
+        assert!((s.mean_rating - 18.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn popularity_curve_is_sorted_desc() {
+        let curve = popularity_curve(&graph());
+        assert_eq!(curve, vec![3, 1, 1, 0]);
+    }
+
+    #[test]
+    fn gini_zero_for_uniform() {
+        let g = BipartiteGraph::from_ratings(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        assert!(popularity_gini(&g).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_positive_for_skew() {
+        assert!(popularity_gini(&graph()) > 0.3);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = BipartiteGraph::from_ratings(0, 0, &[]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n_ratings, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.mean_rating, 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! BFS subgraph extraction (Algorithm 1, step 2).
+//!
+//! Computing absorbing times on the global graph is `O(τ·m)` per query and
+//! the global graph can be huge, so the paper first grows a subgraph around
+//! the query's absorbing set by breadth-first search, stopping once the
+//! subgraph holds more than `µ` *item* nodes. All quality metrics in Table 4
+//! stabilize for µ around 3k–6k while the cost keeps growing with µ, which is
+//! the trade-off this module exposes.
+
+use crate::bipartite::BipartiteGraph;
+use crate::csr::CsrMatrix;
+use crate::Adjacency;
+use std::collections::VecDeque;
+
+/// Sentinel for "global node not present in the subgraph".
+const ABSENT: u32 = u32::MAX;
+
+/// A node-induced subgraph of a [`BipartiteGraph`] with its own compact node
+/// ids (`0..n_local`).
+///
+/// Edges between retained nodes keep their weights; transition probabilities
+/// are renormalized over the local neighborhoods, exactly as Algorithm 1
+/// applies the iterative update "to the local subgraph".
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    adj: Adjacency,
+    global_of_local: Vec<usize>,
+    local_of_global: Vec<u32>,
+    n_local_items: usize,
+}
+
+impl Subgraph {
+    /// Grow a subgraph by BFS from `seeds` (flat node ids of `graph`).
+    ///
+    /// Nodes are visited in BFS order; once more than `max_items` item nodes
+    /// have been admitted, no further nodes are enqueued (the frontier is
+    /// drained, not expanded). Seeds are always included regardless of the
+    /// budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed id is out of range.
+    pub fn bfs_from(graph: &BipartiteGraph, seeds: &[usize], max_items: usize) -> Self {
+        let n = graph.n_nodes();
+        let mut local_of_global = vec![ABSENT; n];
+        let mut global_of_local = Vec::new();
+        let mut n_local_items = 0usize;
+        let mut queue = VecDeque::new();
+
+        let admit = |node: usize,
+                         local_of_global: &mut Vec<u32>,
+                         global_of_local: &mut Vec<usize>,
+                         n_local_items: &mut usize| {
+            assert!(node < n, "seed node {node} out of range");
+            if local_of_global[node] != ABSENT {
+                return false;
+            }
+            local_of_global[node] = global_of_local.len() as u32;
+            global_of_local.push(node);
+            if graph.is_item_node(node) {
+                *n_local_items += 1;
+            }
+            true
+        };
+
+        for &seed in seeds {
+            if admit(seed, &mut local_of_global, &mut global_of_local, &mut n_local_items) {
+                queue.push_back(seed);
+            }
+        }
+
+        while let Some(node) = queue.pop_front() {
+            if n_local_items > max_items {
+                // Budget exhausted: stop growing, keep what we have.
+                break;
+            }
+            for (nbr, _) in graph.neighbors(node) {
+                if admit(nbr, &mut local_of_global, &mut global_of_local, &mut n_local_items) {
+                    queue.push_back(nbr);
+                }
+            }
+        }
+
+        let adj = induced_adjacency(graph, &global_of_local, &local_of_global);
+        Self {
+            adj,
+            global_of_local,
+            local_of_global,
+            n_local_items,
+        }
+    }
+
+    /// The whole graph as a subgraph (identity mapping). Useful as the
+    /// "µ = ∞" reference point of Table 4.
+    pub fn full(graph: &BipartiteGraph) -> Self {
+        let n = graph.n_nodes();
+        let global_of_local: Vec<usize> = (0..n).collect();
+        let local_of_global: Vec<u32> = (0..n as u32).collect();
+        Self {
+            adj: Adjacency::from_bipartite(graph),
+            global_of_local,
+            local_of_global,
+            n_local_items: graph.n_items(),
+        }
+    }
+
+    /// Local adjacency (renormalized walk runs on this).
+    #[inline]
+    pub fn adjacency(&self) -> &Adjacency {
+        &self.adj
+    }
+
+    /// Number of nodes retained.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.global_of_local.len()
+    }
+
+    /// Number of item nodes retained.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.n_local_items
+    }
+
+    /// Local id of a global node, if retained.
+    #[inline]
+    pub fn local_id(&self, global: usize) -> Option<u32> {
+        match self.local_of_global.get(global) {
+            Some(&l) if l != ABSENT => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Global id of a local node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    #[inline]
+    pub fn global_id(&self, local: u32) -> usize {
+        self.global_of_local[local as usize]
+    }
+
+    /// Global ids in local order.
+    #[inline]
+    pub fn global_ids(&self) -> &[usize] {
+        &self.global_of_local
+    }
+}
+
+fn induced_adjacency(
+    graph: &BipartiteGraph,
+    global_of_local: &[usize],
+    local_of_global: &[u32],
+) -> Adjacency {
+    let n_local = global_of_local.len();
+    let mut row_ptr = Vec::with_capacity(n_local + 1);
+    let mut entries: Vec<(u32, f64)> = Vec::new();
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0);
+    for &global in global_of_local {
+        entries.clear();
+        for (nbr, w) in graph.neighbors(global) {
+            let l = local_of_global[nbr];
+            if l != ABSENT {
+                entries.push((l, w));
+            }
+        }
+        entries.sort_unstable_by_key(|&(c, _)| c);
+        for &(c, w) in &entries {
+            col_idx.push(c);
+            values.push(w);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Adjacency::from_symmetric_csr(CsrMatrix::from_raw(n_local, n_local, row_ptr, col_idx, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Same example graph as Figure 2 of the paper.
+    fn figure2_graph() -> BipartiteGraph {
+        let ratings = [
+            (0, 0, 5.0),
+            (0, 1, 3.0),
+            (0, 4, 3.0),
+            (0, 5, 5.0),
+            (1, 0, 5.0),
+            (1, 1, 4.0),
+            (1, 2, 5.0),
+            (1, 4, 4.0),
+            (1, 5, 5.0),
+            (2, 0, 4.0),
+            (2, 1, 5.0),
+            (2, 2, 4.0),
+            (3, 2, 5.0),
+            (3, 3, 5.0),
+            (4, 1, 4.0),
+            (4, 2, 5.0),
+        ];
+        BipartiteGraph::from_ratings(5, 6, &ratings)
+    }
+
+    #[test]
+    fn full_subgraph_is_identity() {
+        let g = figure2_graph();
+        let s = Subgraph::full(&g);
+        assert_eq!(s.n_nodes(), g.n_nodes());
+        assert_eq!(s.n_items(), g.n_items());
+        for n in 0..g.n_nodes() {
+            assert_eq!(s.local_id(n), Some(n as u32));
+            assert_eq!(s.global_id(n as u32), n);
+        }
+    }
+
+    #[test]
+    fn bfs_reaches_connected_component_with_large_budget() {
+        let g = figure2_graph();
+        let s = Subgraph::bfs_from(&g, &[g.user_node(4)], usize::MAX);
+        // The Figure 2 graph is connected, so everything is reached.
+        assert_eq!(s.n_nodes(), g.n_nodes());
+        assert_eq!(s.n_items(), 6);
+    }
+
+    #[test]
+    fn budget_limits_item_count() {
+        let g = figure2_graph();
+        // Seeding at U5 (rated M2, M3): the first BFS level admits 2 items,
+        // which exceeds a budget of 1, so expansion stops there.
+        let s = Subgraph::bfs_from(&g, &[g.user_node(4)], 1);
+        assert_eq!(s.n_items(), 2);
+        assert!(s.local_id(g.item_node(1)).is_some());
+        assert!(s.local_id(g.item_node(2)).is_some());
+        assert!(s.local_id(g.item_node(5)).is_none());
+    }
+
+    #[test]
+    fn local_edges_preserve_weights() {
+        let g = figure2_graph();
+        let s = Subgraph::bfs_from(&g, &[g.user_node(4)], usize::MAX);
+        let lu = s.local_id(g.user_node(4)).unwrap() as usize;
+        let lm = s.local_id(g.item_node(2)).unwrap();
+        assert_eq!(s.adjacency().csr().get(lu, lm), Some(5.0));
+    }
+
+    #[test]
+    fn induced_subgraph_drops_edges_to_absent_nodes() {
+        let g = figure2_graph();
+        let s = Subgraph::bfs_from(&g, &[g.user_node(4)], 1);
+        // M2 is kept; its global neighbors U1, U2, U3, U5 may not all be kept.
+        let lm = s.local_id(g.item_node(1)).unwrap() as usize;
+        let local_degree = s.adjacency().degree(lm);
+        let global_degree = g.degree(g.item_node(1));
+        assert!(local_degree <= global_degree);
+    }
+
+    #[test]
+    fn disconnected_nodes_not_reached() {
+        // Item 2 has no ratings: disconnected.
+        let g = BipartiteGraph::from_ratings(2, 3, &[(0, 0, 1.0), (1, 1, 2.0)]);
+        let s = Subgraph::bfs_from(&g, &[g.user_node(0)], usize::MAX);
+        assert_eq!(s.local_id(g.item_node(2)), None);
+        assert_eq!(s.local_id(g.user_node(1)), None);
+        assert_eq!(s.n_nodes(), 2);
+    }
+
+    #[test]
+    fn seeds_always_included() {
+        let g = figure2_graph();
+        let s = Subgraph::bfs_from(&g, &[g.item_node(3), g.item_node(5)], 0);
+        assert_eq!(s.n_items(), 2);
+        assert_eq!(s.n_nodes(), 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: CSR matrices agree with a naive map-based model.
+
+use longtail_graph::{BipartiteGraph, CsrMatrix};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy: a random triplet list on a bounded shape.
+fn triplets(rows: u32, cols: u32) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    prop::collection::vec(
+        (0..rows, 0..cols, 1.0f64..5.0),
+        0..60,
+    )
+}
+
+fn model(triplets: &[(u32, u32, f64)]) -> BTreeMap<(u32, u32), f64> {
+    let mut m = BTreeMap::new();
+    for &(r, c, v) in triplets {
+        *m.entry((r, c)).or_insert(0.0) += v;
+    }
+    m
+}
+
+proptest! {
+    #[test]
+    fn from_triplets_matches_model(ts in triplets(8, 9)) {
+        let m = CsrMatrix::from_triplets(8, 9, &ts);
+        let reference = model(&ts);
+        prop_assert_eq!(m.nnz(), reference.len());
+        for (&(r, c), &v) in &reference {
+            let got = m.get(r as usize, c).unwrap();
+            prop_assert!((got - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(ts in triplets(7, 5)) {
+        let m = CsrMatrix::from_triplets(7, 5, &ts);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_indices(ts in triplets(6, 6)) {
+        let m = CsrMatrix::from_triplets(6, 6, &ts);
+        let t = m.transpose();
+        for r in 0..6usize {
+            for (c, v) in m.iter_row(r) {
+                prop_assert_eq!(t.get(c as usize, r as u32), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn row_sums_add_to_total(ts in triplets(10, 4)) {
+        let m = CsrMatrix::from_triplets(10, 4, &ts);
+        let total: f64 = (0..10).map(|r| m.row_sum(r)).sum();
+        prop_assert!((total - m.total_sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matvec_agrees_with_dense(ts in triplets(5, 5), x in prop::collection::vec(-3.0f64..3.0, 5)) {
+        let m = CsrMatrix::from_triplets(5, 5, &ts);
+        let dense = m.to_dense();
+        let mut y = vec![0.0; 5];
+        m.matvec(&x, &mut y);
+        for r in 0..5 {
+            let expected: f64 = (0..5).map(|c| dense[r * 5 + c] * x[c]).sum();
+            prop_assert!((y[r] - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bipartite_degree_equals_row_sums(ts in triplets(6, 7)) {
+        let g = BipartiteGraph::from_ratings(6, 7, &ts);
+        // Total degree mass is conserved on both sides.
+        let user_total: f64 = (0..6).map(|u| g.degree(u)).sum();
+        let item_total: f64 = (0..7).map(|i| g.degree(6 + i)).sum();
+        prop_assert!((user_total - item_total).abs() < 1e-9);
+        prop_assert!((user_total - g.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_distribution_is_probability(ts in triplets(5, 5)) {
+        let g = BipartiteGraph::from_ratings(5, 5, &ts);
+        let pi = g.stationary_distribution();
+        prop_assert!(pi.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let sum: f64 = pi.iter().sum();
+        if g.n_edges() > 0 {
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(sum, 0.0);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_mutual(ts in triplets(5, 6)) {
+        let g = BipartiteGraph::from_ratings(5, 6, &ts);
+        for node in 0..g.n_nodes() {
+            for (nbr, w) in g.neighbors(node) {
+                let back: Vec<(usize, f64)> = g.neighbors(nbr).collect();
+                prop_assert!(back.contains(&(node, w)), "edge {node}<->{nbr} not mutual");
+            }
+        }
+    }
+}

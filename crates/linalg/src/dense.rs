@@ -1,0 +1,259 @@
+//! Row-major dense matrix.
+//!
+//! Only the dense kernels the recommenders actually need: the small
+//! `(I - P_TT)` systems for exact absorbing times, the thin factors of the
+//! randomized SVD behind PureSVD, and the LDA posterior summaries. Dimensions
+//! stay in the low thousands, so a simple contiguous row-major buffer with
+//! tight loops is the right tool — no blocking, no SIMD intrinsics.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major `rows x cols` matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Column `c` copied into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        // i-k-j loop order: the inner loop walks contiguous rows of both
+        // `other` and `out`, which is the cache-friendly order for row-major
+        // storage.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `y = self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec input length");
+        assert_eq!(y.len(), self.rows, "matvec output length");
+        for r in 0..self.rows {
+            y[r] = crate::vector::dot(self.row(r), x);
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.rows, other.rows, "shape mismatch");
+        assert_eq!(self.cols, other.cols, "shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ... ({} more rows)", self.rows - 8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = DenseMatrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_row_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = DenseMatrix::from_row_major(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DenseMatrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], a[(1, 2)]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = DenseMatrix::from_row_major(2, 3, vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.0]);
+        let x = [3.0, 4.0, 5.0];
+        let mut y = [0.0; 2];
+        a.matvec(&x, &mut y);
+        assert_eq!(y, [-2.0, 10.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = DenseMatrix::from_row_major(2, 2, vec![3.0, 0.0, 4.0, 0.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn col_extraction() {
+        let a = DenseMatrix::from_row_major(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.col(1), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_equal() {
+        let a = DenseMatrix::from_fn(2, 2, |r, c| (r + c) as f64);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+}

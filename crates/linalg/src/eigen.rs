@@ -1,0 +1,156 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! The randomized SVD reduces the big sparse problem to the eigendecomposition
+//! of a small `(f + oversample)²` Gram matrix; Jacobi rotation is the
+//! textbook-robust choice at that size (quadratic convergence, no shifts to
+//! tune, eigenvectors for free).
+
+use crate::dense::DenseMatrix;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues sorted descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as columns, in the same order as `values`.
+    pub vectors: DenseMatrix,
+}
+
+/// Decompose a symmetric matrix with cyclic Jacobi sweeps.
+///
+/// `a` is assumed symmetric; only its upper triangle is trusted. Iteration
+/// stops when the off-diagonal Frobenius mass drops below `tol` or after
+/// `max_sweeps` full sweeps (30 sweeps is far more than Jacobi ever needs in
+/// practice).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn jacobi_eigen(a: &DenseMatrix, max_sweeps: usize, tol: f64) -> SymmetricEigen {
+    assert_eq!(a.rows(), a.cols(), "eigendecomposition requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+
+    for _sweep in 0..max_sweeps {
+        let off: f64 = {
+            let mut s = 0.0;
+            for i in 0..n {
+                for j in i + 1..n {
+                    s += m[(i, j)] * m[(i, j)];
+                }
+            }
+            s.sqrt()
+        };
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::EPSILON * (m[(p, p)].abs() + m[(q, q)].abs()) {
+                    continue;
+                }
+                // Classic Jacobi rotation annihilating m[p][q].
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let vectors = DenseMatrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    SymmetricEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(a: &DenseMatrix, eig: &SymmetricEigen, tol: f64) {
+        let n = a.rows();
+        // A v_i = λ_i v_i for every eigenpair.
+        for i in 0..n {
+            let vi = eig.vectors.col(i);
+            let mut av = vec![0.0; n];
+            a.matvec(&vi, &mut av);
+            for r in 0..n {
+                assert!(
+                    (av[r] - eig.values[i] * vi[r]).abs() < tol,
+                    "eigenpair {i} violated at row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = DenseMatrix::from_row_major(3, 3, vec![2.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 1.0]);
+        let eig = jacobi_eigen(&a, 30, 1e-14);
+        assert_eq!(eig.values, vec![5.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = DenseMatrix::from_row_major(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let eig = jacobi_eigen(&a, 30, 1e-14);
+        assert!((eig.values[0] - 3.0).abs() < 1e-12);
+        assert!((eig.values[1] - 1.0).abs() < 1e-12);
+        check_decomposition(&a, &eig, 1e-10);
+    }
+
+    #[test]
+    fn random_symmetric_decomposes() {
+        let n = 10;
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let raw = DenseMatrix::from_fn(n, n, |_, _| next());
+        // Symmetrize.
+        let a = DenseMatrix::from_fn(n, n, |r, c| 0.5 * (raw[(r, c)] + raw[(c, r)]));
+        let eig = jacobi_eigen(&a, 50, 1e-14);
+        check_decomposition(&a, &eig, 1e-8);
+        // Eigenvalues sorted descending.
+        for w in eig.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        // Trace preserved.
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = eig.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = DenseMatrix::from_row_major(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 1.0, 0.5, 1.0, 2.0]);
+        let eig = jacobi_eigen(&a, 50, 1e-14);
+        let g = eig.vectors.transpose().matmul(&eig.vectors);
+        assert!(g.max_abs_diff(&DenseMatrix::identity(3)) < 1e-10);
+    }
+}

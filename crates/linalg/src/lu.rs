@@ -1,0 +1,237 @@
+//! LU decomposition with partial pivoting.
+//!
+//! The exact hitting/absorbing time of §3.3/§4.1 is the solution of the
+//! linear system `(I - P_TT) h = 1` over the transient states (Kemeny &
+//! Snell 1976, the paper's [13]). Subgraphs are small (µ item nodes plus
+//! their raters), so a dense LU with partial pivoting is both simple and
+//! exact — it is the reference the truncated iteration is validated against.
+
+use crate::dense::DenseMatrix;
+
+/// Error raised when a factorization or solve cannot proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is singular to working precision (pivot below threshold).
+    Singular {
+        /// Elimination column where the zero pivot appeared.
+        column: usize,
+    },
+    /// Input dimensions are inconsistent.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::Singular { column } => {
+                write!(f, "matrix is singular (zero pivot at column {column})")
+            }
+            LinalgError::DimensionMismatch { what } => write!(f, "dimension mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// An LU factorization `P A = L U` of a square matrix.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Packed L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: DenseMatrix,
+    /// Row permutation: row `i` of `PA` is row `perm[i]` of `A`.
+    perm: Vec<usize>,
+}
+
+/// Pivots smaller than this are treated as exact zeros.
+const PIVOT_EPS: f64 = 1e-12;
+
+impl LuDecomposition {
+    /// Factor a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Singular`] if a pivot underflows `1e-12`,
+    /// [`LinalgError::DimensionMismatch`] if the matrix is not square.
+    pub fn new(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                what: "LU requires a square matrix",
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting: bring the largest |entry| in column k to the
+            // diagonal for numerical stability.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in k + 1..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < PIVOT_EPS {
+                return Err(LinalgError::Singular { column: k });
+            }
+            if pivot_row != k {
+                perm.swap(k, pivot_row);
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for r in k + 1..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in k + 1..n {
+                    let delta = factor * lu[(k, c)];
+                    lu[(r, c)] -= delta;
+                }
+            }
+        }
+        Ok(Self { lu, perm })
+    }
+
+    /// Solve `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                what: "rhs length must equal matrix order",
+            });
+        }
+        // Forward substitution with permuted rhs: L y = P b.
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for r in 1..n {
+            let mut acc = x[r];
+            for c in 0..r {
+                acc -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = acc;
+        }
+        // Back substitution: U x = y.
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for c in r + 1..n {
+                acc -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = acc / self.lu[(r, r)];
+        }
+        Ok(x)
+    }
+
+    /// Order of the factored matrix.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+}
+
+/// One-shot convenience: factor and solve `A x = b`.
+///
+/// # Errors
+///
+/// Propagates factorization and dimension errors.
+pub fn solve(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &DenseMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let mut ax = vec![0.0; b.len()];
+        a.matvec(x, &mut ax);
+        crate::vector::max_abs_diff(&ax, b)
+    }
+
+    #[test]
+    fn solve_identity() {
+        let a = DenseMatrix::identity(3);
+        let x = solve(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10  => x = 1, y = 3.
+        let a = DenseMatrix::from_row_major(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = DenseMatrix::from_row_major(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let a = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let a = DenseMatrix::identity(2);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn random_system_small_residual() {
+        // Fixed pseudo-random values; diagonally dominated so well-conditioned.
+        let n = 12;
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut a = DenseMatrix::from_fn(n, n, |_, _| next());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let x = solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn factor_once_solve_many() {
+        let a = DenseMatrix::from_row_major(2, 2, vec![4.0, 1.0, 2.0, 3.0]);
+        let lu = LuDecomposition::new(&a).unwrap();
+        for b in [[1.0, 0.0], [0.0, 1.0], [5.0, 5.0]] {
+            let x = lu.solve(&b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Abstract linear operator.
+//!
+//! The randomized SVD only needs products `A x` and `Aᵀ x`, never the entries
+//! of `A`. Abstracting over a [`LinearOp`] lets PureSVD run directly on the
+//! sparse CSR rating matrix (adapter in `longtail-core`) while tests use
+//! small dense matrices.
+
+use crate::dense::DenseMatrix;
+
+/// A real linear operator `A : R^cols -> R^rows` exposing forward and
+/// transposed products.
+pub trait LinearOp {
+    /// Output dimension of the forward product.
+    fn rows(&self) -> usize;
+    /// Input dimension of the forward product.
+    fn cols(&self) -> usize;
+    /// `y = A x`. Implementations may assume `x.len() == cols()` and
+    /// `y.len() == rows()`.
+    fn matvec(&self, x: &[f64], y: &mut [f64]);
+    /// `y = Aᵀ x`. Implementations may assume `x.len() == rows()` and
+    /// `y.len() == cols()`.
+    fn matvec_t(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinearOp for DenseMatrix {
+    fn rows(&self) -> usize {
+        DenseMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        DenseMatrix::cols(self)
+    }
+
+    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        DenseMatrix::matvec(self, x, y);
+    }
+
+    fn matvec_t(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), DenseMatrix::rows(self), "matvec_t input length");
+        assert_eq!(y.len(), DenseMatrix::cols(self), "matvec_t output length");
+        y.fill(0.0);
+        for r in 0..DenseMatrix::rows(self) {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            crate::vector::axpy(xr, self.row(r), y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matvec_t_matches_transpose() {
+        let a = DenseMatrix::from_row_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, -1.0];
+        let mut y = [0.0; 3];
+        LinearOp::matvec_t(&a, &x, &mut y);
+        let t = a.transpose();
+        let mut expected = [0.0; 3];
+        DenseMatrix::matvec(&t, &x, &mut expected);
+        assert_eq!(y, expected);
+    }
+}

@@ -1,0 +1,136 @@
+//! Thin QR factorization by modified Gram-Schmidt.
+//!
+//! Used to re-orthonormalize the subspace basis between the power iterations
+//! of the randomized SVD (PureSVD substrate). Matrices are tall and thin
+//! (`n x (f + oversample)` with f ≤ a few hundred), where modified
+//! Gram-Schmidt with a second reorthogonalization pass is numerically
+//! adequate and much simpler than Householder.
+
+use crate::dense::DenseMatrix;
+use crate::vector;
+
+/// Result of a thin QR factorization `A = Q R`.
+#[derive(Debug, Clone)]
+pub struct ThinQr {
+    /// `rows x k` matrix with orthonormal columns.
+    pub q: DenseMatrix,
+    /// `k x k` upper-triangular factor.
+    pub r: DenseMatrix,
+}
+
+/// Factor `a` (`m x k`, `m >= k`) as `Q R` with orthonormal `Q`.
+///
+/// Rank-deficient columns (norm below `1e-12` after projection) are replaced
+/// by zero columns in `Q` with a zero diagonal in `R`; downstream SVD code
+/// treats such directions as discarded.
+///
+/// # Panics
+///
+/// Panics if `a.rows() < a.cols()`.
+pub fn thin_qr(a: &DenseMatrix) -> ThinQr {
+    let m = a.rows();
+    let k = a.cols();
+    assert!(m >= k, "thin QR requires a tall matrix ({m} < {k})");
+    // Work column-wise: copy columns out once, orthogonalize in place.
+    let mut cols: Vec<Vec<f64>> = (0..k).map(|c| a.col(c)).collect();
+    let mut r = DenseMatrix::zeros(k, k);
+
+    for j in 0..k {
+        let original_norm = vector::norm2(&cols[j]);
+        // Two MGS passes ("twice is enough") against all previous columns.
+        for _pass in 0..2 {
+            for i in 0..j {
+                let (head, tail) = cols.split_at_mut(j);
+                let proj = vector::dot(&head[i], &tail[0]);
+                r[(i, j)] += proj;
+                vector::axpy(-proj, &head[i], &mut tail[0]);
+            }
+        }
+        // A residual that lost ~all of its original mass is numerically in
+        // the span of the previous columns; normalizing it would promote
+        // round-off noise to a (non-orthogonal!) unit basis vector.
+        let residual_norm = vector::norm2(&cols[j]);
+        if residual_norm <= 1e-12_f64.max(1e-10 * original_norm) {
+            cols[j].fill(0.0);
+            r[(j, j)] = 0.0;
+        } else {
+            vector::normalize(&mut cols[j]);
+            r[(j, j)] = residual_norm;
+        }
+    }
+
+    let mut q = DenseMatrix::zeros(m, k);
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            q[(i, j)] = v;
+        }
+    }
+    ThinQr { q, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orthonormality_defect(q: &DenseMatrix) -> f64 {
+        let g = q.transpose().matmul(q);
+        let k = g.rows();
+        let mut worst: f64 = 0.0;
+        for i in 0..k {
+            for j in 0..k {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                worst = worst.max((g[(i, j)] - expected).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = DenseMatrix::from_row_major(
+            4,
+            2,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 9.0],
+        );
+        let ThinQr { q, r } = thin_qr(&a);
+        let qr = q.matmul(&r);
+        assert!(qr.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn q_columns_are_orthonormal() {
+        let a = DenseMatrix::from_fn(20, 5, |r, c| ((r * 7 + c * 13) % 11) as f64 - 5.0);
+        let ThinQr { q, .. } = thin_qr(&a);
+        assert!(orthonormality_defect(&q) < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = DenseMatrix::from_fn(6, 3, |r, c| (r + 2 * c + 1) as f64 * if r % 2 == 0 { 1.0 } else { -0.5 });
+        let ThinQr { r, .. } = thin_qr(&a);
+        for i in 0..r.rows() {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0, "R not upper triangular at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_columns_become_zero() {
+        // Second column is 2x the first: rank 1.
+        let a = DenseMatrix::from_row_major(3, 2, vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0]);
+        let ThinQr { q, r } = thin_qr(&a);
+        assert_eq!(r[(1, 1)], 0.0);
+        for i in 0..3 {
+            assert_eq!(q[(i, 1)], 0.0);
+        }
+        // Reconstruction still holds.
+        assert!(q.matmul(&r).max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "tall matrix")]
+    fn wide_matrix_rejected() {
+        thin_qr(&DenseMatrix::zeros(2, 3));
+    }
+}

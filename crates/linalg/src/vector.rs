@@ -1,0 +1,145 @@
+//! BLAS-1 style vector kernels shared across the workspace.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// L1 norm.
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Normalize to unit Euclidean length; returns the original norm. Vectors
+/// with norm below `1e-300` are left untouched and `0.0` is returned.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 1e-300 {
+        scale(1.0 / n, x);
+        n
+    } else {
+        0.0
+    }
+}
+
+/// Normalize in L1 so entries sum to 1 (probability simplex projection for
+/// non-negative inputs); no-op on all-zero vectors.
+pub fn normalize_l1(x: &mut [f64]) {
+    let n = norm1(x);
+    if n > 1e-300 {
+        scale(1.0 / n, x);
+    }
+}
+
+/// Maximum absolute difference between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Shannon entropy `-Σ p_i ln p_i` of a probability vector (entries assumed
+/// non-negative; zero entries contribute nothing). This is the form used for
+/// user entropy in Eq. 10 and Eq. 11.
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter()
+        .filter(|&&v| v > 0.0)
+        .map(|&v| -v * v.ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut x = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut x), 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_l1_simplex() {
+        let mut x = vec![1.0, 3.0];
+        normalize_l1(&mut x);
+        assert_eq!(x, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn entropy_uniform_is_ln_n() {
+        let p = vec![0.25; 4];
+        assert!((entropy(&p) - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_point_mass_is_zero() {
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_increases_with_spread() {
+        assert!(entropy(&[0.5, 0.5]) > entropy(&[0.9, 0.1]));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: linear-algebra kernels against their defining identities.
+
+use longtail_linalg::dense::DenseMatrix;
+use longtail_linalg::lu::LuDecomposition;
+use longtail_linalg::qr::thin_qr;
+use longtail_linalg::vector;
+use proptest::prelude::*;
+
+/// A random well-conditioned (diagonally dominant) square matrix.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = DenseMatrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = DenseMatrix::from_row_major(n, n, data);
+        for i in 0..n {
+            m[(i, i)] += n as f64 + 1.0;
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn lu_solves_dominant_systems(a in dominant_matrix(6), b in prop::collection::vec(-5.0f64..5.0, 6)) {
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let mut ax = vec![0.0; 6];
+        a.matvec(&x, &mut ax);
+        prop_assert!(vector::max_abs_diff(&ax, &b) < 1e-8);
+    }
+
+    #[test]
+    fn qr_reconstructs_and_orthonormalizes(data in prop::collection::vec(-2.0f64..2.0, 8 * 3)) {
+        let a = DenseMatrix::from_row_major(8, 3, data);
+        let qr = thin_qr(&a);
+        // A = QR.
+        prop_assert!(qr.q.matmul(&qr.r).max_abs_diff(&a) < 1e-8);
+        // QᵀQ has unit diagonal for kept columns, zeros elsewhere.
+        let g = qr.q.transpose().matmul(&qr.q);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j && qr.r[(i, i)] != 0.0 { 1.0 } else { 0.0 };
+                prop_assert!((g[(i, j)] - expected).abs() < 1e-8, "G[{i}{j}] = {}", g[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative_with_vectors(
+        data in prop::collection::vec(-2.0f64..2.0, 4 * 4),
+        x in prop::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        // (A·A)·x == A·(A·x)
+        let a = DenseMatrix::from_row_major(4, 4, data);
+        let aa = a.matmul(&a);
+        let mut lhs = vec![0.0; 4];
+        aa.matvec(&x, &mut lhs);
+        let mut tmp = vec![0.0; 4];
+        a.matvec(&x, &mut tmp);
+        let mut rhs = vec![0.0; 4];
+        a.matvec(&tmp, &mut rhs);
+        prop_assert!(vector::max_abs_diff(&lhs, &rhs) < 1e-8);
+    }
+
+    #[test]
+    fn entropy_is_maximal_at_uniform(weights in prop::collection::vec(0.01f64..1.0, 5)) {
+        let mut p = weights;
+        vector::normalize_l1(&mut p);
+        let e = vector::entropy(&p);
+        prop_assert!(e >= -1e-12);
+        prop_assert!(e <= 5.0f64.ln() + 1e-9);
+    }
+
+    #[test]
+    fn normalize_produces_unit_vectors(x in prop::collection::vec(-10.0f64..10.0, 6)) {
+        prop_assume!(vector::norm2(&x) > 1e-6);
+        let mut v = x;
+        let n = vector::normalize(&mut v);
+        prop_assert!(n > 0.0);
+        prop_assert!((vector::norm2(&v) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_is_bilinear(
+        a in prop::collection::vec(-3.0f64..3.0, 5),
+        b in prop::collection::vec(-3.0f64..3.0, 5),
+        c in -2.0f64..2.0,
+    ) {
+        let scaled: Vec<f64> = a.iter().map(|v| v * c).collect();
+        let lhs = vector::dot(&scaled, &b);
+        let rhs = c * vector::dot(&a, &b);
+        prop_assert!((lhs - rhs).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,119 @@
+//! Transition cost models for the Absorbing Cost recursion (Eq. 8–9).
+//!
+//! The paper's key observation (§4.2) is that not every hop of the random
+//! walk is equally informative: stepping from an item to a *taste-specific*
+//! user says more than stepping to an omnivorous one. Eq. 9 encodes this by
+//! charging the walk the target user's entropy `E(j)` when it enters user
+//! node `j`, and a constant `C` when it enters an item node. Both charges
+//! depend only on the node being *entered*, so the model reduces to a
+//! per-node entry cost; the expected immediate cost from node `i` is
+//! `Σ_j p_ij · entry_cost(j)`.
+
+/// Cost charged when the walker enters a node.
+///
+/// Absorbing Time is the special case `entry_cost ≡ 1` (every hop costs one
+/// step); [`UnitCost`] provides it. The entropy-biased models of §4.2 use
+/// [`PerNodeCost`] with user entropies on user nodes and the constant `C` on
+/// item nodes.
+pub trait CostModel {
+    /// Cost of entering `node`.
+    fn entry_cost(&self, node: usize) -> f64;
+}
+
+/// Every hop costs exactly one step: recovers Absorbing *Time* from the
+/// Absorbing *Cost* recursion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitCost;
+
+impl CostModel for UnitCost {
+    #[inline]
+    fn entry_cost(&self, _node: usize) -> f64 {
+        1.0
+    }
+}
+
+/// Arbitrary per-node entry costs.
+#[derive(Debug, Clone)]
+pub struct PerNodeCost {
+    costs: Vec<f64>,
+}
+
+impl PerNodeCost {
+    /// Wrap a cost vector (indexed by node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cost is negative or non-finite — the absorbing-cost
+    /// recursion requires non-negative costs to stay monotone.
+    pub fn new(costs: Vec<f64>) -> Self {
+        assert!(
+            costs.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "entry costs must be finite and non-negative"
+        );
+        Self { costs }
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// True if no node costs are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+}
+
+impl CostModel for PerNodeCost {
+    #[inline]
+    fn entry_cost(&self, node: usize) -> f64 {
+        self.costs[node]
+    }
+}
+
+/// Build the Eq. 9 entropy cost vector for a bipartite node space: entering
+/// user `u` costs `user_entropy[u]`, entering any item costs `item_entry_cost`
+/// (the paper's tuning constant `C`).
+pub fn entropy_cost(user_entropy: &[f64], n_items: usize, item_entry_cost: f64) -> PerNodeCost {
+    let mut costs = Vec::with_capacity(user_entropy.len() + n_items);
+    costs.extend_from_slice(user_entropy);
+    costs.extend(std::iter::repeat_n(item_entry_cost, n_items));
+    PerNodeCost::new(costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_cost_is_one_everywhere() {
+        assert_eq!(UnitCost.entry_cost(0), 1.0);
+        assert_eq!(UnitCost.entry_cost(12345), 1.0);
+    }
+
+    #[test]
+    fn per_node_cost_lookup() {
+        let c = PerNodeCost::new(vec![0.5, 2.0, 0.0]);
+        assert_eq!(c.entry_cost(1), 2.0);
+        assert_eq!(c.entry_cost(2), 0.0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_rejected() {
+        PerNodeCost::new(vec![1.0, -0.1]);
+    }
+
+    #[test]
+    fn entropy_cost_layout() {
+        let c = entropy_cost(&[0.3, 0.9], 3, 1.5);
+        assert_eq!(c.entry_cost(0), 0.3); // user 0
+        assert_eq!(c.entry_cost(1), 0.9); // user 1
+        assert_eq!(c.entry_cost(2), 1.5); // item 0
+        assert_eq!(c.entry_cost(4), 1.5); // item 2
+        assert_eq!(c.len(), 5);
+    }
+}

@@ -1,0 +1,92 @@
+//! Hitting time `H(q|j)` (Definition 1, §3.3).
+//!
+//! The hitting time from `j` to `q` is the expected number of steps a walker
+//! starting at `j` takes to first reach `q` — identically the absorbing time
+//! with singleton absorbing set `S = {q}`. Eq. 5 explains why small
+//! `H(q|j)` favors the long tail: `H(q|j) = π_j / (p_{q,j} π_q)`, i.e. the
+//! walk discounts items by their stationary popularity `π_j`.
+
+use crate::absorbing::AbsorbingWalk;
+use longtail_graph::Adjacency;
+use longtail_linalg::lu::LinalgError;
+
+/// Truncated hitting times from every node to `target` (τ-step dynamic
+/// program).
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+pub fn truncated_hitting_times(adj: &Adjacency, target: usize, iterations: usize) -> Vec<f64> {
+    AbsorbingWalk::new(adj, &[target]).truncated_times(iterations)
+}
+
+/// Exact hitting times from every node to `target` via the linear system.
+///
+/// # Errors
+///
+/// [`LinalgError::Singular`] when part of the graph cannot reach `target`.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+pub fn exact_hitting_times(adj: &Adjacency, target: usize) -> Result<Vec<f64>, LinalgError> {
+    AbsorbingWalk::new(adj, &[target]).exact_times()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longtail_graph::CsrMatrix;
+
+    /// Unweighted triangle: by symmetry every hitting time is 2.
+    fn triangle() -> Adjacency {
+        let csr = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (0, 2, 1.0),
+                (2, 0, 1.0),
+            ],
+        );
+        Adjacency::from_symmetric_csr(csr)
+    }
+
+    #[test]
+    fn triangle_hitting_time_is_two() {
+        let adj = triangle();
+        let h = exact_hitting_times(&adj, 0).unwrap();
+        assert_eq!(h[0], 0.0);
+        assert!((h[1] - 2.0).abs() < 1e-10);
+        assert!((h[2] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn truncated_approaches_exact() {
+        let adj = triangle();
+        let exact = exact_hitting_times(&adj, 0).unwrap();
+        let approx = truncated_hitting_times(&adj, 0, 500);
+        for i in 0..3 {
+            assert!((approx[i] - exact[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hitting_times_are_asymmetric_on_weighted_graphs() {
+        // 0 -(1)- 1 -(10)- 2: the walk leaving 1 strongly prefers 2.
+        let csr = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 10.0), (2, 1, 10.0)],
+        );
+        let adj = Adjacency::from_symmetric_csr(csr);
+        let to0 = exact_hitting_times(&adj, 0).unwrap();
+        let to2 = exact_hitting_times(&adj, 2).unwrap();
+        // Reaching the weakly-attached node 0 takes much longer than
+        // reaching the strongly-attached node 2.
+        assert!(to0[2] > to2[0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Random-walk machinery for long-tail recommendation.
+//!
+//! Implements the Markov-chain toolkit of §3–4 of *Challenging the Long Tail
+//! Recommendation* on top of [`longtail_graph::Adjacency`]:
+//!
+//! * [`hitting`] — hitting times `H(q|j)` (Definition 1, the HT recommender);
+//! * [`absorbing`] — absorbing times and entropy-biased absorbing costs
+//!   (Definitions 2–3, Eq. 6–9), each with a truncated `O(τ·m)` dynamic
+//!   program and an exact LU-based solver;
+//! * [`cost`] — per-node entry-cost models (unit cost ⇒ absorbing time,
+//!   entropy cost ⇒ the AC1/AC2 models);
+//! * [`pagerank`] — personalized PageRank power iteration (PPR/DPPR
+//!   baselines).
+
+#![warn(missing_docs)]
+
+pub mod absorbing;
+pub mod cost;
+pub mod hitting;
+pub mod pagerank;
+
+pub use absorbing::AbsorbingWalk;
+pub use cost::{entropy_cost, CostModel, PerNodeCost, UnitCost};
+pub use hitting::{exact_hitting_times, truncated_hitting_times};
+pub use pagerank::{personalized_pagerank, PageRankConfig};

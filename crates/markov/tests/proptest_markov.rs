@@ -1,0 +1,98 @@
+//! Property tests: random-walk invariants on arbitrary bipartite graphs.
+
+use longtail_graph::{Adjacency, BipartiteGraph};
+use longtail_markov::{personalized_pagerank, AbsorbingWalk, PageRankConfig, PerNodeCost};
+use proptest::prelude::*;
+
+fn ratings() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    prop::collection::vec((0..6u32, 0..7u32, 1.0f64..5.0), 1..40)
+}
+
+/// Build a connected-at-the-seed test fixture: the graph plus a node that is
+/// guaranteed to have at least one edge.
+fn graph_with_seed(ts: &[(u32, u32, f64)]) -> (Adjacency, usize) {
+    let g = BipartiteGraph::from_ratings(6, 7, ts);
+    let adj = Adjacency::from_bipartite(&g);
+    let seed = g.user_node(ts[0].0);
+    (adj, seed)
+}
+
+proptest! {
+    #[test]
+    fn truncated_times_monotone_in_tau(ts in ratings()) {
+        let (adj, seed) = graph_with_seed(&ts);
+        let walk = AbsorbingWalk::new(&adj, &[seed]);
+        let t1 = walk.truncated_times(5);
+        let t2 = walk.truncated_times(10);
+        for i in 0..adj.n_nodes() {
+            if t1[i].is_finite() && t2[i].is_finite() {
+                prop_assert!(t1[i] <= t2[i] + 1e-9, "node {i}: {} > {}", t1[i], t2[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_bounded_by_exact(ts in ratings()) {
+        let (adj, seed) = graph_with_seed(&ts);
+        let walk = AbsorbingWalk::new(&adj, &[seed]);
+        if let Ok(exact) = walk.exact_times() {
+            let approx = walk.truncated_times(50);
+            for i in 0..adj.n_nodes() {
+                if exact[i].is_finite() {
+                    // The truncated DP approaches the exact value from below.
+                    prop_assert!(approx[i] <= exact[i] + 1e-6, "node {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absorbing_nodes_always_zero(ts in ratings(), extra in 0..13usize) {
+        let g = BipartiteGraph::from_ratings(6, 7, &ts);
+        let adj = Adjacency::from_bipartite(&g);
+        let seeds = [g.user_node(ts[0].0), extra % adj.n_nodes()];
+        let walk = AbsorbingWalk::new(&adj, &seeds);
+        let t = walk.truncated_times(20);
+        for &s in &seeds {
+            prop_assert_eq!(t[s], 0.0);
+        }
+    }
+
+    #[test]
+    fn costs_scale_linearly(ts in ratings(), scale in 0.5f64..4.0) {
+        let (adj, seed) = graph_with_seed(&ts);
+        let walk = AbsorbingWalk::new(&adj, &[seed]);
+        let base = walk.truncated_times(25);
+        let cost = PerNodeCost::new(vec![scale; adj.n_nodes()]);
+        let scaled = walk.truncated_costs(&cost, 25);
+        for i in 0..adj.n_nodes() {
+            if base[i].is_finite() {
+                prop_assert!((scaled[i] - scale * base[i]).abs() < 1e-6 * (1.0 + base[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_is_a_distribution(ts in ratings()) {
+        let (adj, seed) = graph_with_seed(&ts);
+        let rank = personalized_pagerank(&adj, &[seed], &PageRankConfig::default());
+        prop_assert!(rank.iter().all(|&r| r >= -1e-12));
+        let sum: f64 = rank.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+    }
+
+    #[test]
+    fn pagerank_mass_concentrates_with_damping(ts in ratings()) {
+        let (adj, seed) = graph_with_seed(&ts);
+        let tight = personalized_pagerank(&adj, &[seed], &PageRankConfig {
+            damping: 0.2,
+            ..PageRankConfig::default()
+        });
+        let loose = personalized_pagerank(&adj, &[seed], &PageRankConfig {
+            damping: 0.9,
+            ..PageRankConfig::default()
+        });
+        // Lower damping keeps more mass at the teleport node.
+        prop_assert!(tight[seed] >= loose[seed] - 1e-9);
+    }
+}

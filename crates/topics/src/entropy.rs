@@ -1,0 +1,156 @@
+//! User entropy: the information-theoretic feature behind Absorbing Cost.
+//!
+//! §4.2's insight: a rating from a taste-specific user carries more signal
+//! than one from an omnivore, so the walk should pay more to pass through
+//! high-entropy users. Two estimators are provided:
+//!
+//! * **item-based** (Eq. 10, → AC1): entropy of the user's rating-mass
+//!   distribution over items. Cheap, but overestimates the breadth of a
+//!   user who rates many items inside a single niche;
+//! * **topic-based** (Eq. 11, → AC2): entropy of the user's latent topic
+//!   mixture from the LDA model — the paper's fix for exactly that failure
+//!   mode, and the best performer across its experiments.
+
+use crate::lda::LdaModel;
+use longtail_graph::CsrMatrix;
+
+/// Item-based user entropy (Eq. 10):
+/// `E(u) = -Σ_{i∈S_u} p(i|u) ln p(i|u)` with `p(i|u) = w(u,i) / Σ w(u,·)`.
+///
+/// Users with no ratings get entropy 0 (a walk can never enter them anyway).
+pub fn item_based_entropy(user_items: &CsrMatrix) -> Vec<f64> {
+    (0..user_items.rows())
+        .map(|u| {
+            let total = user_items.row_sum(u);
+            if total <= 0.0 {
+                return 0.0;
+            }
+            let (_, weights) = user_items.row(u);
+            weights
+                .iter()
+                .filter(|&&w| w > 0.0)
+                .map(|&w| {
+                    let p = w / total;
+                    -p * p.ln()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Topic-based user entropy (Eq. 11):
+/// `E(u) = -Σ_z p(z|θ_u) ln p(z|θ_u)` over the trained LDA mixture.
+pub fn topic_based_entropy(model: &LdaModel) -> Vec<f64> {
+    (0..model.n_users() as u32)
+        .map(|u| longtail_linalg_entropy(model.theta(u)))
+        .collect()
+}
+
+/// Shannon entropy of a probability vector (natural log). Kept local so this
+/// crate does not depend on `longtail-linalg` for one function.
+fn longtail_linalg_entropy(p: &[f64]) -> f64 {
+    p.iter()
+        .filter(|&&v| v > 0.0)
+        .map(|&v| -v * v.ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lda::{LdaConfig, LdaModel};
+
+    #[test]
+    fn uniform_rater_has_max_entropy() {
+        // User 0 spreads mass evenly over 4 items, user 1 concentrates.
+        let m = CsrMatrix::from_triplets(
+            2,
+            4,
+            &[
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (1, 0, 10.0),
+                (1, 1, 1.0),
+            ],
+        );
+        let e = item_based_entropy(&m);
+        assert!((e[0] - 4.0f64.ln()).abs() < 1e-12);
+        assert!(e[1] < e[0]);
+    }
+
+    #[test]
+    fn single_item_user_has_zero_entropy() {
+        let m = CsrMatrix::from_triplets(1, 3, &[(0, 1, 5.0)]);
+        assert_eq!(item_based_entropy(&m), vec![0.0]);
+    }
+
+    #[test]
+    fn unrated_user_has_zero_entropy() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 3.0)]);
+        let e = item_based_entropy(&m);
+        assert_eq!(e[1], 0.0);
+    }
+
+    #[test]
+    fn more_items_means_more_entropy_at_equal_mass() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            6,
+            &[
+                (0, 0, 2.0),
+                (0, 1, 2.0),
+                (1, 0, 1.0),
+                (1, 1, 1.0),
+                (1, 2, 1.0),
+                (1, 3, 1.0),
+            ],
+        );
+        let e = item_based_entropy(&m);
+        assert!(e[1] > e[0]);
+    }
+
+    #[test]
+    fn topic_entropy_separates_specific_from_general_users() {
+        // Users 0-1 rate only cluster A items; user 2 rates both clusters.
+        let mut triplets = Vec::new();
+        for u in 0..2u32 {
+            for i in 0..4u32 {
+                triplets.push((u, i, 5.0));
+            }
+        }
+        for i in 0..8u32 {
+            triplets.push((2, i, 5.0));
+        }
+        // A second pure cluster-B pair so the model can find both topics.
+        for u in 3..5u32 {
+            for i in 4..8u32 {
+                triplets.push((u, i, 5.0));
+            }
+        }
+        let counts = CsrMatrix::from_triplets(5, 8, &triplets);
+        let config = LdaConfig {
+            iterations: 80,
+            ..LdaConfig::with_topics(2)
+        };
+        let model = LdaModel::train(&counts, &config);
+        let e = topic_based_entropy(&model);
+        // The omnivorous user 2 must be the most entropic.
+        assert!(e[2] > e[0], "omnivore {} vs specialist {}", e[2], e[0]);
+        assert!(e[2] > e[3], "omnivore {} vs specialist {}", e[2], e[3]);
+    }
+
+    #[test]
+    fn topic_entropy_bounded_by_ln_k() {
+        let counts = CsrMatrix::from_triplets(2, 3, &[(0, 0, 3.0), (1, 2, 4.0)]);
+        let config = LdaConfig {
+            iterations: 20,
+            ..LdaConfig::with_topics(4)
+        };
+        let model = LdaModel::train(&counts, &config);
+        for &e in &topic_based_entropy(&model) {
+            assert!(e >= 0.0 && e <= 4.0f64.ln() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Topic inspection helpers (Table 1 of the paper).
+//!
+//! Table 1 demonstrates that LDA over raw rating counts recovers
+//! genre-coherent topics (Children's/Animation vs Action) by listing the
+//! five highest-probability movies per topic. These helpers regenerate that
+//! view for any trained model.
+
+use crate::lda::LdaModel;
+
+/// The `top_n` items of topic `z` by probability, as `(item, p)` pairs in
+/// descending order.
+pub fn top_items(model: &LdaModel, z: usize, top_n: usize) -> Vec<(u32, f64)> {
+    let phi = model.phi(z);
+    let mut ranked: Vec<(u32, f64)> = phi
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as u32, p))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked.truncate(top_n);
+    ranked
+}
+
+/// Top items for every topic: `result[z]` is [`top_items`]`(model, z, top_n)`.
+pub fn top_items_per_topic(model: &LdaModel, top_n: usize) -> Vec<Vec<(u32, f64)>> {
+    (0..model.n_topics())
+        .map(|z| top_items(model, z, top_n))
+        .collect()
+}
+
+/// Purity of topics against known item labels: for each topic, the fraction
+/// of its `top_n` items sharing the topic's majority label, averaged over
+/// topics. 1.0 means every topic is label-pure — the quantitative version of
+/// "Table 1 topics look like genres".
+///
+/// # Panics
+///
+/// Panics if `labels.len() != model.n_items()`.
+pub fn topic_label_purity(model: &LdaModel, labels: &[u32], top_n: usize) -> f64 {
+    assert_eq!(labels.len(), model.n_items(), "one label per item required");
+    let mut purities = Vec::with_capacity(model.n_topics());
+    for z in 0..model.n_topics() {
+        let top = top_items(model, z, top_n);
+        if top.is_empty() {
+            continue;
+        }
+        let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for &(item, _) in &top {
+            *counts.entry(labels[item as usize]).or_insert(0) += 1;
+        }
+        let majority = counts.values().copied().max().unwrap_or(0);
+        purities.push(majority as f64 / top.len() as f64);
+    }
+    if purities.is_empty() {
+        0.0
+    } else {
+        purities.iter().sum::<f64>() / purities.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lda::{LdaConfig, LdaModel};
+    use longtail_graph::CsrMatrix;
+
+    fn clustered_model() -> LdaModel {
+        let mut triplets = Vec::new();
+        for u in 0..4u32 {
+            for i in 0..5u32 {
+                triplets.push((u, i, 5.0));
+            }
+        }
+        for u in 4..8u32 {
+            for i in 5..10u32 {
+                triplets.push((u, i, 5.0));
+            }
+        }
+        let counts = CsrMatrix::from_triplets(8, 10, &triplets);
+        let config = LdaConfig {
+            iterations: 80,
+            ..LdaConfig::with_topics(2)
+        };
+        LdaModel::train(&counts, &config)
+    }
+
+    #[test]
+    fn top_items_sorted_descending() {
+        let m = clustered_model();
+        let top = top_items(&m, 0, 5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn top_items_per_topic_covers_all_topics() {
+        let m = clustered_model();
+        let all = top_items_per_topic(&m, 3);
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|t| t.len() == 3));
+    }
+
+    #[test]
+    fn clustered_data_yields_pure_topics() {
+        let m = clustered_model();
+        // Items 0-4 are genre 0, items 5-9 genre 1.
+        let labels: Vec<u32> = (0..10).map(|i| if i < 5 { 0 } else { 1 }).collect();
+        let purity = topic_label_purity(&m, &labels, 5);
+        assert!(purity > 0.9, "purity = {purity}");
+    }
+
+    #[test]
+    fn truncation_respects_request() {
+        let m = clustered_model();
+        assert_eq!(top_items(&m, 1, 2).len(), 2);
+        assert_eq!(top_items(&m, 1, 100).len(), 10);
+    }
+}

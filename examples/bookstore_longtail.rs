@@ -1,0 +1,64 @@
+//! Bookstore scenario: how far into the tail does each algorithm reach?
+//!
+//! Mirrors the paper's Douban-books evaluation at laptop scale: train the
+//! graph algorithms and the baselines on a sparse book catalog, recommend a
+//! top-10 to a sample of readers, and compare popularity, diversity and
+//! on-taste similarity of the suggestions (Figure 6 / Table 2 / Table 3 in
+//! miniature).
+//!
+//! ```text
+//! cargo run --release --example bookstore_longtail
+//! ```
+
+use longtail::prelude::*;
+
+fn main() {
+    let config = SyntheticConfig {
+        n_users: 600,
+        n_items: 500,
+        ..SyntheticConfig::douban_like()
+    };
+    let data = SyntheticData::generate(&config);
+    let train = &data.dataset;
+    let popularity = train.item_popularity();
+    let ontology = Ontology::from_genres(&data.item_genres, 3, 42);
+    println!(
+        "bookstore: {} readers, {} books, {} ratings ({:.2}% dense)\n",
+        train.n_users(),
+        train.n_items(),
+        train.n_ratings(),
+        100.0 * train.density()
+    );
+
+    // The paper's graph methods and its strongest baselines.
+    let at = AbsorbingTimeRecommender::new(train, GraphRecConfig::default());
+    let ac1 = AbsorbingCostRecommender::item_entropy(train, AbsorbingCostConfig::default());
+    let svd = PureSvdRecommender::train(train, 20);
+    let dppr = PageRankRecommender::discounted(train);
+
+    let users = sample_test_users(&train.user_activity(), 200, 3, 99);
+    println!(
+        "{:<8} {:>12} {:>10} {:>11}",
+        "algo", "popularity", "diversity", "similarity"
+    );
+    for rec in [
+        &at as &(dyn Recommender + Sync),
+        &ac1,
+        &svd,
+        &dppr,
+    ] {
+        let lists = RecommendationLists::compute(rec, &users, 10, 4);
+        println!(
+            "{:<8} {:>12.1} {:>10.3} {:>11.3}",
+            rec.name(),
+            mean_popularity(&lists, &popularity),
+            diversity(&lists, train.n_items()),
+            mean_similarity(&lists, train, &ontology),
+        );
+    }
+    println!(
+        "\nReading the table: the walk-based methods (AT, AC1) recommend books \
+         with far fewer ratings than PureSVD at similar on-taste similarity, \
+         and spread their suggestions over many more distinct titles."
+    );
+}
