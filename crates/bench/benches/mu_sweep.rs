@@ -2,9 +2,7 @@
 //! (the efficiency column of Table 4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use longtail_core::{
-    AbsorbingCostConfig, AbsorbingCostRecommender, GraphRecConfig, Recommender,
-};
+use longtail_core::{AbsorbingCostConfig, AbsorbingCostRecommender, GraphRecConfig, Recommender};
 use longtail_data::{SyntheticConfig, SyntheticData};
 use longtail_topics::{LdaConfig, LdaModel};
 

@@ -1,0 +1,106 @@
+//! Criterion bench: per-user vs batch scoring on the random-walk hot path.
+//!
+//! Three rungs per algorithm (HT and AC1) on a synthetic long-tail corpus:
+//!
+//! * `prerefactor`  — the seed's query path (owned subgraph, per-edge
+//!   division, fresh allocations per query), one user per iteration;
+//! * `context`      — the kernel + `ScoringContext` path, one user per
+//!   iteration through a reused context;
+//! * `batch64/t4`   — 64 users through `Recommender::score_batch` at 4
+//!   worker threads, measured per batch.
+//!
+//! `cargo run --release -p longtail-bench --bin bench_walk_scoring` runs the
+//! same comparison standalone and writes `BENCH_walk_scoring.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use longtail_bench::baseline;
+use longtail_core::{
+    AbsorbingCostConfig, AbsorbingCostRecommender, GraphRecConfig, HittingTimeRecommender,
+    Recommender, ScoringContext,
+};
+use longtail_data::{SyntheticConfig, SyntheticData};
+use longtail_eval::sample_test_users;
+
+fn bench_walk_scoring(c: &mut Criterion) {
+    let data = SyntheticData::generate(&SyntheticConfig {
+        n_users: 600,
+        n_items: 450,
+        ..SyntheticConfig::movielens_like()
+    });
+    let train = &data.dataset;
+    let graph = train.to_graph();
+    let config = GraphRecConfig {
+        max_items: 300,
+        iterations: 15,
+    };
+    let users = sample_test_users(&train.user_activity(), 64, 3, 0xbe9c);
+
+    let ht = HittingTimeRecommender::new(train, config);
+    let ac1 = AbsorbingCostRecommender::item_entropy(
+        train,
+        AbsorbingCostConfig {
+            graph: config,
+            item_entry_cost: 1.0,
+        },
+    );
+
+    let mut group = c.benchmark_group("walk_scoring");
+    let mut cursor = 0usize;
+
+    group.bench_function("ht/prerefactor", |b| {
+        b.iter(|| {
+            let u = users[cursor % users.len()];
+            cursor += 1;
+            baseline::prerefactor_hitting_scores(&graph, u, &config)
+        });
+    });
+    let mut ctx = ScoringContext::new();
+    let mut out = Vec::new();
+    group.bench_function("ht/context", |b| {
+        b.iter(|| {
+            let u = users[cursor % users.len()];
+            cursor += 1;
+            ht.score_into(u, &mut ctx, &mut out);
+            out.last().copied()
+        });
+    });
+    group.bench_function("ht/batch64_t4", |b| {
+        b.iter(|| ht.score_batch(&users, 4));
+    });
+
+    group.bench_function("ac1/prerefactor", |b| {
+        b.iter(|| {
+            let u = users[cursor % users.len()];
+            cursor += 1;
+            baseline::prerefactor_absorbing_cost_scores(
+                &graph,
+                ac1.user_entropies(),
+                1.0,
+                u,
+                &config,
+            )
+        });
+    });
+    let mut ctx = ScoringContext::new();
+    let mut out = Vec::new();
+    group.bench_function("ac1/context", |b| {
+        b.iter(|| {
+            let u = users[cursor % users.len()];
+            cursor += 1;
+            ac1.score_into(u, &mut ctx, &mut out);
+            out.last().copied()
+        });
+    });
+    group.bench_function("ac1/batch64_t4", |b| {
+        b.iter(|| ac1.score_batch(&users, 4));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_walk_scoring
+}
+criterion_main!(benches);

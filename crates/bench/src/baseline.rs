@@ -1,0 +1,212 @@
+//! Pre-refactor scoring paths, preserved verbatim for benchmarking.
+//!
+//! The kernel/context refactor rebuilt the query hot path; these functions
+//! keep the *seed* implementation alive — owned `Subgraph` per query (fresh
+//! `O(n_nodes)` id map and induced adjacency), per-edge `w / d` division in
+//! every DP iteration, fresh result vectors — so `BENCH_walk_scoring.json`
+//! can track the speedup honestly against the exact code the project
+//! started from. Not used on any production path.
+
+use longtail_core::GraphRecConfig;
+use longtail_graph::{Adjacency, BipartiteGraph, Node, Subgraph};
+
+/// The seed's truncated absorbing-cost dynamic program: per-edge division,
+/// freshly allocated state.
+pub fn prerefactor_truncated_costs(
+    adj: &Adjacency,
+    absorbing: &[bool],
+    entry_cost: &[f64],
+    iterations: usize,
+) -> Vec<f64> {
+    let n = adj.n_nodes();
+    let mut immediate = vec![0.0; n];
+    for i in 0..n {
+        if absorbing[i] {
+            continue;
+        }
+        let d = adj.degree(i);
+        if d == 0.0 {
+            immediate[i] = f64::INFINITY;
+            continue;
+        }
+        let mut acc = 0.0;
+        for (j, w) in adj.neighbors(i) {
+            acc += w / d * entry_cost[j as usize];
+        }
+        immediate[i] = acc;
+    }
+
+    let mut current = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        for i in 0..n {
+            if absorbing[i] {
+                next[i] = 0.0;
+                continue;
+            }
+            let d = adj.degree(i);
+            if d == 0.0 {
+                next[i] = f64::INFINITY;
+                continue;
+            }
+            let mut acc = 0.0;
+            for (j, w) in adj.neighbors(i) {
+                let v = current[j as usize];
+                if v.is_finite() {
+                    acc += w / d * v;
+                } else {
+                    acc = f64::INFINITY;
+                    break;
+                }
+            }
+            next[i] = immediate[i] + acc;
+        }
+        std::mem::swap(&mut current, &mut next);
+    }
+    current
+}
+
+fn scores_from_subgraph(graph: &BipartiteGraph, subgraph: &Subgraph, values: &[f64]) -> Vec<f64> {
+    let mut scores = vec![f64::NEG_INFINITY; graph.n_items()];
+    for (local, &global) in subgraph.global_ids().iter().enumerate() {
+        if let Node::Item(i) = graph.node(global) {
+            let v = values[local];
+            if v.is_finite() {
+                scores[i as usize] = -v;
+            }
+        }
+    }
+    scores
+}
+
+/// The seed's `HittingTimeRecommender::score_items`: owned subgraph, unit
+/// costs, fresh vectors.
+pub fn prerefactor_hitting_scores(
+    graph: &BipartiteGraph,
+    user: u32,
+    config: &GraphRecConfig,
+) -> Vec<f64> {
+    let q = graph.user_node(user);
+    let subgraph = Subgraph::bfs_from(graph, &[q], config.max_items);
+    let Some(local_q) = subgraph.local_id(q) else {
+        return vec![f64::NEG_INFINITY; graph.n_items()];
+    };
+    if subgraph.n_nodes() == 1 {
+        return vec![f64::NEG_INFINITY; graph.n_items()];
+    }
+    let n = subgraph.n_nodes();
+    let mut absorbing = vec![false; n];
+    absorbing[local_q as usize] = true;
+    let unit = vec![1.0; n];
+    let times =
+        prerefactor_truncated_costs(subgraph.adjacency(), &absorbing, &unit, config.iterations);
+    scores_from_subgraph(graph, &subgraph, &times)
+}
+
+/// The seed's `AbsorbingCostRecommender::score_items`: owned subgraph,
+/// per-query entropy cost vector, fresh vectors.
+pub fn prerefactor_absorbing_cost_scores(
+    graph: &BipartiteGraph,
+    user_entropy: &[f64],
+    item_entry_cost: f64,
+    user: u32,
+    config: &GraphRecConfig,
+) -> Vec<f64> {
+    let seeds: Vec<usize> = graph
+        .user_items()
+        .row(user as usize)
+        .0
+        .iter()
+        .map(|&i| graph.item_node(i))
+        .collect();
+    if seeds.is_empty() {
+        return vec![f64::NEG_INFINITY; graph.n_items()];
+    }
+    let subgraph = Subgraph::bfs_from(graph, &seeds, config.max_items);
+    let mut absorbing = vec![false; subgraph.n_nodes()];
+    for &s in &seeds {
+        if let Some(l) = subgraph.local_id(s) {
+            absorbing[l as usize] = true;
+        }
+    }
+    let costs: Vec<f64> = subgraph
+        .global_ids()
+        .iter()
+        .map(|&global| match graph.node(global) {
+            Node::User(u) => user_entropy[u as usize],
+            Node::Item(_) => item_entry_cost,
+        })
+        .collect();
+    let values =
+        prerefactor_truncated_costs(subgraph.adjacency(), &absorbing, &costs, config.iterations);
+    scores_from_subgraph(graph, &subgraph, &values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longtail_core::{
+        AbsorbingCostConfig, AbsorbingCostRecommender, HittingTimeRecommender, Recommender,
+    };
+    use longtail_data::{Dataset, Rating};
+
+    fn figure2() -> Dataset {
+        let ratings = [
+            (0, 0, 5.0),
+            (0, 1, 3.0),
+            (0, 4, 3.0),
+            (0, 5, 5.0),
+            (1, 0, 5.0),
+            (1, 1, 4.0),
+            (1, 2, 5.0),
+            (1, 4, 4.0),
+            (1, 5, 5.0),
+            (2, 0, 4.0),
+            (2, 1, 5.0),
+            (2, 2, 4.0),
+            (3, 2, 5.0),
+            (3, 3, 5.0),
+            (4, 1, 4.0),
+            (4, 2, 5.0),
+        ]
+        .map(|(user, item, value)| Rating { user, item, value });
+        Dataset::from_ratings(5, 6, &ratings)
+    }
+
+    /// Same scores up to floating-point rounding: the refactored path keeps
+    /// kernel rows in global-neighbor order rather than local-id order, so
+    /// row sums can differ in the last ulp.
+    fn assert_scores_agree(a: &[f64], b: &[f64], label: &str) {
+        assert_eq!(a.len(), b.len(), "{label}: length");
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            if x.is_finite() || y.is_finite() {
+                assert!(
+                    (x - y).abs() <= 1e-12 * (1.0 + x.abs()),
+                    "{label} item {i}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baselines_agree_with_refactored_recommenders() {
+        let d = figure2();
+        let config = GraphRecConfig::default();
+        let graph = d.to_graph();
+
+        let ht = HittingTimeRecommender::new(&d, config);
+        let ac = AbsorbingCostRecommender::item_entropy(&d, AbsorbingCostConfig::default());
+        for u in 0..d.n_users() as u32 {
+            assert_scores_agree(
+                &prerefactor_hitting_scores(&graph, u, &config),
+                &ht.score_items(u),
+                &format!("HT user {u}"),
+            );
+            assert_scores_agree(
+                &prerefactor_absorbing_cost_scores(&graph, ac.user_entropies(), 1.0, u, &config),
+                &ac.score_items(u),
+                &format!("AC user {u}"),
+            );
+        }
+    }
+}

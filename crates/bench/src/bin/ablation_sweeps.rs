@@ -40,7 +40,7 @@ fn main() {
     let users = sample_test_users(&train.user_activity(), 500, 3, 0xab1a);
     let recall_config = RecallConfig::default();
 
-    let evaluate = |rec: &(dyn Recommender + Sync)| -> (f64, f64, f64) {
+    let evaluate = |rec: &dyn Recommender| -> (f64, f64, f64) {
         let curve = recall_at_n(rec, &data.dataset, &split, &recall_config);
         let lists = RecommendationLists::compute(rec, &users, 10, 4);
         (
@@ -79,16 +79,25 @@ fn main() {
     emit(name, "|---|---|---|---|");
     let at = AbsorbingTimeRecommender::new(train, GraphRecConfig::default());
     let (r, p, s) = evaluate(&at);
-    emit(name, &format!("| AT (no entropy) | {r:.3} | {p:.1} | {s:.3} |"));
+    emit(
+        name,
+        &format!("| AT (no entropy) | {r:.3} | {p:.1} | {s:.3} |"),
+    );
     let ac1 = AbsorbingCostRecommender::item_entropy(train, AbsorbingCostConfig::default());
     let (r, p, s) = evaluate(&ac1);
-    emit(name, &format!("| AC1 (item entropy) | {r:.3} | {p:.1} | {s:.3} |"));
+    emit(
+        name,
+        &format!("| AC1 (item entropy) | {r:.3} | {p:.1} | {s:.3} |"),
+    );
     for k in [4usize, 10, 24] {
         let lda = LdaModel::train(train.user_items(), &LdaConfig::with_topics(k));
         let ac2 =
             AbsorbingCostRecommender::topic_entropy(train, &lda, AbsorbingCostConfig::default());
         let (r, p, s) = evaluate(&ac2);
-        emit(name, &format!("| AC2 (topic entropy, K={k}) | {r:.3} | {p:.1} | {s:.3} |"));
+        emit(
+            name,
+            &format!("| AC2 (topic entropy, K={k}) | {r:.3} | {p:.1} | {s:.3} |"),
+        );
     }
     emit(
         name,

@@ -1,0 +1,226 @@
+//! Walk-scoring perf baseline: sequential pre-refactor vs batch scoring.
+//!
+//! Times 64-user scoring for HT and AC1 on a synthetic long-tail corpus
+//! three ways — the seed's pre-refactor query path run sequentially, the
+//! kernel + `ScoringContext` path run sequentially, and
+//! `Recommender::score_batch` at 1 and 4 worker threads — plus single-query
+//! latency for both paths, and writes a machine-readable summary to
+//! `BENCH_walk_scoring.json` so future PRs have a perf trajectory.
+//!
+//! Run with `cargo run --release -p longtail-bench --bin bench_walk_scoring`.
+
+use longtail_bench::baseline;
+use longtail_core::{
+    AbsorbingCostConfig, AbsorbingCostRecommender, GraphRecConfig, HittingTimeRecommender,
+    Recommender, ScoringContext,
+};
+use longtail_data::{SyntheticConfig, SyntheticData};
+use longtail_eval::sample_test_users;
+use longtail_graph::BipartiteGraph;
+use std::time::Instant;
+
+const BATCH: usize = 64;
+const REPEATS: usize = 5;
+
+/// Best-of-`REPEATS` wall-clock seconds for `f`.
+fn time_best(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Measurement {
+    name: &'static str,
+    seconds_per_batch: f64,
+}
+
+fn measure_algorithm(
+    label: &'static str,
+    graph: &BipartiteGraph,
+    config: &GraphRecConfig,
+    users: &[u32],
+    rec: &dyn Recommender,
+    prerefactor: &dyn Fn(u32) -> Vec<f64>,
+) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let _ = (graph, config);
+
+    let seq_pre = time_best(|| {
+        for &u in users {
+            std::hint::black_box(prerefactor(u));
+        }
+    });
+    out.push(Measurement {
+        name: "sequential_prerefactor",
+        seconds_per_batch: seq_pre,
+    });
+
+    let mut ctx = ScoringContext::new();
+    let mut scores = Vec::new();
+    let seq_ctx = time_best(|| {
+        for &u in users {
+            rec.score_into(u, &mut ctx, &mut scores);
+            std::hint::black_box(scores.last());
+        }
+    });
+    out.push(Measurement {
+        name: "sequential_context",
+        seconds_per_batch: seq_ctx,
+    });
+
+    for (name, threads) in [("batch_t1", 1usize), ("batch_t4", 4)] {
+        let t = time_best(|| {
+            std::hint::black_box(rec.score_batch(users, threads));
+        });
+        out.push(Measurement {
+            name,
+            seconds_per_batch: t,
+        });
+    }
+
+    println!("\n{label}: {BATCH} users, best of {REPEATS} runs");
+    let base = out[0].seconds_per_batch;
+    for m in &out {
+        println!(
+            "  {:<24} {:>10.4} ms/batch  {:>8.4} ms/query  {:>5.2}x vs pre-refactor",
+            m.name,
+            m.seconds_per_batch * 1e3,
+            m.seconds_per_batch * 1e3 / BATCH as f64,
+            base / m.seconds_per_batch
+        );
+    }
+    out
+}
+
+fn single_query_seconds(f: impl FnMut()) -> f64 {
+    time_best(f)
+}
+
+fn main() {
+    let config = SyntheticConfig {
+        n_users: 600,
+        n_items: 450,
+        ..SyntheticConfig::movielens_like()
+    };
+    let data = SyntheticData::generate(&config);
+    let train = &data.dataset;
+    let graph = train.to_graph();
+    let walk_config = GraphRecConfig {
+        max_items: 300,
+        iterations: 15,
+    };
+    let users = sample_test_users(&train.user_activity(), BATCH, 3, 0xbe9c);
+    assert_eq!(users.len(), BATCH, "corpus too small for the batch");
+
+    let ht = HittingTimeRecommender::new(train, walk_config);
+    let ac1 = AbsorbingCostRecommender::item_entropy(
+        train,
+        AbsorbingCostConfig {
+            graph: walk_config,
+            item_entry_cost: 1.0,
+        },
+    );
+
+    println!(
+        "walk-scoring bench: {} users x {} items, {} ratings, mu={}, tau={}",
+        train.n_users(),
+        train.n_items(),
+        train.n_ratings(),
+        walk_config.max_items,
+        walk_config.iterations
+    );
+
+    let ht_measurements = measure_algorithm("HT", &graph, &walk_config, &users, &ht, &|u| {
+        baseline::prerefactor_hitting_scores(&graph, u, &walk_config)
+    });
+    let ac_measurements = measure_algorithm("AC1", &graph, &walk_config, &users, &ac1, &|u| {
+        baseline::prerefactor_absorbing_cost_scores(
+            &graph,
+            ac1.user_entropies(),
+            1.0,
+            u,
+            &walk_config,
+        )
+    });
+
+    // Single-query latency: the refactored path must not regress.
+    let probe = users[0];
+    let single_pre = single_query_seconds(|| {
+        std::hint::black_box(baseline::prerefactor_hitting_scores(
+            &graph,
+            probe,
+            &walk_config,
+        ));
+    });
+    let mut ctx = ScoringContext::new();
+    let mut scores = Vec::new();
+    let single_ctx = single_query_seconds(|| {
+        ht.score_into(probe, &mut ctx, &mut scores);
+        std::hint::black_box(scores.last());
+    });
+    println!(
+        "\nsingle HT query: pre-refactor {:.4} ms, context {:.4} ms ({:.2}x)",
+        single_pre * 1e3,
+        single_ctx * 1e3,
+        single_pre / single_ctx
+    );
+
+    let json = render_json(
+        &config,
+        &walk_config,
+        &ht_measurements,
+        &ac_measurements,
+        single_pre,
+        single_ctx,
+    );
+    let path = "BENCH_walk_scoring.json";
+    std::fs::write(path, json).expect("write benchmark summary");
+    println!("\nwrote {path}");
+}
+
+fn render_json(
+    config: &SyntheticConfig,
+    walk: &GraphRecConfig,
+    ht: &[Measurement],
+    ac: &[Measurement],
+    single_pre: f64,
+    single_ctx: f64,
+) -> String {
+    fn series(ms: &[Measurement]) -> String {
+        let base = ms[0].seconds_per_batch;
+        let entries: Vec<String> = ms
+            .iter()
+            .map(|m| {
+                format!(
+                    "      {{\"name\": \"{}\", \"seconds_per_batch\": {:.6e}, \"speedup_vs_prerefactor\": {:.3}}}",
+                    m.name,
+                    m.seconds_per_batch,
+                    base / m.seconds_per_batch
+                )
+            })
+            .collect();
+        entries.join(",\n")
+    }
+    format!(
+        "{{\n  \"bench\": \"walk_scoring\",\n  \"batch_users\": {BATCH},\n  \"repeats_best_of\": {REPEATS},\n  \
+         \"dataset\": {{\"n_users\": {}, \"n_items\": {}}},\n  \
+         \"walk\": {{\"max_items\": {}, \"iterations\": {}}},\n  \
+         \"threads\": {},\n  \
+         \"results\": {{\n    \"HT\": [\n{}\n    ],\n    \"AC1\": [\n{}\n    ]\n  }},\n  \
+         \"single_query_ht\": {{\"prerefactor_seconds\": {:.6e}, \"context_seconds\": {:.6e}, \"speedup\": {:.3}}}\n}}\n",
+        config.n_users,
+        config.n_items,
+        walk.max_items,
+        walk.iterations,
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+        series(ht),
+        series(ac),
+        single_pre,
+        single_ctx,
+        single_pre / single_ctx
+    )
+}

@@ -62,7 +62,10 @@ fn main() {
         for d in 1..=10 {
             let upto = curve.len() * d / 10;
             let ratings: usize = curve.iter().take(upto).sum();
-            row.push_str(&format!(" {:.0}%", 100.0 * ratings as f64 / total.max(1) as f64));
+            row.push_str(&format!(
+                " {:.0}%",
+                100.0 * ratings as f64 / total.max(1) as f64
+            ));
         }
         emit(name, &row);
         emit(name, "");

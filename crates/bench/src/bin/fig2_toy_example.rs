@@ -42,7 +42,10 @@ fn main() {
     let truncated = walk.truncated_times(60);
 
     let paper = [(3u32, 17.7), (0, 19.6), (4, 20.2), (5, 20.3)];
-    emit(name, "| movie | paper H(U5|M) | exact solve | truncated τ=60 |");
+    emit(
+        name,
+        "| movie | paper H(U5|M) | exact solve | truncated τ=60 |",
+    );
     emit(name, "|---|---|---|---|");
     for (m, p) in paper {
         emit(

@@ -62,10 +62,7 @@ fn main() {
             emit(name, &row);
         }
 
-        let at_10: Vec<(String, f64)> = series
-            .iter()
-            .map(|s| (s.label.clone(), s.y[9]))
-            .collect();
+        let at_10: Vec<(String, f64)> = series.iter().map(|s| (s.label.clone(), s.y[9])).collect();
         emit(
             name,
             &format!(

@@ -43,7 +43,10 @@ fn main() {
         for n in 1..=10usize {
             let mut row = format!("| {n} |");
             for s in &series {
-                row.push_str(&format!(" {:.1} |", s.y.get(n - 1).copied().unwrap_or(f64::NAN)));
+                row.push_str(&format!(
+                    " {:.1} |",
+                    s.y.get(n - 1).copied().unwrap_or(f64::NAN)
+                ));
             }
             emit(name, &row);
         }

@@ -37,7 +37,10 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        println!("\nAll {} experiments completed; see experiments/*.md", EXPERIMENTS.len());
+        println!(
+            "\nAll {} experiments completed; see experiments/*.md",
+            EXPERIMENTS.len()
+        );
     } else {
         eprintln!("\nFAILED: {failures:?}");
         std::process::exit(1);

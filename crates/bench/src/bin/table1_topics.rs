@@ -20,10 +20,7 @@ fn main() {
         .copied()
         .max()
         .map_or(1, |g| g as usize + 1);
-    let model = LdaModel::train(
-        data.dataset.user_items(),
-        &LdaConfig::with_topics(n_genres),
-    );
+    let model = LdaModel::train(data.dataset.user_items(), &LdaConfig::with_topics(n_genres));
 
     emit(
         name,

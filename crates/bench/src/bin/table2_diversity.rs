@@ -21,7 +21,11 @@ fn main() {
         let users = sample_test_users(&train.user_activity(), 2000, 3, 0xd1e2);
         emit(
             name,
-            &format!("\n## {} ({} testing users, k=10)\n", corpus.name(), users.len()),
+            &format!(
+                "\n## {} ({} testing users, k=10)\n",
+                corpus.name(),
+                users.len()
+            ),
         );
         emit(name, "| algorithm | diversity (ours) | diversity (paper) |");
         emit(name, "|---|---|---|");

@@ -26,7 +26,10 @@ fn main() {
             users.len()
         ),
     );
-    emit(name, "| algorithm | similarity (ours) | similarity (paper) |");
+    emit(
+        name,
+        "| algorithm | similarity (ours) | similarity (paper) |",
+    );
     emit(name, "|---|---|---|");
     for rec in roster.all() {
         let lists = RecommendationLists::compute(rec, &users, 10, 4);

@@ -16,7 +16,10 @@ use longtail_topics::{LdaConfig, LdaModel};
 
 fn main() {
     let name = "table4_mu_sweep";
-    start_experiment(name, "Table 4 — impact of the subgraph budget µ (AC2, Douban-like)");
+    start_experiment(
+        name,
+        "Table 4 — impact of the subgraph budget µ (AC2, Douban-like)",
+    );
 
     let data = Corpus::Douban.generate();
     let train = &data.dataset;
@@ -54,7 +57,10 @@ fn main() {
             users.len()
         ),
     );
-    emit(name, "| µ | popularity | similarity | diversity | sec/query |");
+    emit(
+        name,
+        "| µ | popularity | similarity | diversity | sec/query |",
+    );
     emit(name, "|---|---|---|---|---|");
     for &mu in &mus {
         let rec = AbsorbingCostRecommender::topic_entropy(

@@ -6,7 +6,7 @@
 
 use longtail_bench::{emit, paper, start_experiment, Corpus, Roster, RosterConfig};
 use longtail_core::{GraphRecConfig, Recommender};
-use longtail_eval::{sample_test_users, time_recommendations};
+use longtail_eval::{sample_test_users, time_batch_scoring, time_recommendations};
 
 fn main() {
     let name = "table5_efficiency";
@@ -38,11 +38,13 @@ fn main() {
             mu
         ),
     );
-    emit(name, "| algorithm | sec/query (ours) | sec/query (paper, full-size Douban) |");
+    emit(
+        name,
+        "| algorithm | sec/query (ours) | sec/query (paper, full-size Douban) |",
+    );
     emit(name, "|---|---|---|");
     // The paper's Table 5 covers LDA, PureSVD, AC2, DPPR.
-    let subjects: Vec<&(dyn Recommender + Sync)> =
-        vec![&roster.lda, &roster.svd, &roster.ac2, &roster.dppr];
+    let subjects: Vec<&dyn Recommender> = vec![&roster.lda, &roster.svd, &roster.ac2, &roster.dppr];
     let mut measured = Vec::new();
     for rec in subjects {
         let t = time_recommendations(rec, &users, 10);
@@ -70,4 +72,34 @@ fn main() {
             13.5 / 0.52
         ),
     );
+
+    // Batch throughput: the same queries through Recommender::score_batch,
+    // workers sharing nothing but the model (one ScoringContext each).
+    let n_threads = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(4);
+    emit(
+        name,
+        &format!("\nBatch scoring (score_batch, {n_threads} threads):\n"),
+    );
+    emit(
+        name,
+        "| algorithm | sec/query sequential | sec/query batch | speedup |",
+    );
+    emit(name, "|---|---|---|---|");
+    let subjects: Vec<&dyn Recommender> = vec![&roster.lda, &roster.svd, &roster.ac2, &roster.dppr];
+    for rec in subjects {
+        let seq = time_recommendations(rec, &users, 10);
+        let batch = time_batch_scoring(rec, &users, n_threads);
+        emit(
+            name,
+            &format!(
+                "| {} | {:.5} | {:.5} | {:.2}x |",
+                rec.name(),
+                seq.mean_seconds,
+                batch.mean_seconds,
+                seq.mean_seconds / batch.mean_seconds.max(1e-12)
+            ),
+        );
+    }
 }

@@ -12,7 +12,10 @@ use longtail_eval::{simulate_study, StudyConfig};
 
 fn main() {
     let name = "table6_user_study";
-    start_experiment(name, "Table 6 — simulated user study (50 judges, k=10, Douban-like)");
+    start_experiment(
+        name,
+        "Table 6 — simulated user study (50 judges, k=10, Douban-like)",
+    );
 
     let data = Corpus::Douban.generate();
     let roster = Roster::train(&data.dataset, &RosterConfig::default());
@@ -23,8 +26,7 @@ fn main() {
         "\n| algorithm | preference | novelty | serendipity | score | (paper: pref / nov / ser / score) |",
     );
     emit(name, "|---|---|---|---|---|---|");
-    let subjects: Vec<&(dyn Recommender + Sync)> =
-        vec![&roster.ac2, &roster.dppr, &roster.svd, &roster.lda];
+    let subjects: Vec<&dyn Recommender> = vec![&roster.ac2, &roster.dppr, &roster.svd, &roster.lda];
     for rec in subjects {
         let r = simulate_study(rec, &data, &config);
         let p = paper::USER_STUDY

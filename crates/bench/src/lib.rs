@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use longtail_core::{
     AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender, GraphRecConfig,
     HittingTimeRecommender, LdaRecommender, PageRankRecommender, PureSvdRecommender, Recommender,
@@ -122,7 +124,7 @@ impl Roster {
 
     /// All algorithms in the paper's reporting order: AC2, AC1, AT, HT,
     /// DPPR, PureSVD, LDA.
-    pub fn all(&self) -> Vec<&(dyn Recommender + Sync)> {
+    pub fn all(&self) -> Vec<&dyn Recommender> {
         vec![
             &self.ac2, &self.ac1, &self.at, &self.ht, &self.dppr, &self.svd, &self.lda,
         ]
@@ -255,7 +257,10 @@ mod tests {
             },
         );
         let names: Vec<&str> = roster.all().iter().map(|r| r.name()).collect();
-        assert_eq!(names, vec!["AC2", "AC1", "AT", "HT", "DPPR", "PureSVD", "LDA"]);
+        assert_eq!(
+            names,
+            vec!["AC2", "AC1", "AT", "HT", "DPPR", "PureSVD", "LDA"]
+        );
         for rec in roster.all() {
             let top = rec.recommend(0, 3);
             assert!(top.len() <= 3);

@@ -1,0 +1,47 @@
+//! Reusable per-query scoring state.
+//!
+//! A single `score_items` call on the graph recommenders used to allocate a
+//! full `O(n_nodes)` id map, a fresh induced adjacency, DP vectors and a
+//! score vector — every query, for every user. [`ScoringContext`] owns all
+//! of that state instead: create one per worker thread, thread it through
+//! [`crate::Recommender::score_into`], and steady-state scoring performs no
+//! `O(n_nodes)` allocations at all (buffers are resized in place, retaining
+//! capacity across queries).
+
+use longtail_graph::SubgraphScratch;
+use longtail_markov::{DpBuffers, PageRankBuffers};
+
+/// All reusable buffers a recommender query needs.
+///
+/// The context is intentionally recommender-agnostic: the same instance can
+/// serve HT, AT, AC and PageRank queries back to back (the evaluation
+/// harness does exactly that when timing a roster). A context holds no
+/// query *results* — only scratch — so reusing it never changes scores; the
+/// batch-equivalence tests pin that guarantee.
+#[derive(Debug, Clone, Default)]
+pub struct ScoringContext {
+    /// BFS subgraph extraction + induced transition kernel (Algorithm 1,
+    /// step 2).
+    pub(crate) subgraph: SubgraphScratch,
+    /// Truncated dynamic-program state (Algorithm 1, steps 3–4).
+    pub(crate) walk: DpBuffers,
+    /// Power-iteration state for the (D)PPR baselines.
+    pub(crate) pagerank: PageRankBuffers,
+    /// Per-local-node absorbing flags for the current query.
+    pub(crate) absorbing: Vec<bool>,
+    /// Flat node ids of the query's seed / absorbing set.
+    pub(crate) seeds: Vec<usize>,
+    /// Per-local-node entry costs (Eq. 9) for the AC variants.
+    pub(crate) entry_costs: Vec<f64>,
+    /// General-purpose `f64` scratch for model-specific intermediates
+    /// (e.g. PureSVD's factor-space projection).
+    pub(crate) scratch: Vec<f64>,
+}
+
+impl ScoringContext {
+    /// An empty context; every buffer sizes itself lazily on first use, so
+    /// construction is cheap regardless of catalog size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

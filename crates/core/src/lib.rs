@@ -38,31 +38,47 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod context;
+pub mod parallel;
 pub mod recommenders;
 pub mod topk;
 mod walk_common;
 
 pub use config::{AbsorbingCostConfig, GraphRecConfig};
+pub use context::ScoringContext;
+pub use parallel::parallel_map_indexed;
 pub use recommenders::{
-    AbsorbingCostRecommender, AbsorbingTimeRecommender, AssociationRuleRecommender,
-    EntropySource, HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor,
-    PageRankRecommender, PureSvdRecommender, RuleConfig, UserSimilarity,
+    AbsorbingCostRecommender, AbsorbingTimeRecommender, AssociationRuleRecommender, EntropySource,
+    HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor, PageRankRecommender,
+    PureSvdRecommender, RuleConfig, UserSimilarity,
 };
 pub use topk::{rank_of, top_k, ScoredItem};
 
 /// A top-N recommendation algorithm over a fixed training dataset.
 ///
-/// The single required method is [`Recommender::score_items`]; ranking,
-/// exclusion of training items and top-k selection are provided. Scores are
-/// model-specific but always ordered "higher = more recommended"; items a
-/// model cannot reach score `f64::NEG_INFINITY` and are never recommended.
-pub trait Recommender {
+/// The single required scoring method is [`Recommender::score_into`], which
+/// writes scores through a reusable [`ScoringContext`]; ranking, exclusion
+/// of training items, top-k selection, one-shot scoring and multi-threaded
+/// batch scoring are all provided on top of it. Scores are model-specific
+/// but always ordered "higher = more recommended"; items a model cannot
+/// reach score `f64::NEG_INFINITY` and are never recommended.
+///
+/// `Sync` is a supertrait: every recommender is an immutable model after
+/// construction, and the evaluation harness shares one instance across
+/// scoring threads.
+pub trait Recommender: Sync {
     /// Short display name ("HT", "AC2", "PureSVD", ...) used in experiment
     /// tables.
     fn name(&self) -> &'static str;
 
-    /// Score every item in the catalog for `user`.
-    fn score_items(&self, user: u32) -> Vec<f64>;
+    /// Score every item in the catalog for `user`, writing into `out`
+    /// (cleared and resized to [`Recommender::n_items`]).
+    ///
+    /// All per-query scratch lives in `ctx`; a caller looping over users
+    /// with one context and one `out` vector performs no `O(n_nodes)`
+    /// allocations per query. Results are identical no matter how `ctx` was
+    /// previously used.
+    fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>);
 
     /// The items `user` rated in the training data (excluded from
     /// recommendations).
@@ -71,10 +87,41 @@ pub trait Recommender {
     /// Catalog size.
     fn n_items(&self) -> usize;
 
+    /// Score every item for `user` into a fresh vector (convenience form of
+    /// [`Recommender::score_into`] paying one context per call).
+    fn score_items(&self, user: u32) -> Vec<f64> {
+        let mut ctx = ScoringContext::new();
+        let mut out = Vec::new();
+        self.score_into(user, &mut ctx, &mut out);
+        out
+    }
+
     /// Top-`k` recommendations for `user`, excluding training items.
     fn recommend(&self, user: u32, k: usize) -> Vec<ScoredItem> {
-        let scores = self.score_items(user);
+        self.recommend_with(user, k, &mut ScoringContext::new())
+    }
+
+    /// [`Recommender::recommend`] through a caller-owned context — the form
+    /// to use when producing lists for many users.
+    fn recommend_with(&self, user: u32, k: usize, ctx: &mut ScoringContext) -> Vec<ScoredItem> {
+        let mut scores = Vec::new();
+        self.score_into(user, ctx, &mut scores);
         let rated = self.rated_items(user);
         top_k(&scores, k, |i| rated.binary_search(&i).is_ok())
+    }
+
+    /// Score a batch of users, sharding the queries over `n_threads` scoped
+    /// worker threads that each own one [`ScoringContext`].
+    ///
+    /// `results[j]` is exactly what `score_items(users[j])` returns — output
+    /// is bit-identical to the sequential loop for every thread count, with
+    /// workers pulling queries off a shared atomic cursor so stragglers
+    /// cannot imbalance the shards.
+    fn score_batch(&self, users: &[u32], n_threads: usize) -> Vec<Vec<f64>> {
+        parallel_map_indexed(users.len(), n_threads, ScoringContext::new, |ctx, idx| {
+            let mut out = Vec::new();
+            self.score_into(users[idx], ctx, &mut out);
+            out
+        })
     }
 }

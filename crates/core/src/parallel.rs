@@ -1,0 +1,86 @@
+//! Shared scoped-worker parallelism for per-user scoring loops.
+//!
+//! Batch scoring, list computation and the Recall@N protocol all shard the
+//! same shape of work: an indexed set of independent queries, each worker
+//! owning reusable per-worker state (a [`crate::ScoringContext`] and
+//! friends). This module holds the one implementation of that idiom —
+//! dynamic work-stealing off an atomic cursor, so stragglers cannot
+//! imbalance the shards — with results slotted by index, making output
+//! independent of the thread count.
+
+/// Map `f` over `0..n`, sharding indices across `n_threads` scoped worker
+/// threads that each own one state value from `init`.
+///
+/// `results[i]` is exactly `f(&mut state, i)`; ordering and values are
+/// independent of `n_threads` (workers race only for *which* index they
+/// process next). With `n_threads <= 1` (or `n <= 1`) everything runs on
+/// the calling thread with no synchronization at all.
+pub fn parallel_map_indexed<T, S>(
+    n: usize,
+    n_threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize) -> T + Sync,
+) -> Vec<T>
+where
+    T: Send,
+{
+    let n_threads = n_threads.max(1).min(n);
+    if n_threads <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+
+    let results = parking_lot::Mutex::new((0..n).map(|_| None).collect::<Vec<Option<T>>>());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let value = f(&mut state, idx);
+                    results.lock()[idx] = Some(value);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|v| v.expect("worker produced every index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_every_index_in_order() {
+        for n_threads in [0usize, 1, 2, 7, 64] {
+            let out = parallel_map_indexed(
+                25,
+                n_threads,
+                || 0u32,
+                |state, i| {
+                    *state += 1;
+                    (i, *state >= 1)
+                },
+            );
+            assert_eq!(out.len(), 25, "{n_threads} threads");
+            for (k, &(i, initialized)) in out.iter().enumerate() {
+                assert_eq!(i, k);
+                assert!(initialized);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out = parallel_map_indexed(0, 4, || (), |(), i| i);
+        assert!(out.is_empty());
+    }
+}

@@ -11,11 +11,12 @@
 //!   the best performer in every experiment of §5.
 
 use crate::config::AbsorbingCostConfig;
-use crate::walk_common::{rated_item_nodes, scores_from_local_values};
+use crate::context::ScoringContext;
+use crate::walk_common::{grow_absorbing_subgraph, reset_scores, write_scores_from_scratch};
 use crate::Recommender;
 use longtail_data::Dataset;
-use longtail_graph::{BipartiteGraph, Node, Subgraph};
-use longtail_markov::{AbsorbingWalk, PerNodeCost};
+use longtail_graph::{BipartiteGraph, Node};
+use longtail_markov::{truncated_costs_into, SliceCost};
 use longtail_topics::{item_based_entropy, topic_based_entropy, LdaConfig, LdaModel};
 
 /// Which entropy estimator an [`AbsorbingCostRecommender`] uses.
@@ -71,7 +72,11 @@ impl AbsorbingCostRecommender {
 
     /// AC2 convenience: train the LDA model internally with the paper's
     /// default priors.
-    pub fn topic_entropy_auto(train: &Dataset, n_topics: usize, config: AbsorbingCostConfig) -> Self {
+    pub fn topic_entropy_auto(
+        train: &Dataset,
+        n_topics: usize,
+        config: AbsorbingCostConfig,
+    ) -> Self {
         let model = LdaModel::train(train.user_items(), &LdaConfig::with_topics(n_topics));
         Self::topic_entropy(train, &model, config)
     }
@@ -86,18 +91,19 @@ impl AbsorbingCostRecommender {
         &self.user_entropy
     }
 
-    /// Per-node entry costs on a subgraph: entering user `u` costs `E(u)`,
-    /// entering an item costs the constant `C` (Eq. 9).
-    fn local_cost(&self, subgraph: &Subgraph) -> PerNodeCost {
-        let costs: Vec<f64> = subgraph
-            .global_ids()
-            .iter()
-            .map(|&global| match self.graph.node(global) {
-                Node::User(u) => self.user_entropy[u as usize],
-                Node::Item(_) => self.config.item_entry_cost,
-            })
-            .collect();
-        PerNodeCost::new(costs)
+    /// Fill `costs` with per-local-node entry costs for the current
+    /// subgraph: entering user `u` costs `E(u)`, entering an item costs the
+    /// constant `C` (Eq. 9).
+    fn fill_local_costs(&self, global_ids: &[usize], costs: &mut Vec<f64>) {
+        costs.clear();
+        costs.extend(
+            global_ids
+                .iter()
+                .map(|&global| match self.graph.node(global) {
+                    Node::User(u) => self.user_entropy[u as usize],
+                    Node::Item(_) => self.config.item_entry_cost,
+                }),
+        );
     }
 }
 
@@ -109,20 +115,20 @@ impl Recommender for AbsorbingCostRecommender {
         }
     }
 
-    fn score_items(&self, user: u32) -> Vec<f64> {
-        let seeds = rated_item_nodes(&self.graph, user);
-        if seeds.is_empty() {
-            return vec![f64::NEG_INFINITY; self.graph.n_items()];
+    fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
+        reset_scores(&self.graph, out);
+        if !grow_absorbing_subgraph(&self.graph, user, self.config.graph.max_items, ctx) {
+            return;
         }
-        let subgraph = Subgraph::bfs_from(&self.graph, &seeds, self.config.graph.max_items);
-        let absorbing: Vec<usize> = seeds
-            .iter()
-            .filter_map(|&s| subgraph.local_id(s).map(|l| l as usize))
-            .collect();
-        let walk = AbsorbingWalk::new(subgraph.adjacency(), &absorbing);
-        let cost = self.local_cost(&subgraph);
-        let costs = walk.truncated_costs(&cost, self.config.graph.iterations);
-        scores_from_local_values(&self.graph, &subgraph, &costs)
+        self.fill_local_costs(ctx.subgraph.global_ids(), &mut ctx.entry_costs);
+        let costs = truncated_costs_into(
+            ctx.subgraph.kernel(),
+            &ctx.absorbing,
+            &SliceCost(&ctx.entry_costs),
+            self.config.graph.iterations,
+            &mut ctx.walk,
+        );
+        write_scores_from_scratch(&self.graph, &ctx.subgraph, costs, out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {
@@ -165,7 +171,8 @@ mod tests {
 
     #[test]
     fn ac1_still_finds_the_niche_item() {
-        let rec = AbsorbingCostRecommender::item_entropy(&figure2(), AbsorbingCostConfig::default());
+        let rec =
+            AbsorbingCostRecommender::item_entropy(&figure2(), AbsorbingCostConfig::default());
         assert_eq!(rec.name(), "AC1");
         let top = rec.recommend(4, 1);
         assert_eq!(top[0].item, 3, "expected M4, got {top:?}");
@@ -215,14 +222,23 @@ mod tests {
         let st = at.score_items(4);
         for i in 0..d.n_items() {
             if sc[i].is_finite() && st[i].is_finite() {
-                assert!((sc[i] - st[i]).abs() < 1e-10, "item {i}: {} vs {}", sc[i], st[i]);
+                assert!(
+                    (sc[i] - st[i]).abs() < 1e-10,
+                    "item {i}: {} vs {}",
+                    sc[i],
+                    st[i]
+                );
             }
         }
     }
 
     #[test]
     fn unrated_user_gets_no_recommendations() {
-        let ratings = [Rating { user: 0, item: 0, value: 5.0 }];
+        let ratings = [Rating {
+            user: 0,
+            item: 0,
+            value: 5.0,
+        }];
         let d = Dataset::from_ratings(2, 2, &ratings);
         let rec = AbsorbingCostRecommender::item_entropy(&d, AbsorbingCostConfig::default());
         assert!(rec.recommend(1, 3).is_empty());

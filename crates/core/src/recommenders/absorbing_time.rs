@@ -7,11 +7,12 @@
 //! metric.
 
 use crate::config::GraphRecConfig;
-use crate::walk_common::{rated_item_nodes, scores_from_local_values};
+use crate::context::ScoringContext;
+use crate::walk_common::{grow_absorbing_subgraph, reset_scores, write_scores_from_scratch};
 use crate::Recommender;
 use longtail_data::Dataset;
-use longtail_graph::{BipartiteGraph, Subgraph};
-use longtail_markov::AbsorbingWalk;
+use longtail_graph::BipartiteGraph;
+use longtail_markov::{truncated_costs_into, UnitCost};
 
 /// The item-based Absorbing Time recommender.
 #[derive(Debug, Clone)]
@@ -46,19 +47,19 @@ impl Recommender for AbsorbingTimeRecommender {
         "AT"
     }
 
-    fn score_items(&self, user: u32) -> Vec<f64> {
-        let seeds = rated_item_nodes(&self.graph, user);
-        if seeds.is_empty() {
-            return vec![f64::NEG_INFINITY; self.graph.n_items()];
+    fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
+        reset_scores(&self.graph, out);
+        if !grow_absorbing_subgraph(&self.graph, user, self.config.max_items, ctx) {
+            return;
         }
-        let subgraph = Subgraph::bfs_from(&self.graph, &seeds, self.config.max_items);
-        let absorbing: Vec<usize> = seeds
-            .iter()
-            .filter_map(|&s| subgraph.local_id(s).map(|l| l as usize))
-            .collect();
-        let walk = AbsorbingWalk::new(subgraph.adjacency(), &absorbing);
-        let times = walk.truncated_times(self.config.iterations);
-        scores_from_local_values(&self.graph, &subgraph, &times)
+        let times = truncated_costs_into(
+            ctx.subgraph.kernel(),
+            &ctx.absorbing,
+            &UnitCost,
+            self.config.iterations,
+            &mut ctx.walk,
+        );
+        write_scores_from_scratch(&self.graph, &ctx.subgraph, times, out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {
@@ -134,7 +135,11 @@ mod tests {
 
     #[test]
     fn unrated_user_scores_nothing() {
-        let ratings = [Rating { user: 0, item: 0, value: 5.0 }];
+        let ratings = [Rating {
+            user: 0,
+            item: 0,
+            value: 5.0,
+        }];
         let d = Dataset::from_ratings(2, 3, &ratings);
         let rec = AbsorbingTimeRecommender::new(&d, GraphRecConfig::default());
         assert!(rec.recommend(1, 3).is_empty());

@@ -99,20 +99,20 @@ impl Recommender for AssociationRuleRecommender {
         "AssocRules"
     }
 
-    fn score_items(&self, user: u32) -> Vec<f64> {
+    fn score_into(&self, user: u32, _ctx: &mut crate::ScoringContext, out: &mut Vec<f64>) {
         // Score each candidate by its best rule confidence from any rated
         // antecedent (max-confidence aggregation); items no rule fires for
         // are unreachable, not zero-scored ties.
-        let mut scores = vec![f64::NEG_INFINITY; self.user_items.cols()];
+        out.clear();
+        out.resize(self.user_items.cols(), f64::NEG_INFINITY);
         for &a in self.user_items.row(user as usize).0 {
             for &(b, conf) in &self.rules[a as usize] {
-                let slot = &mut scores[b as usize];
+                let slot = &mut out[b as usize];
                 if conf > *slot {
                     *slot = conf;
                 }
             }
         }
-        scores
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {
@@ -133,11 +133,27 @@ mod tests {
         // Items 0 and 1 co-occur for 4 users; item 2 appears once.
         let mut ratings = Vec::new();
         for u in 0..4u32 {
-            ratings.push(Rating { user: u, item: 0, value: 5.0 });
-            ratings.push(Rating { user: u, item: 1, value: 4.0 });
+            ratings.push(Rating {
+                user: u,
+                item: 0,
+                value: 5.0,
+            });
+            ratings.push(Rating {
+                user: u,
+                item: 1,
+                value: 4.0,
+            });
         }
-        ratings.push(Rating { user: 4, item: 0, value: 3.0 });
-        ratings.push(Rating { user: 4, item: 2, value: 5.0 });
+        ratings.push(Rating {
+            user: 4,
+            item: 0,
+            value: 3.0,
+        });
+        ratings.push(Rating {
+            user: 4,
+            item: 2,
+            value: 5.0,
+        });
         Dataset::from_ratings(5, 3, &ratings)
     }
 
@@ -146,7 +162,9 @@ mod tests {
         let rec = AssociationRuleRecommender::train(&basket_data(), &RuleConfig::default());
         // 0 => 1 has support 4, confidence 4/5.
         let rules = rec.rules_from(0);
-        assert!(rules.iter().any(|&(b, c)| b == 1 && (c - 0.8).abs() < 1e-12));
+        assert!(rules
+            .iter()
+            .any(|&(b, c)| b == 1 && (c - 0.8).abs() < 1e-12));
         // 0 => 2 has support 1 < min_support: pruned.
         assert!(!rules.iter().any(|&(b, _)| b == 2));
     }

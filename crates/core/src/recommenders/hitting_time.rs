@@ -7,11 +7,12 @@
 //! around the query user.
 
 use crate::config::GraphRecConfig;
-use crate::walk_common::scores_from_local_values;
+use crate::context::ScoringContext;
+use crate::walk_common::{reset_scores, write_scores_from_scratch};
 use crate::Recommender;
 use longtail_data::Dataset;
-use longtail_graph::{BipartiteGraph, Subgraph};
-use longtail_markov::AbsorbingWalk;
+use longtail_graph::BipartiteGraph;
+use longtail_markov::{truncated_costs_into, UnitCost};
 
 /// The user-based Hitting Time recommender.
 #[derive(Debug, Clone)]
@@ -40,19 +41,29 @@ impl Recommender for HittingTimeRecommender {
         "HT"
     }
 
-    fn score_items(&self, user: u32) -> Vec<f64> {
+    fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
+        reset_scores(&self.graph, out);
         let q = self.graph.user_node(user);
-        let subgraph = Subgraph::bfs_from(&self.graph, &[q], self.config.max_items);
+        ctx.subgraph.grow(&self.graph, &[q], self.config.max_items);
         // An unrated (isolated) query user reaches nothing.
-        let Some(local_q) = subgraph.local_id(q) else {
-            return vec![f64::NEG_INFINITY; self.graph.n_items()];
-        };
-        if subgraph.n_nodes() == 1 {
-            return vec![f64::NEG_INFINITY; self.graph.n_items()];
+        if ctx.subgraph.n_nodes() == 1 {
+            return;
         }
-        let walk = AbsorbingWalk::new(subgraph.adjacency(), &[local_q as usize]);
-        let times = walk.truncated_times(self.config.iterations);
-        scores_from_local_values(&self.graph, &subgraph, &times)
+        let local_q = ctx
+            .subgraph
+            .local_id(q)
+            .expect("seed user is always admitted");
+        ctx.absorbing.clear();
+        ctx.absorbing.resize(ctx.subgraph.n_nodes(), false);
+        ctx.absorbing[local_q as usize] = true;
+        let times = truncated_costs_into(
+            ctx.subgraph.kernel(),
+            &ctx.absorbing,
+            &UnitCost,
+            self.config.iterations,
+            &mut ctx.walk,
+        );
+        write_scores_from_scratch(&self.graph, &ctx.subgraph, times, out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {
@@ -131,7 +142,11 @@ mod tests {
 
     #[test]
     fn isolated_user_gets_nothing() {
-        let ratings = [Rating { user: 0, item: 0, value: 5.0 }];
+        let ratings = [Rating {
+            user: 0,
+            item: 0,
+            value: 5.0,
+        }];
         let d = Dataset::from_ratings(2, 2, &ratings);
         let rec = HittingTimeRecommender::new(&d, GraphRecConfig::default());
         assert!(rec.recommend(1, 5).is_empty());

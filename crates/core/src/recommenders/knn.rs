@@ -149,14 +149,15 @@ impl Recommender for KnnRecommender {
         "kNN-CF"
     }
 
-    fn score_items(&self, user: u32) -> Vec<f64> {
+    fn score_into(&self, user: u32, _ctx: &mut crate::ScoringContext, out: &mut Vec<f64>) {
         // Items no neighbor rated carry no evidence at all; mark them
         // unreachable rather than tied at zero so they are never
         // recommended.
-        let mut scores = vec![f64::NEG_INFINITY; self.user_items.cols()];
+        out.clear();
+        out.resize(self.user_items.cols(), f64::NEG_INFINITY);
         for &(v, sim) in &self.neighbors[user as usize] {
             for (i, r) in self.user_items.iter_row(v as usize) {
-                let slot = &mut scores[i as usize];
+                let slot = &mut out[i as usize];
                 if slot.is_finite() {
                     *slot += sim * r;
                 } else {
@@ -164,7 +165,6 @@ impl Recommender for KnnRecommender {
                 }
             }
         }
-        scores
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {
@@ -229,11 +229,31 @@ mod tests {
     #[test]
     fn cosine_identical_users_are_nearest() {
         let ratings = [
-            Rating { user: 0, item: 0, value: 5.0 },
-            Rating { user: 0, item: 1, value: 3.0 },
-            Rating { user: 1, item: 0, value: 5.0 },
-            Rating { user: 1, item: 1, value: 3.0 },
-            Rating { user: 2, item: 2, value: 4.0 },
+            Rating {
+                user: 0,
+                item: 0,
+                value: 5.0,
+            },
+            Rating {
+                user: 0,
+                item: 1,
+                value: 3.0,
+            },
+            Rating {
+                user: 1,
+                item: 0,
+                value: 5.0,
+            },
+            Rating {
+                user: 1,
+                item: 1,
+                value: 3.0,
+            },
+            Rating {
+                user: 2,
+                item: 2,
+                value: 4.0,
+            },
         ];
         let d = Dataset::from_ratings(3, 3, &ratings);
         let rec = KnnRecommender::train(&d, 2, UserSimilarity::Cosine);
@@ -244,8 +264,16 @@ mod tests {
     #[test]
     fn pearson_requires_co_rated_overlap() {
         let ratings = [
-            Rating { user: 0, item: 0, value: 5.0 },
-            Rating { user: 1, item: 1, value: 5.0 },
+            Rating {
+                user: 0,
+                item: 0,
+                value: 5.0,
+            },
+            Rating {
+                user: 1,
+                item: 1,
+                value: 5.0,
+            },
         ];
         let d = Dataset::from_ratings(2, 2, &ratings);
         let rec = KnnRecommender::train(&d, 1, UserSimilarity::Pearson);

@@ -59,8 +59,8 @@ impl Recommender for LdaRecommender {
         "LDA"
     }
 
-    fn score_items(&self, user: u32) -> Vec<f64> {
-        self.model.score_all(user)
+    fn score_into(&self, user: u32, _ctx: &mut crate::ScoringContext, out: &mut Vec<f64>) {
+        self.model.score_all_into(user, out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {
@@ -95,14 +95,22 @@ mod tests {
         for u in 0..4u32 {
             for i in 0..4u32 {
                 if !(u >= 2 && i == 3) {
-                    ratings.push(Rating { user: u, item: i, value: 5.0 });
+                    ratings.push(Rating {
+                        user: u,
+                        item: i,
+                        value: 5.0,
+                    });
                 }
             }
         }
         for u in 4..8u32 {
             for i in 4..8u32 {
                 if !(u >= 6 && i == 7) {
-                    ratings.push(Rating { user: u, item: i, value: 5.0 });
+                    ratings.push(Rating {
+                        user: u,
+                        item: i,
+                        value: 5.0,
+                    });
                 }
             }
         }

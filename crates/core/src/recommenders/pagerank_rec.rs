@@ -7,11 +7,12 @@
 //! it matches the graph methods on Popularity@N but loses on Recall@N and
 //! Similarity, the contrast the evaluation leans on.
 
-use crate::walk_common::rated_item_nodes;
+use crate::context::ScoringContext;
+use crate::walk_common::rated_item_nodes_into;
 use crate::Recommender;
 use longtail_data::Dataset;
-use longtail_graph::{Adjacency, BipartiteGraph};
-use longtail_markov::{personalized_pagerank, PageRankConfig};
+use longtail_graph::{Adjacency, BipartiteGraph, TransitionMatrix};
+use longtail_markov::{personalized_pagerank_into, PageRankConfig};
 
 /// Whether the PageRank score is discounted by popularity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +27,9 @@ pub enum PageRankFlavor {
 #[derive(Debug, Clone)]
 pub struct PageRankRecommender {
     graph: BipartiteGraph,
-    adj: Adjacency,
+    /// Global transition kernel, normalized once at construction — the
+    /// full-graph power iteration re-walks it every query.
+    kernel: TransitionMatrix,
     popularity: Vec<u32>,
     flavor: PageRankFlavor,
     config: PageRankConfig,
@@ -46,10 +49,10 @@ impl PageRankRecommender {
     /// Full-control constructor.
     pub fn new(train: &Dataset, flavor: PageRankFlavor, config: PageRankConfig) -> Self {
         let graph = train.to_graph();
-        let adj = Adjacency::from_bipartite(&graph);
+        let kernel = TransitionMatrix::from_adjacency(&Adjacency::from_bipartite(&graph));
         Self {
             graph,
-            adj,
+            kernel,
             popularity: train.item_popularity(),
             flavor,
             config,
@@ -70,31 +73,32 @@ impl Recommender for PageRankRecommender {
         }
     }
 
-    fn score_items(&self, user: u32) -> Vec<f64> {
-        let seeds = rated_item_nodes(&self.graph, user);
-        if seeds.is_empty() {
-            return vec![f64::NEG_INFINITY; self.graph.n_items()];
+    fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
+        out.clear();
+        rated_item_nodes_into(&self.graph, user, &mut ctx.seeds);
+        if ctx.seeds.is_empty() {
+            out.resize(self.graph.n_items(), f64::NEG_INFINITY);
+            return;
         }
-        let rank = personalized_pagerank(&self.adj, &seeds, &self.config);
+        let rank =
+            personalized_pagerank_into(&self.kernel, &ctx.seeds, &self.config, &mut ctx.pagerank);
         let n_users = self.graph.n_users();
-        (0..self.graph.n_items())
-            .map(|i| {
-                let mass = rank[n_users + i];
-                match self.flavor {
-                    PageRankFlavor::Plain => mass,
-                    PageRankFlavor::Discounted => {
-                        let pop = self.popularity[i];
-                        if pop == 0 {
-                            // Unrated items carry no walk mass either; score
-                            // them unreachable rather than 0/0.
-                            f64::NEG_INFINITY
-                        } else {
-                            mass / pop as f64
-                        }
+        out.extend((0..self.graph.n_items()).map(|i| {
+            let mass = rank[n_users + i];
+            match self.flavor {
+                PageRankFlavor::Plain => mass,
+                PageRankFlavor::Discounted => {
+                    let pop = self.popularity[i];
+                    if pop == 0 {
+                        // Unrated items carry no walk mass either; score
+                        // them unreachable rather than 0/0.
+                        f64::NEG_INFINITY
+                    } else {
+                        mass / pop as f64
                     }
                 }
-            })
-            .collect()
+            }
+        }));
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {
@@ -177,7 +181,15 @@ mod tests {
 
     #[test]
     fn unrated_user_gets_nothing() {
-        let d = Dataset::from_ratings(2, 2, &[Rating { user: 0, item: 0, value: 5.0 }]);
+        let d = Dataset::from_ratings(
+            2,
+            2,
+            &[Rating {
+                user: 0,
+                item: 0,
+                value: 5.0,
+            }],
+        );
         let rec = PageRankRecommender::discounted(&d);
         assert!(rec.recommend(1, 3).is_empty());
     }

@@ -87,10 +87,12 @@ impl Recommender for PureSvdRecommender {
         "PureSVD"
     }
 
-    fn score_items(&self, user: u32) -> Vec<f64> {
+    fn score_into(&self, user: u32, ctx: &mut crate::ScoringContext, out: &mut Vec<f64>) {
         // r̂_u = r_u Q Qᵀ: project the sparse rating row onto the factor
         // space (length-f vector), then expand back over the catalog.
-        let mut projection = vec![0.0f64; self.rank];
+        let projection = &mut ctx.scratch;
+        projection.clear();
+        projection.resize(self.rank, 0.0);
         for (i, v) in self.user_items.iter_row(user as usize) {
             let factors = self.factors_of(i as usize);
             for (p, &q) in projection.iter_mut().zip(factors.iter()) {
@@ -98,16 +100,14 @@ impl Recommender for PureSvdRecommender {
             }
         }
         let n_items = self.user_items.cols();
-        let mut scores = vec![0.0f64; n_items];
-        for i in 0..n_items {
-            let factors = self.factors_of(i);
-            scores[i] = factors
+        out.clear();
+        out.extend((0..n_items).map(|i| {
+            self.factors_of(i)
                 .iter()
                 .zip(projection.iter())
                 .map(|(&q, &p)| q * p)
-                .sum();
-        }
-        scores
+                .sum::<f64>()
+        }));
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {
@@ -131,14 +131,22 @@ mod tests {
         for u in 0..3u32 {
             for i in 0..3u32 {
                 if !(u == 2 && i == 2) {
-                    ratings.push(Rating { user: u, item: i, value: 5.0 });
+                    ratings.push(Rating {
+                        user: u,
+                        item: i,
+                        value: 5.0,
+                    });
                 }
             }
         }
         for u in 3..6u32 {
             for i in 3..6u32 {
                 if !(u == 5 && i == 5) {
-                    ratings.push(Rating { user: u, item: i, value: 4.0 });
+                    ratings.push(Rating {
+                        user: u,
+                        item: i,
+                        value: 4.0,
+                    });
                 }
             }
         }
@@ -158,8 +166,8 @@ mod tests {
     fn cross_block_scores_are_near_zero() {
         let rec = PureSvdRecommender::train(&block_data(), 2);
         let scores = rec.score_items(0);
-        for i in 3..6 {
-            assert!(scores[i].abs() < 0.5, "cross-block score {i}: {}", scores[i]);
+        for (i, &s) in scores.iter().enumerate().skip(3).take(3) {
+            assert!(s.abs() < 0.5, "cross-block score {i}: {s}");
         }
     }
 
@@ -173,7 +181,9 @@ mod tests {
     fn rated_items_excluded_from_recommendations() {
         let rec = PureSvdRecommender::train(&block_data(), 2);
         let top = rec.recommend(0, 6);
-        assert!(top.iter().all(|s| s.item != 0 && s.item != 1 && s.item != 2));
+        assert!(top
+            .iter()
+            .all(|s| s.item != 0 && s.item != 1 && s.item != 2));
     }
 
     #[test]

@@ -3,73 +3,111 @@
 //! HT, AT and AC all follow Algorithm 1's skeleton: grow a BFS subgraph
 //! around the query's seed nodes, run a truncated absorbing walk on it, and
 //! map the per-node results back to a global item score vector (negated
-//! walk value — smaller time/cost means more recommended).
+//! walk value — smaller time/cost means more recommended). All helpers here
+//! write through caller-owned buffers (the [`crate::ScoringContext`]), so a
+//! steady-state scoring loop performs no `O(n_nodes)` allocations.
 
-use longtail_graph::{BipartiteGraph, Subgraph};
+use longtail_graph::{BipartiteGraph, SubgraphScratch};
 
-/// Build the seed node list for a query user's absorbing set `S_q`: the flat
+/// Fill `seeds` with the query user's absorbing set `S_q`: the flat
 /// item-node ids of everything the user rated. Empty if the user rated
 /// nothing.
-pub(crate) fn rated_item_nodes(graph: &BipartiteGraph, user: u32) -> Vec<usize> {
-    graph
-        .user_items()
-        .row(user as usize)
-        .0
-        .iter()
-        .map(|&i| graph.item_node(i))
-        .collect()
+pub(crate) fn rated_item_nodes_into(graph: &BipartiteGraph, user: u32, seeds: &mut Vec<usize>) {
+    seeds.clear();
+    seeds.extend(
+        graph
+            .user_items()
+            .row(user as usize)
+            .0
+            .iter()
+            .map(|&i| graph.item_node(i)),
+    );
 }
 
-/// Convert local walk values into a global item score vector.
+/// Shared AT/AC query setup: seed the context with the user's rated item
+/// nodes, grow the BFS subgraph around them, and flag them absorbing.
+/// Returns `false` (leaving the context untouched beyond `seeds`) when the
+/// user rated nothing and therefore has no absorbing set.
+pub(crate) fn grow_absorbing_subgraph(
+    graph: &BipartiteGraph,
+    user: u32,
+    max_items: usize,
+    ctx: &mut crate::ScoringContext,
+) -> bool {
+    rated_item_nodes_into(graph, user, &mut ctx.seeds);
+    if ctx.seeds.is_empty() {
+        return false;
+    }
+    ctx.subgraph.grow(graph, &ctx.seeds, max_items);
+    ctx.absorbing.clear();
+    ctx.absorbing.resize(ctx.subgraph.n_nodes(), false);
+    for &s in &ctx.seeds {
+        // Seeds are always admitted by the BFS, budget notwithstanding.
+        let local = ctx.subgraph.local_id(s).expect("seed admitted");
+        ctx.absorbing[local as usize] = true;
+    }
+    true
+}
+
+/// Reset `out` to an all-unreachable score vector for `graph`'s catalog.
+pub(crate) fn reset_scores(graph: &BipartiteGraph, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(graph.n_items(), f64::NEG_INFINITY);
+}
+
+/// Convert local walk values into the global item score vector prepared by
+/// [`reset_scores`].
 ///
 /// Items inside the subgraph score `-value` (so *small* absorbing times
-/// rank first); items never reached score `-∞`, ranking strictly last and
+/// rank first); items never reached keep `-∞`, ranking strictly last and
 /// never entering a top-k. Non-finite local values (unreachable pockets
-/// inside the subgraph) also map to `-∞`.
-pub(crate) fn scores_from_local_values(
+/// inside the subgraph) also stay `-∞`.
+pub(crate) fn write_scores_from_scratch(
     graph: &BipartiteGraph,
-    subgraph: &Subgraph,
+    scratch: &SubgraphScratch,
     values: &[f64],
-) -> Vec<f64> {
-    let mut scores = vec![f64::NEG_INFINITY; graph.n_items()];
-    for (local, &global) in subgraph.global_ids().iter().enumerate() {
-        if let longtail_graph::Node::Item(i) = graph.node(global) {
+    out: &mut [f64],
+) {
+    let n_users = graph.n_users();
+    for (local, &global) in scratch.global_ids().iter().enumerate() {
+        if global >= n_users {
             let v = values[local];
             if v.is_finite() {
-                scores[i as usize] = -v;
+                out[global - n_users] = -v;
             }
         }
     }
-    scores
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use longtail_graph::Subgraph;
+    use crate::ScoringContext;
 
     fn graph() -> BipartiteGraph {
-        BipartiteGraph::from_ratings(
-            2,
-            3,
-            &[(0, 0, 5.0), (0, 1, 4.0), (1, 1, 3.0), (1, 2, 5.0)],
-        )
+        BipartiteGraph::from_ratings(2, 3, &[(0, 0, 5.0), (0, 1, 4.0), (1, 1, 3.0), (1, 2, 5.0)])
     }
 
     #[test]
     fn rated_item_nodes_maps_to_flat_ids() {
         let g = graph();
-        assert_eq!(rated_item_nodes(&g, 0), vec![g.item_node(0), g.item_node(1)]);
-        assert_eq!(rated_item_nodes(&g, 1), vec![g.item_node(1), g.item_node(2)]);
+        let mut seeds = vec![99]; // stale content must be cleared
+        rated_item_nodes_into(&g, 0, &mut seeds);
+        assert_eq!(seeds, vec![g.item_node(0), g.item_node(1)]);
+        rated_item_nodes_into(&g, 1, &mut seeds);
+        assert_eq!(seeds, vec![g.item_node(1), g.item_node(2)]);
     }
 
     #[test]
     fn scores_negate_values_and_default_to_neg_inf() {
         let g = graph();
-        let s = Subgraph::bfs_from(&g, &[g.user_node(0)], 1);
+        let mut ctx = ScoringContext::new();
+        ctx.subgraph.grow(&g, &[g.user_node(0)], 1);
         // Only items 0 and 1 are reachable within the budget.
-        let values = vec![1.5; s.n_nodes()];
-        let scores = scores_from_local_values(&g, &s, &values);
+        let values = vec![1.5; ctx.subgraph.n_nodes()];
+        let mut scores = Vec::new();
+        reset_scores(&g, &mut scores);
+        write_scores_from_scratch(&g, &ctx.subgraph, &values, &mut scores);
         assert_eq!(scores[0], -1.5);
         assert_eq!(scores[1], -1.5);
         assert_eq!(scores[2], f64::NEG_INFINITY);
@@ -78,10 +116,33 @@ mod tests {
     #[test]
     fn infinite_local_values_become_neg_inf() {
         let g = graph();
-        let s = Subgraph::full(&g);
-        let mut values = vec![0.5; s.n_nodes()];
-        values[s.local_id(g.item_node(2)).unwrap() as usize] = f64::INFINITY;
-        let scores = scores_from_local_values(&g, &s, &values);
+        let mut ctx = ScoringContext::new();
+        ctx.subgraph
+            .grow(&g, &[g.user_node(0), g.user_node(1)], usize::MAX);
+        let mut values = vec![0.5; ctx.subgraph.n_nodes()];
+        values[ctx.subgraph.local_id(g.item_node(2)).unwrap() as usize] = f64::INFINITY;
+        let mut scores = Vec::new();
+        reset_scores(&g, &mut scores);
+        write_scores_from_scratch(&g, &ctx.subgraph, &values, &mut scores);
         assert_eq!(scores[2], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn grow_absorbing_flags_exactly_the_rated_set() {
+        let g = graph();
+        let mut ctx = ScoringContext::new();
+        assert!(grow_absorbing_subgraph(&g, 0, usize::MAX, &mut ctx));
+        for node in 0..ctx.subgraph.n_nodes() {
+            let global = ctx.subgraph.global_ids()[node];
+            let expected = global == g.item_node(0) || global == g.item_node(1);
+            assert_eq!(ctx.absorbing[node], expected, "local node {node}");
+        }
+    }
+
+    #[test]
+    fn grow_absorbing_rejects_unrated_users() {
+        let g = BipartiteGraph::from_ratings(2, 2, &[(0, 0, 5.0)]);
+        let mut ctx = ScoringContext::new();
+        assert!(!grow_absorbing_subgraph(&g, 1, usize::MAX, &mut ctx));
     }
 }

@@ -1,8 +1,8 @@
 //! Property tests: recommender-level invariants on arbitrary datasets.
 
 use longtail_core::{
-    top_k, AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
-    GraphRecConfig, HittingTimeRecommender, PageRankRecommender, Recommender,
+    top_k, AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender, GraphRecConfig,
+    HittingTimeRecommender, PageRankRecommender, Recommender,
 };
 use longtail_data::{Dataset, Rating};
 use proptest::prelude::*;

@@ -39,7 +39,11 @@ impl Dataset {
         let triplets: Vec<(u32, u32, f64)> = ratings
             .iter()
             .map(|r| {
-                assert!(r.value > 0.0, "rating values must be positive, got {}", r.value);
+                assert!(
+                    r.value > 0.0,
+                    "rating values must be positive, got {}",
+                    r.value
+                );
                 (r.user, r.item, r.value)
             })
             .collect();
@@ -151,10 +155,26 @@ mod tests {
             3,
             4,
             &[
-                Rating { user: 0, item: 0, value: 5.0 },
-                Rating { user: 0, item: 2, value: 3.0 },
-                Rating { user: 1, item: 0, value: 4.0 },
-                Rating { user: 2, item: 3, value: 2.0 },
+                Rating {
+                    user: 0,
+                    item: 0,
+                    value: 5.0,
+                },
+                Rating {
+                    user: 0,
+                    item: 2,
+                    value: 3.0,
+                },
+                Rating {
+                    user: 1,
+                    item: 0,
+                    value: 4.0,
+                },
+                Rating {
+                    user: 2,
+                    item: 3,
+                    value: 2.0,
+                },
             ],
         )
     }
@@ -201,6 +221,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_rating_rejected() {
-        Dataset::from_ratings(1, 1, &[Rating { user: 0, item: 0, value: 0.0 }]);
+        Dataset::from_ratings(
+            1,
+            1,
+            &[Rating {
+                user: 0,
+                item: 0,
+                value: 0.0,
+            }],
+        );
     }
 }

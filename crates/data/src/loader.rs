@@ -165,7 +165,12 @@ mod tests {
         assert_eq!(loaded.item_ids, vec![1193, 661]);
         // User 0 (raw 1) rated item 0 (raw 1193) with 5 stars.
         assert_eq!(
-            loaded.dataset.ratings_of(0).find(|&(i, _)| i == 0).unwrap().1,
+            loaded
+                .dataset
+                .ratings_of(0)
+                .find(|&(i, _)| i == 0)
+                .unwrap()
+                .1,
             5.0
         );
     }

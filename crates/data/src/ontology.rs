@@ -51,7 +51,11 @@ impl Ontology {
     pub fn from_genres(item_genres: &[u32], subgenres_per_genre: usize, seed: u64) -> Self {
         assert!(subgenres_per_genre > 0, "need at least one sub-genre");
         let mut rng = StdRng::seed_from_u64(seed);
-        let n_genres = item_genres.iter().copied().max().map_or(0, |g| g as usize + 1);
+        let n_genres = item_genres
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |g| g as usize + 1);
         // Id layout: 0 = root; 1..=G genres; then sub-genres; then leaves.
         let genre_base = 1u32;
         let sub_base = genre_base + n_genres as u32;

@@ -134,7 +134,9 @@ impl Categorical {
 /// Zipf weights `1/(rank+1)^exponent` for `n` ranks (rank 0 is the most
 /// popular).
 pub fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
-    (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect()
+    (0..n)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(exponent))
+        .collect()
 }
 
 #[cfg(test)]
@@ -187,11 +189,7 @@ mod tests {
         let trials = 300;
         let peaked = |alpha: f64, r: &mut StdRng| {
             (0..trials)
-                .map(|_| {
-                    dirichlet(r, alpha, 8)
-                        .into_iter()
-                        .fold(0.0f64, f64::max)
-                })
+                .map(|_| dirichlet(r, alpha, 8).into_iter().fold(0.0f64, f64::max))
                 .sum::<f64>()
                 / trials as f64
         };

@@ -96,7 +96,10 @@ impl SyntheticConfig {
     pub fn scaled(mut self, factor: f64) -> Self {
         self.n_users = ((self.n_users as f64 * factor).round() as usize).max(1);
         self.n_items = ((self.n_items as f64 * factor).round() as usize).max(1);
-        assert!(self.n_users > 0 && self.n_items > 0, "scaled dataset is empty");
+        assert!(
+            self.n_users > 0 && self.n_items > 0,
+            "scaled dataset is empty"
+        );
         self
     }
 }
@@ -132,9 +135,7 @@ impl SyntheticData {
         // Items round-robin over genres; the rank of an item inside its
         // genre sets its Zipf popularity weight.
         let n_genres = config.n_genres.min(config.n_items);
-        let item_genres: Vec<u32> = (0..config.n_items)
-            .map(|i| (i % n_genres) as u32)
-            .collect();
+        let item_genres: Vec<u32> = (0..config.n_items).map(|i| (i % n_genres) as u32).collect();
         let mut genre_items: Vec<Vec<u32>> = vec![Vec::new(); n_genres];
         for (i, &g) in item_genres.iter().enumerate() {
             genre_items[g as usize].push(i as u32);

@@ -4,7 +4,7 @@
 //! list — under different lenses (popularity, diversity, similarity). This
 //! module computes the lists once so the metrics can share them.
 
-use longtail_core::{Recommender, ScoredItem};
+use longtail_core::{parallel_map_indexed, Recommender, ScoredItem, ScoringContext};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -22,31 +22,20 @@ pub struct RecommendationLists {
 
 impl RecommendationLists {
     /// Compute top-`k` lists for `users`, fanning queries out over
-    /// `n_threads` workers.
+    /// `n_threads` workers, each owning one reused [`ScoringContext`].
     pub fn compute(
-        recommender: &(dyn Recommender + Sync),
+        recommender: &dyn Recommender,
         users: &[u32],
         k: usize,
         n_threads: usize,
     ) -> Self {
-        let n = users.len();
-        let results = parking_lot::Mutex::new(vec![Vec::new(); n]);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..n_threads.max(1) {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= n {
-                        break;
-                    }
-                    let list = recommender.recommend(users[idx], k);
-                    results.lock()[idx] = list;
-                });
-            }
-        });
+        let lists =
+            parallel_map_indexed(users.len(), n_threads, ScoringContext::new, |ctx, idx| {
+                recommender.recommend_with(users[idx], k, ctx)
+            });
         Self {
             users: users.to_vec(),
-            lists: results.into_inner(),
+            lists,
             k,
         }
     }
@@ -59,12 +48,7 @@ impl RecommendationLists {
 
 /// Sample `n` distinct testing users that have at least `min_activity`
 /// training ratings (the paper samples 2000 such users).
-pub fn sample_test_users(
-    activity: &[u32],
-    n: usize,
-    min_activity: u32,
-    seed: u64,
-) -> Vec<u32> {
+pub fn sample_test_users(activity: &[u32], n: usize, min_activity: u32, seed: u64) -> Vec<u32> {
     let mut eligible: Vec<u32> = (0..activity.len() as u32)
         .filter(|&u| activity[u as usize] >= min_activity)
         .collect();
@@ -84,11 +68,31 @@ mod tests {
 
     fn dataset() -> Dataset {
         let ratings = [
-            Rating { user: 0, item: 0, value: 5.0 },
-            Rating { user: 0, item: 1, value: 4.0 },
-            Rating { user: 1, item: 1, value: 5.0 },
-            Rating { user: 1, item: 2, value: 5.0 },
-            Rating { user: 2, item: 0, value: 3.0 },
+            Rating {
+                user: 0,
+                item: 0,
+                value: 5.0,
+            },
+            Rating {
+                user: 0,
+                item: 1,
+                value: 4.0,
+            },
+            Rating {
+                user: 1,
+                item: 1,
+                value: 5.0,
+            },
+            Rating {
+                user: 1,
+                item: 2,
+                value: 5.0,
+            },
+            Rating {
+                user: 2,
+                item: 0,
+                value: 3.0,
+            },
         ];
         Dataset::from_ratings(3, 4, &ratings)
     }

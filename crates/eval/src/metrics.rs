@@ -77,11 +77,7 @@ pub fn diversity(lists: &RecommendationLists, n_items: usize) -> f64 {
 /// Ontology similarity (Eq. 19 averaged): for every recommended item, its
 /// best category similarity to anything the user already rated; averaged
 /// over all slots of all users.
-pub fn mean_similarity(
-    lists: &RecommendationLists,
-    train: &Dataset,
-    ontology: &Ontology,
-) -> f64 {
+pub fn mean_similarity(lists: &RecommendationLists, train: &Dataset, ontology: &Ontology) -> f64 {
     let mut sum = 0.0;
     let mut n = 0usize;
     for (idx, list) in lists.lists.iter().enumerate() {
@@ -171,11 +167,17 @@ mod tests {
         let train = Dataset::from_ratings(
             1,
             3,
-            &[Rating { user: 0, item: 0, value: 5.0 }],
+            &[Rating {
+                user: 0,
+                item: 0,
+                value: 5.0,
+            }],
         );
         let same = lists(vec![0], vec![vec![1]], 1);
         let cross = lists(vec![0], vec![vec![2]], 1);
-        assert!(mean_similarity(&same, &train, &ontology) > mean_similarity(&cross, &train, &ontology));
+        assert!(
+            mean_similarity(&same, &train, &ontology) > mean_similarity(&cross, &train, &ontology)
+        );
     }
 
     #[test]
@@ -183,7 +185,15 @@ mod tests {
         let l = lists(vec![0], vec![vec![]], 3);
         assert_eq!(mean_popularity(&l, &[1, 2, 3]), 0.0);
         let ontology = Ontology::from_genres(&[0, 0, 0], 1, 5);
-        let train = Dataset::from_ratings(1, 3, &[Rating { user: 0, item: 0, value: 5.0 }]);
+        let train = Dataset::from_ratings(
+            1,
+            3,
+            &[Rating {
+                user: 0,
+                item: 0,
+                value: 5.0,
+            }],
+        );
         assert_eq!(mean_similarity(&l, &train, &ontology), 0.0);
     }
 }

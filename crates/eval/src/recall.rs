@@ -7,7 +7,7 @@
 //! mostly popular-ish items — a recommender that always boosts the head
 //! buries the tail favourite, which is exactly what Figure 5 punishes.
 
-use longtail_core::{rank_of, Recommender};
+use longtail_core::{parallel_map_indexed, rank_of, Recommender, ScoringContext};
 use longtail_data::{Dataset, ProtocolSplit};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -54,7 +54,10 @@ impl RecallCurve {
     ///
     /// Panics if `n` is 0 or beyond the computed curve.
     pub fn at(&self, n: usize) -> f64 {
-        assert!(n >= 1 && n <= self.recall.len(), "position {n} out of range");
+        assert!(
+            n >= 1 && n <= self.recall.len(),
+            "position {n} out of range"
+        );
         self.recall[n - 1]
     }
 }
@@ -65,8 +68,12 @@ impl RecallCurve {
 /// *original* data so that none of them is a hidden positive of the test
 /// user. Rank ties are broken by item id, consistently with
 /// [`longtail_core::top_k`].
+///
+/// Scoring fans out over `config.n_threads` workers, each owning one
+/// [`ScoringContext`] and one reused score buffer, so the measurement loop
+/// itself allocates nothing per query.
 pub fn recall_at_n(
-    recommender: &(dyn Recommender + Sync),
+    recommender: &dyn Recommender,
     full_data: &Dataset,
     split: &ProtocolSplit,
     config: &RecallConfig,
@@ -96,38 +103,25 @@ pub fn recall_at_n(
         })
         .collect();
 
-    let hit_counts = parking_lot::Mutex::new(vec![0usize; config.max_n]);
-    let next_case = std::sync::atomic::AtomicUsize::new(0);
-    let n_threads = config.n_threads.max(1);
+    let ranks = parallel_map_indexed(
+        n_cases,
+        config.n_threads,
+        || (ScoringContext::new(), Vec::new()),
+        |(ctx, scores), idx| {
+            let case = &cases[idx];
+            recommender.score_into(case.user, ctx, scores);
+            rank_of(scores, &candidate_sets[idx], case.item)
+        },
+    );
 
-    std::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|| {
-                let mut local_hits = vec![0usize; config.max_n];
-                loop {
-                    let idx = next_case.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= n_cases {
-                        break;
-                    }
-                    let case = &cases[idx];
-                    let scores = recommender.score_items(case.user);
-                    if let Some(rank) = rank_of(&scores, &candidate_sets[idx], case.item) {
-                        if rank < config.max_n {
-                            for h in local_hits.iter_mut().skip(rank) {
-                                *h += 1;
-                            }
-                        }
-                    }
-                }
-                let mut shared = hit_counts.lock();
-                for (s, l) in shared.iter_mut().zip(local_hits.iter()) {
-                    *s += l;
-                }
-            });
+    let mut hits = vec![0usize; config.max_n];
+    for rank in ranks.into_iter().flatten() {
+        if rank < config.max_n {
+            for h in hits.iter_mut().skip(rank) {
+                *h += 1;
+            }
         }
-    });
-
-    let hits = hit_counts.into_inner();
+    }
     RecallCurve {
         recall: hits.iter().map(|&h| h as f64 / n_cases as f64).collect(),
         n_cases,
@@ -153,16 +147,15 @@ mod tests {
             "oracle"
         }
 
-        fn score_items(&self, user: u32) -> Vec<f64> {
-            (0..self.n_items as u32)
-                .map(|i| {
-                    if self.favorites.contains(&(user, i)) {
-                        1e6
-                    } else {
-                        -(i as f64)
-                    }
-                })
-                .collect()
+        fn score_into(&self, user: u32, _ctx: &mut ScoringContext, out: &mut Vec<f64>) {
+            out.clear();
+            out.extend((0..self.n_items as u32).map(|i| {
+                if self.favorites.contains(&(user, i)) {
+                    1e6
+                } else {
+                    -(i as f64)
+                }
+            }));
         }
 
         fn rated_items(&self, _user: u32) -> &[u32] {
@@ -180,7 +173,11 @@ mod tests {
 
     fn tiny_setup(favorites: Vec<(u32, u32)>) -> (Dataset, ProtocolSplit, Oracle) {
         // 3 users, 30 items; user 0 rated item 0 only.
-        let ratings = [longtail_data::Rating { user: 0, item: 0, value: 5.0 }];
+        let ratings = [longtail_data::Rating {
+            user: 0,
+            item: 0,
+            value: 5.0,
+        }];
         let full = Dataset::from_ratings(3, 30, &ratings);
         let split = ProtocolSplit {
             train: full.clone(),
@@ -252,8 +249,24 @@ mod tests {
             max_n: 10,
             ..RecallConfig::default()
         };
-        let seq = recall_at_n(&oracle, &full, &split, &RecallConfig { n_threads: 1, ..base });
-        let par = recall_at_n(&oracle, &full, &split, &RecallConfig { n_threads: 4, ..base });
+        let seq = recall_at_n(
+            &oracle,
+            &full,
+            &split,
+            &RecallConfig {
+                n_threads: 1,
+                ..base
+            },
+        );
+        let par = recall_at_n(
+            &oracle,
+            &full,
+            &split,
+            &RecallConfig {
+                n_threads: 4,
+                ..base
+            },
+        );
         assert_eq!(seq.recall, par.recall);
     }
 

@@ -124,8 +124,16 @@ mod tests {
     #[test]
     fn series_renders_rows_per_x() {
         let s = vec![
-            Series { label: "HT".into(), x: vec![1.0, 2.0], y: vec![0.1, 0.2] },
-            Series { label: "AT".into(), x: vec![1.0, 2.0], y: vec![0.15, 0.25] },
+            Series {
+                label: "HT".into(),
+                x: vec![1.0, 2.0],
+                y: vec![0.1, 0.2],
+            },
+            Series {
+                label: "AT".into(),
+                x: vec![1.0, 2.0],
+                y: vec![0.15, 0.25],
+            },
         ];
         let md = series_to_markdown("Recall", "N", &s);
         assert!(md.contains("| N | HT | AT |"));

@@ -6,7 +6,7 @@
 //! This module reproduces that measurement with plain wall-clock timing;
 //! the statistically careful version lives in the Criterion benches.
 
-use longtail_core::Recommender;
+use longtail_core::{Recommender, ScoringContext};
 use std::time::Instant;
 
 /// Wall-clock statistics over a batch of per-user recommendation queries.
@@ -20,20 +20,48 @@ pub struct TimingStats {
     pub n_queries: usize,
 }
 
-/// Time `recommender` producing top-`k` lists for each user in `users`.
-pub fn time_recommendations(
-    recommender: &dyn Recommender,
-    users: &[u32],
-    k: usize,
-) -> TimingStats {
+/// Time `recommender` producing top-`k` lists for each user in `users`,
+/// sequentially, through one reused [`ScoringContext`] — the steady-state
+/// per-query latency of a single serving worker.
+pub fn time_recommendations(recommender: &dyn Recommender, users: &[u32], k: usize) -> TimingStats {
+    let mut ctx = ScoringContext::new();
     let start = Instant::now();
     for &u in users {
         // The list itself is the product being timed; discard it.
-        let _ = recommender.recommend(u, k);
+        let _ = recommender.recommend_with(u, k, &mut ctx);
     }
     let total = start.elapsed().as_secs_f64();
     TimingStats {
-        mean_seconds: if users.is_empty() { 0.0 } else { total / users.len() as f64 },
+        mean_seconds: if users.is_empty() {
+            0.0
+        } else {
+            total / users.len() as f64
+        },
+        total_seconds: total,
+        n_queries: users.len(),
+    }
+}
+
+/// Time [`Recommender::score_batch`] over the whole `users` batch at a given
+/// worker count — the throughput-oriented counterpart of
+/// [`time_recommendations`] (Table 5's per-query numbers, but amortized over
+/// a sharded batch).
+pub fn time_batch_scoring(
+    recommender: &dyn Recommender,
+    users: &[u32],
+    n_threads: usize,
+) -> TimingStats {
+    let start = Instant::now();
+    let results = recommender.score_batch(users, n_threads);
+    let total = start.elapsed().as_secs_f64();
+    // Consume the scores so the work cannot be optimized away.
+    std::hint::black_box(&results);
+    TimingStats {
+        mean_seconds: if users.is_empty() {
+            0.0
+        } else {
+            total / users.len() as f64
+        },
         total_seconds: total,
         n_queries: users.len(),
     }
@@ -51,8 +79,16 @@ mod tests {
             2,
             2,
             &[
-                Rating { user: 0, item: 0, value: 5.0 },
-                Rating { user: 1, item: 1, value: 4.0 },
+                Rating {
+                    user: 0,
+                    item: 0,
+                    value: 5.0,
+                },
+                Rating {
+                    user: 1,
+                    item: 1,
+                    value: 4.0,
+                },
             ],
         );
         let rec = HittingTimeRecommender::new(&d, GraphRecConfig::default());
@@ -64,7 +100,15 @@ mod tests {
 
     #[test]
     fn empty_batch_is_zero() {
-        let d = Dataset::from_ratings(1, 1, &[Rating { user: 0, item: 0, value: 5.0 }]);
+        let d = Dataset::from_ratings(
+            1,
+            1,
+            &[Rating {
+                user: 0,
+                item: 0,
+                value: 5.0,
+            }],
+        );
         let rec = HittingTimeRecommender::new(&d, GraphRecConfig::default());
         let stats = time_recommendations(&rec, &[], 5);
         assert_eq!(stats.n_queries, 0);

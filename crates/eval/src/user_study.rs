@@ -68,7 +68,7 @@ impl Default for StudyConfig {
 /// against the generator's ground-truth tastes and popularity-driven
 /// exposure.
 pub fn simulate_study(
-    recommender: &(dyn Recommender + Sync),
+    recommender: &dyn Recommender,
     data: &SyntheticData,
     config: &StudyConfig,
 ) -> StudyResult {
@@ -151,10 +151,14 @@ mod tests {
             "const"
         }
 
-        fn score_items(&self, _user: u32) -> Vec<f64> {
-            (0..self.n_items as u32)
-                .map(|i| if i == self.item { 1.0 } else { 0.0 })
-                .collect()
+        fn score_into(
+            &self,
+            _user: u32,
+            _ctx: &mut longtail_core::ScoringContext,
+            out: &mut Vec<f64>,
+        ) {
+            out.clear();
+            out.extend((0..self.n_items as u32).map(|i| if i == self.item { 1.0 } else { 0.0 }));
         }
 
         fn rated_items(&self, _user: u32) -> &[u32] {
@@ -166,7 +170,10 @@ mod tests {
         }
 
         fn recommend(&self, _user: u32, _k: usize) -> Vec<ScoredItem> {
-            vec![ScoredItem { item: self.item, score: 1.0 }]
+            vec![ScoredItem {
+                item: self.item,
+                score: 1.0,
+            }]
         }
     }
 
@@ -192,12 +199,20 @@ mod tests {
             ..StudyConfig::default()
         };
         let popular = simulate_study(
-            &Constant { item: most_popular, n_items: 100, empty: vec![] },
+            &Constant {
+                item: most_popular,
+                n_items: 100,
+                empty: vec![],
+            },
             &d,
             &config,
         );
         let niche = simulate_study(
-            &Constant { item: least_popular, n_items: 100, empty: vec![] },
+            &Constant {
+                item: least_popular,
+                n_items: 100,
+                empty: vec![],
+            },
             &d,
             &config,
         );
@@ -213,7 +228,11 @@ mod tests {
     fn judgments_are_in_range() {
         let d = data();
         let r = simulate_study(
-            &Constant { item: 0, n_items: 100, empty: vec![] },
+            &Constant {
+                item: 0,
+                n_items: 100,
+                empty: vec![],
+            },
             &d,
             &StudyConfig::default(),
         );
@@ -227,7 +246,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let d = data();
-        let rec = Constant { item: 3, n_items: 100, empty: vec![] };
+        let rec = Constant {
+            item: 3,
+            n_items: 100,
+            empty: vec![],
+        };
         let a = simulate_study(&rec, &d, &StudyConfig::default());
         let b = simulate_study(&rec, &d, &StudyConfig::default());
         assert_eq!(a, b);

@@ -35,8 +35,12 @@ impl BipartiteGraph {
     /// Build from the user→item weight block (`n_users x n_items`).
     pub fn from_user_item_matrix(user_items: CsrMatrix) -> Self {
         let item_users = user_items.transpose();
-        let user_degree: Vec<f64> = (0..user_items.rows()).map(|u| user_items.row_sum(u)).collect();
-        let item_degree: Vec<f64> = (0..item_users.rows()).map(|i| item_users.row_sum(i)).collect();
+        let user_degree: Vec<f64> = (0..user_items.rows())
+            .map(|u| user_items.row_sum(u))
+            .collect();
+        let item_degree: Vec<f64> = (0..item_users.rows())
+            .map(|i| item_users.row_sum(i))
+            .collect();
         let total_weight = user_degree.iter().sum();
         Self {
             user_items,

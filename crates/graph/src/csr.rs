@@ -119,16 +119,29 @@ impl CsrMatrix {
     ) -> Self {
         assert_eq!(row_ptr.len(), rows + 1, "row_ptr length mismatch");
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end mismatch");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr end mismatch"
+        );
         assert_eq!(col_idx.len(), values.len(), "col/value length mismatch");
         for r in 0..rows {
-            assert!(row_ptr[r] <= row_ptr[r + 1], "row_ptr must be non-decreasing");
+            assert!(
+                row_ptr[r] <= row_ptr[r + 1],
+                "row_ptr must be non-decreasing"
+            );
             let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
             for w in row.windows(2) {
-                assert!(w[0] < w[1], "columns must be strictly increasing in row {r}");
+                assert!(
+                    w[0] < w[1],
+                    "columns must be strictly increasing in row {r}"
+                );
             }
             if let Some(&last) = row.last() {
-                assert!((last as usize) < cols, "column index out of bounds in row {r}");
+                assert!(
+                    (last as usize) < cols,
+                    "column index out of bounds in row {r}"
+                );
             }
         }
         Self {
@@ -258,12 +271,12 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "matvec input length");
         assert_eq!(y.len(), self.rows, "matvec output length");
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.iter_row(r) {
                 acc += v * x[c as usize];
             }
-            y[r] = acc;
+            *out = acc;
         }
     }
 
@@ -276,8 +289,7 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.rows, "matvec_t input length");
         assert_eq!(y.len(), self.cols, "matvec_t output length");
         y.fill(0.0);
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
@@ -307,7 +319,13 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             4,
-            &[(0, 1, 2.0), (0, 3, 1.0), (1, 0, 5.0), (2, 2, 3.0), (2, 0, 4.0)],
+            &[
+                (0, 1, 2.0),
+                (0, 3, 1.0),
+                (1, 0, 5.0),
+                (2, 2, 3.0),
+                (2, 0, 4.0),
+            ],
         )
     }
 

@@ -9,8 +9,12 @@
 //! * [`BipartiteGraph`] — users and items in one flat node id space, with
 //!   weighted degrees, popularities and the stationary distribution of Eq. 2;
 //! * [`Adjacency`] — a homogeneous symmetric view for random-walk code;
+//! * [`TransitionMatrix`] — the row-stochastic kernel `p_ij = w_ij / d_i`,
+//!   pre-divided once so walk iterations are multiply-accumulate only;
 //! * [`Subgraph`] — BFS neighborhood extraction with an item budget µ
 //!   (Algorithm 1, step 2);
+//! * [`SubgraphScratch`] — reusable, epoch-stamped buffers that extract the
+//!   same neighborhoods with zero `O(n_nodes)` allocations per query;
 //! * [`stats`] — dataset-level descriptive statistics (Figure 1 shape).
 
 #![warn(missing_docs)]
@@ -18,11 +22,15 @@
 pub mod adjacency;
 pub mod bipartite;
 pub mod csr;
+pub mod scratch;
 pub mod stats;
 pub mod subgraph;
+pub mod transition;
 
 pub use adjacency::Adjacency;
 pub use bipartite::{BipartiteGraph, Node};
 pub use csr::CsrMatrix;
+pub use scratch::SubgraphScratch;
 pub use stats::GraphStats;
 pub use subgraph::Subgraph;
+pub use transition::TransitionMatrix;

@@ -137,7 +137,11 @@ mod tests {
 
     #[test]
     fn gini_zero_for_uniform() {
-        let g = BipartiteGraph::from_ratings(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        let g = BipartiteGraph::from_ratings(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)],
+        );
         assert!(popularity_gini(&g).abs() < 1e-12);
     }
 

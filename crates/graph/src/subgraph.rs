@@ -48,9 +48,9 @@ impl Subgraph {
         let mut queue = VecDeque::new();
 
         let admit = |node: usize,
-                         local_of_global: &mut Vec<u32>,
-                         global_of_local: &mut Vec<usize>,
-                         n_local_items: &mut usize| {
+                     local_of_global: &mut Vec<u32>,
+                     global_of_local: &mut Vec<usize>,
+                     n_local_items: &mut usize| {
             assert!(node < n, "seed node {node} out of range");
             if local_of_global[node] != ABSENT {
                 return false;
@@ -64,7 +64,12 @@ impl Subgraph {
         };
 
         for &seed in seeds {
-            if admit(seed, &mut local_of_global, &mut global_of_local, &mut n_local_items) {
+            if admit(
+                seed,
+                &mut local_of_global,
+                &mut global_of_local,
+                &mut n_local_items,
+            ) {
                 queue.push_back(seed);
             }
         }
@@ -75,7 +80,12 @@ impl Subgraph {
                 break;
             }
             for (nbr, _) in graph.neighbors(node) {
-                if admit(nbr, &mut local_of_global, &mut global_of_local, &mut n_local_items) {
+                if admit(
+                    nbr,
+                    &mut local_of_global,
+                    &mut global_of_local,
+                    &mut n_local_items,
+                ) {
                     queue.push_back(nbr);
                 }
             }
@@ -174,7 +184,9 @@ fn induced_adjacency(
         }
         row_ptr.push(col_idx.len());
     }
-    Adjacency::from_symmetric_csr(CsrMatrix::from_raw(n_local, n_local, row_ptr, col_idx, values))
+    Adjacency::from_symmetric_csr(CsrMatrix::from_raw(
+        n_local, n_local, row_ptr, col_idx, values,
+    ))
 }
 
 #[cfg(test)]

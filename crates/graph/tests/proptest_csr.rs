@@ -6,10 +6,7 @@ use std::collections::BTreeMap;
 
 /// Strategy: a random triplet list on a bounded shape.
 fn triplets(rows: u32, cols: u32) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
-    prop::collection::vec(
-        (0..rows, 0..cols, 1.0f64..5.0),
-        0..60,
-    )
+    prop::collection::vec((0..rows, 0..cols, 1.0f64..5.0), 0..60)
 }
 
 fn model(triplets: &[(u32, u32, f64)]) -> BTreeMap<(u32, u32), f64> {

@@ -138,8 +138,8 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "matvec input length");
         assert_eq!(y.len(), self.rows, "matvec output length");
-        for r in 0..self.rows {
-            y[r] = crate::vector::dot(self.row(r), x);
+        for (r, out) in y.iter_mut().enumerate() {
+            *out = crate::vector::dot(self.row(r), x);
         }
     }
 

@@ -27,7 +27,11 @@ pub struct SymmetricEigen {
 ///
 /// Panics if `a` is not square.
 pub fn jacobi_eigen(a: &DenseMatrix, max_sweeps: usize, tol: f64) -> SymmetricEigen {
-    assert_eq!(a.rows(), a.cols(), "eigendecomposition requires a square matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "eigendecomposition requires a square matrix"
+    );
     let n = a.rows();
     let mut m = a.clone();
     let mut v = DenseMatrix::identity(n);
@@ -108,7 +112,8 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_eigenvalues() {
-        let a = DenseMatrix::from_row_major(3, 3, vec![2.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 1.0]);
+        let a =
+            DenseMatrix::from_row_major(3, 3, vec![2.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 1.0]);
         let eig = jacobi_eigen(&a, 30, 1e-14);
         assert_eq!(eig.values, vec![5.0, 2.0, 1.0]);
     }
@@ -128,7 +133,9 @@ mod tests {
         let n = 10;
         let mut seed = 7u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         let raw = DenseMatrix::from_fn(n, n, |_, _| next());
@@ -148,7 +155,8 @@ mod tests {
 
     #[test]
     fn eigenvectors_orthonormal() {
-        let a = DenseMatrix::from_row_major(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 1.0, 0.5, 1.0, 2.0]);
+        let a =
+            DenseMatrix::from_row_major(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 1.0, 0.5, 1.0, 2.0]);
         let eig = jacobi_eigen(&a, 50, 1e-14);
         let g = eig.vectors.transpose().matmul(&eig.vectors);
         assert!(g.max_abs_diff(&DenseMatrix::identity(3)) < 1e-10);

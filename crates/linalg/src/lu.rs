@@ -116,16 +116,16 @@ impl LuDecomposition {
         let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
         for r in 1..n {
             let mut acc = x[r];
-            for c in 0..r {
-                acc -= self.lu[(r, c)] * x[c];
+            for (c, &xc) in x[..r].iter().enumerate() {
+                acc -= self.lu[(r, c)] * xc;
             }
             x[r] = acc;
         }
         // Back substitution: U x = y.
         for r in (0..n).rev() {
             let mut acc = x[r];
-            for c in r + 1..n {
-                acc -= self.lu[(r, c)] * x[c];
+            for (k, &xc) in x[r + 1..].iter().enumerate() {
+                acc -= self.lu[(r, r + 1 + k)] * xc;
             }
             x[r] = acc / self.lu[(r, r)];
         }
@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn singular_matrix_reports_error() {
         let a = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
-        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]
@@ -213,7 +216,9 @@ mod tests {
         let n = 12;
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         let mut a = DenseMatrix::from_fn(n, n, |_, _| next());

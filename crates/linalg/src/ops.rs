@@ -39,8 +39,7 @@ impl LinearOp for DenseMatrix {
         assert_eq!(x.len(), DenseMatrix::rows(self), "matvec_t input length");
         assert_eq!(y.len(), DenseMatrix::cols(self), "matvec_t output length");
         y.fill(0.0);
-        for r in 0..DenseMatrix::rows(self) {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }

@@ -87,11 +87,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_input() {
-        let a = DenseMatrix::from_row_major(
-            4,
-            2,
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 9.0],
-        );
+        let a = DenseMatrix::from_row_major(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 9.0]);
         let ThinQr { q, r } = thin_qr(&a);
         let qr = q.matmul(&r);
         assert!(qr.max_abs_diff(&a) < 1e-10);
@@ -106,7 +102,9 @@ mod tests {
 
     #[test]
     fn r_is_upper_triangular() {
-        let a = DenseMatrix::from_fn(6, 3, |r, c| (r + 2 * c + 1) as f64 * if r % 2 == 0 { 1.0 } else { -0.5 });
+        let a = DenseMatrix::from_fn(6, 3, |r, c| {
+            (r + 2 * c + 1) as f64 * if r % 2 == 0 { 1.0 } else { -0.5 }
+        });
         let ThinQr { r, .. } = thin_qr(&a);
         for i in 0..r.rows() {
             for j in 0..i {

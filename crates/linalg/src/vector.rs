@@ -83,10 +83,7 @@ pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
 /// non-negative; zero entries contribute nothing). This is the form used for
 /// user entropy in Eq. 10 and Eq. 11.
 pub fn entropy(p: &[f64]) -> f64 {
-    p.iter()
-        .filter(|&&v| v > 0.0)
-        .map(|&v| -v * v.ln())
-        .sum()
+    p.iter().filter(|&&v| v > 0.0).map(|&v| -v * v.ln()).sum()
 }
 
 #[cfg(test)]

@@ -14,37 +14,66 @@
 //!   in tests, and to reproduce the Figure 2 worked example.
 
 use crate::cost::{CostModel, UnitCost};
-use longtail_graph::Adjacency;
+use crate::dp::{truncated_costs_into, DpBuffers};
+use longtail_graph::{Adjacency, TransitionMatrix};
 use longtail_linalg::dense::DenseMatrix;
 use longtail_linalg::lu::{LinalgError, LuDecomposition};
+use std::borrow::Cow;
 
-/// An absorbing random walk over a fixed adjacency and absorbing set.
+/// An absorbing random walk over a fixed transition kernel and absorbing
+/// set.
+///
+/// This is the convenient owned API: each walk normalizes (or borrows) its
+/// kernel once and every query method allocates its own result vector. The
+/// allocation-free hot path used by batch scoring lives in [`crate::dp`];
+/// both share the same iteration kernel.
 #[derive(Debug, Clone)]
 pub struct AbsorbingWalk<'a> {
-    adj: &'a Adjacency,
+    kernel: Cow<'a, TransitionMatrix>,
     absorbing: Vec<bool>,
     n_absorbing: usize,
 }
 
 impl<'a> AbsorbingWalk<'a> {
-    /// Create a walk absorbed by `absorbing_nodes`.
+    /// Create a walk absorbed by `absorbing_nodes`, normalizing `adj` into
+    /// a transition kernel once up front.
     ///
     /// # Panics
     ///
     /// Panics if the absorbing set is empty or contains out-of-range ids.
     pub fn new(adj: &'a Adjacency, absorbing_nodes: &[usize]) -> Self {
-        assert!(!absorbing_nodes.is_empty(), "absorbing set must be non-empty");
-        let mut absorbing = vec![false; adj.n_nodes()];
+        Self::with_kernel(
+            Cow::Owned(TransitionMatrix::from_adjacency(adj)),
+            absorbing_nodes,
+        )
+    }
+
+    /// Create a walk over a pre-built kernel, avoiding renormalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the absorbing set is empty or contains out-of-range ids.
+    pub fn from_kernel(kernel: &'a TransitionMatrix, absorbing_nodes: &[usize]) -> Self {
+        Self::with_kernel(Cow::Borrowed(kernel), absorbing_nodes)
+    }
+
+    fn with_kernel(kernel: Cow<'a, TransitionMatrix>, absorbing_nodes: &[usize]) -> Self {
+        assert!(
+            !absorbing_nodes.is_empty(),
+            "absorbing set must be non-empty"
+        );
+        let n = kernel.n_nodes();
+        let mut absorbing = vec![false; n];
         let mut n_absorbing = 0;
         for &node in absorbing_nodes {
-            assert!(node < adj.n_nodes(), "absorbing node {node} out of range");
+            assert!(node < n, "absorbing node {node} out of range");
             if !absorbing[node] {
                 absorbing[node] = true;
                 n_absorbing += 1;
             }
         }
         Self {
-            adj,
+            kernel,
             absorbing,
             n_absorbing,
         }
@@ -54,6 +83,12 @@ impl<'a> AbsorbingWalk<'a> {
     #[inline]
     pub fn is_absorbing(&self, node: usize) -> bool {
         self.absorbing[node]
+    }
+
+    /// The walk's (pre-normalized) transition kernel.
+    #[inline]
+    pub fn kernel(&self) -> &TransitionMatrix {
+        &self.kernel
     }
 
     /// Number of distinct absorbing nodes.
@@ -75,55 +110,12 @@ impl<'a> AbsorbingWalk<'a> {
     }
 
     /// Truncated absorbing costs under `cost` (Eq. 9 with `τ` iterations).
+    ///
+    /// Delegates to the buffer-reusing kernel in [`crate::dp`]; this
+    /// convenience form pays one `DpBuffers` allocation per call.
     pub fn truncated_costs(&self, cost: &dyn CostModel, iterations: usize) -> Vec<f64> {
-        let n = self.adj.n_nodes();
-        // Expected immediate cost of one hop out of each transient node:
-        // Σ_j p_ij · entry_cost(j). Constant across iterations, so hoist it.
-        let mut immediate = vec![0.0; n];
-        for i in 0..n {
-            if self.absorbing[i] {
-                continue;
-            }
-            let d = self.adj.degree(i);
-            if d == 0.0 {
-                immediate[i] = f64::INFINITY;
-                continue;
-            }
-            let mut acc = 0.0;
-            for (j, w) in self.adj.neighbors(i) {
-                acc += w / d * cost.entry_cost(j as usize);
-            }
-            immediate[i] = acc;
-        }
-
-        let mut current = vec![0.0f64; n];
-        let mut next = vec![0.0f64; n];
-        for _ in 0..iterations {
-            for i in 0..n {
-                if self.absorbing[i] {
-                    next[i] = 0.0;
-                    continue;
-                }
-                let d = self.adj.degree(i);
-                if d == 0.0 {
-                    next[i] = f64::INFINITY;
-                    continue;
-                }
-                let mut acc = 0.0;
-                for (j, w) in self.adj.neighbors(i) {
-                    let v = current[j as usize];
-                    if v.is_finite() {
-                        acc += w / d * v;
-                    } else {
-                        acc = f64::INFINITY;
-                        break;
-                    }
-                }
-                next[i] = immediate[i] + acc;
-            }
-            std::mem::swap(&mut current, &mut next);
-        }
-        current
+        let mut bufs = DpBuffers::new();
+        truncated_costs_into(&self.kernel, &self.absorbing, cost, iterations, &mut bufs).to_vec()
     }
 
     /// Exact absorbing times by solving `(I - P_TT) x = 1` over transient
@@ -144,11 +136,11 @@ impl<'a> AbsorbingWalk<'a> {
     ///
     /// Same as [`AbsorbingWalk::exact_times`].
     pub fn exact_costs(&self, cost: &dyn CostModel) -> Result<Vec<f64>, LinalgError> {
-        let n = self.adj.n_nodes();
-        // Transient states: non-absorbing with at least one edge. Zero-degree
+        let n = self.kernel.n_nodes();
+        // Transient states: non-absorbing with at least one edge. Dangling
         // nodes are excluded and reported as infinite.
         let transient: Vec<usize> = (0..n)
-            .filter(|&i| !self.absorbing[i] && self.adj.degree(i) > 0.0)
+            .filter(|&i| !self.absorbing[i] && !self.kernel.is_dangling(i))
             .collect();
         let index_of: Vec<Option<usize>> = {
             let mut map = vec![None; n];
@@ -162,10 +154,9 @@ impl<'a> AbsorbingWalk<'a> {
         let mut system = DenseMatrix::identity(t);
         let mut rhs = vec![0.0; t];
         for (row, &i) in transient.iter().enumerate() {
-            let d = self.adj.degree(i);
+            let (cols, probs) = self.kernel.row(i);
             let mut immediate = 0.0;
-            for (j, w) in self.adj.neighbors(i) {
-                let p = w / d;
+            for (&j, &p) in cols.iter().zip(probs) {
                 immediate += p * cost.entry_cost(j as usize);
                 if let Some(col) = index_of[j as usize] {
                     system[(row, col)] -= p;
@@ -179,9 +170,9 @@ impl<'a> AbsorbingWalk<'a> {
         for (k, &node) in transient.iter().enumerate() {
             out[node] = solution[k];
         }
-        for i in 0..n {
-            if self.absorbing[i] {
-                out[i] = 0.0;
+        for (o, &is_absorbing) in out.iter_mut().zip(&self.absorbing) {
+            if is_absorbing {
+                *o = 0.0;
             }
         }
         Ok(out)
@@ -196,11 +187,8 @@ mod tests {
 
     /// Path graph 0 - 1 - 2 with unit weights; absorbing at node 0.
     fn path3() -> Adjacency {
-        let csr = CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
-        );
+        let csr =
+            CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
         Adjacency::from_symmetric_csr(csr)
     }
 
@@ -300,11 +288,15 @@ mod tests {
         let unrated = [0u32, 3, 4, 5];
         let mut exact_order: Vec<u32> = unrated.to_vec();
         exact_order.sort_by(|&a, &b| {
-            exact[g.item_node(a)].partial_cmp(&exact[g.item_node(b)]).unwrap()
+            exact[g.item_node(a)]
+                .partial_cmp(&exact[g.item_node(b)])
+                .unwrap()
         });
         let mut approx_order: Vec<u32> = unrated.to_vec();
         approx_order.sort_by(|&a, &b| {
-            approx[g.item_node(a)].partial_cmp(&approx[g.item_node(b)]).unwrap()
+            approx[g.item_node(a)]
+                .partial_cmp(&approx[g.item_node(b)])
+                .unwrap()
         });
         assert_eq!(exact_order, approx_order);
     }
@@ -354,11 +346,8 @@ mod tests {
     #[test]
     fn unreachable_nodes_are_infinite_in_exact() {
         // Two components: 0-1 and 2-3; absorb at 0.
-        let csr = CsrMatrix::from_triplets(
-            4,
-            4,
-            &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)],
-        );
+        let csr =
+            CsrMatrix::from_triplets(4, 4, &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)]);
         let adj = Adjacency::from_symmetric_csr(csr);
         let walk = AbsorbingWalk::new(&adj, &[0]);
         // (I - P_TT) is singular for the unreachable block {2, 3}.

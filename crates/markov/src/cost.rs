@@ -18,6 +18,22 @@
 pub trait CostModel {
     /// Cost of entering `node`.
     fn entry_cost(&self, node: usize) -> f64;
+
+    /// `Some(c)` when every node costs exactly `c` — lets hot loops replace
+    /// a per-edge virtual call with a multiply that rounds identically
+    /// (`p · c` for the constant `c` equals `p · entry_cost(j)`).
+    #[inline]
+    fn constant_cost(&self) -> Option<f64> {
+        None
+    }
+
+    /// The per-node cost table as a raw slice, when one exists — lets hot
+    /// loops gather costs directly instead of a virtual call per edge.
+    /// Implementations must satisfy `cost_slice()[j] == entry_cost(j)`.
+    #[inline]
+    fn cost_slice(&self) -> Option<&[f64]> {
+        None
+    }
 }
 
 /// Every hop costs exactly one step: recovers Absorbing *Time* from the
@@ -29,6 +45,11 @@ impl CostModel for UnitCost {
     #[inline]
     fn entry_cost(&self, _node: usize) -> f64 {
         1.0
+    }
+
+    #[inline]
+    fn constant_cost(&self) -> Option<f64> {
+        Some(1.0)
     }
 }
 
@@ -70,6 +91,32 @@ impl CostModel for PerNodeCost {
     #[inline]
     fn entry_cost(&self, node: usize) -> f64 {
         self.costs[node]
+    }
+
+    #[inline]
+    fn cost_slice(&self) -> Option<&[f64]> {
+        Some(&self.costs)
+    }
+}
+
+/// Per-node entry costs borrowed from a caller-owned slice — the
+/// allocation-free counterpart of [`PerNodeCost`] for hot paths that refill
+/// one cost buffer per query (see `longtail-core`'s `ScoringContext`).
+///
+/// Unlike [`PerNodeCost::new`] this performs no validation; the caller is
+/// responsible for finite, non-negative costs.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceCost<'a>(pub &'a [f64]);
+
+impl CostModel for SliceCost<'_> {
+    #[inline]
+    fn entry_cost(&self, node: usize) -> f64 {
+        self.0[node]
+    }
+
+    #[inline]
+    fn cost_slice(&self) -> Option<&[f64]> {
+        Some(self.0)
     }
 }
 

@@ -1,0 +1,235 @@
+//! Allocation-free truncated dynamic programs over a pre-normalized kernel.
+//!
+//! Algorithm 1's inner loop — `AC_{t+1}(i) = r_i + Σ_j p_ij AC_t(j)` — is
+//! the hottest code in the system: it runs τ times per query over every edge
+//! of the query's subgraph. This module implements it directly over
+//! [`TransitionMatrix`] CSR slices (probabilities pre-divided, no hash maps,
+//! no per-edge division) with all state in caller-owned [`DpBuffers`], so a
+//! steady-state scoring loop performs no allocation at all.
+//!
+//! Each `p_ij` is the same rounded quotient the old loop recomputed per
+//! iteration, so the recursion evaluates the pre-refactor formula; only the
+//! within-row summation order differs (a blocked reduction on the fast
+//! path), bounding the divergence to last-ulp rounding. The golden tests in
+//! `tests/golden_kernel.rs` pin that equivalence against a verbatim copy of
+//! the pre-refactor code.
+
+use crate::cost::CostModel;
+use longtail_graph::TransitionMatrix;
+
+/// Reusable state for the truncated absorbing-walk dynamic program.
+///
+/// Create once per worker thread and pass to [`truncated_costs_into`] for
+/// every query; buffers are resized (retaining capacity) as subgraph sizes
+/// vary.
+#[derive(Debug, Clone, Default)]
+pub struct DpBuffers {
+    /// Expected immediate cost of one hop out of each node.
+    immediate: Vec<f64>,
+    /// DP value vector at the current iteration.
+    current: Vec<f64>,
+    /// DP value vector being written.
+    next: Vec<f64>,
+}
+
+impl DpBuffers {
+    /// Empty buffers; sized lazily by the first query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The values of the last completed dynamic program.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.current
+    }
+}
+
+/// Run the truncated absorbing-cost dynamic program (Eq. 9, Algorithm 1
+/// steps 3–4) over `kernel`, absorbing at nodes flagged in `absorbing`,
+/// for `iterations` rounds. Returns the value vector, which lives in
+/// `bufs` until the next call.
+///
+/// Dangling non-absorbing nodes get `f64::INFINITY`, as do nodes whose walk
+/// can only reach dangling pockets.
+///
+/// # Panics
+///
+/// Panics if `absorbing.len() != kernel.n_nodes()`.
+pub fn truncated_costs_into<'a>(
+    kernel: &TransitionMatrix,
+    absorbing: &[bool],
+    cost: &dyn CostModel,
+    iterations: usize,
+    bufs: &'a mut DpBuffers,
+) -> &'a [f64] {
+    let n = kernel.n_nodes();
+    assert_eq!(absorbing.len(), n, "absorbing flag vector length mismatch");
+
+    let DpBuffers {
+        immediate,
+        current,
+        next,
+    } = bufs;
+
+    // Expected immediate cost of one hop out of each transient node:
+    // Σ_j p_ij · entry_cost(j). Constant across iterations, so hoist it.
+    // `any_infinite` remembers whether any transient node is dangling — only
+    // then can ∞ enter the recursion at all.
+    immediate.clear();
+    immediate.resize(n, 0.0);
+    let constant = cost.constant_cost();
+    let cost_table = cost.cost_slice();
+    let mut any_infinite = false;
+    for i in 0..n {
+        if absorbing[i] {
+            continue;
+        }
+        let (cols, probs) = kernel.row(i);
+        if cols.is_empty() {
+            immediate[i] = f64::INFINITY;
+            any_infinite = true;
+            continue;
+        }
+        let mut acc = 0.0;
+        // The fast arms round identically to the virtual-call loop: `p · c`
+        // and a gathered `p · table[j]` are the same multiplies.
+        if let Some(c) = constant {
+            for &p in probs {
+                acc += p * c;
+            }
+        } else if let Some(table) = cost_table {
+            for (&j, &p) in cols.iter().zip(probs) {
+                acc += p * table[j as usize];
+            }
+        } else {
+            for (&j, &p) in cols.iter().zip(probs) {
+                acc += p * cost.entry_cost(j as usize);
+            }
+        }
+        immediate[i] = acc;
+    }
+
+    current.clear();
+    current.resize(n, 0.0);
+    next.clear();
+    next.resize(n, 0.0);
+    for _ in 0..iterations {
+        if any_infinite {
+            // Checked variant: ∞ from unreachable pockets must short-circuit
+            // instead of producing NaN via `0.0 · ∞`-adjacent arithmetic.
+            for i in 0..n {
+                if absorbing[i] {
+                    next[i] = 0.0;
+                    continue;
+                }
+                let (cols, probs) = kernel.row(i);
+                if cols.is_empty() {
+                    next[i] = f64::INFINITY;
+                    continue;
+                }
+                let mut acc = 0.0;
+                for (&j, &p) in cols.iter().zip(probs) {
+                    let v = current[j as usize];
+                    if v.is_finite() {
+                        acc += p * v;
+                    } else {
+                        acc = f64::INFINITY;
+                        break;
+                    }
+                }
+                next[i] = immediate[i] + acc;
+            }
+        } else {
+            // Fast variant: every value provably stays finite (each bounded
+            // by τ·max immediate), so the per-edge finiteness branch — and
+            // the empty-row probe — drop out of the hot loop entirely. Four
+            // accumulators break the floating-point add latency chain that
+            // otherwise serializes the row reduction (summation order
+            // differs from the checked variant by last-ulp rounding only).
+            for i in 0..n {
+                if absorbing[i] {
+                    next[i] = 0.0;
+                    continue;
+                }
+                let (cols, probs) = kernel.row(i);
+                let mut cols4 = cols.chunks_exact(4);
+                let mut probs4 = probs.chunks_exact(4);
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0, 0.0, 0.0);
+                for (c, p) in (&mut cols4).zip(&mut probs4) {
+                    a0 += p[0] * current[c[0] as usize];
+                    a1 += p[1] * current[c[1] as usize];
+                    a2 += p[2] * current[c[2] as usize];
+                    a3 += p[3] * current[c[3] as usize];
+                }
+                let mut acc = (a0 + a1) + (a2 + a3);
+                for (&j, &p) in cols4.remainder().iter().zip(probs4.remainder()) {
+                    acc += p * current[j as usize];
+                }
+                next[i] = immediate[i] + acc;
+            }
+        }
+        std::mem::swap(current, next);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UnitCost;
+    use longtail_graph::{Adjacency, CsrMatrix};
+
+    /// Path graph 0 - 1 - 2 with unit weights.
+    fn path3_kernel() -> TransitionMatrix {
+        let csr =
+            CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
+        TransitionMatrix::from_adjacency(&Adjacency::from_symmetric_csr(csr))
+    }
+
+    #[test]
+    fn converges_to_known_times() {
+        let kernel = path3_kernel();
+        let absorbing = [true, false, false];
+        let mut bufs = DpBuffers::new();
+        let t = truncated_costs_into(&kernel, &absorbing, &UnitCost, 2000, &mut bufs);
+        assert_eq!(t[0], 0.0);
+        assert!((t[1] - 3.0).abs() < 1e-6);
+        assert!((t[2] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn buffers_are_reusable_across_different_sizes() {
+        let kernel = path3_kernel();
+        let mut bufs = DpBuffers::new();
+        let big =
+            truncated_costs_into(&kernel, &[true, false, false], &UnitCost, 50, &mut bufs).to_vec();
+
+        // A smaller, unrelated problem must not see stale state.
+        let csr = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let small_kernel = TransitionMatrix::from_adjacency(&Adjacency::from_symmetric_csr(csr));
+        let small = truncated_costs_into(&small_kernel, &[true, false], &UnitCost, 50, &mut bufs);
+        assert_eq!(small.len(), 2);
+        assert_eq!(small[0], 0.0);
+        assert!((small[1] - 1.0).abs() < 1e-12);
+
+        // And re-running the first problem reproduces it exactly.
+        let again = truncated_costs_into(&kernel, &[true, false, false], &UnitCost, 50, &mut bufs);
+        assert_eq!(again, &big[..]);
+    }
+
+    #[test]
+    fn zero_iterations_returns_zeros() {
+        let kernel = path3_kernel();
+        let mut bufs = DpBuffers::new();
+        let t = truncated_costs_into(&kernel, &[true, false, false], &UnitCost, 0, &mut bufs);
+        assert_eq!(t, &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_flag_length_panics() {
+        let kernel = path3_kernel();
+        truncated_costs_into(&kernel, &[true], &UnitCost, 1, &mut DpBuffers::new());
+    }
+}

@@ -5,7 +5,7 @@
 //! user's preference set with probability `1 - λ`, and DPPR divides that
 //! score by item popularity (Eq. 15) to push it toward the tail.
 
-use longtail_graph::Adjacency;
+use longtail_graph::{Adjacency, TransitionMatrix};
 
 /// Configuration of the personalized PageRank iteration.
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +45,41 @@ pub fn personalized_pagerank(
     start_nodes: &[usize],
     config: &PageRankConfig,
 ) -> Vec<f64> {
-    let n = adj.n_nodes();
+    let kernel = TransitionMatrix::from_adjacency(adj);
+    let mut bufs = PageRankBuffers::new();
+    personalized_pagerank_into(&kernel, start_nodes, config, &mut bufs).to_vec()
+}
+
+/// Reusable state for the PageRank power iteration: rank, scratch and
+/// teleport vectors, allocated once per worker and resized per query.
+#[derive(Debug, Clone, Default)]
+pub struct PageRankBuffers {
+    rank: Vec<f64>,
+    next: Vec<f64>,
+    teleport: Vec<f64>,
+}
+
+impl PageRankBuffers {
+    /// Empty buffers; sized lazily by the first query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`personalized_pagerank`] over a pre-built kernel with caller-owned
+/// buffers: the allocation-free form used by batch scoring. Returns the
+/// stationary probabilities, which live in `bufs` until the next call.
+///
+/// # Panics
+///
+/// Same contract as [`personalized_pagerank`].
+pub fn personalized_pagerank_into<'a>(
+    kernel: &TransitionMatrix,
+    start_nodes: &[usize],
+    config: &PageRankConfig,
+    bufs: &'a mut PageRankBuffers,
+) -> &'a [f64] {
+    let n = kernel.n_nodes();
     assert!(!start_nodes.is_empty(), "start set must be non-empty");
     assert!(
         (0.0..1.0).contains(&config.damping),
@@ -55,50 +89,54 @@ pub fn personalized_pagerank(
         assert!(s < n, "start node {s} out of range");
     }
 
-    let mut teleport = vec![0.0; n];
+    bufs.teleport.clear();
+    bufs.teleport.resize(n, 0.0);
     let share = 1.0 / start_nodes.len() as f64;
     for &s in start_nodes {
-        teleport[s] += share;
+        bufs.teleport[s] += share;
     }
 
     let lambda = config.damping;
-    let mut rank = teleport.clone();
-    let mut next = vec![0.0; n];
+    bufs.rank.clear();
+    bufs.rank.extend_from_slice(&bufs.teleport);
+    bufs.next.clear();
+    bufs.next.resize(n, 0.0);
     for _ in 0..config.max_iterations {
         // Mass from dangling nodes is re-injected through the teleport
         // vector so that `next` stays a probability distribution.
         let mut dangling = 0.0;
-        next.fill(0.0);
+        bufs.next.fill(0.0);
         for i in 0..n {
-            let d = adj.degree(i);
-            if d == 0.0 {
-                dangling += rank[i];
+            let (cols, probs) = kernel.row(i);
+            if cols.is_empty() {
+                dangling += bufs.rank[i];
                 continue;
             }
-            let scale = lambda * rank[i] / d;
+            let scale = lambda * bufs.rank[i];
             if scale == 0.0 {
                 continue;
             }
-            for (j, w) in adj.neighbors(i) {
-                next[j as usize] += scale * w;
+            for (&j, &p) in cols.iter().zip(probs) {
+                bufs.next[j as usize] += scale * p;
             }
         }
         let teleport_mass = 1.0 - lambda + lambda * dangling;
         for i in 0..n {
-            next[i] += teleport_mass * teleport[i];
+            bufs.next[i] += teleport_mass * bufs.teleport[i];
         }
 
-        let delta: f64 = rank
+        let delta: f64 = bufs
+            .rank
             .iter()
-            .zip(next.iter())
+            .zip(bufs.next.iter())
             .map(|(a, b)| (a - b).abs())
             .sum();
-        std::mem::swap(&mut rank, &mut next);
+        std::mem::swap(&mut bufs.rank, &mut bufs.next);
         if delta < config.tolerance {
             break;
         }
     }
-    rank
+    &bufs.rank
 }
 
 #[cfg(test)]

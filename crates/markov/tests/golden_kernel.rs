@@ -1,0 +1,221 @@
+//! Golden tests: the pre-normalized kernel path must reproduce the
+//! pre-refactor `w / d` formulas exactly.
+//!
+//! The refactor moved every walk onto [`TransitionMatrix`] (probabilities
+//! divided once at kernel build) and raw CSR slice loops. These tests pin
+//! the equivalence against reference implementations that keep the original
+//! shape — per-edge division inside the iteration — on randomly generated
+//! bipartite graphs:
+//!
+//! * truncated times/costs evaluate the identical recursion on identical
+//!   probabilities (the kernel stores the same rounded quotient the old
+//!   loop recomputed); only the within-row summation order may differ (the
+//!   fast path uses a blocked reduction), so values are compared within a
+//!   last-ulp-scale relative tolerance;
+//! * exact (LU) times go through the same comparison via the public solver;
+//! * PageRank regroups `(λ·r/d)·w` into `(λ·r)·(w/d)` and is compared with
+//!   an iteration-tolerance bound.
+
+use longtail_graph::{Adjacency, BipartiteGraph, TransitionMatrix};
+use longtail_markov::{
+    personalized_pagerank, truncated_costs_into, AbsorbingWalk, CostModel, DpBuffers,
+    PageRankConfig, PerNodeCost, UnitCost,
+};
+use proptest::prelude::*;
+
+fn ratings() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    prop::collection::vec((0..7u32, 0..8u32, 1.0f64..5.0), 1..50)
+}
+
+/// The pre-refactor truncated dynamic program, verbatim: per-edge `w / d`
+/// inside every iteration, straight off the adjacency.
+fn reference_truncated_costs(
+    adj: &Adjacency,
+    absorbing: &[bool],
+    cost: &dyn CostModel,
+    iterations: usize,
+) -> Vec<f64> {
+    let n = adj.n_nodes();
+    let mut immediate = vec![0.0; n];
+    for i in 0..n {
+        if absorbing[i] {
+            continue;
+        }
+        let d = adj.degree(i);
+        if d == 0.0 {
+            immediate[i] = f64::INFINITY;
+            continue;
+        }
+        let mut acc = 0.0;
+        for (j, w) in adj.neighbors(i) {
+            acc += w / d * cost.entry_cost(j as usize);
+        }
+        immediate[i] = acc;
+    }
+
+    let mut current = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        for i in 0..n {
+            if absorbing[i] {
+                next[i] = 0.0;
+                continue;
+            }
+            let d = adj.degree(i);
+            if d == 0.0 {
+                next[i] = f64::INFINITY;
+                continue;
+            }
+            let mut acc = 0.0;
+            for (j, w) in adj.neighbors(i) {
+                let v = current[j as usize];
+                if v.is_finite() {
+                    acc += w / d * v;
+                } else {
+                    acc = f64::INFINITY;
+                    break;
+                }
+            }
+            next[i] = immediate[i] + acc;
+        }
+        std::mem::swap(&mut current, &mut next);
+    }
+    current
+}
+
+/// Same values up to the blocked-reduction rounding of the fast DP path:
+/// relative error at most a few ulps per iteration, far below 1e-12.
+fn assert_values_agree(
+    got: &[f64],
+    reference: &[f64],
+) -> Result<(), proptest::prelude::TestCaseError> {
+    prop_assert_eq!(got.len(), reference.len());
+    for (i, (&g, &r)) in got.iter().zip(reference.iter()).enumerate() {
+        if g.is_finite() || r.is_finite() {
+            prop_assert!(
+                (g - r).abs() <= 1e-12 * (1.0 + r.abs()),
+                "node {}: kernel {} vs reference {}",
+                i,
+                g,
+                r
+            );
+        }
+    }
+    Ok(())
+}
+
+fn fixture(ts: &[(u32, u32, f64)]) -> (Adjacency, Vec<bool>, usize) {
+    let g = BipartiteGraph::from_ratings(7, 8, ts);
+    let adj = Adjacency::from_bipartite(&g);
+    let seed = g.user_node(ts[0].0);
+    let mut absorbing = vec![false; adj.n_nodes()];
+    absorbing[seed] = true;
+    (adj, absorbing, seed)
+}
+
+proptest! {
+    #[test]
+    fn kernel_truncated_times_match_reference(ts in ratings(), tau in 0..40usize) {
+        let (adj, absorbing, seed) = fixture(&ts);
+        let reference = reference_truncated_costs(&adj, &absorbing, &UnitCost, tau);
+
+        let kernel = TransitionMatrix::from_adjacency(&adj);
+        let mut bufs = DpBuffers::new();
+        let got = truncated_costs_into(&kernel, &absorbing, &UnitCost, tau, &mut bufs);
+        assert_values_agree(got, &reference)?;
+
+        // And through the public AbsorbingWalk API.
+        let walk = AbsorbingWalk::new(&adj, &[seed]);
+        assert_values_agree(&walk.truncated_times(tau), &reference)?;
+    }
+
+    #[test]
+    fn kernel_truncated_costs_match_reference(ts in ratings(), tau in 1..30usize, c in 0.1f64..3.0) {
+        let (adj, absorbing, seed) = fixture(&ts);
+        // An arbitrary non-uniform per-node cost: distinct per node so a
+        // permutation bug cannot cancel out.
+        let costs: Vec<f64> = (0..adj.n_nodes()).map(|i| c + 0.13 * i as f64).collect();
+        let cost = PerNodeCost::new(costs);
+        let reference = reference_truncated_costs(&adj, &absorbing, &cost, tau);
+
+        let walk = AbsorbingWalk::new(&adj, &[seed]);
+        assert_values_agree(&walk.truncated_costs(&cost, tau), &reference)?;
+    }
+
+    #[test]
+    fn kernel_exact_times_match_truncated_limit(ts in ratings()) {
+        let (adj, _, seed) = fixture(&ts);
+        let walk = AbsorbingWalk::new(&adj, &[seed]);
+        if let Ok(exact) = walk.exact_times() {
+            // The truncated DP approaches the exact solve from below; after
+            // many iterations they must agree on every reachable node.
+            let approx = walk.truncated_times(4000);
+            for i in 0..adj.n_nodes() {
+                if exact[i].is_finite() && exact[i] < 1e3 {
+                    prop_assert!(
+                        (approx[i] - exact[i]).abs() < 1e-5 * (1.0 + exact[i]),
+                        "node {}: truncated {} vs exact {}",
+                        i,
+                        approx[i],
+                        exact[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    // The reference below is a verbatim copy of the pre-refactor iteration;
+    // keep its index loops untouched.
+    #[allow(clippy::needless_range_loop)]
+    fn kernel_pagerank_matches_reference(ts in ratings()) {
+        let (adj, _, seed) = fixture(&ts);
+        let config = PageRankConfig::default();
+        let got = personalized_pagerank(&adj, &[seed], &config);
+
+        // Reference: the pre-refactor per-edge `scale = λ·r/d` iteration.
+        let n = adj.n_nodes();
+        let mut teleport = vec![0.0; n];
+        teleport[seed] = 1.0;
+        let lambda = config.damping;
+        let mut rank = teleport.clone();
+        let mut next = vec![0.0; n];
+        for _ in 0..config.max_iterations {
+            let mut dangling = 0.0;
+            next.fill(0.0);
+            for i in 0..n {
+                let d = adj.degree(i);
+                if d == 0.0 {
+                    dangling += rank[i];
+                    continue;
+                }
+                let scale = lambda * rank[i] / d;
+                if scale == 0.0 {
+                    continue;
+                }
+                for (j, w) in adj.neighbors(i) {
+                    next[j as usize] += scale * w;
+                }
+            }
+            let teleport_mass = 1.0 - lambda + lambda * dangling;
+            for i in 0..n {
+                next[i] += teleport_mass * teleport[i];
+            }
+            let delta: f64 = rank.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
+            std::mem::swap(&mut rank, &mut next);
+            if delta < config.tolerance {
+                break;
+            }
+        }
+
+        for i in 0..n {
+            prop_assert!(
+                (got[i] - rank[i]).abs() < 1e-9,
+                "node {}: kernel {} vs reference {}",
+                i,
+                got[i],
+                rank[i]
+            );
+        }
+    }
+}

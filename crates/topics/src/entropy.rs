@@ -49,10 +49,7 @@ pub fn topic_based_entropy(model: &LdaModel) -> Vec<f64> {
 /// Shannon entropy of a probability vector (natural log). Kept local so this
 /// crate does not depend on `longtail-linalg` for one function.
 fn longtail_linalg_entropy(p: &[f64]) -> f64 {
-    p.iter()
-        .filter(|&&v| v > 0.0)
-        .map(|&v| -v * v.ln())
-        .sum()
+    p.iter().filter(|&&v| v > 0.0).map(|&v| -v * v.ln()).sum()
 }
 
 #[cfg(test)]

@@ -242,19 +242,26 @@ impl LdaModel {
 
     /// Predictive scores of every item for user `u`.
     pub fn score_all(&self, u: u32) -> Vec<f64> {
+        let mut scores = Vec::new();
+        self.score_all_into(u, &mut scores);
+        scores
+    }
+
+    /// [`LdaModel::score_all`] into a caller-owned buffer (cleared and
+    /// resized first), for allocation-free scoring loops.
+    pub fn score_all_into(&self, u: u32, out: &mut Vec<f64>) {
         let theta = self.theta(u);
-        let mut scores = vec![0.0f64; self.n_items];
-        for z in 0..self.n_topics {
-            let t = theta[z];
+        out.clear();
+        out.resize(self.n_items, 0.0);
+        for (z, &t) in theta.iter().enumerate() {
             if t == 0.0 {
                 continue;
             }
             let row = self.phi(z);
-            for (s, &p) in scores.iter_mut().zip(row.iter()) {
+            for (s, &p) in out.iter_mut().zip(row.iter()) {
                 *s += t * p;
             }
         }
-        scores
     }
 
     /// Corpus log-likelihood trace, one entry per Gibbs sweep.
@@ -300,8 +307,8 @@ fn corpus_log_likelihood(
     for u in 0..n_users {
         let doc_len = (doc_ptr[u + 1] - doc_ptr[u]) as f64;
         let theta_denom = doc_len + alpha_sum;
-        for t in doc_ptr[u]..doc_ptr[u + 1] {
-            let item = token_item[t] as usize;
+        for &token in &token_item[doc_ptr[u]..doc_ptr[u + 1]] {
+            let item = token as usize;
             let mut p = 0.0;
             for z in 0..k {
                 let phi = (n_topic_item[z * n_items + item] as f64 + beta)

@@ -41,12 +41,7 @@ fn main() {
         "{:<8} {:>12} {:>10} {:>11}",
         "algo", "popularity", "diversity", "similarity"
     );
-    for rec in [
-        &at as &(dyn Recommender + Sync),
-        &ac1,
-        &svd,
-        &dppr,
-    ] {
+    for rec in [&at as &dyn Recommender, &ac1, &svd, &dppr] {
         let lists = RecommendationLists::compute(rec, &users, 10, 4);
         println!(
             "{:<8} {:>12.1} {:>10.3} {:>11.3}",

@@ -51,19 +51,8 @@ fn main() {
         max_n: 50,
         ..RecallConfig::default()
     };
-    println!(
-        "{:<8} {:>9} {:>9} {:>9}",
-        "algo", "R@5", "R@20", "R@50"
-    );
-    for rec in [
-        &ac2 as &(dyn Recommender + Sync),
-        &ac1,
-        &at,
-        &ht,
-        &dppr,
-        &svd,
-        &lda,
-    ] {
+    println!("{:<8} {:>9} {:>9} {:>9}", "algo", "R@5", "R@20", "R@50");
+    for rec in [&ac2 as &dyn Recommender, &ac1, &at, &ht, &dppr, &svd, &lda] {
         let curve = recall_at_n(rec, &data.dataset, &split, &recall_config);
         println!(
             "{:<8} {:>9.3} {:>9.3} {:>9.3}",

@@ -67,7 +67,11 @@ fn main() {
             t,
             MOVIES[*m as usize],
             graph.item_popularity(*m),
-            if graph.item_popularity(*m) == 1 { "" } else { "s" },
+            if graph.item_popularity(*m) == 1 {
+                ""
+            } else {
+                "s"
+            },
         );
     }
 

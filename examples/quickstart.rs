@@ -45,7 +45,10 @@ fn main() {
     // 3. Recommend for a few users and show how deep into the tail the
     //    suggestions reach.
     for user in [0u32, 7, 42] {
-        println!("\nuser {user} (rated {} items):", data.dataset.rated_items(user).len());
+        println!(
+            "\nuser {user} (rated {} items):",
+            data.dataset.rated_items(user).len()
+        );
         for s in rec.recommend(user, 5) {
             println!(
                 "  item {:>4}  popularity {:>3}  {}  score {:.3}",

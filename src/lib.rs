@@ -68,8 +68,8 @@ pub mod prelude {
     pub use longtail_core::{
         AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
         AssociationRuleRecommender, EntropySource, GraphRecConfig, HittingTimeRecommender,
-        KnnRecommender, LdaRecommender, PageRankFlavor, PageRankRecommender,
-        PureSvdRecommender, Recommender, RuleConfig, ScoredItem, UserSimilarity,
+        KnnRecommender, LdaRecommender, PageRankFlavor, PageRankRecommender, PureSvdRecommender,
+        Recommender, RuleConfig, ScoredItem, UserSimilarity,
     };
     pub use longtail_data::{
         holdout_longtail_favorites, Dataset, LongTailSplit, Ontology, ProtocolSplit, Rating,

@@ -79,8 +79,14 @@ fn diversity_ordering_matches_table_2() {
     let lda = LdaRecommender::train(train, 8);
     let users = sample_test_users(&train.user_activity(), 100, 3, 17);
 
-    let at_div = diversity(&RecommendationLists::compute(&at, &users, 10, 2), train.n_items());
-    let lda_div = diversity(&RecommendationLists::compute(&lda, &users, 10, 2), train.n_items());
+    let at_div = diversity(
+        &RecommendationLists::compute(&at, &users, 10, 2),
+        train.n_items(),
+    );
+    let lda_div = diversity(
+        &RecommendationLists::compute(&lda, &users, 10, 2),
+        train.n_items(),
+    );
     assert!(
         at_div > 2.0 * lda_div,
         "walk diversity {at_div:.3} must dwarf LDA {lda_div:.3} (Table 2's pattern)"
@@ -160,7 +166,10 @@ fn mu_budget_quality_saturates_like_table_4() {
                 iterations: 15,
             },
         );
-        mean_popularity(&RecommendationLists::compute(&rec, &users, 10, 2), &popularity)
+        mean_popularity(
+            &RecommendationLists::compute(&rec, &users, 10, 2),
+            &popularity,
+        )
     };
 
     let pops: Vec<f64> = [60usize, 220, 560, usize::MAX]
@@ -168,7 +177,10 @@ fn mu_budget_quality_saturates_like_table_4() {
         .map(|&mu| pop_at_mu(mu))
         .collect();
     // Monotone decrease toward the tail...
-    assert!(pops[0] > pops[1] && pops[1] > pops[2], "popularity not decreasing: {pops:?}");
+    assert!(
+        pops[0] > pops[1] && pops[1] > pops[2],
+        "popularity not decreasing: {pops:?}"
+    );
     // ...and saturation once the budget covers the catalog.
     assert!(
         (pops[2] - pops[3]).abs() < 1e-9,

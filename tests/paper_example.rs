@@ -68,15 +68,11 @@ fn every_walk_recommender_surfaces_the_niche_movie() {
     let ac1 = AbsorbingCostRecommender::item_entropy(&dataset, ac_config);
     let ac2 = AbsorbingCostRecommender::topic_entropy_auto(&dataset, 2, ac_config);
 
-    for rec in [
-        &ht as &dyn Recommender,
-        &at,
-        &ac1,
-        &ac2,
-    ] {
+    for rec in [&ht as &dyn Recommender, &at, &ac1, &ac2] {
         let top = rec.recommend(4, 1);
         assert_eq!(
-            top[0].item, 3,
+            top[0].item,
+            3,
             "{} should recommend M4 to U5, got {:?}",
             rec.name(),
             top

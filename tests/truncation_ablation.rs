@@ -41,9 +41,7 @@ fn truncated_tau_15_matches_exact_topk() {
 
         // Rank candidate item nodes (non-absorbing items) both ways.
         let candidates: Vec<usize> = (0..sub.n_nodes())
-            .filter(|&l| {
-                graph.is_item_node(sub.global_id(l as u32)) && !absorbing.contains(&l)
-            })
+            .filter(|&l| graph.is_item_node(sub.global_id(l as u32)) && !absorbing.contains(&l))
             .collect();
         if candidates.len() < 20 {
             continue;

@@ -1,0 +1,108 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] produces random values of its `Value` type from the
+//! runner's generator. Unlike real proptest there is no value tree and no
+//! shrinking: `sample` returns the value directly.
+
+use crate::test_runner::Rng;
+use std::ops::Range;
+
+/// A recipe for generating random values.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut Rng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut Rng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+
+    fn sample(&self, rng: &mut Rng) -> i32 {
+        assert!(self.start < self.end, "empty strategy range");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        (self.start as i64 + rng.below(span) as i64) as i32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A / 0);
+    (A / 0, B / 1);
+    (A / 0, B / 1, C / 2);
+    (A / 0, B / 1, C / 2, D / 3);
+    (A / 0, B / 1, C / 2, D / 3, E / 4);
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+}

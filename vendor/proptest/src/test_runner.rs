@@ -1,0 +1,135 @@
+//! Case scheduling, configuration and failure reporting.
+
+use std::fmt;
+
+/// Configuration of a property test run.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+    /// Base seed; case `k` runs with a generator derived from `seed` and `k`.
+    pub seed: u64,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            seed: 0x70_72_6f_70, // "prop"
+        }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    rejection: bool,
+}
+
+impl TestCaseError {
+    /// A failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            rejection: false,
+        }
+    }
+
+    /// A rejection (`prop_assume!` miss): the case is skipped, not failed.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            rejection: true,
+        }
+    }
+
+    /// Whether this error is a rejection rather than a failure.
+    pub fn is_rejection(&self) -> bool {
+        self.rejection
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Drives the per-case generators of one property.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: Rng,
+}
+
+impl TestRunner {
+    /// A runner for `config`.
+    pub fn new(config: ProptestConfig) -> Self {
+        Self {
+            config,
+            rng: Rng::new(config.seed),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The generator for case number `case` (deterministic in
+    /// `(seed, case)`, so failures are replayable).
+    pub fn rng_for_case(&mut self, case: u32) -> &mut Rng {
+        self.rng =
+            Rng::new(self.config.seed ^ (case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        &mut self.rng
+    }
+}
+
+/// The deterministic SplitMix64 generator strategies sample from.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeded construction.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next uniform 64-bit word.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}

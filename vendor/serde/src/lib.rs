@@ -1,0 +1,47 @@
+//! Offline stand-in for `serde`.
+//!
+//! No JSON backend is available offline, so serialization never actually
+//! runs; the workspace only needs the trait *bounds* (for forward-compatible
+//! API signatures) and the derive attributes to compile. `Serialize` and
+//! `Deserialize` are therefore marker traits with blanket impls, and the
+//! derives (re-exported from the vendored `serde_derive`) expand to nothing.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types. Blanket-implemented: every type is
+/// "serializable" in the offline stand-in.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types, blanket-implemented like [`Serialize`].
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Deserialization-side traits.
+pub mod de {
+    /// Marker for owned-deserializable types, blanket-implemented.
+    pub trait DeserializeOwned {}
+
+    impl<T> DeserializeOwned for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Probe {
+        #[allow(dead_code)]
+        x: u32,
+    }
+
+    #[test]
+    fn bounds_are_satisfied_by_derive() {
+        fn assert_bounds<T: crate::Serialize + crate::de::DeserializeOwned>() {}
+        assert_bounds::<Probe>();
+    }
+}

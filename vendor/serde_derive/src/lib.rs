@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` gives `Serialize`/`DeserializeOwned` blanket impls
+//! (no actual serialization happens offline), so these derives only need to
+//! exist for `#[derive(Serialize, Deserialize)]` attributes to parse. They
+//! expand to nothing.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
