@@ -7,7 +7,11 @@
 //! * `context`      — the kernel + `ScoringContext` path, one user per
 //!   iteration through a reused context;
 //! * `batch64/t4`   — 64 users through `Recommender::score_batch` at 4
-//!   worker threads, measured per batch.
+//!   worker threads, measured per batch;
+//! * `topk_sort`    — top-10 by materializing the score vector and running
+//!   `top_k` over it, one user per iteration;
+//! * `topk_fused`   — top-10 through the fused `recommend_into` path, one
+//!   user per iteration.
 //!
 //! `cargo run --release -p longtail-bench --bin bench_walk_scoring` runs the
 //! same comparison standalone and writes `BENCH_walk_scoring.json`.
@@ -15,7 +19,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use longtail_bench::baseline;
 use longtail_core::{
-    AbsorbingCostConfig, AbsorbingCostRecommender, GraphRecConfig, HittingTimeRecommender,
+    top_k, AbsorbingCostConfig, AbsorbingCostRecommender, GraphRecConfig, HittingTimeRecommender,
     Recommender, ScoringContext,
 };
 use longtail_data::{SyntheticConfig, SyntheticData};
@@ -67,6 +71,27 @@ fn bench_walk_scoring(c: &mut Criterion) {
     group.bench_function("ht/batch64_t4", |b| {
         b.iter(|| ht.score_batch(&users, 4));
     });
+    let mut ctx = ScoringContext::new();
+    let mut out = Vec::new();
+    group.bench_function("ht/topk_sort", |b| {
+        b.iter(|| {
+            let u = users[cursor % users.len()];
+            cursor += 1;
+            ht.score_into(u, &mut ctx, &mut out);
+            let rated = ht.rated_items(u);
+            top_k(&out, 10, |i| rated.binary_search(&i).is_ok())
+        });
+    });
+    let mut ctx = ScoringContext::new();
+    let mut list = Vec::new();
+    group.bench_function("ht/topk_fused", |b| {
+        b.iter(|| {
+            let u = users[cursor % users.len()];
+            cursor += 1;
+            ht.recommend_into(u, 10, &mut ctx, &mut list);
+            list.first().copied()
+        });
+    });
 
     group.bench_function("ac1/prerefactor", |b| {
         b.iter(|| {
@@ -93,6 +118,27 @@ fn bench_walk_scoring(c: &mut Criterion) {
     });
     group.bench_function("ac1/batch64_t4", |b| {
         b.iter(|| ac1.score_batch(&users, 4));
+    });
+    let mut ctx = ScoringContext::new();
+    let mut out = Vec::new();
+    group.bench_function("ac1/topk_sort", |b| {
+        b.iter(|| {
+            let u = users[cursor % users.len()];
+            cursor += 1;
+            ac1.score_into(u, &mut ctx, &mut out);
+            let rated = ac1.rated_items(u);
+            top_k(&out, 10, |i| rated.binary_search(&i).is_ok())
+        });
+    });
+    let mut ctx = ScoringContext::new();
+    let mut list = Vec::new();
+    group.bench_function("ac1/topk_fused", |b| {
+        b.iter(|| {
+            let u = users[cursor % users.len()];
+            cursor += 1;
+            ac1.recommend_into(u, 10, &mut ctx, &mut list);
+            list.first().copied()
+        });
     });
 
     group.finish();

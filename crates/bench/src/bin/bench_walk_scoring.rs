@@ -1,17 +1,20 @@
-//! Walk-scoring perf baseline: sequential pre-refactor vs batch scoring.
+//! Walk-scoring perf baseline: sequential pre-refactor vs batch scoring,
+//! plus fused top-k serving vs score-then-sort.
 //!
 //! Times 64-user scoring for HT and AC1 on a synthetic long-tail corpus
 //! three ways — the seed's pre-refactor query path run sequentially, the
 //! kernel + `ScoringContext` path run sequentially, and
 //! `Recommender::score_batch` at 1 and 4 worker threads — plus single-query
-//! latency for both paths, and writes a machine-readable summary to
-//! `BENCH_walk_scoring.json` so future PRs have a perf trajectory.
+//! latency for both paths, and the top-10 *recommendation* comparison
+//! (materialize-and-sort vs the fused `recommend_into`/`recommend_batch`
+//! path), writing a machine-readable summary to `BENCH_walk_scoring.json`
+//! so future PRs have a perf trajectory.
 //!
 //! Run with `cargo run --release -p longtail-bench --bin bench_walk_scoring`.
 
 use longtail_bench::baseline;
 use longtail_core::{
-    AbsorbingCostConfig, AbsorbingCostRecommender, GraphRecConfig, HittingTimeRecommender,
+    top_k, AbsorbingCostConfig, AbsorbingCostRecommender, GraphRecConfig, HittingTimeRecommender,
     Recommender, ScoringContext,
 };
 use longtail_data::{SyntheticConfig, SyntheticData};
@@ -21,6 +24,7 @@ use std::time::Instant;
 
 const BATCH: usize = 64;
 const REPEATS: usize = 5;
+const TOP_K: usize = 10;
 
 /// Best-of-`REPEATS` wall-clock seconds for `f`.
 fn time_best(mut f: impl FnMut()) -> f64 {
@@ -100,6 +104,73 @@ fn single_query_seconds(f: impl FnMut()) -> f64 {
     time_best(f)
 }
 
+/// Top-10 recommendation for the batch: score-then-sort (full vector +
+/// `top_k` scan) vs the fused `recommend_into` path, plus the parallel
+/// `recommend_batch` form.
+///
+/// Measured on a serving-scale catalog (see `main`): the point of the fused
+/// path is that query cost tracks the *visited subgraph*, not the catalog,
+/// so the catalog must be large enough for `O(n_items)` materialization to
+/// register at all.
+fn measure_recommend(
+    label: &'static str,
+    users: &[u32],
+    rec: &dyn Recommender,
+) -> Vec<Measurement> {
+    let mut out = Vec::new();
+
+    let mut ctx = ScoringContext::new();
+    let mut scores = Vec::new();
+    let score_then_sort = time_best(|| {
+        for &u in users {
+            rec.score_into(u, &mut ctx, &mut scores);
+            let rated = rec.rated_items(u);
+            let list = top_k(&scores, TOP_K, |i| rated.binary_search(&i).is_ok());
+            std::hint::black_box(&list);
+        }
+    });
+    out.push(Measurement {
+        name: "score_then_sort",
+        seconds_per_batch: score_then_sort,
+    });
+
+    let mut ctx = ScoringContext::new();
+    let mut list = Vec::new();
+    let fused = time_best(|| {
+        for &u in users {
+            rec.recommend_into(u, TOP_K, &mut ctx, &mut list);
+            std::hint::black_box(&list);
+        }
+    });
+    out.push(Measurement {
+        name: "fused_topk",
+        seconds_per_batch: fused,
+    });
+
+    for (name, threads) in [("recommend_batch_t1", 1usize), ("recommend_batch_t4", 4)] {
+        let t = time_best(|| {
+            std::hint::black_box(rec.recommend_batch(users, TOP_K, threads));
+        });
+        out.push(Measurement {
+            name,
+            seconds_per_batch: t,
+        });
+    }
+
+    println!("\n{label} top-{TOP_K} recommend: {BATCH} users, best of {REPEATS} runs");
+    let base = out[0].seconds_per_batch;
+    for m in &out {
+        println!(
+            "  {:<24} {:>10.4} ms/batch  {:>8.4} ms/query  {:>5.2}x vs score-then-sort",
+            m.name,
+            m.seconds_per_batch * 1e3,
+            m.seconds_per_batch * 1e3 / BATCH as f64,
+            base / m.seconds_per_batch
+        );
+    }
+    out
+}
+
 fn main() {
     let config = SyntheticConfig {
         n_users: 600,
@@ -147,6 +218,36 @@ fn main() {
         )
     });
 
+    // Fused top-k vs score-then-sort on a serving-scale catalog: the same
+    // walk budget, but a catalog where building + scanning a full score
+    // vector per query is real work. Query cost on the fused path tracks
+    // the visited subgraph, so it is insensitive to this scaling.
+    let serve_config = SyntheticConfig {
+        n_users: 2200,
+        n_items: 24_000,
+        ..SyntheticConfig::douban_like()
+    };
+    let serve_data = SyntheticData::generate(&serve_config);
+    let serve_train = &serve_data.dataset;
+    let serve_users = sample_test_users(&serve_train.user_activity(), BATCH, 3, 0xbe9c);
+    assert_eq!(serve_users.len(), BATCH, "serving corpus too small");
+    let serve_ht = HittingTimeRecommender::new(serve_train, walk_config);
+    let serve_ac1 = AbsorbingCostRecommender::item_entropy(
+        serve_train,
+        AbsorbingCostConfig {
+            graph: walk_config,
+            item_entry_cost: 1.0,
+        },
+    );
+    println!(
+        "\nserving corpus: {} users x {} items, {} ratings, k={TOP_K}",
+        serve_train.n_users(),
+        serve_train.n_items(),
+        serve_train.n_ratings()
+    );
+    let ht_recommend = measure_recommend("HT", &serve_users, &serve_ht);
+    let ac_recommend = measure_recommend("AC1", &serve_users, &serve_ac1);
+
     // Single-query latency: the refactored path must not regress.
     let probe = users[0];
     let single_pre = single_query_seconds(|| {
@@ -171,9 +272,12 @@ fn main() {
 
     let json = render_json(
         &config,
+        &serve_config,
         &walk_config,
         &ht_measurements,
         &ac_measurements,
+        &ht_recommend,
+        &ac_recommend,
         single_pre,
         single_ctx,
     );
@@ -182,23 +286,28 @@ fn main() {
     println!("\nwrote {path}");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     config: &SyntheticConfig,
+    serve_config: &SyntheticConfig,
     walk: &GraphRecConfig,
     ht: &[Measurement],
     ac: &[Measurement],
+    ht_rec: &[Measurement],
+    ac_rec: &[Measurement],
     single_pre: f64,
     single_ctx: f64,
 ) -> String {
-    fn series(ms: &[Measurement]) -> String {
+    fn series(ms: &[Measurement], baseline_key: &str) -> String {
         let base = ms[0].seconds_per_batch;
         let entries: Vec<String> = ms
             .iter()
             .map(|m| {
                 format!(
-                    "      {{\"name\": \"{}\", \"seconds_per_batch\": {:.6e}, \"speedup_vs_prerefactor\": {:.3}}}",
+                    "      {{\"name\": \"{}\", \"seconds_per_batch\": {:.6e}, \"{}\": {:.3}}}",
                     m.name,
                     m.seconds_per_batch,
+                    baseline_key,
                     base / m.seconds_per_batch
                 )
             })
@@ -211,14 +320,21 @@ fn render_json(
          \"walk\": {{\"max_items\": {}, \"iterations\": {}}},\n  \
          \"threads\": {},\n  \
          \"results\": {{\n    \"HT\": [\n{}\n    ],\n    \"AC1\": [\n{}\n    ]\n  }},\n  \
+         \"recommend_topk\": {{\n    \"k\": {TOP_K},\n    \
+         \"dataset\": {{\"n_users\": {}, \"n_items\": {}}},\n    \
+         \"HT\": [\n{}\n    ],\n    \"AC1\": [\n{}\n    ]\n  }},\n  \
          \"single_query_ht\": {{\"prerefactor_seconds\": {:.6e}, \"context_seconds\": {:.6e}, \"speedup\": {:.3}}}\n}}\n",
         config.n_users,
         config.n_items,
         walk.max_items,
         walk.iterations,
         std::thread::available_parallelism().map_or(1, |p| p.get()),
-        series(ht),
-        series(ac),
+        series(ht, "speedup_vs_prerefactor"),
+        series(ac, "speedup_vs_prerefactor"),
+        serve_config.n_users,
+        serve_config.n_items,
+        series(ht_rec, "speedup_vs_score_then_sort"),
+        series(ac_rec, "speedup_vs_score_then_sort"),
         single_pre,
         single_ctx,
         single_pre / single_ctx

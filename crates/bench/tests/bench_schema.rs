@@ -1,0 +1,91 @@
+//! Schema guard for `BENCH_walk_scoring.json`.
+//!
+//! The committed benchmark summary is the repo's perf trajectory: PRs diff
+//! it to prove the hot path didn't regress. That only works if the file's
+//! shape is stable, so this test fails on any schema drift — a renamed
+//! series, a dropped section, a missing measurement — independent of the
+//! (machine-specific) numbers. Regenerate the file with
+//! `cargo run --release -p longtail-bench --bin bench_walk_scoring` after
+//! intentionally changing the emitter, keeping this test in sync.
+
+use std::path::PathBuf;
+
+fn bench_json() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_walk_scoring.json");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("BENCH_walk_scoring.json must be committed at repo root: {e}"))
+}
+
+#[test]
+fn walk_scoring_summary_keeps_its_schema() {
+    let json = bench_json();
+
+    // Top-level sections.
+    for key in [
+        "\"bench\": \"walk_scoring\"",
+        "\"batch_users\"",
+        "\"repeats_best_of\"",
+        "\"dataset\"",
+        "\"walk\"",
+        "\"threads\"",
+        "\"results\"",
+        "\"recommend_topk\"",
+        "\"single_query_ht\"",
+    ] {
+        assert!(json.contains(key), "schema drift: missing {key}");
+    }
+
+    // Scoring series: both algorithms, all four measurements, with the
+    // speedup field keyed to the pre-refactor baseline.
+    for algo in ["\"HT\": [", "\"AC1\": ["] {
+        assert_eq!(
+            json.matches(algo).count(),
+            2,
+            "schema drift: {algo} must appear in both results and recommend_topk"
+        );
+    }
+    for series in [
+        "sequential_prerefactor",
+        "sequential_context",
+        "batch_t1",
+        "batch_t4",
+    ] {
+        assert_eq!(
+            json.matches(&format!("\"name\": \"{series}\"")).count(),
+            2,
+            "schema drift: scoring series {series} missing for an algorithm"
+        );
+    }
+    assert!(json.contains("\"speedup_vs_prerefactor\""));
+
+    // Fused top-k series: score-then-sort baseline plus the fused and batch
+    // forms, with speedups keyed to score-then-sort.
+    assert!(json.contains("\"k\": 10"), "schema drift: recommend_topk.k");
+    for series in [
+        "score_then_sort",
+        "fused_topk",
+        "recommend_batch_t1",
+        "recommend_batch_t4",
+    ] {
+        assert_eq!(
+            json.matches(&format!("\"name\": \"{series}\"")).count(),
+            2,
+            "schema drift: recommend series {series} missing for an algorithm"
+        );
+    }
+    assert!(json.contains("\"speedup_vs_score_then_sort\""));
+
+    // Single-query latency fields.
+    for key in [
+        "\"prerefactor_seconds\"",
+        "\"context_seconds\"",
+        "\"speedup\"",
+    ] {
+        assert!(json.contains(key), "schema drift: single_query_ht.{key}");
+    }
+
+    // Structural sanity: brace balance, so a truncated write is caught too.
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced JSON braces");
+}

@@ -8,6 +8,7 @@
 //! `O(n_nodes)` allocations at all (buffers are resized in place, retaining
 //! capacity across queries).
 
+use crate::topk::TopKCollector;
 use longtail_graph::SubgraphScratch;
 use longtail_markov::{DpBuffers, PageRankBuffers};
 
@@ -36,6 +37,19 @@ pub struct ScoringContext {
     /// General-purpose `f64` scratch for model-specific intermediates
     /// (e.g. PureSVD's factor-space projection).
     pub(crate) scratch: Vec<f64>,
+    /// Bounded heap for fused top-k queries
+    /// ([`crate::Recommender::recommend_into`]).
+    pub(crate) topk: TopKCollector,
+    /// Full score vector scratch for the score-then-sort fallback of
+    /// [`crate::Recommender::recommend_into`].
+    pub(crate) score_buf: Vec<f64>,
+    /// Dense sparse-candidate accumulator for the fused kNN / association-
+    /// rule paths. Invariant between queries: every slot is
+    /// `f64::NEG_INFINITY` (each query restores the slots it touched), so a
+    /// fused query costs `O(candidates)`, not `O(n_items)`.
+    pub(crate) accum: Vec<f64>,
+    /// Item ids whose [`ScoringContext::accum`] slot the current query set.
+    pub(crate) touched: Vec<u32>,
 }
 
 impl ScoringContext {

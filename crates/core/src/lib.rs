@@ -52,7 +52,7 @@ pub use recommenders::{
     HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor, PageRankRecommender,
     PureSvdRecommender, RuleConfig, UserSimilarity,
 };
-pub use topk::{rank_of, top_k, ScoredItem};
+pub use topk::{rank_of, top_k, ScoredItem, TopKCollector};
 
 /// A top-N recommendation algorithm over a fixed training dataset.
 ///
@@ -62,6 +62,13 @@ pub use topk::{rank_of, top_k, ScoredItem};
 /// batch scoring are all provided on top of it. Scores are model-specific
 /// but always ordered "higher = more recommended"; items a model cannot
 /// reach score `f64::NEG_INFINITY` and are never recommended.
+///
+/// Serving rides [`Recommender::recommend_into`] (and its batch form
+/// [`Recommender::recommend_batch`]): a fused top-k path that every
+/// recommender overrides to push candidates into a bounded
+/// [`TopKCollector`] instead of materializing and sorting a full
+/// `O(n_items)` score vector. Fused output is pinned — by property tests —
+/// to be identical to `top_k` over [`Recommender::score_into`].
 ///
 /// `Sync` is a supertrait: every recommender is an immutable model after
 /// construction, and the evaluation harness shares one instance across
@@ -104,10 +111,61 @@ pub trait Recommender: Sync {
     /// [`Recommender::recommend`] through a caller-owned context — the form
     /// to use when producing lists for many users.
     fn recommend_with(&self, user: u32, k: usize, ctx: &mut ScoringContext) -> Vec<ScoredItem> {
-        let mut scores = Vec::new();
+        let mut out = Vec::new();
+        self.recommend_into(user, k, ctx, &mut out);
+        out
+    }
+
+    /// Write the top-`k` recommendations for `user` into `out` (cleared
+    /// first), excluding training items — the fused serving primitive.
+    ///
+    /// The contract, pinned by the equivalence property tests: the result is
+    /// item-for-item and score-for-score identical to
+    /// `top_k(score_into(user), k, rated)`, including tie-breaking by
+    /// ascending item id. The default implementation *is* that score-then-
+    /// sort computation (through reusable context buffers); recommenders
+    /// override it with fused paths that push candidates straight into the
+    /// context's [`TopKCollector`] — only the visited subgraph for the walk
+    /// family, only the candidate set for kNN / association rules — so no
+    /// `O(n_items)` score vector is materialized or sorted.
+    fn recommend_into(
+        &self,
+        user: u32,
+        k: usize,
+        ctx: &mut ScoringContext,
+        out: &mut Vec<ScoredItem>,
+    ) {
+        // Move the score buffer out of the context so `score_into` can
+        // borrow the rest of it; capacity is retained across queries.
+        let mut scores = std::mem::take(&mut ctx.score_buf);
         self.score_into(user, ctx, &mut scores);
         let rated = self.rated_items(user);
-        top_k(&scores, k, |i| rated.binary_search(&i).is_ok())
+        ctx.topk.reset(k);
+        for (i, &s) in scores.iter().enumerate() {
+            let i = i as u32;
+            if rated.binary_search(&i).is_err() {
+                ctx.topk.push(i, s);
+            }
+        }
+        ctx.topk.drain_sorted_into(out);
+        ctx.score_buf = scores;
+    }
+
+    /// Top-`k` lists for a batch of users, sharding the queries over
+    /// `n_threads` scoped worker threads that each own one
+    /// [`ScoringContext`] — the top-k counterpart of
+    /// [`Recommender::score_batch`].
+    ///
+    /// `results[j]` is exactly what `recommend(users[j], k)` returns —
+    /// output is bit-identical to the sequential loop for every thread
+    /// count, with workers pulling queries off a shared atomic cursor so
+    /// stragglers cannot imbalance the shards.
+    fn recommend_batch(&self, users: &[u32], k: usize, n_threads: usize) -> Vec<Vec<ScoredItem>> {
+        parallel_map_indexed(users.len(), n_threads, ScoringContext::new, |ctx, idx| {
+            let mut out = Vec::new();
+            self.recommend_into(users[idx], k, ctx, &mut out);
+            out
+        })
     }
 
     /// Score a batch of users, sharding the queries over `n_threads` scoped

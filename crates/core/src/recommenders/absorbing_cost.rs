@@ -12,8 +12,10 @@
 
 use crate::config::AbsorbingCostConfig;
 use crate::context::ScoringContext;
-use crate::walk_common::{grow_absorbing_subgraph, reset_scores, write_scores_from_scratch};
-use crate::Recommender;
+use crate::walk_common::{
+    collect_walk_topk, grow_absorbing_subgraph, reset_scores, write_scores_from_scratch,
+};
+use crate::{Recommender, ScoredItem};
 use longtail_data::Dataset;
 use longtail_graph::{BipartiteGraph, Node};
 use longtail_markov::{truncated_costs_into, SliceCost};
@@ -105,6 +107,24 @@ impl AbsorbingCostRecommender {
                 }),
         );
     }
+
+    /// Run the entropy-biased absorbing-cost walk for `user`, leaving
+    /// per-node costs in `ctx.walk`. Returns `false` when the user rated
+    /// nothing (no absorbing set).
+    fn run_walk(&self, user: u32, ctx: &mut ScoringContext) -> bool {
+        if !grow_absorbing_subgraph(&self.graph, user, self.config.graph.max_items, ctx) {
+            return false;
+        }
+        self.fill_local_costs(ctx.subgraph.global_ids(), &mut ctx.entry_costs);
+        truncated_costs_into(
+            ctx.subgraph.kernel(),
+            &ctx.absorbing,
+            &SliceCost(&ctx.entry_costs),
+            self.config.graph.iterations,
+            &mut ctx.walk,
+        );
+        true
+    }
 }
 
 impl Recommender for AbsorbingCostRecommender {
@@ -117,18 +137,31 @@ impl Recommender for AbsorbingCostRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        if !grow_absorbing_subgraph(&self.graph, user, self.config.graph.max_items, ctx) {
-            return;
+        if self.run_walk(user, ctx) {
+            write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
-        self.fill_local_costs(ctx.subgraph.global_ids(), &mut ctx.entry_costs);
-        let costs = truncated_costs_into(
-            ctx.subgraph.kernel(),
-            &ctx.absorbing,
-            &SliceCost(&ctx.entry_costs),
-            self.config.graph.iterations,
-            &mut ctx.walk,
-        );
-        write_scores_from_scratch(&self.graph, &ctx.subgraph, costs, out);
+    }
+
+    fn recommend_into(
+        &self,
+        user: u32,
+        k: usize,
+        ctx: &mut ScoringContext,
+        out: &mut Vec<ScoredItem>,
+    ) {
+        // Fused: only subgraph-visited items can carry a finite absorbing
+        // cost, so the collector sees the visited neighborhood only.
+        ctx.topk.reset(k);
+        if self.run_walk(user, ctx) {
+            collect_walk_topk(
+                &self.graph,
+                &ctx.subgraph,
+                &ctx.walk,
+                self.rated_items(user),
+                &mut ctx.topk,
+            );
+        }
+        ctx.topk.drain_sorted_into(out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {

@@ -8,8 +8,10 @@
 
 use crate::config::GraphRecConfig;
 use crate::context::ScoringContext;
-use crate::walk_common::{grow_absorbing_subgraph, reset_scores, write_scores_from_scratch};
-use crate::Recommender;
+use crate::walk_common::{
+    collect_walk_topk, grow_absorbing_subgraph, reset_scores, write_scores_from_scratch,
+};
+use crate::{Recommender, ScoredItem};
 use longtail_data::Dataset;
 use longtail_graph::BipartiteGraph;
 use longtail_markov::{truncated_costs_into, UnitCost};
@@ -40,6 +42,23 @@ impl AbsorbingTimeRecommender {
     pub fn absorbing_times(&self, user: u32) -> Vec<f64> {
         self.score_items(user).iter().map(|s| -s).collect()
     }
+
+    /// Run the absorbing-time walk for `user`, leaving per-node times in
+    /// `ctx.walk`. Returns `false` when the user rated nothing (no
+    /// absorbing set).
+    fn run_walk(&self, user: u32, ctx: &mut ScoringContext) -> bool {
+        if !grow_absorbing_subgraph(&self.graph, user, self.config.max_items, ctx) {
+            return false;
+        }
+        truncated_costs_into(
+            ctx.subgraph.kernel(),
+            &ctx.absorbing,
+            &UnitCost,
+            self.config.iterations,
+            &mut ctx.walk,
+        );
+        true
+    }
 }
 
 impl Recommender for AbsorbingTimeRecommender {
@@ -49,17 +68,31 @@ impl Recommender for AbsorbingTimeRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        if !grow_absorbing_subgraph(&self.graph, user, self.config.max_items, ctx) {
-            return;
+        if self.run_walk(user, ctx) {
+            write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
-        let times = truncated_costs_into(
-            ctx.subgraph.kernel(),
-            &ctx.absorbing,
-            &UnitCost,
-            self.config.iterations,
-            &mut ctx.walk,
-        );
-        write_scores_from_scratch(&self.graph, &ctx.subgraph, times, out);
+    }
+
+    fn recommend_into(
+        &self,
+        user: u32,
+        k: usize,
+        ctx: &mut ScoringContext,
+        out: &mut Vec<ScoredItem>,
+    ) {
+        // Fused: only subgraph-visited items can score; the rated set is
+        // absorbing (time 0) but also excluded, so it never surfaces.
+        ctx.topk.reset(k);
+        if self.run_walk(user, ctx) {
+            collect_walk_topk(
+                &self.graph,
+                &ctx.subgraph,
+                &ctx.walk,
+                self.rated_items(user),
+                &mut ctx.topk,
+            );
+        }
+        ctx.topk.drain_sorted_into(out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {

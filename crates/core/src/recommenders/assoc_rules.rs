@@ -7,7 +7,7 @@
 //! thresholds and exists to demonstrate exactly that bias against the
 //! walk-based methods.
 
-use crate::Recommender;
+use crate::{Recommender, ScoredItem, ScoringContext};
 use longtail_data::Dataset;
 use longtail_graph::CsrMatrix;
 
@@ -113,6 +113,47 @@ impl Recommender for AssociationRuleRecommender {
                 }
             }
         }
+    }
+
+    fn recommend_into(
+        &self,
+        user: u32,
+        k: usize,
+        ctx: &mut ScoringContext,
+        out: &mut Vec<ScoredItem>,
+    ) {
+        // Fused: the candidate set is only the consequents of rules firing
+        // from the user's rated antecedents. Max-aggregate into the
+        // context's all-`-∞` dense scratch (same comparison as
+        // `score_into`), then drain the touched slots through the bounded
+        // heap, restoring the scratch invariant as we go.
+        ctx.topk.reset(k);
+        let n_items = self.user_items.cols();
+        if ctx.accum.len() != n_items {
+            ctx.accum.clear();
+            ctx.accum.resize(n_items, f64::NEG_INFINITY);
+        }
+        ctx.touched.clear();
+        for &a in self.user_items.row(user as usize).0 {
+            for &(b, conf) in &self.rules[a as usize] {
+                let slot = &mut ctx.accum[b as usize];
+                if conf > *slot {
+                    if *slot == f64::NEG_INFINITY {
+                        ctx.touched.push(b);
+                    }
+                    *slot = conf;
+                }
+            }
+        }
+        let rated = self.rated_items(user);
+        for &b in &ctx.touched {
+            let score = ctx.accum[b as usize];
+            ctx.accum[b as usize] = f64::NEG_INFINITY;
+            if rated.binary_search(&b).is_err() {
+                ctx.topk.push(b, score);
+            }
+        }
+        ctx.topk.drain_sorted_into(out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {

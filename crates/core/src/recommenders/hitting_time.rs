@@ -8,8 +8,8 @@
 
 use crate::config::GraphRecConfig;
 use crate::context::ScoringContext;
-use crate::walk_common::{reset_scores, write_scores_from_scratch};
-use crate::Recommender;
+use crate::walk_common::{collect_walk_topk, reset_scores, write_scores_from_scratch};
+use crate::{Recommender, ScoredItem};
 use longtail_data::Dataset;
 use longtail_graph::BipartiteGraph;
 use longtail_markov::{truncated_costs_into, UnitCost};
@@ -34,6 +34,32 @@ impl HittingTimeRecommender {
     pub fn graph(&self) -> &BipartiteGraph {
         &self.graph
     }
+
+    /// Run the hitting-time walk for `user`, leaving the per-node times in
+    /// `ctx.walk`. Returns `false` when the query user reaches nothing (an
+    /// unrated, isolated node).
+    fn run_walk(&self, user: u32, ctx: &mut ScoringContext) -> bool {
+        let q = self.graph.user_node(user);
+        ctx.subgraph.grow(&self.graph, &[q], self.config.max_items);
+        if ctx.subgraph.n_nodes() == 1 {
+            return false;
+        }
+        let local_q = ctx
+            .subgraph
+            .local_id(q)
+            .expect("seed user is always admitted");
+        ctx.absorbing.clear();
+        ctx.absorbing.resize(ctx.subgraph.n_nodes(), false);
+        ctx.absorbing[local_q as usize] = true;
+        truncated_costs_into(
+            ctx.subgraph.kernel(),
+            &ctx.absorbing,
+            &UnitCost,
+            self.config.iterations,
+            &mut ctx.walk,
+        );
+        true
+    }
 }
 
 impl Recommender for HittingTimeRecommender {
@@ -43,27 +69,31 @@ impl Recommender for HittingTimeRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        let q = self.graph.user_node(user);
-        ctx.subgraph.grow(&self.graph, &[q], self.config.max_items);
-        // An unrated (isolated) query user reaches nothing.
-        if ctx.subgraph.n_nodes() == 1 {
-            return;
+        if self.run_walk(user, ctx) {
+            write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
-        let local_q = ctx
-            .subgraph
-            .local_id(q)
-            .expect("seed user is always admitted");
-        ctx.absorbing.clear();
-        ctx.absorbing.resize(ctx.subgraph.n_nodes(), false);
-        ctx.absorbing[local_q as usize] = true;
-        let times = truncated_costs_into(
-            ctx.subgraph.kernel(),
-            &ctx.absorbing,
-            &UnitCost,
-            self.config.iterations,
-            &mut ctx.walk,
-        );
-        write_scores_from_scratch(&self.graph, &ctx.subgraph, times, out);
+    }
+
+    fn recommend_into(
+        &self,
+        user: u32,
+        k: usize,
+        ctx: &mut ScoringContext,
+        out: &mut Vec<ScoredItem>,
+    ) {
+        // Fused: only subgraph-visited items can score, so collect them
+        // straight from the DP state — no global score vector, no full sort.
+        ctx.topk.reset(k);
+        if self.run_walk(user, ctx) {
+            collect_walk_topk(
+                &self.graph,
+                &ctx.subgraph,
+                &ctx.walk,
+                self.rated_items(user),
+                &mut ctx.topk,
+            );
+        }
+        ctx.topk.drain_sorted_into(out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {

@@ -7,7 +7,7 @@
 //! here: on the Figure 2 example it recommends the *locally popular* M1 to
 //! U5 where the walk methods surface the niche M4.
 
-use crate::Recommender;
+use crate::{Recommender, ScoredItem, ScoringContext};
 use longtail_data::Dataset;
 use longtail_graph::CsrMatrix;
 
@@ -165,6 +165,47 @@ impl Recommender for KnnRecommender {
                 }
             }
         }
+    }
+
+    fn recommend_into(
+        &self,
+        user: u32,
+        k: usize,
+        ctx: &mut ScoringContext,
+        out: &mut Vec<ScoredItem>,
+    ) {
+        // Fused: the candidate set is only what the neighbors rated.
+        // Accumulate into the context's all-`-∞` dense scratch (same slot
+        // arithmetic as `score_into`, so scores are bit-identical), then
+        // drain exactly the touched slots through the bounded heap,
+        // restoring the scratch invariant as we go.
+        ctx.topk.reset(k);
+        let n_items = self.user_items.cols();
+        if ctx.accum.len() != n_items {
+            ctx.accum.clear();
+            ctx.accum.resize(n_items, f64::NEG_INFINITY);
+        }
+        ctx.touched.clear();
+        for &(v, sim) in &self.neighbors[user as usize] {
+            for (i, r) in self.user_items.iter_row(v as usize) {
+                let slot = &mut ctx.accum[i as usize];
+                if slot.is_finite() {
+                    *slot += sim * r;
+                } else {
+                    *slot = sim * r;
+                    ctx.touched.push(i);
+                }
+            }
+        }
+        let rated = self.rated_items(user);
+        for &i in &ctx.touched {
+            let score = ctx.accum[i as usize];
+            ctx.accum[i as usize] = f64::NEG_INFINITY;
+            if rated.binary_search(&i).is_err() {
+                ctx.topk.push(i, score);
+            }
+        }
+        ctx.topk.drain_sorted_into(out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {

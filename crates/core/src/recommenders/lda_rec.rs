@@ -63,6 +63,14 @@ impl Recommender for LdaRecommender {
         self.model.score_all_into(user, out);
     }
 
+    // `recommend_into` deliberately keeps the default implementation: the
+    // topic model is dense (every item scores `Σ_z θ̂_u[z] φ̂_z[i]` with φ
+    // stored topic-major), so accumulating the predictive row topic-by-topic
+    // into the context's reused buffer and feeding the bounded heap is the
+    // cache-optimal candidate enumeration. Streaming `LdaModel::score` per
+    // item instead would stride φ by `n_items` per topic — measurably slower
+    // than the "full vector" it avoids.
+
     fn rated_items(&self, user: u32) -> &[u32] {
         self.user_items.row(user as usize).0
     }

@@ -7,7 +7,7 @@
 //! item factors. Zero-filling bakes popularity into the factors, which is
 //! exactly why its recommendations concentrate on the short head (Figure 6).
 
-use crate::Recommender;
+use crate::{Recommender, ScoredItem, ScoringContext};
 use longtail_data::Dataset;
 use longtail_graph::CsrMatrix;
 use longtail_linalg::ops::LinearOp;
@@ -80,6 +80,19 @@ impl PureSvdRecommender {
     fn factors_of(&self, i: usize) -> &[f64] {
         &self.item_factors[i * self.rank..(i + 1) * self.rank]
     }
+
+    /// Project `user`'s sparse rating row onto the factor space (the
+    /// length-f vector `r_u Q`), writing into `projection`.
+    fn project_user(&self, user: u32, projection: &mut Vec<f64>) {
+        projection.clear();
+        projection.resize(self.rank, 0.0);
+        for (i, v) in self.user_items.iter_row(user as usize) {
+            let factors = self.factors_of(i as usize);
+            for (p, &q) in projection.iter_mut().zip(factors.iter()) {
+                *p += v * q;
+            }
+        }
+    }
 }
 
 impl Recommender for PureSvdRecommender {
@@ -90,15 +103,8 @@ impl Recommender for PureSvdRecommender {
     fn score_into(&self, user: u32, ctx: &mut crate::ScoringContext, out: &mut Vec<f64>) {
         // r̂_u = r_u Q Qᵀ: project the sparse rating row onto the factor
         // space (length-f vector), then expand back over the catalog.
-        let projection = &mut ctx.scratch;
-        projection.clear();
-        projection.resize(self.rank, 0.0);
-        for (i, v) in self.user_items.iter_row(user as usize) {
-            let factors = self.factors_of(i as usize);
-            for (p, &q) in projection.iter_mut().zip(factors.iter()) {
-                *p += v * q;
-            }
-        }
+        self.project_user(user, &mut ctx.scratch);
+        let projection = &ctx.scratch;
         let n_items = self.user_items.cols();
         out.clear();
         out.extend((0..n_items).map(|i| {
@@ -108,6 +114,36 @@ impl Recommender for PureSvdRecommender {
                 .map(|(&q, &p)| q * p)
                 .sum::<f64>()
         }));
+    }
+
+    fn recommend_into(
+        &self,
+        user: u32,
+        k: usize,
+        ctx: &mut ScoringContext,
+        out: &mut Vec<ScoredItem>,
+    ) {
+        // Fused: project once, then stream each unrated item's factor dot
+        // product straight into the bounded heap — the catalog expansion
+        // vector is never materialized. The dot is the same expression as
+        // `score_into`, so scores are bit-identical.
+        ctx.topk.reset(k);
+        self.project_user(user, &mut ctx.scratch);
+        let projection = &ctx.scratch;
+        let rated = self.rated_items(user);
+        for i in 0..self.user_items.cols() {
+            if rated.binary_search(&(i as u32)).is_ok() {
+                continue;
+            }
+            let score = self
+                .factors_of(i)
+                .iter()
+                .zip(projection.iter())
+                .map(|(&q, &p)| q * p)
+                .sum::<f64>();
+            ctx.topk.push(i as u32, score);
+        }
+        ctx.topk.drain_sorted_into(out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {

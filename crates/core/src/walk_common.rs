@@ -7,7 +7,9 @@
 //! write through caller-owned buffers (the [`crate::ScoringContext`]), so a
 //! steady-state scoring loop performs no `O(n_nodes)` allocations.
 
+use crate::topk::TopKCollector;
 use longtail_graph::{BipartiteGraph, SubgraphScratch};
+use longtail_markov::DpBuffers;
 
 /// Fill `seeds` with the query user's absorbing set `S_q`: the flat
 /// item-node ids of everything the user rated. Empty if the user rated
@@ -74,6 +76,36 @@ pub(crate) fn write_scores_from_scratch(
             let v = values[local];
             if v.is_finite() {
                 out[global - n_users] = -v;
+            }
+        }
+    }
+}
+
+/// Fused top-k extraction for the walk family: push every *subgraph-local*
+/// item's negated walk value straight from the DP state into `collector`,
+/// skipping the user's `rated` items and unreachable pockets.
+///
+/// This is the step that lets HT/AT/AC serve a top-k query without touching
+/// the global catalog at all — only nodes the BFS actually visited are
+/// walked, and the scores pushed are bit-identical to what
+/// [`write_scores_from_scratch`] would have written (`-value` for finite
+/// values, nothing otherwise).
+pub(crate) fn collect_walk_topk(
+    graph: &BipartiteGraph,
+    scratch: &SubgraphScratch,
+    walk: &DpBuffers,
+    rated: &[u32],
+    collector: &mut TopKCollector,
+) {
+    let n_users = graph.n_users();
+    for (local, &global) in scratch.global_ids().iter().enumerate() {
+        if global >= n_users {
+            let item = (global - n_users) as u32;
+            if rated.binary_search(&item).is_ok() {
+                continue;
+            }
+            if let Some(v) = walk.finite_cost(local as u32) {
+                collector.push(item, -v);
             }
         }
     }

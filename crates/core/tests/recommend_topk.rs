@@ -1,0 +1,207 @@
+//! Fused top-k equivalence: property tests over random bipartite graphs.
+//!
+//! Every recommender overrides [`Recommender::recommend_into`] with a fused
+//! path (subgraph-only collection, candidate-set accumulation, streamed
+//! dots). These properties pin the fused contract for all 8 recommender
+//! families:
+//!
+//! * `recommend_into(user, k)` is **item-for-item and score-for-score
+//!   identical** to `top_k(score_into(user), k, rated)`, including
+//!   tie-breaking by ascending item id, for every user and several `k`
+//!   (0, mid, beyond the catalog);
+//! * `recommend_batch(users, k, t)` is **bit-identical** to the sequential
+//!   `recommend_into` loop for every thread count `t`.
+//!
+//! Case counts honour `PROPTEST_CASES` (see `vendor/proptest`), which CI
+//! pins so the suite stays bounded.
+
+use longtail_core::{
+    top_k, AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
+    AssociationRuleRecommender, GraphRecConfig, HittingTimeRecommender, KnnRecommender,
+    LdaRecommender, PageRankRecommender, PureSvdRecommender, Recommender, RuleConfig, ScoredItem,
+    ScoringContext, UserSimilarity,
+};
+use longtail_data::{Dataset, Rating};
+use longtail_topics::LdaConfig;
+use proptest::prelude::*;
+
+const N_USERS: usize = 8;
+const N_ITEMS: usize = 10;
+
+fn ratings() -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (0..N_USERS as u32, 0..N_ITEMS as u32, 1.0f64..5.0).prop_map(|(user, item, value)| {
+            Rating {
+                user,
+                item,
+                value: value.round().max(1.0),
+            }
+        }),
+        1..60,
+    )
+}
+
+/// The fused contract: for every user and a spread of `k`, the fused list
+/// equals the score-then-sort reference exactly (items, scores, order).
+fn check_fused_equivalence(rec: &dyn Recommender, d: &Dataset) -> Result<(), TestCaseError> {
+    let mut ctx = ScoringContext::new();
+    let mut fused: Vec<ScoredItem> = Vec::new();
+    for u in 0..d.n_users() as u32 {
+        let scores = rec.score_items(u);
+        let rated = rec.rated_items(u);
+        for k in [0usize, 1, 3, N_ITEMS + 3] {
+            let reference = top_k(&scores, k, |i| rated.binary_search(&i).is_ok());
+            rec.recommend_into(u, k, &mut ctx, &mut fused);
+            prop_assert_eq!(
+                &fused,
+                &reference,
+                "{} user {} k {}: fused diverged from score-then-sort",
+                rec.name(),
+                u,
+                k
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The batch contract: `recommend_batch` is bit-identical to the sequential
+/// `recommend_into` loop at every thread count.
+fn check_batch_equivalence(rec: &dyn Recommender, d: &Dataset) -> Result<(), TestCaseError> {
+    let users: Vec<u32> = (0..d.n_users() as u32).collect();
+    let mut ctx = ScoringContext::new();
+    let sequential: Vec<Vec<ScoredItem>> = users
+        .iter()
+        .map(|&u| {
+            let mut out = Vec::new();
+            rec.recommend_into(u, 5, &mut ctx, &mut out);
+            out
+        })
+        .collect();
+    for n_threads in [1usize, 2, 4] {
+        let batch = rec.recommend_batch(&users, 5, n_threads);
+        prop_assert_eq!(
+            &batch,
+            &sequential,
+            "{} diverged at {} threads",
+            rec.name(),
+            n_threads
+        );
+    }
+    Ok(())
+}
+
+fn check_both(rec: &dyn Recommender, d: &Dataset) -> Result<(), TestCaseError> {
+    check_fused_equivalence(rec, d)?;
+    check_batch_equivalence(rec, d)
+}
+
+proptest! {
+    #[test]
+    fn hitting_time_fused_matches_score_then_sort(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        let rec = HittingTimeRecommender::new(&d, GraphRecConfig::default());
+        check_both(&rec, &d)?;
+        // Also under a tight subgraph budget, where most items are outside
+        // the visited neighborhood.
+        let tight = HittingTimeRecommender::new(
+            &d,
+            GraphRecConfig { max_items: 2, iterations: 10 },
+        );
+        check_both(&tight, &d)?;
+    }
+
+    #[test]
+    fn absorbing_time_fused_matches_score_then_sort(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        let rec = AbsorbingTimeRecommender::new(&d, GraphRecConfig::default());
+        check_both(&rec, &d)?;
+    }
+
+    #[test]
+    fn absorbing_cost_fused_matches_score_then_sort(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        let ac1 = AbsorbingCostRecommender::item_entropy(&d, AbsorbingCostConfig::default());
+        check_both(&ac1, &d)?;
+    }
+
+    #[test]
+    fn topic_absorbing_cost_fused_matches_score_then_sort(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        let ac2 = AbsorbingCostRecommender::topic_entropy_auto(
+            &d,
+            2,
+            AbsorbingCostConfig::default(),
+        );
+        check_both(&ac2, &d)?;
+    }
+
+    #[test]
+    fn pagerank_fused_matches_score_then_sort(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        check_both(&PageRankRecommender::plain(&d), &d)?;
+        check_both(&PageRankRecommender::discounted(&d), &d)?;
+    }
+
+    #[test]
+    fn knn_fused_matches_score_then_sort(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        for similarity in [UserSimilarity::Cosine, UserSimilarity::Pearson] {
+            let rec = KnnRecommender::train(&d, 3, similarity);
+            check_both(&rec, &d)?;
+        }
+    }
+
+    #[test]
+    fn assoc_rules_fused_matches_score_then_sort(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        // Loose thresholds so rules actually fire on tiny corpora.
+        let rec = AssociationRuleRecommender::train(
+            &d,
+            &RuleConfig { min_support: 1, min_confidence: 0.0 },
+        );
+        check_both(&rec, &d)?;
+    }
+
+    #[test]
+    fn pure_svd_fused_matches_score_then_sort(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        let rec = PureSvdRecommender::train(&d, 4);
+        check_both(&rec, &d)?;
+    }
+
+    #[test]
+    fn lda_fused_matches_score_then_sort(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        // Few sweeps: training accuracy is irrelevant to the equivalence.
+        let rec = LdaRecommender::train_with(
+            &d,
+            &LdaConfig { iterations: 15, ..LdaConfig::with_topics(2) },
+        );
+        check_both(&rec, &d)?;
+    }
+
+    #[test]
+    fn shared_context_across_fused_recommenders_is_pure(rs in ratings()) {
+        // One context threaded through interleaved fused queries of models
+        // with different candidate-set disciplines must never leak state
+        // (the accum/touched invariant, the collector reset).
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        let knn = KnnRecommender::train(&d, 3, UserSimilarity::Cosine);
+        let rules = AssociationRuleRecommender::train(
+            &d,
+            &RuleConfig { min_support: 1, min_confidence: 0.0 },
+        );
+        let at = AbsorbingTimeRecommender::new(&d, GraphRecConfig::default());
+        let recs: [&dyn Recommender; 3] = [&knn, &rules, &at];
+        let mut ctx = ScoringContext::new();
+        let mut out = Vec::new();
+        for u in 0..d.n_users() as u32 {
+            for rec in recs {
+                rec.recommend_into(u, 4, &mut ctx, &mut out);
+                let fresh = rec.recommend(u, 4);
+                prop_assert_eq!(&out, &fresh, "{} user {}", rec.name(), u);
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! list — under different lenses (popularity, diversity, similarity). This
 //! module computes the lists once so the metrics can share them.
 
-use longtail_core::{parallel_map_indexed, Recommender, ScoredItem, ScoringContext};
+use longtail_core::{Recommender, ScoredItem};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -21,21 +21,19 @@ pub struct RecommendationLists {
 }
 
 impl RecommendationLists {
-    /// Compute top-`k` lists for `users`, fanning queries out over
-    /// `n_threads` workers, each owning one reused [`ScoringContext`].
+    /// Compute top-`k` lists for `users` through the fused
+    /// [`Recommender::recommend_batch`] path: queries fan out over
+    /// `n_threads` workers, each owning one reused scoring context, and no
+    /// full score vector is materialized per query.
     pub fn compute(
         recommender: &dyn Recommender,
         users: &[u32],
         k: usize,
         n_threads: usize,
     ) -> Self {
-        let lists =
-            parallel_map_indexed(users.len(), n_threads, ScoringContext::new, |ctx, idx| {
-                recommender.recommend_with(users[idx], k, ctx)
-            });
         Self {
             users: users.to_vec(),
-            lists,
+            lists: recommender.recommend_batch(users, k, n_threads),
             k,
         }
     }

@@ -69,6 +69,15 @@ impl RecallCurve {
 /// user. Rank ties are broken by item id, consistently with
 /// [`longtail_core::top_k`].
 ///
+/// This metric genuinely needs the full score vector (the favourite is
+/// ranked against up to 1000 sampled distractors, not a top-k list), so it
+/// stays on [`Recommender::score_into`] rather than the fused top-k path —
+/// but its hit criterion matches that path exactly: a test case whose
+/// target scores NaN or `-∞` (e.g. a user whose every rating was held out,
+/// leaving the model nothing to walk from) counts as a miss, since such an
+/// item can never appear in a recommendation list. It is *not* ranked by id
+/// against equally unscorable distractors.
+///
 /// Scoring fans out over `config.n_threads` workers, each owning one
 /// [`ScoringContext`] and one reused score buffer, so the measurement loop
 /// itself allocates nothing per query.
@@ -277,6 +286,89 @@ mod tests {
         let curve = recall_at_n(&oracle, &full, &split, &RecallConfig::default());
         assert_eq!(curve.n_cases, 0);
         assert!(curve.recall.iter().all(|&r| r == 0.0));
+    }
+
+    /// A recommender that cannot score anyone: every item is `-∞`.
+    struct Unreachable {
+        n_items: usize,
+        empty: Vec<u32>,
+    }
+
+    impl Recommender for Unreachable {
+        fn name(&self) -> &'static str {
+            "unreachable"
+        }
+
+        fn score_into(&self, _user: u32, _ctx: &mut ScoringContext, out: &mut Vec<f64>) {
+            out.clear();
+            out.resize(self.n_items, f64::NEG_INFINITY);
+        }
+
+        fn rated_items(&self, _user: u32) -> &[u32] {
+            &self.empty
+        }
+
+        fn n_items(&self) -> usize {
+            self.n_items
+        }
+    }
+
+    #[test]
+    fn unscorable_targets_count_as_misses() {
+        // Regression: with every score -∞ (a user the model knows nothing
+        // about), the target used to earn a rank purely by id tie-breaking
+        // against the equally unscorable distractors — low-id targets then
+        // registered as hits. Such cases must be misses.
+        let (full, split, _) = tiny_setup(vec![]);
+        let rec = Unreachable {
+            n_items: 30,
+            empty: Vec::new(),
+        };
+        let curve = recall_at_n(&rec, &full, &split, &RecallConfig::default());
+        assert_eq!(curve.n_cases, 2);
+        assert!(
+            curve.recall.iter().all(|&r| r == 0.0),
+            "unscorable targets must never hit: {:?}",
+            &curve.recall[..5]
+        );
+    }
+
+    #[test]
+    fn max_n_beyond_candidate_pool_saturates() {
+        // N far larger than the candidate pool: the curve saturates at 1.0
+        // once N covers the pool and stays there — no panic, no overshoot.
+        let (full, split, oracle) = tiny_setup(vec![]);
+        let curve = recall_at_n(
+            &oracle,
+            &full,
+            &split,
+            &RecallConfig {
+                n_distractors: 2,
+                max_n: 40,
+                ..RecallConfig::default()
+            },
+        );
+        assert_eq!(curve.at(3), 1.0);
+        assert_eq!(curve.at(40), 1.0);
+        for w in curve.recall.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn max_n_zero_yields_empty_curve() {
+        let (full, split, oracle) = tiny_setup(vec![(0, 5)]);
+        let curve = recall_at_n(
+            &oracle,
+            &full,
+            &split,
+            &RecallConfig {
+                max_n: 0,
+                ..RecallConfig::default()
+            },
+        );
+        assert_eq!(curve.n_cases, 2);
+        assert!(curve.recall.is_empty());
     }
 
     #[test]

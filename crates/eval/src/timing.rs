@@ -21,16 +21,45 @@ pub struct TimingStats {
 }
 
 /// Time `recommender` producing top-`k` lists for each user in `users`,
-/// sequentially, through one reused [`ScoringContext`] — the steady-state
-/// per-query latency of a single serving worker.
+/// sequentially, through one reused [`ScoringContext`] and one reused list
+/// buffer on the fused [`Recommender::recommend_into`] path — the
+/// steady-state per-query latency of a single serving worker.
 pub fn time_recommendations(recommender: &dyn Recommender, users: &[u32], k: usize) -> TimingStats {
     let mut ctx = ScoringContext::new();
+    let mut list = Vec::new();
     let start = Instant::now();
     for &u in users {
         // The list itself is the product being timed; discard it.
-        let _ = recommender.recommend_with(u, k, &mut ctx);
+        recommender.recommend_into(u, k, &mut ctx, &mut list);
+        std::hint::black_box(&list);
     }
     let total = start.elapsed().as_secs_f64();
+    TimingStats {
+        mean_seconds: if users.is_empty() {
+            0.0
+        } else {
+            total / users.len() as f64
+        },
+        total_seconds: total,
+        n_queries: users.len(),
+    }
+}
+
+/// Time [`Recommender::recommend_batch`] over the whole `users` batch at a
+/// given worker count — the serving-shaped counterpart of
+/// [`time_batch_scoring`]: every query produces a top-`k` list on the fused
+/// path instead of a full score vector.
+pub fn time_batch_recommendations(
+    recommender: &dyn Recommender,
+    users: &[u32],
+    k: usize,
+    n_threads: usize,
+) -> TimingStats {
+    let start = Instant::now();
+    let lists = recommender.recommend_batch(users, k, n_threads);
+    let total = start.elapsed().as_secs_f64();
+    // Consume the lists so the work cannot be optimized away.
+    std::hint::black_box(&lists);
     TimingStats {
         mean_seconds: if users.is_empty() {
             0.0

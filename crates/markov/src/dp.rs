@@ -43,6 +43,21 @@ impl DpBuffers {
     pub fn values(&self) -> &[f64] {
         &self.current
     }
+
+    /// Cost of local node `local` from the last completed dynamic program:
+    /// `Some(cost)` when the truncated walk assigns the node a finite
+    /// absorbing cost, `None` when the node can only reach dangling pockets
+    /// (`∞`).
+    ///
+    /// This is the extraction primitive of the fused top-k query path: a
+    /// recommender walks the subgraph's item nodes and pulls each one's cost
+    /// straight out of the DP state, so no global score vector is ever
+    /// materialized.
+    #[inline]
+    pub fn finite_cost(&self, local: u32) -> Option<f64> {
+        let v = self.current[local as usize];
+        v.is_finite().then_some(v)
+    }
 }
 
 /// Run the truncated absorbing-cost dynamic program (Eq. 9, Algorithm 1

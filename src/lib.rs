@@ -69,7 +69,7 @@ pub mod prelude {
         AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
         AssociationRuleRecommender, EntropySource, GraphRecConfig, HittingTimeRecommender,
         KnnRecommender, LdaRecommender, PageRankFlavor, PageRankRecommender, PureSvdRecommender,
-        Recommender, RuleConfig, ScoredItem, UserSimilarity,
+        Recommender, RuleConfig, ScoredItem, ScoringContext, TopKCollector, UserSimilarity,
     };
     pub use longtail_data::{
         holdout_longtail_favorites, Dataset, LongTailSplit, Ontology, ProtocolSplit, Rating,

@@ -1,0 +1,207 @@
+//! Golden end-to-end fixture: known-good top-10 lists per recommender.
+//!
+//! The equivalence property tests only prove the fused top-k path agrees
+//! with score-then-sort *today*; if a future refactor broke both paths the
+//! same way, self-consistency would still hold. This suite diffs against
+//! rankings frozen on disk instead:
+//!
+//! * `tests/golden/ratings.csv` — a small committed synthetic dataset
+//!   (header `n_users,n_items`, then `user,item,value` triplets);
+//! * `tests/golden/expected_top10.tsv` — for every recommender and every
+//!   user, the expected top-10 list as `item:score` pairs (scores at 10
+//!   significant digits, which tolerates last-ulp reassociation but nothing
+//!   an actual ranking change could survive).
+//!
+//! To regenerate after an *intentional* ranking change, run
+//!
+//! ```sh
+//! cargo test --release --test golden_lists -- --ignored regenerate
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use longtail::prelude::*;
+use longtail::topics::LdaConfig;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// The frozen fixture corpus, parsed from `tests/golden/ratings.csv`.
+fn fixture_dataset() -> Dataset {
+    let raw = std::fs::read_to_string(golden_dir().join("ratings.csv"))
+        .expect("tests/golden/ratings.csv is committed with the repo");
+    let mut lines = raw.lines().filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines.next().expect("header line");
+    let (n_users, n_items) = {
+        let mut parts = header.split(',');
+        (
+            parts.next().unwrap().trim().parse::<usize>().unwrap(),
+            parts.next().unwrap().trim().parse::<usize>().unwrap(),
+        )
+    };
+    let ratings: Vec<Rating> = lines
+        .map(|line| {
+            let mut parts = line.split(',');
+            Rating {
+                user: parts.next().unwrap().trim().parse().unwrap(),
+                item: parts.next().unwrap().trim().parse().unwrap(),
+                value: parts.next().unwrap().trim().parse().unwrap(),
+            }
+        })
+        .collect();
+    Dataset::from_ratings(n_users, n_items, &ratings)
+}
+
+/// All 8 recommender families (10 instances — both AC and both PageRank
+/// flavors), trained with fixed, fully deterministic hyper-parameters.
+fn fixture_roster(train: &Dataset) -> Vec<Box<dyn Recommender>> {
+    let graph = GraphRecConfig {
+        max_items: 40,
+        iterations: 25,
+    };
+    let ac = AbsorbingCostConfig {
+        graph,
+        item_entry_cost: 1.0,
+    };
+    vec![
+        Box::new(HittingTimeRecommender::new(train, graph)),
+        Box::new(AbsorbingTimeRecommender::new(train, graph)),
+        Box::new(AbsorbingCostRecommender::item_entropy(train, ac)),
+        Box::new(AbsorbingCostRecommender::topic_entropy_auto(train, 4, ac)),
+        Box::new(KnnRecommender::train(train, 5, UserSimilarity::Cosine)),
+        Box::new(AssociationRuleRecommender::train(
+            train,
+            &RuleConfig {
+                min_support: 2,
+                min_confidence: 0.05,
+            },
+        )),
+        Box::new(PureSvdRecommender::train(train, 8)),
+        Box::new(LdaRecommender::train_with(
+            train,
+            &LdaConfig::with_topics(4),
+        )),
+        Box::new(PageRankRecommender::plain(train)),
+        Box::new(PageRankRecommender::discounted(train)),
+    ]
+}
+
+/// Render every (recommender, user) top-10 list in the committed format,
+/// via the fused `recommend_into` path.
+fn render_lists(train: &Dataset) -> String {
+    let mut out = String::from(
+        "# algorithm\tuser\ttop-10 as item:score (10 significant digits), '-' when empty\n",
+    );
+    let mut ctx = ScoringContext::new();
+    let mut list = Vec::new();
+    for rec in fixture_roster(train) {
+        for u in 0..train.n_users() as u32 {
+            rec.recommend_into(u, 10, &mut ctx, &mut list);
+            write!(out, "{}\t{}\t", rec.name(), u).unwrap();
+            if list.is_empty() {
+                out.push('-');
+            } else {
+                for (j, s) in list.iter().enumerate() {
+                    if j > 0 {
+                        out.push(' ');
+                    }
+                    write!(out, "{}:{:.10e}", s.item, s.score).unwrap();
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_top10_lists_match_fixture() {
+    let train = fixture_dataset();
+    let expected = std::fs::read_to_string(golden_dir().join("expected_top10.tsv"))
+        .expect("tests/golden/expected_top10.tsv is committed with the repo");
+    let got = render_lists(&train);
+    if got != expected {
+        // Pinpoint the first diverging line so the failure is actionable.
+        for (lineno, (g, e)) in got.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(
+                g,
+                e,
+                "golden mismatch at expected_top10.tsv line {} — if this \
+                 ranking change is intentional, regenerate with `cargo test \
+                 --release --test golden_lists -- --ignored regenerate`",
+                lineno + 1
+            );
+        }
+        panic!(
+            "golden fixture line count changed: got {} lines, expected {}",
+            got.lines().count(),
+            expected.lines().count()
+        );
+    }
+}
+
+#[test]
+fn fixture_covers_every_family_and_some_tail() {
+    // Sanity on the committed corpus itself: all 8 families present in the
+    // expected file, and the dataset leaves room for non-trivial lists.
+    let expected = std::fs::read_to_string(golden_dir().join("expected_top10.tsv")).unwrap();
+    for name in [
+        "HT",
+        "AT",
+        "AC1",
+        "AC2",
+        "kNN-CF",
+        "AssocRules",
+        "PureSVD",
+        "LDA",
+        "PPR",
+        "DPPR",
+    ] {
+        assert!(
+            expected
+                .lines()
+                .any(|l| l.starts_with(&format!("{name}\t"))),
+            "fixture is missing {name}"
+        );
+    }
+    let train = fixture_dataset();
+    assert!(train.n_ratings() > train.n_users()); // everyone rated something
+}
+
+/// Regenerates both fixture files from the current code. Ignored by normal
+/// runs; execute explicitly (and review the diff) after an intentional
+/// ranking change.
+#[test]
+#[ignore = "regenerates the committed fixture; run explicitly"]
+fn regenerate() {
+    let config = SyntheticConfig {
+        n_users: 40,
+        n_items: 32,
+        n_genres: 4,
+        zipf_exponent: 1.4,
+        taste_concentration: 0.3,
+        generalist_fraction: 0.25,
+        min_activity: 3,
+        max_activity: 12,
+        activity_exponent: 1.5,
+        rating_noise: 0.5,
+        seed: 0x0090_1de2,
+    };
+    let train = SyntheticData::generate(&config).dataset;
+    let mut csv = String::from("# golden fixture corpus — regenerated by tests/golden_lists.rs\n");
+    writeln!(csv, "{},{}", train.n_users(), train.n_items()).unwrap();
+    for r in train.to_ratings() {
+        writeln!(csv, "{},{},{}", r.user, r.item, r.value).unwrap();
+    }
+    std::fs::create_dir_all(golden_dir()).unwrap();
+    std::fs::write(golden_dir().join("ratings.csv"), csv).unwrap();
+    // Render from the *parsed* file so the committed CSV is authoritative.
+    let lists = render_lists(&fixture_dataset());
+    std::fs::write(golden_dir().join("expected_top10.tsv"), lists).unwrap();
+    println!("regenerated tests/golden/{{ratings.csv,expected_top10.tsv}}");
+}

@@ -6,6 +6,10 @@
 //! `prop_assert!` family. Inputs are sampled from a seeded deterministic
 //! generator; there is **no shrinking** — a failing case reports the case
 //! number and its seed so it can be replayed by re-running the test.
+//!
+//! As upstream, the `PROPTEST_CASES` environment variable overrides the
+//! default case count of properties that don't set one explicitly (CI pins
+//! it so suite runtime stays bounded).
 
 #![warn(missing_docs)]
 

@@ -22,9 +22,19 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// Mirrors real proptest's environment handling: a `PROPTEST_CASES`
+    /// variable overrides the built-in default case count (64), letting CI
+    /// bound property-suite runtime without touching code. Explicit
+    /// [`ProptestConfig::with_cases`] values still win over the
+    /// environment, exactly as upstream.
     fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(64);
         Self {
-            cases: 64,
+            cases,
             seed: 0x70_72_6f_70, // "prop"
         }
     }
