@@ -14,8 +14,8 @@
 
 use longtail_bench::baseline;
 use longtail_core::{
-    top_k, AbsorbingCostConfig, AbsorbingCostRecommender, GraphRecConfig, HittingTimeRecommender,
-    Recommender, ScoringContext,
+    top_k, AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender, DpStopping,
+    DpTelemetry, GraphRecConfig, HittingTimeRecommender, Recommender, ScoringContext,
 };
 use longtail_data::{SyntheticConfig, SyntheticData};
 use longtail_eval::sample_test_users;
@@ -25,6 +25,16 @@ use std::time::Instant;
 const BATCH: usize = 64;
 const REPEATS: usize = 5;
 const TOP_K: usize = 10;
+
+/// τ budget of the early-termination comparison: a *high-fidelity* serving
+/// tier whose truncation error is negligible (the paper's τ=15 trades
+/// accuracy for speed; at τ=15 the sound remaining-change bounds cannot —
+/// and should not — certify an earlier stop, so adaptive stopping leaves
+/// that configuration untouched). With a generous budget, adaptive
+/// stopping makes each query pay only for the iterations it actually
+/// needs, which is what turns a conservative τ from a per-query tax into a
+/// safety net.
+const ET_ITERATIONS: usize = 240;
 
 /// Best-of-`REPEATS` wall-clock seconds for `f`.
 fn time_best(mut f: impl FnMut()) -> f64 {
@@ -102,6 +112,85 @@ fn measure_algorithm(
 
 fn single_query_seconds(f: impl FnMut()) -> f64 {
     time_best(f)
+}
+
+struct EarlyTermination {
+    fixed_seconds: f64,
+    adaptive_seconds: f64,
+    lists_identical: bool,
+    telemetry: DpTelemetry,
+}
+
+/// Adaptive early termination vs the fixed-τ walk on the fused top-10 path:
+/// per-batch wall clock under both stopping policies, the DP iteration
+/// counters of one adaptive pass, and a full item-by-item check that both
+/// policies served identical rankings.
+fn measure_early_termination(
+    label: &'static str,
+    users: &[u32],
+    rec: &dyn Recommender,
+) -> EarlyTermination {
+    let mut fixed_ctx = ScoringContext::with_stopping(DpStopping::Fixed);
+    let mut adaptive_ctx = ScoringContext::new();
+    let mut fixed_list = Vec::new();
+    let mut adaptive_list = Vec::new();
+
+    // Rank identity: the acceptance bar for serving with early termination.
+    let mut lists_identical = true;
+    for &u in users {
+        rec.recommend_into(u, TOP_K, &mut fixed_ctx, &mut fixed_list);
+        rec.recommend_into(u, TOP_K, &mut adaptive_ctx, &mut adaptive_list);
+        if fixed_list
+            .iter()
+            .map(|s| s.item)
+            .ne(adaptive_list.iter().map(|s| s.item))
+        {
+            lists_identical = false;
+        }
+    }
+
+    // Iteration counters for exactly one adaptive pass over the batch.
+    adaptive_ctx.reset_dp_telemetry();
+    for &u in users {
+        rec.recommend_into(u, TOP_K, &mut adaptive_ctx, &mut adaptive_list);
+    }
+    let telemetry = adaptive_ctx.dp_telemetry();
+
+    let fixed_seconds = time_best(|| {
+        for &u in users {
+            rec.recommend_into(u, TOP_K, &mut fixed_ctx, &mut fixed_list);
+            std::hint::black_box(&fixed_list);
+        }
+    });
+    let adaptive_seconds = time_best(|| {
+        for &u in users {
+            rec.recommend_into(u, TOP_K, &mut adaptive_ctx, &mut adaptive_list);
+            std::hint::black_box(&adaptive_list);
+        }
+    });
+
+    println!(
+        "\n{label} early termination: fixed {:.4} ms/batch, adaptive {:.4} ms/batch ({:.2}x), \
+         {}/{} DP iterations ({:.0}% saved; {} converged, {} rank-frozen of {} queries), \
+         top-{TOP_K} lists identical: {}",
+        fixed_seconds * 1e3,
+        adaptive_seconds * 1e3,
+        fixed_seconds / adaptive_seconds,
+        telemetry.iterations_run,
+        telemetry.iterations_budget,
+        telemetry.iterations_saved_fraction() * 100.0,
+        telemetry.converged,
+        telemetry.rank_frozen,
+        telemetry.queries,
+        lists_identical
+    );
+
+    EarlyTermination {
+        fixed_seconds,
+        adaptive_seconds,
+        lists_identical,
+        telemetry,
+    }
 }
 
 /// Top-10 recommendation for the batch: score-then-sort (full vector +
@@ -248,6 +337,29 @@ fn main() {
     let ht_recommend = measure_recommend("HT", &serve_users, &serve_ht);
     let ac_recommend = measure_recommend("AC1", &serve_users, &serve_ac1);
 
+    // Early termination on the same serving corpus at the high-fidelity τ
+    // budget (see ET_ITERATIONS): fixed-τ vs the default adaptive policy.
+    let et_config = GraphRecConfig {
+        max_items: walk_config.max_items,
+        iterations: ET_ITERATIONS,
+    };
+    let et_ht = HittingTimeRecommender::new(serve_train, et_config);
+    let et_at = AbsorbingTimeRecommender::new(serve_train, et_config);
+    let et_ac1 = AbsorbingCostRecommender::item_entropy(
+        serve_train,
+        AbsorbingCostConfig {
+            graph: et_config,
+            item_entry_cost: 1.0,
+        },
+    );
+    println!(
+        "\nearly termination at tau={ET_ITERATIONS}, mu={}",
+        et_config.max_items
+    );
+    let ht_early = measure_early_termination("HT", &serve_users, &et_ht);
+    let at_early = measure_early_termination("AT", &serve_users, &et_at);
+    let ac_early = measure_early_termination("AC1", &serve_users, &et_ac1);
+
     // Single-query latency: the refactored path must not regress.
     let probe = users[0];
     let single_pre = single_query_seconds(|| {
@@ -278,6 +390,9 @@ fn main() {
         &ac_measurements,
         &ht_recommend,
         &ac_recommend,
+        &ht_early,
+        &at_early,
+        &ac_early,
         single_pre,
         single_ctx,
     );
@@ -295,6 +410,9 @@ fn render_json(
     ac: &[Measurement],
     ht_rec: &[Measurement],
     ac_rec: &[Measurement],
+    ht_early: &EarlyTermination,
+    at_early: &EarlyTermination,
+    ac_early: &EarlyTermination,
     single_pre: f64,
     single_ctx: f64,
 ) -> String {
@@ -314,6 +432,29 @@ fn render_json(
             .collect();
         entries.join(",\n")
     }
+    fn early(e: &EarlyTermination) -> String {
+        format!(
+            "{{\"fixed_seconds_per_batch\": {:.6e}, \"adaptive_seconds_per_batch\": {:.6e}, \
+             \"speedup_vs_fixed_tau\": {:.3}, \"dp_iterations_budget\": {}, \
+             \"dp_iterations_run\": {}, \"iterations_saved_fraction\": {:.3}, \
+             \"queries\": {}, \"converged_queries\": {}, \"rank_frozen_queries\": {}, \
+             \"top10_lists_identical\": {}}}",
+            e.fixed_seconds,
+            e.adaptive_seconds,
+            e.fixed_seconds / e.adaptive_seconds,
+            e.telemetry.iterations_budget,
+            e.telemetry.iterations_run,
+            e.telemetry.iterations_saved_fraction(),
+            e.telemetry.queries,
+            e.telemetry.converged,
+            e.telemetry.rank_frozen,
+            e.lists_identical
+        )
+    }
+    let epsilon = match DpStopping::default() {
+        DpStopping::Adaptive { epsilon } => epsilon,
+        DpStopping::Fixed => -1.0,
+    };
     format!(
         "{{\n  \"bench\": \"walk_scoring\",\n  \"batch_users\": {BATCH},\n  \"repeats_best_of\": {REPEATS},\n  \
          \"dataset\": {{\"n_users\": {}, \"n_items\": {}}},\n  \
@@ -323,6 +464,9 @@ fn render_json(
          \"recommend_topk\": {{\n    \"k\": {TOP_K},\n    \
          \"dataset\": {{\"n_users\": {}, \"n_items\": {}}},\n    \
          \"HT\": [\n{}\n    ],\n    \"AC1\": [\n{}\n    ]\n  }},\n  \
+         \"early_termination\": {{\n    \"epsilon\": {:e},\n    \"k\": {TOP_K},\n    \
+         \"dp_budget\": {ET_ITERATIONS},\n    \
+         \"HT\": {},\n    \"AT\": {},\n    \"AC1\": {}\n  }},\n  \
          \"single_query_ht\": {{\"prerefactor_seconds\": {:.6e}, \"context_seconds\": {:.6e}, \"speedup\": {:.3}}}\n}}\n",
         config.n_users,
         config.n_items,
@@ -335,6 +479,10 @@ fn render_json(
         serve_config.n_items,
         series(ht_rec, "speedup_vs_score_then_sort"),
         series(ac_rec, "speedup_vs_score_then_sort"),
+        epsilon,
+        early(ht_early),
+        early(at_early),
+        early(ac_early),
         single_pre,
         single_ctx,
         single_pre / single_ctx

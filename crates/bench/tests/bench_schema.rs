@@ -30,6 +30,7 @@ fn walk_scoring_summary_keeps_its_schema() {
         "\"threads\"",
         "\"results\"",
         "\"recommend_topk\"",
+        "\"early_termination\"",
         "\"single_query_ht\"",
     ] {
         assert!(json.contains(key), "schema drift: missing {key}");
@@ -74,6 +75,48 @@ fn walk_scoring_summary_keeps_its_schema() {
         );
     }
     assert!(json.contains("\"speedup_vs_score_then_sort\""));
+
+    // Early-termination section: one entry per walk recommender (HT is the
+    // honest no-win data point; AT/AC1 carry the measured speedup), each
+    // reporting timing under both stopping policies, the DP iteration
+    // counters, and the rank-identity verdict.
+    assert!(
+        json.contains("\"epsilon\""),
+        "schema drift: early_termination.epsilon"
+    );
+    assert!(
+        json.contains("\"dp_budget\""),
+        "schema drift: early_termination.dp_budget"
+    );
+    for algo in ["\"HT\": {", "\"AT\": {", "\"AC1\": {"] {
+        assert!(
+            json.contains(algo),
+            "schema drift: early_termination entry {algo} missing"
+        );
+    }
+    for key in [
+        "\"fixed_seconds_per_batch\"",
+        "\"adaptive_seconds_per_batch\"",
+        "\"speedup_vs_fixed_tau\"",
+        "\"dp_iterations_budget\"",
+        "\"dp_iterations_run\"",
+        "\"iterations_saved_fraction\"",
+        "\"queries\"",
+        "\"converged_queries\"",
+        "\"rank_frozen_queries\"",
+        "\"top10_lists_identical\"",
+    ] {
+        assert_eq!(
+            json.matches(key).count(),
+            3,
+            "schema drift: early-termination field {key} missing for an algorithm"
+        );
+    }
+    // The committed summary must never record a ranking divergence.
+    assert!(
+        !json.contains("\"top10_lists_identical\": false"),
+        "early termination diverged from the fixed-τ ranking"
+    );
 
     // Single-query latency fields.
     for key in [

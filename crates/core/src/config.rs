@@ -21,6 +21,59 @@ impl Default for GraphRecConfig {
     }
 }
 
+/// How the truncated DP behind the fused serving path decides when to stop
+/// iterating (carried per worker on [`crate::ScoringContext::stopping`]).
+///
+/// The τ in [`GraphRecConfig::iterations`] is always the *budget*; the
+/// policy governs whether a serving query may spend less of it. Reference
+/// scoring ([`crate::Recommender::score_into`], the Recall@N protocol) is
+/// unaffected — it always runs the full fixed τ so scored values stay
+/// bit-for-bit reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DpStopping {
+    /// Always run the full τ iterations — serving scores are bit-identical
+    /// to `top_k` over [`crate::Recommender::score_into`].
+    Fixed,
+    /// Stop early when further iterations provably cannot matter: at an
+    /// exact value fixed point (`δ_t = 0`, bit-identical to the full run),
+    /// or when the rank-stability probe certifies the query's top-k list
+    /// frozen (no candidate can cross its remaining-change bound) — the
+    /// probe also arbitrates the `δ_t ≤ epsilon · scale` value-convergence
+    /// rule, since converged *values* alone don't pin near-tied *orders*.
+    /// Rankings are identical to [`DpStopping::Fixed`]; the reported
+    /// scores sit within the remaining-change bound above the fixed-τ
+    /// scores.
+    Adaptive {
+        /// Relative convergence threshold for the `δ_t ≤ ε · scale` rule
+        /// (`scale` = largest value so far, floored at 1). Negative
+        /// restricts the convergence rule to exact fixed points.
+        epsilon: f64,
+    },
+}
+
+impl DpStopping {
+    /// Convergence threshold of the default adaptive policy: tight enough
+    /// that a convergence stop perturbs values by well under any score gap
+    /// a real ranking hinges on, loose enough to fire once the DP reaches
+    /// its floating-point plateau.
+    pub const DEFAULT_EPSILON: f64 = 1e-9;
+
+    /// The default adaptive policy.
+    pub fn adaptive() -> Self {
+        Self::Adaptive {
+            epsilon: Self::DEFAULT_EPSILON,
+        }
+    }
+}
+
+impl Default for DpStopping {
+    /// Early termination is on by default: serving stops iterating as soon
+    /// as the top-k list is provably frozen.
+    fn default() -> Self {
+        Self::adaptive()
+    }
+}
+
 /// Parameters of the Absorbing Cost recommenders (AC1/AC2).
 #[derive(Debug, Clone, Copy)]
 pub struct AbsorbingCostConfig {
@@ -52,5 +105,16 @@ mod tests {
         assert_eq!(g.iterations, 15);
         let c = AbsorbingCostConfig::default();
         assert_eq!(c.item_entry_cost, 1.0);
+    }
+
+    #[test]
+    fn stopping_defaults_to_adaptive() {
+        assert_eq!(
+            DpStopping::default(),
+            DpStopping::Adaptive {
+                epsilon: DpStopping::DEFAULT_EPSILON
+            }
+        );
+        assert_eq!(DpStopping::default(), DpStopping::adaptive());
     }
 }

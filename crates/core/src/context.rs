@@ -7,20 +7,84 @@
 //! [`crate::Recommender::score_into`], and steady-state scoring performs no
 //! `O(n_nodes)` allocations at all (buffers are resized in place, retaining
 //! capacity across queries).
+//!
+//! The context also carries the per-worker *serving policy*: the
+//! [`DpStopping`] rule the walk family's fused top-k path applies to its
+//! truncated DP, plus [`DpTelemetry`] counters recording how many of the
+//! budgeted iterations each query actually spent.
 
-use crate::topk::TopKCollector;
+use crate::config::DpStopping;
+use crate::topk::{ScoredItem, TopKCollector};
 use longtail_graph::SubgraphScratch;
-use longtail_markov::{DpBuffers, PageRankBuffers};
+use longtail_markov::{DpBuffers, DpRun, PageRankBuffers};
+
+/// Cumulative counters over every truncated-DP run a context performed —
+/// the observability half of adaptive early termination.
+///
+/// `iterations_budget − iterations_run` is the work adaptive stopping
+/// saved; `converged` and `rank_frozen` attribute the saving to the two
+/// stopping rules. Counters accumulate across queries until
+/// [`ScoringContext::reset_dp_telemetry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpTelemetry {
+    /// Number of DP runs (one per walk-family query that reached the DP).
+    pub queries: u64,
+    /// Iterations actually performed, summed over runs.
+    pub iterations_run: u64,
+    /// Fixed-τ iterations the runs were budgeted, summed.
+    pub iterations_budget: u64,
+    /// Runs stopped by the value-convergence rule.
+    pub converged: u64,
+    /// Runs stopped by the rank-stability probe.
+    pub rank_frozen: u64,
+}
+
+impl DpTelemetry {
+    /// Fold one run's outcome into the counters.
+    pub fn record(&mut self, run: &DpRun) {
+        self.queries += 1;
+        self.iterations_run += run.iterations as u64;
+        self.iterations_budget += run.budget as u64;
+        self.converged += u64::from(run.converged);
+        self.rank_frozen += u64::from(run.rank_frozen);
+    }
+
+    /// Fraction of the budgeted iterations early termination skipped
+    /// (0 when nothing ran).
+    pub fn iterations_saved_fraction(&self) -> f64 {
+        if self.iterations_budget == 0 {
+            0.0
+        } else {
+            1.0 - self.iterations_run as f64 / self.iterations_budget as f64
+        }
+    }
+
+    /// Merge another telemetry block (e.g. from a batch worker) into this
+    /// one.
+    pub fn merge(&mut self, other: &DpTelemetry) {
+        self.queries += other.queries;
+        self.iterations_run += other.iterations_run;
+        self.iterations_budget += other.iterations_budget;
+        self.converged += other.converged;
+        self.rank_frozen += other.rank_frozen;
+    }
+}
 
 /// All reusable buffers a recommender query needs.
 ///
 /// The context is intentionally recommender-agnostic: the same instance can
 /// serve HT, AT, AC and PageRank queries back to back (the evaluation
 /// harness does exactly that when timing a roster). A context holds no
-/// query *results* — only scratch — so reusing it never changes scores; the
-/// batch-equivalence tests pin that guarantee.
+/// query *results* — only scratch plus the serving policy and telemetry —
+/// so reusing it never changes scores; the batch-equivalence tests pin that
+/// guarantee.
 #[derive(Debug, Clone, Default)]
 pub struct ScoringContext {
+    /// Stopping policy for the walk family's fused serving DP. Defaults to
+    /// [`DpStopping::adaptive`]; set to [`DpStopping::Fixed`] to force the
+    /// full fixed-τ semantics (bit-identical scores to
+    /// [`crate::Recommender::score_into`]).
+    pub stopping: DpStopping,
     /// BFS subgraph extraction + induced transition kernel (Algorithm 1,
     /// step 2).
     pub(crate) subgraph: SubgraphScratch,
@@ -50,6 +114,14 @@ pub struct ScoringContext {
     pub(crate) accum: Vec<f64>,
     /// Item ids whose [`ScoringContext::accum`] slot the current query set.
     pub(crate) touched: Vec<u32>,
+    /// Bounded heap the rank-stability probe collects the provisional
+    /// top-(k+1) into (distinct from `topk`, which belongs to the final
+    /// collection).
+    pub(crate) probe_topk: TopKCollector,
+    /// Sorted scratch list the probe drains `probe_topk` into.
+    pub(crate) probe_items: Vec<ScoredItem>,
+    /// Cumulative DP iteration counters (see [`DpTelemetry`]).
+    pub(crate) dp_telemetry: DpTelemetry,
 }
 
 impl ScoringContext {
@@ -57,5 +129,73 @@ impl ScoringContext {
     /// construction is cheap regardless of catalog size.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A context serving with the given stopping policy.
+    pub fn with_stopping(stopping: DpStopping) -> Self {
+        Self {
+            stopping,
+            ..Self::default()
+        }
+    }
+
+    /// Cumulative truncated-DP iteration counters for every walk-family
+    /// query this context served since creation or the last
+    /// [`ScoringContext::reset_dp_telemetry`].
+    pub fn dp_telemetry(&self) -> DpTelemetry {
+        self.dp_telemetry
+    }
+
+    /// Zero the [`DpTelemetry`] counters (e.g. between benchmark phases).
+    pub fn reset_dp_telemetry(&mut self) {
+        self.dp_telemetry = DpTelemetry::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_records_and_resets() {
+        let mut t = DpTelemetry::default();
+        t.record(&DpRun {
+            iterations: 5,
+            budget: 15,
+            converged: true,
+            rank_frozen: false,
+            last_delta: 0.0,
+        });
+        t.record(&DpRun::fixed(15));
+        assert_eq!(t.queries, 2);
+        assert_eq!(t.iterations_run, 20);
+        assert_eq!(t.iterations_budget, 30);
+        assert_eq!(t.converged, 1);
+        assert_eq!(t.rank_frozen, 0);
+        assert!((t.iterations_saved_fraction() - 10.0 / 30.0).abs() < 1e-12);
+
+        let mut merged = DpTelemetry::default();
+        merged.merge(&t);
+        merged.merge(&t);
+        assert_eq!(merged.queries, 4);
+        assert_eq!(merged.iterations_run, 40);
+
+        let mut ctx = ScoringContext::new();
+        ctx.dp_telemetry.record(&DpRun::fixed(7));
+        assert_eq!(ctx.dp_telemetry().queries, 1);
+        ctx.reset_dp_telemetry();
+        assert_eq!(ctx.dp_telemetry(), DpTelemetry::default());
+    }
+
+    #[test]
+    fn empty_telemetry_saved_fraction_is_zero() {
+        assert_eq!(DpTelemetry::default().iterations_saved_fraction(), 0.0);
+    }
+
+    #[test]
+    fn with_stopping_sets_policy() {
+        let ctx = ScoringContext::with_stopping(DpStopping::Fixed);
+        assert_eq!(ctx.stopping, DpStopping::Fixed);
+        assert_eq!(ScoringContext::new().stopping, DpStopping::adaptive());
     }
 }

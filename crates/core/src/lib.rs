@@ -44,8 +44,8 @@ pub mod recommenders;
 pub mod topk;
 mod walk_common;
 
-pub use config::{AbsorbingCostConfig, GraphRecConfig};
-pub use context::ScoringContext;
+pub use config::{AbsorbingCostConfig, DpStopping, GraphRecConfig};
+pub use context::{DpTelemetry, ScoringContext};
 pub use parallel::parallel_map_indexed;
 pub use recommenders::{
     AbsorbingCostRecommender, AbsorbingTimeRecommender, AssociationRuleRecommender, EntropySource,
@@ -119,14 +119,23 @@ pub trait Recommender: Sync {
     /// Write the top-`k` recommendations for `user` into `out` (cleared
     /// first), excluding training items — the fused serving primitive.
     ///
-    /// The contract, pinned by the equivalence property tests: the result is
-    /// item-for-item and score-for-score identical to
+    /// The contract, pinned by the equivalence property tests: the result
+    /// is item-for-item and rank-for-rank identical to
     /// `top_k(score_into(user), k, rated)`, including tie-breaking by
-    /// ascending item id. The default implementation *is* that score-then-
-    /// sort computation (through reusable context buffers); recommenders
-    /// override it with fused paths that push candidates straight into the
-    /// context's [`TopKCollector`] — only the visited subgraph for the walk
-    /// family, only the candidate set for kNN / association rules — so no
+    /// ascending item id. Scores are also identical, with one carve-out:
+    /// under the default [`DpStopping::Adaptive`] policy on `ctx`, the walk
+    /// family (HT/AT/AC) may terminate its truncated DP early once this
+    /// top-k list is provably frozen, reporting each item's score from the
+    /// stop iteration — at or above the fixed-τ score, within the certified
+    /// remaining-change bound, and never reordered. Set
+    /// [`ScoringContext::stopping`] to [`DpStopping::Fixed`] for
+    /// score-for-score identity.
+    ///
+    /// The default implementation *is* the score-then-sort computation
+    /// (through reusable context buffers); recommenders override it with
+    /// fused paths that push candidates straight into the context's
+    /// [`TopKCollector`] — only the visited subgraph for the walk family,
+    /// only the candidate set for kNN / association rules — so no
     /// `O(n_items)` score vector is materialized or sorted.
     fn recommend_into(
         &self,

@@ -13,12 +13,12 @@
 use crate::config::AbsorbingCostConfig;
 use crate::context::ScoringContext;
 use crate::walk_common::{
-    collect_walk_topk, grow_absorbing_subgraph, reset_scores, write_scores_from_scratch,
+    collect_walk_topk, grow_absorbing_subgraph, reset_scores, run_truncated_walk,
+    write_scores_from_scratch, WalkCostModel, WalkMode,
 };
 use crate::{Recommender, ScoredItem};
 use longtail_data::Dataset;
 use longtail_graph::{BipartiteGraph, Node};
-use longtail_markov::{truncated_costs_into, SliceCost};
 use longtail_topics::{item_based_entropy, topic_based_entropy, LdaConfig, LdaModel};
 
 /// Which entropy estimator an [`AbsorbingCostRecommender`] uses.
@@ -108,20 +108,20 @@ impl AbsorbingCostRecommender {
         );
     }
 
-    /// Run the entropy-biased absorbing-cost walk for `user`, leaving
-    /// per-node costs in `ctx.walk`. Returns `false` when the user rated
-    /// nothing (no absorbing set).
-    fn run_walk(&self, user: u32, ctx: &mut ScoringContext) -> bool {
+    /// Run the entropy-biased absorbing-cost walk for `user` under `mode`,
+    /// leaving per-node costs in `ctx.walk`. Returns `false` when the user
+    /// rated nothing (no absorbing set).
+    fn run_walk(&self, user: u32, mode: WalkMode<'_>, ctx: &mut ScoringContext) -> bool {
         if !grow_absorbing_subgraph(&self.graph, user, self.config.graph.max_items, ctx) {
             return false;
         }
         self.fill_local_costs(ctx.subgraph.global_ids(), &mut ctx.entry_costs);
-        truncated_costs_into(
-            ctx.subgraph.kernel(),
-            &ctx.absorbing,
-            &SliceCost(&ctx.entry_costs),
+        run_truncated_walk(
+            &self.graph,
+            WalkCostModel::EntryCosts,
             self.config.graph.iterations,
-            &mut ctx.walk,
+            mode,
+            ctx,
         );
         true
     }
@@ -137,7 +137,7 @@ impl Recommender for AbsorbingCostRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        if self.run_walk(user, ctx) {
+        if self.run_walk(user, WalkMode::Reference, ctx) {
             write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
     }
@@ -152,7 +152,12 @@ impl Recommender for AbsorbingCostRecommender {
         // Fused: only subgraph-visited items can carry a finite absorbing
         // cost, so the collector sees the visited neighborhood only.
         ctx.topk.reset(k);
-        if self.run_walk(user, ctx) {
+        let mode = WalkMode::Serving {
+            k,
+            rated: self.rated_items(user),
+            rated_absorbing: true,
+        };
+        if self.run_walk(user, mode, ctx) {
             collect_walk_topk(
                 &self.graph,
                 &ctx.subgraph,
@@ -263,6 +268,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn adaptive_serving_matches_fixed_tau_ranking() {
+        use crate::config::{DpStopping, GraphRecConfig};
+        let rec = AbsorbingCostRecommender::item_entropy(
+            &figure2(),
+            AbsorbingCostConfig {
+                graph: GraphRecConfig {
+                    max_items: 6000,
+                    iterations: 120,
+                },
+                item_entry_cost: 1.0,
+            },
+        );
+        let mut fixed = ScoringContext::with_stopping(DpStopping::Fixed);
+        let mut adaptive = ScoringContext::new();
+        for u in 0..5u32 {
+            let f: Vec<u32> = rec
+                .recommend_with(u, 6, &mut fixed)
+                .iter()
+                .map(|s| s.item)
+                .collect();
+            let a: Vec<u32> = rec
+                .recommend_with(u, 6, &mut adaptive)
+                .iter()
+                .map(|s| s.item)
+                .collect();
+            assert_eq!(a, f, "user {u}");
+        }
+        let t = adaptive.dp_telemetry();
+        assert!(t.iterations_run < t.iterations_budget, "{t:?}");
     }
 
     #[test]

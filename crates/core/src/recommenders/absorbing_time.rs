@@ -9,12 +9,12 @@
 use crate::config::GraphRecConfig;
 use crate::context::ScoringContext;
 use crate::walk_common::{
-    collect_walk_topk, grow_absorbing_subgraph, reset_scores, write_scores_from_scratch,
+    collect_walk_topk, grow_absorbing_subgraph, reset_scores, run_truncated_walk,
+    write_scores_from_scratch, WalkCostModel, WalkMode,
 };
 use crate::{Recommender, ScoredItem};
 use longtail_data::Dataset;
 use longtail_graph::BipartiteGraph;
-use longtail_markov::{truncated_costs_into, UnitCost};
 
 /// The item-based Absorbing Time recommender.
 #[derive(Debug, Clone)]
@@ -43,19 +43,19 @@ impl AbsorbingTimeRecommender {
         self.score_items(user).iter().map(|s| -s).collect()
     }
 
-    /// Run the absorbing-time walk for `user`, leaving per-node times in
-    /// `ctx.walk`. Returns `false` when the user rated nothing (no
-    /// absorbing set).
-    fn run_walk(&self, user: u32, ctx: &mut ScoringContext) -> bool {
+    /// Run the absorbing-time walk for `user` under `mode`, leaving
+    /// per-node times in `ctx.walk`. Returns `false` when the user rated
+    /// nothing (no absorbing set).
+    fn run_walk(&self, user: u32, mode: WalkMode<'_>, ctx: &mut ScoringContext) -> bool {
         if !grow_absorbing_subgraph(&self.graph, user, self.config.max_items, ctx) {
             return false;
         }
-        truncated_costs_into(
-            ctx.subgraph.kernel(),
-            &ctx.absorbing,
-            &UnitCost,
+        run_truncated_walk(
+            &self.graph,
+            WalkCostModel::Unit,
             self.config.iterations,
-            &mut ctx.walk,
+            mode,
+            ctx,
         );
         true
     }
@@ -68,7 +68,7 @@ impl Recommender for AbsorbingTimeRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        if self.run_walk(user, ctx) {
+        if self.run_walk(user, WalkMode::Reference, ctx) {
             write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
     }
@@ -83,7 +83,12 @@ impl Recommender for AbsorbingTimeRecommender {
         // Fused: only subgraph-visited items can score; the rated set is
         // absorbing (time 0) but also excluded, so it never surfaces.
         ctx.topk.reset(k);
-        if self.run_walk(user, ctx) {
+        let mode = WalkMode::Serving {
+            k,
+            rated: self.rated_items(user),
+            rated_absorbing: true,
+        };
+        if self.run_walk(user, mode, ctx) {
             collect_walk_topk(
                 &self.graph,
                 &ctx.subgraph,

@@ -8,11 +8,13 @@
 
 use crate::config::GraphRecConfig;
 use crate::context::ScoringContext;
-use crate::walk_common::{collect_walk_topk, reset_scores, write_scores_from_scratch};
+use crate::walk_common::{
+    collect_walk_topk, reset_scores, run_truncated_walk, write_scores_from_scratch, WalkCostModel,
+    WalkMode,
+};
 use crate::{Recommender, ScoredItem};
 use longtail_data::Dataset;
 use longtail_graph::BipartiteGraph;
-use longtail_markov::{truncated_costs_into, UnitCost};
 
 /// The user-based Hitting Time recommender.
 #[derive(Debug, Clone)]
@@ -35,10 +37,10 @@ impl HittingTimeRecommender {
         &self.graph
     }
 
-    /// Run the hitting-time walk for `user`, leaving the per-node times in
-    /// `ctx.walk`. Returns `false` when the query user reaches nothing (an
-    /// unrated, isolated node).
-    fn run_walk(&self, user: u32, ctx: &mut ScoringContext) -> bool {
+    /// Run the hitting-time walk for `user` under `mode`, leaving the
+    /// per-node times in `ctx.walk`. Returns `false` when the query user
+    /// reaches nothing (an unrated, isolated node).
+    fn run_walk(&self, user: u32, mode: WalkMode<'_>, ctx: &mut ScoringContext) -> bool {
         let q = self.graph.user_node(user);
         ctx.subgraph.grow(&self.graph, &[q], self.config.max_items);
         if ctx.subgraph.n_nodes() == 1 {
@@ -51,12 +53,12 @@ impl HittingTimeRecommender {
         ctx.absorbing.clear();
         ctx.absorbing.resize(ctx.subgraph.n_nodes(), false);
         ctx.absorbing[local_q as usize] = true;
-        truncated_costs_into(
-            ctx.subgraph.kernel(),
-            &ctx.absorbing,
-            &UnitCost,
+        run_truncated_walk(
+            &self.graph,
+            WalkCostModel::Unit,
             self.config.iterations,
-            &mut ctx.walk,
+            mode,
+            ctx,
         );
         true
     }
@@ -69,7 +71,7 @@ impl Recommender for HittingTimeRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        if self.run_walk(user, ctx) {
+        if self.run_walk(user, WalkMode::Reference, ctx) {
             write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
     }
@@ -82,9 +84,16 @@ impl Recommender for HittingTimeRecommender {
         out: &mut Vec<ScoredItem>,
     ) {
         // Fused: only subgraph-visited items can score, so collect them
-        // straight from the DP state — no global score vector, no full sort.
+        // straight from the DP state — no global score vector, no full
+        // sort; under the adaptive policy the walk also stops the moment
+        // this top-k is provably frozen.
         ctx.topk.reset(k);
-        if self.run_walk(user, ctx) {
+        let mode = WalkMode::Serving {
+            k,
+            rated: self.rated_items(user),
+            rated_absorbing: false,
+        };
+        if self.run_walk(user, mode, ctx) {
             collect_walk_topk(
                 &self.graph,
                 &ctx.subgraph,
@@ -180,6 +189,41 @@ mod tests {
         let d = Dataset::from_ratings(2, 2, &ratings);
         let rec = HittingTimeRecommender::new(&d, GraphRecConfig::default());
         assert!(rec.recommend(1, 5).is_empty());
+    }
+
+    #[test]
+    fn adaptive_serving_matches_fixed_tau_ranking_and_saves_iterations() {
+        use crate::config::DpStopping;
+        let rec = HittingTimeRecommender::new(
+            &figure2(),
+            GraphRecConfig {
+                max_items: 6000,
+                iterations: 200,
+            },
+        );
+        let mut fixed = ScoringContext::with_stopping(DpStopping::Fixed);
+        let mut adaptive = ScoringContext::new();
+        for u in 0..5u32 {
+            for k in [1usize, 3, 6] {
+                let f = rec.recommend_with(u, k, &mut fixed);
+                let a = rec.recommend_with(u, k, &mut adaptive);
+                let fi: Vec<u32> = f.iter().map(|s| s.item).collect();
+                let ai: Vec<u32> = a.iter().map(|s| s.item).collect();
+                assert_eq!(ai, fi, "user {u} k {k}");
+                // Early-stopped scores sit at or above the fixed-τ scores
+                // (monotone DP), never below.
+                for (av, fv) in a.iter().zip(&f) {
+                    assert!(av.score >= fv.score - 1e-12, "user {u} k {k}");
+                }
+            }
+        }
+        let t = adaptive.dp_telemetry();
+        assert_eq!(fixed.dp_telemetry().iterations_saved_fraction(), 0.0);
+        assert!(
+            t.iterations_run < t.iterations_budget,
+            "τ=200 on a 6-item graph must terminate early: {t:?}"
+        );
+        assert!(t.converged + t.rank_frozen > 0, "{t:?}");
     }
 
     #[test]

@@ -37,6 +37,19 @@ impl Ord for Entry {
     }
 }
 
+/// True when candidate `(score_a, item_a)` strictly outranks
+/// `(score_b, item_b)` under the collector order: higher score wins, equal
+/// scores resolve to the lower item id.
+///
+/// This is the *one* comparison every fused pruning decision must use.
+/// Comparing raw scores against [`TopKCollector::threshold`] drops the id
+/// half of the order and silently rejects candidates that tie the k-th best
+/// score with a lower id.
+#[inline]
+pub(crate) fn outranks(score_a: f64, item_a: u32, score_b: f64, item_b: u32) -> bool {
+    Entry(score_a, Reverse(item_a)) > Entry(score_b, Reverse(item_b))
+}
+
 /// A bounded min-heap accumulating the `k` best `(item, score)` pairs.
 ///
 /// The fused serving primitive: recommenders push every candidate they can
@@ -89,16 +102,44 @@ impl TopKCollector {
         self.heap.is_empty()
     }
 
-    /// The score a candidate must *beat* to enter a full collector: the
-    /// current k-th best score, once `k` items are held. Candidates scoring
-    /// below this (or tied with a lower-priority id) are rejected, which is
-    /// what makes early pruning in fused scoring loops sound.
+    /// The current k-th best *score*, once `k` items are held.
+    ///
+    /// This is a telemetry/diagnostic view only: because admission also
+    /// tie-breaks on ascending item id, a pruning rule of the form
+    /// `score <= threshold → skip` silently drops a candidate that ties the
+    /// k-th best score with a *lower* id. Every actual pruning decision
+    /// must go through [`TopKCollector::would_accept`], which performs the
+    /// full `(score desc, id asc)` comparison.
     #[inline]
     pub fn threshold(&self) -> Option<f64> {
         if self.heap.len() == self.k {
             self.heap.peek().map(|Reverse(Entry(s, _))| *s)
         } else {
             None
+        }
+    }
+
+    /// Whether [`TopKCollector::push`] of `(item, score)` would admit the
+    /// candidate right now, without pushing it: true while the collector is
+    /// not yet full, and thereafter iff the candidate beats the current
+    /// k-th best under the full `(score desc, item id asc)` order — the
+    /// same tie semantics as admission itself, unlike a raw comparison
+    /// against [`TopKCollector::threshold`].
+    ///
+    /// This is the sound pruning primitive for fused scoring loops (the
+    /// walk family's rank-stability probe uses it to decide whether an
+    /// outside candidate can still enter a decayed top-k).
+    #[inline]
+    pub fn would_accept(&self, item: u32, score: f64) -> bool {
+        if self.k == 0 || score.is_nan() || score == f64::NEG_INFINITY {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            return true;
+        }
+        match self.heap.peek() {
+            Some(&Reverse(min)) => Entry(score, Reverse(item)) > min,
+            None => true,
         }
     }
 
@@ -311,6 +352,57 @@ mod tests {
         let out = c.into_sorted();
         assert_eq!(out[0].item, 1);
         assert_eq!(out[1].item, 2);
+    }
+
+    #[test]
+    fn would_accept_admits_threshold_tie_with_lower_id() {
+        // Regression: `threshold()` alone is tie-blind. A candidate that
+        // ties the k-th best score with a LOWER id is admitted by `push`,
+        // so `would_accept` must say so — while the naive
+        // `score > threshold` prune would wrongly skip it.
+        let mut c = TopKCollector::new(2);
+        c.push(3, 0.9);
+        c.push(7, 0.5); // k-th best: (0.5, id 7)
+        assert_eq!(c.threshold(), Some(0.5));
+
+        // Tied score, lower id: naive threshold pruning drops it...
+        let naive_prune_keeps = 0.5 > c.threshold().unwrap();
+        assert!(!naive_prune_keeps, "the naive rule rejects the tie");
+        // ...but admission accepts it, and would_accept agrees.
+        assert!(c.would_accept(5, 0.5));
+        c.push(5, 0.5);
+        let out = c.clone().into_sorted();
+        assert_eq!((out[0].item, out[1].item), (3, 5), "id 5 displaced id 7");
+
+        // Tied score, higher id: correctly rejected by both.
+        assert!(!c.would_accept(9, 0.5));
+        // Strictly below: rejected.
+        assert!(!c.would_accept(0, 0.4));
+        // Strictly above: accepted.
+        assert!(c.would_accept(9, 0.6));
+    }
+
+    #[test]
+    fn would_accept_matches_push_on_edge_inputs() {
+        let mut c = TopKCollector::new(1);
+        assert!(!c.would_accept(0, f64::NAN));
+        assert!(!c.would_accept(0, f64::NEG_INFINITY));
+        assert!(c.would_accept(0, f64::INFINITY));
+        assert!(c.would_accept(0, -1.0), "not yet full: anything finite");
+        c.push(0, -1.0);
+        assert!(c.would_accept(1, 0.0));
+        assert!(!c.would_accept(1, -1.0), "tie with higher id loses");
+        assert!(!TopKCollector::new(0).would_accept(0, 1.0));
+    }
+
+    #[test]
+    fn outranks_is_the_collector_order() {
+        assert!(outranks(1.0, 5, 0.5, 2));
+        assert!(!outranks(0.5, 2, 1.0, 5));
+        // Ties: lower id outranks.
+        assert!(outranks(0.5, 2, 0.5, 5));
+        assert!(!outranks(0.5, 5, 0.5, 2));
+        assert!(!outranks(0.5, 2, 0.5, 2));
     }
 
     #[test]

@@ -6,10 +6,97 @@
 //! walk value — smaller time/cost means more recommended). All helpers here
 //! write through caller-owned buffers (the [`crate::ScoringContext`]), so a
 //! steady-state scoring loop performs no `O(n_nodes)` allocations.
+//!
+//! [`run_truncated_walk`] is the one place the DP is launched. In
+//! [`WalkMode::Reference`] (the `score_into` contract) it always runs the
+//! full fixed-τ program, keeping scored values bit-for-bit reproducible. In
+//! [`WalkMode::Serving`] (the fused top-k path) the context's
+//! [`DpStopping`] policy applies: the DP may stop once the value vector has
+//! converged or once [`rank_frozen`] proves the query's top-k list can no
+//! longer change — the rankings served are identical to fixed-τ either way.
 
-use crate::topk::TopKCollector;
+use crate::config::DpStopping;
+use crate::topk::{outranks, ScoredItem, TopKCollector};
 use longtail_graph::{BipartiteGraph, SubgraphScratch};
-use longtail_markov::DpBuffers;
+use longtail_markov::{
+    truncated_costs_converge_into, truncated_costs_into, CostModel, DpBuffers, DpProbe, DpRun,
+    SliceCost, UnitCost,
+};
+
+/// Smallest τ budget for which the rank-stability probe is armed. Below
+/// this the handful of iterations a freeze could save is on the order of
+/// the probe's own cost, so only the (nearly free) convergence rule runs.
+const PROBE_MIN_BUDGET: usize = 32;
+
+/// Which entry-cost model [`run_truncated_walk`] feeds the DP.
+pub(crate) enum WalkCostModel {
+    /// Every hop costs one step (HT, AT).
+    Unit,
+    /// Per-local-node costs from [`crate::ScoringContext::entry_costs`]
+    /// (the AC variants; fill the buffer before calling).
+    EntryCosts,
+}
+
+/// What the walk's output is for, which decides whether early termination
+/// is admissible.
+pub(crate) enum WalkMode<'a> {
+    /// Reference scoring (`score_into`): the full fixed-τ DP always runs,
+    /// so scores are exactly reproducible regardless of context policy.
+    Reference,
+    /// Fused serving (`recommend_into`): the context's [`DpStopping`]
+    /// applies, with the rank-stability probe targeting the top-`k` list
+    /// over non-`rated` items.
+    Serving {
+        /// List length being served.
+        k: usize,
+        /// The query user's rated items (sorted), excluded from the list.
+        rated: &'a [u32],
+        /// Whether the rated items are exactly the walk's absorbing item
+        /// nodes (true for AT/AC, false for HT) — lets the probe exclude
+        /// them with an `O(1)` absorbing-flag lookup instead of a binary
+        /// search per candidate.
+        rated_absorbing: bool,
+    },
+}
+
+/// Everything the rank-stability probe needs to know about the query,
+/// fixed for the whole DP run.
+pub(crate) struct ProbeTarget<'a> {
+    pub graph: &'a BipartiteGraph,
+    pub scratch: &'a SubgraphScratch,
+    pub rated: &'a [u32],
+    pub absorbing: &'a [bool],
+    pub rated_absorbing: bool,
+    pub k: usize,
+    /// Use the tight per-node remaining-change bound (sound for
+    /// superharmonic entry costs only — see [`DpProbe::node_bound`]).
+    pub per_node: bool,
+}
+
+/// Outcome of one [`rank_frozen`] evaluation.
+pub(crate) enum ProbeVerdict {
+    /// The served top-k list provably cannot change any more.
+    Frozen,
+    /// A pair still blocks the freeze: its (undecayed) score gap and the
+    /// remaining-change bound that failed to clear it — the extrapolation
+    /// data the probe driver uses to skip hopeless rescans.
+    Blocked {
+        /// Score gap of the blocking pair (0 for an exact tie).
+        gap: f64,
+        /// Remaining-change bound that failed to clear the gap.
+        bound: f64,
+    },
+}
+
+/// Skip margin of the probe driver's extrapolation: a full rescan is only
+/// worth it once the blocking bound, scaled by the observed δ decay, is
+/// within this factor of the blocking gap. Per-node bounds near the
+/// absorbing set decay *faster* than the global δ used for extrapolation,
+/// so the margin leans generous.
+const PROBE_EXTRAPOLATION_MARGIN: f64 = 4.0;
+
+/// The rank-stability callback handed to the DP, in option form.
+type RankProbe<'a> = Option<&'a mut dyn FnMut(&DpProbe<'_>) -> bool>;
 
 /// Fill `seeds` with the query user's absorbing set `S_q`: the flat
 /// item-node ids of everything the user rated. Empty if the user rated
@@ -49,6 +136,115 @@ pub(crate) fn grow_absorbing_subgraph(
         ctx.absorbing[local as usize] = true;
     }
     true
+}
+
+/// Launch the truncated DP over the context's prepared subgraph, absorbing
+/// flags and (for [`WalkCostModel::EntryCosts`]) entry-cost buffer, leaving
+/// the values in the context's [`DpBuffers`] and folding the run into the
+/// context's [`crate::DpTelemetry`].
+pub(crate) fn run_truncated_walk(
+    graph: &BipartiteGraph,
+    cost_model: WalkCostModel,
+    iterations: usize,
+    mode: WalkMode<'_>,
+    ctx: &mut crate::ScoringContext,
+) -> DpRun {
+    let crate::ScoringContext {
+        stopping,
+        subgraph,
+        walk,
+        absorbing,
+        entry_costs,
+        probe_topk,
+        probe_items,
+        dp_telemetry,
+        ..
+    } = ctx;
+    // Unit entry costs are superharmonic, which is what makes the probe's
+    // tight per-node bound sound (see `DpProbe`); the AC entropy costs are
+    // not, so those queries fall back to the global bound.
+    let per_node = matches!(cost_model, WalkCostModel::Unit);
+    let slice_cost = SliceCost(entry_costs);
+    let cost: &dyn CostModel = match cost_model {
+        WalkCostModel::Unit => &UnitCost,
+        WalkCostModel::EntryCosts => &slice_cost,
+    };
+    let run = match (mode, *stopping) {
+        (WalkMode::Reference, _) | (WalkMode::Serving { .. }, DpStopping::Fixed) => {
+            truncated_costs_into(subgraph.kernel(), absorbing, cost, iterations, walk);
+            DpRun::fixed(iterations)
+        }
+        (
+            WalkMode::Serving {
+                k,
+                rated,
+                rated_absorbing,
+            },
+            DpStopping::Adaptive { epsilon },
+        ) => {
+            let target = ProbeTarget {
+                graph,
+                scratch: &*subgraph,
+                rated,
+                absorbing: absorbing.as_slice(),
+                rated_absorbing,
+                k,
+                per_node,
+            };
+            // Extrapolation state: the last full scan's blocking pair and
+            // the δ/remaining it was observed under. A rescan only runs
+            // once the bound, scaled by the δ decay since then, comes
+            // within PROBE_EXTRAPOLATION_MARGIN of the gap — skipping is
+            // always sound (it can only delay a stop, never corrupt one).
+            let mut blocked: Option<(f64, f64, f64, usize)> = None;
+            let mut probe = |p: &DpProbe<'_>| {
+                if let Some((gap, bound, delta_then, remaining_then)) = blocked {
+                    // A rescan is only worth its cost once the state has
+                    // actually moved: δ must have decayed meaningfully
+                    // since the last full scan, and for a gap-blocked pair
+                    // the extrapolated bound must have come within the
+                    // margin of the gap. (Skipping can only delay a stop,
+                    // never corrupt one.)
+                    if p.delta > delta_then * 0.7 {
+                        return false;
+                    }
+                    if gap > 0.0 && remaining_then > 0 {
+                        let shrink =
+                            (p.delta / delta_then) * (p.remaining as f64 / remaining_then as f64);
+                        if bound * shrink > gap * PROBE_EXTRAPOLATION_MARGIN {
+                            return false;
+                        }
+                    }
+                }
+                match rank_frozen(&target, p, probe_topk, probe_items) {
+                    ProbeVerdict::Frozen => true,
+                    ProbeVerdict::Blocked { gap, bound } => {
+                        blocked = Some((gap, bound, p.delta, p.remaining));
+                        false
+                    }
+                }
+            };
+            // Below the probe budget there is no rank confirmation for an
+            // ε-convergence stop, so restrict the rule to exact fixed
+            // points (δ = 0) — those are rank-safe unconditionally.
+            let (epsilon, probe_dyn): (f64, RankProbe<'_>) = if iterations >= PROBE_MIN_BUDGET {
+                (epsilon, Some(&mut probe))
+            } else {
+                (-1.0, None)
+            };
+            truncated_costs_converge_into(
+                target.scratch.kernel(),
+                target.absorbing,
+                cost,
+                iterations,
+                epsilon,
+                probe_dyn,
+                walk,
+            )
+        }
+    };
+    dp_telemetry.record(&run);
+    run
 }
 
 /// Reset `out` to an all-unreachable score vector for `graph`'s catalog.
@@ -109,6 +305,136 @@ pub(crate) fn collect_walk_topk(
             }
         }
     }
+}
+
+/// The rank-stability probe: is the query's top-`k` list provably identical
+/// to what the remaining DP iterations would serve?
+///
+/// By monotonicity each item's score (`-value`) can only *decrease* before
+/// the fixed-τ horizon, by at most its remaining-change bound — the probe's
+/// per-node bound when `per_node` (sound for the unit-cost walks, see
+/// [`DpProbe::node_bound`]), the global `δ_t · (τ − t)` otherwise. The list
+/// is frozen when
+///
+/// 1. every adjacent pair of the current list keeps its order even if the
+///    upper item decays by its full bound — or the pair is an exact tie of
+///    *structural twins* (identical kernel rows, hence provably identical
+///    values at every iteration, so their id order is final at any
+///    horizon); and
+/// 2. the best candidate outside the list would still be rejected by a
+///    collector holding the list's decayed lower bounds — decided by
+///    [`TopKCollector::would_accept`], i.e. the full `(score desc, id asc)`
+///    admission order, so an outside candidate that ties a decayed member
+///    score with a lower id correctly blocks the freeze. The twin
+///    exception deliberately does **not** apply at this list boundary:
+///    candidates below the collected k+1 could share the boundary score
+///    without being twins, so a tied boundary is never declared frozen.
+///
+/// The candidate set itself is stable by the time the probe is consulted:
+/// the DP only probes once `δ_t` is finite, after the `∞` front has closed
+/// (see `longtail_markov::dp`), so no item can later appear in or vanish
+/// from the subgraph's finite set.
+pub(crate) fn rank_frozen(
+    target: &ProbeTarget<'_>,
+    probe: &DpProbe<'_>,
+    collector: &mut TopKCollector,
+    items: &mut Vec<ScoredItem>,
+) -> ProbeVerdict {
+    let ProbeTarget {
+        graph,
+        scratch,
+        rated,
+        absorbing,
+        rated_absorbing,
+        k,
+        per_node,
+    } = *target;
+    if k == 0 {
+        return ProbeVerdict::Frozen;
+    }
+    let global_bound = probe.global_bound();
+    if !global_bound.is_finite() {
+        return ProbeVerdict::Blocked {
+            gap: 0.0,
+            bound: f64::INFINITY,
+        };
+    }
+    // Provisional top-(k+1): the served list plus the best outside
+    // candidate, under the scores the walk would serve if stopped now.
+    collector.reset(k + 1);
+    let n_users = graph.n_users();
+    for (local, &global) in scratch.global_ids().iter().enumerate() {
+        if global >= n_users {
+            let excluded = if rated_absorbing {
+                absorbing[local]
+            } else {
+                rated.binary_search(&((global - n_users) as u32)).is_ok()
+            };
+            if excluded {
+                continue;
+            }
+            let v = probe.values[local];
+            if v.is_finite() {
+                collector.push((global - n_users) as u32, -v);
+            }
+        }
+    }
+    collector.drain_sorted_into(items);
+
+    let local_of = |item: u32| -> usize {
+        scratch
+            .local_id(graph.item_node(item))
+            .expect("collected item is in the subgraph") as usize
+    };
+    let bound_of = |item: u32| -> f64 {
+        if per_node {
+            probe.node_bound(local_of(item))
+        } else {
+            global_bound
+        }
+    };
+    let twins = |a: u32, b: u32| -> bool {
+        let kernel = scratch.kernel();
+        let (cols_a, probs_a) = kernel.row(local_of(a));
+        let (cols_b, probs_b) = kernel.row(local_of(b));
+        // Rows keep the shared global neighbor order, so identical
+        // neighborhoods compare equal elementwise.
+        cols_a == cols_b && probs_a == probs_b
+    };
+
+    // (1) Within-list order: each adjacent pair must stay ordered when the
+    // upper item takes its full remaining decay and the lower one none —
+    // except exact twin ties, whose id order is final at every horizon.
+    let in_list = items.len().min(k);
+    for w in items[..in_list].windows(2) {
+        let bound = bound_of(w[0].item);
+        if !outranks(w[0].score - bound, w[0].item, w[1].score, w[1].item) {
+            let twin_tie = w[0].score == w[1].score && twins(w[0].item, w[1].item);
+            if !twin_tie {
+                return ProbeVerdict::Blocked {
+                    gap: w[0].score - w[1].score,
+                    bound,
+                };
+            }
+        }
+    }
+    // (2) Set membership: rearm the collector with the list's decayed lower
+    // bounds and ask whether the best outside candidate would be admitted.
+    if items.len() > k {
+        let outside = items[k];
+        collector.reset(k);
+        for si in &items[..k] {
+            collector.push(si.item, si.score - bound_of(si.item));
+        }
+        if collector.would_accept(outside.item, outside.score) {
+            let kth = items[k - 1];
+            return ProbeVerdict::Blocked {
+                gap: kth.score - outside.score,
+                bound: bound_of(kth.item),
+            };
+        }
+    }
+    ProbeVerdict::Frozen
 }
 
 #[cfg(test)]
@@ -176,5 +502,217 @@ mod tests {
         let g = BipartiteGraph::from_ratings(2, 2, &[(0, 0, 5.0)]);
         let mut ctx = ScoringContext::new();
         assert!(!grow_absorbing_subgraph(&g, 1, usize::MAX, &mut ctx));
+    }
+
+    /// A graph with 4 items all reachable from user 0's neighborhood, and a
+    /// value fixture addressed by *item id* for probe tests.
+    fn probe_fixture() -> (BipartiteGraph, ScoringContext) {
+        let g = BipartiteGraph::from_ratings(
+            2,
+            4,
+            &[
+                (0, 0, 5.0),
+                (0, 1, 4.0),
+                (0, 2, 3.0),
+                (0, 3, 5.0),
+                (1, 0, 2.0),
+            ],
+        );
+        let mut ctx = ScoringContext::new();
+        ctx.subgraph.grow(&g, &[g.user_node(0)], usize::MAX);
+        (g, ctx)
+    }
+
+    /// Build a local value vector assigning walk value `vals[i]` to item
+    /// `i`; users get an arbitrary value (ignored by the probe).
+    fn values_by_item(g: &BipartiteGraph, ctx: &ScoringContext, vals: &[f64]) -> Vec<f64> {
+        let mut values = vec![9.0; ctx.subgraph.n_nodes()];
+        for (i, &v) in vals.iter().enumerate() {
+            let local = ctx.subgraph.local_id(g.item_node(i as u32)).unwrap();
+            values[local as usize] = v;
+        }
+        values
+    }
+
+    /// Probe a fixture context with a *global* remaining-change bound.
+    fn frozen_global(
+        g: &BipartiteGraph,
+        ctx: &mut ScoringContext,
+        values: &[f64],
+        rated: &[u32],
+        k: usize,
+        bound: f64,
+    ) -> bool {
+        let no_absorbing = vec![false; ctx.subgraph.n_nodes()];
+        let ScoringContext {
+            subgraph,
+            probe_topk,
+            probe_items,
+            ..
+        } = ctx;
+        let target = ProbeTarget {
+            graph: g,
+            scratch: subgraph,
+            rated,
+            absorbing: &no_absorbing,
+            rated_absorbing: false,
+            k,
+            per_node: false,
+        };
+        let probe = DpProbe {
+            values,
+            previous: values,
+            delta: bound,
+            remaining: 1,
+        };
+        matches!(
+            rank_frozen(&target, &probe, probe_topk, probe_items),
+            ProbeVerdict::Frozen
+        )
+    }
+
+    #[test]
+    fn probe_freezes_when_gaps_exceed_bound() {
+        let (g, mut ctx) = probe_fixture();
+        // Scores (= -value): item0 -1, item1 -2, item2 -3, item3 -4.
+        let values = values_by_item(&g, &ctx, &[1.0, 2.0, 3.0, 4.0]);
+        // Adjacent gaps are all 1.0: frozen under bound 0.5, not under 1.5.
+        assert!(frozen_global(&g, &mut ctx, &values, &[], 2, 0.5));
+        assert!(!frozen_global(&g, &mut ctx, &values, &[], 2, 1.5));
+        // Infinite bound (∞ front still moving) can never freeze.
+        assert!(!frozen_global(&g, &mut ctx, &values, &[], 2, f64::INFINITY));
+        // k = 0 serves the empty list: trivially frozen.
+        assert!(frozen_global(&g, &mut ctx, &values, &[], 0, 123.0));
+    }
+
+    #[test]
+    fn probe_respects_tie_semantics_of_would_accept() {
+        let (g, mut ctx) = probe_fixture();
+        // k = 2. Items 0,1 in the list (values 1.0, 2.0); outside items 2,3
+        // at value 2.5. With bound 0.5 the decayed k-th lower bound is
+        // score -2.5 (item 1), exactly tying the outside candidates.
+        let values = values_by_item(&g, &ctx, &[1.0, 2.0, 2.5, 2.5]);
+        // Outside item 2 ties the decayed (score, id) = (-2.5, 1) with a
+        // HIGHER id, so it loses the tie and the list is frozen...
+        assert!(frozen_global(&g, &mut ctx, &values, &[], 2, 0.5));
+        // ...but excluding item 1 (rated) promotes item 2 into the list,
+        // leaving its exact tie item 3 outside: the twin exception never
+        // applies at the list boundary, so the freeze is refused.
+        assert!(!frozen_global(&g, &mut ctx, &values, &[1], 2, 0.5));
+    }
+
+    #[test]
+    fn probe_tied_lower_id_outside_blocks_freeze() {
+        // The satellite regression, aimed at the direction threshold-style
+        // pruning gets wrong: the outside candidate ties the decayed k-th
+        // bound with a LOWER id. List = items 2, 3 (values 1.0, 2.0, k = 2,
+        // item 1 rated); outside item 0 at value 2.5. Bound 0.5 decays the
+        // k-th (item 3) to score -2.5, exactly tying outside item 0 — which
+        // has the lower id and would be admitted, so the freeze must be
+        // refused. A naive `score <= decayed threshold → safe` rule would
+        // wrongly freeze here.
+        let (g, mut ctx) = probe_fixture();
+        let values = values_by_item(&g, &ctx, &[2.5, 9.0, 1.0, 2.0]);
+        assert!(!frozen_global(&g, &mut ctx, &values, &[1], 2, 0.5));
+    }
+
+    #[test]
+    fn probe_outside_candidate_within_bound_blocks_freeze() {
+        let (g, mut ctx) = probe_fixture();
+        // k = 2: list is items 0 (-1.0) and 1 (-2.0); best outside is item
+        // 2 at -2.3. Bound 0.5 lets item 1 decay to -2.5, past item 2.
+        let values = values_by_item(&g, &ctx, &[1.0, 2.0, 2.3, 4.0]);
+        assert!(!frozen_global(&g, &mut ctx, &values, &[], 2, 0.5));
+        // A tighter bound freezes it (gap to outside is 0.3; in-list gap 1.0).
+        assert!(frozen_global(&g, &mut ctx, &values, &[], 2, 0.2));
+    }
+
+    #[test]
+    fn probe_exact_in_list_tie_of_non_twins_is_not_frozen() {
+        let (g, mut ctx) = probe_fixture();
+        // Items 0 and 1 exactly tied but NOT structural twins (item 0 has
+        // two raters, item 1 one): their fixed-τ order is undecided, so a
+        // positive bound must not freeze... while bound = 0 is an exact
+        // fixed point, where ties persist and id order IS final.
+        let values = values_by_item(&g, &ctx, &[2.0, 2.0, 3.0, 4.0]);
+        assert!(!frozen_global(&g, &mut ctx, &values, &[], 2, 0.1));
+        // At an exact fixed point (bound 0) the tie resolves by id forever.
+        assert!(frozen_global(&g, &mut ctx, &values, &[], 2, 0.0));
+    }
+
+    #[test]
+    fn probe_twin_tie_within_list_freezes() {
+        let (g, mut ctx) = probe_fixture();
+        // Items 1 and 2 are structural twins (sole rater user 0, and row
+        // renormalization erases the differing edge weights), so their tie
+        // is provably permanent: a k = 3 list with the tie *inside* freezes
+        // under a positive bound...
+        let values = values_by_item(&g, &ctx, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(frozen_global(&g, &mut ctx, &values, &[], 3, 0.3));
+        // ...but the same tie straddling the k = 2 boundary does not (the
+        // twin exception is boundary-strict).
+        assert!(!frozen_global(&g, &mut ctx, &values, &[], 2, 0.3));
+    }
+
+    #[test]
+    fn probe_short_list_checks_order_only() {
+        let (g, mut ctx) = probe_fixture();
+        // k = 10 > 4 candidates: everything is in the list; only the
+        // internal order matters.
+        let values = values_by_item(&g, &ctx, &[1.0, 2.0, 3.0, 4.0]);
+        assert!(frozen_global(&g, &mut ctx, &values, &[], 10, 0.5));
+        assert!(!frozen_global(&g, &mut ctx, &values, &[], 10, 1.5));
+    }
+
+    #[test]
+    fn probe_per_node_bound_freezes_where_global_cannot() {
+        let (g, mut ctx) = probe_fixture();
+        // Top item 0 has a tiny increment (its own remaining change is
+        // small) while far item 3 is still moving fast. The global bound
+        // (δ = 1.0 over 2 remaining iterations) cannot freeze k = 1; the
+        // per-node bound can.
+        let values = values_by_item(&g, &ctx, &[1.0, 2.0, 3.0, 4.0]);
+        let mut previous = values.clone();
+        let it0 = ctx.subgraph.local_id(g.item_node(0)).unwrap() as usize;
+        let it3 = ctx.subgraph.local_id(g.item_node(3)).unwrap() as usize;
+        previous[it0] = values[it0] - 0.01;
+        previous[it3] = values[it3] - 1.0;
+        let no_absorbing = vec![false; ctx.subgraph.n_nodes()];
+        let ScoringContext {
+            subgraph,
+            probe_topk,
+            probe_items,
+            ..
+        } = &mut ctx;
+        let probe = DpProbe {
+            values: &values,
+            previous: &previous,
+            delta: 1.0,
+            remaining: 2,
+        };
+        let mut target = ProbeTarget {
+            graph: &g,
+            scratch: subgraph,
+            rated: &[],
+            absorbing: &no_absorbing,
+            rated_absorbing: false,
+            k: 1,
+            per_node: false,
+        };
+        assert!(
+            matches!(
+                rank_frozen(&target, &probe, probe_topk, probe_items),
+                ProbeVerdict::Blocked { .. }
+            ),
+            "global bound 2.0 must not freeze a gap of 1.0"
+        );
+        target.per_node = true;
+        assert!(
+            matches!(
+                rank_frozen(&target, &probe, probe_topk, probe_items),
+                ProbeVerdict::Frozen
+            ),
+            "per-node bound 0.02 freezes the same list"
+        );
     }
 }

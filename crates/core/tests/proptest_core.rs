@@ -36,10 +36,21 @@ fn check_recommender(rec: &dyn Recommender, d: &Dataset) -> Result<(), TestCaseE
         for w in top.windows(2) {
             prop_assert!(w[0].score >= w[1].score);
         }
-        // recommend() is consistent with score_items().
+        // recommend() is consistent with score_items(): under the default
+        // adaptive serving policy the walk family may report each score
+        // from an earlier (rank-frozen) DP iteration, so served scores sit
+        // at or above the reference — never below, never reordered. The
+        // exact item/rank equivalence is pinned in recommend_topk.rs.
         let scores = rec.score_items(u);
         for s in &top {
-            prop_assert!((scores[s.item as usize] - s.score).abs() < 1e-12);
+            prop_assert!(
+                s.score >= scores[s.item as usize] - 1e-12,
+                "{} item {}: served {} below reference {}",
+                rec.name(),
+                s.item,
+                s.score,
+                scores[s.item as usize]
+            );
         }
     }
     Ok(())

@@ -5,10 +5,16 @@
 //! dots). These properties pin the fused contract for all 8 recommender
 //! families:
 //!
-//! * `recommend_into(user, k)` is **item-for-item and score-for-score
-//!   identical** to `top_k(score_into(user), k, rated)`, including
-//!   tie-breaking by ascending item id, for every user and several `k`
-//!   (0, mid, beyond the catalog);
+//! * under [`DpStopping::Fixed`], `recommend_into(user, k)` is
+//!   **item-for-item and score-for-score identical** to
+//!   `top_k(score_into(user), k, rated)`, including tie-breaking by
+//!   ascending item id, for every user and several `k` (0, mid, beyond the
+//!   catalog);
+//! * under the **default adaptive policy** (early termination on), the
+//!   walk family's fused lists are **item- and score-rank identical** to
+//!   the full-τ reference — same items, same order — with each served
+//!   score at or above its fixed-τ counterpart (the monotone DP stopped
+//!   early, never reordered);
 //! * `recommend_batch(users, k, t)` is **bit-identical** to the sequential
 //!   `recommend_into` loop for every thread count `t`.
 //!
@@ -17,7 +23,7 @@
 
 use longtail_core::{
     top_k, AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
-    AssociationRuleRecommender, GraphRecConfig, HittingTimeRecommender, KnnRecommender,
+    AssociationRuleRecommender, DpStopping, GraphRecConfig, HittingTimeRecommender, KnnRecommender,
     LdaRecommender, PageRankRecommender, PureSvdRecommender, Recommender, RuleConfig, ScoredItem,
     ScoringContext, UserSimilarity,
 };
@@ -43,8 +49,10 @@ fn ratings() -> impl Strategy<Value = Vec<Rating>> {
 
 /// The fused contract: for every user and a spread of `k`, the fused list
 /// equals the score-then-sort reference exactly (items, scores, order).
+/// Runs under [`DpStopping::Fixed`] so the walk family's DP spends its full
+/// τ — the policy under which score-for-score identity is the contract.
 fn check_fused_equivalence(rec: &dyn Recommender, d: &Dataset) -> Result<(), TestCaseError> {
-    let mut ctx = ScoringContext::new();
+    let mut ctx = ScoringContext::with_stopping(DpStopping::Fixed);
     let mut fused: Vec<ScoredItem> = Vec::new();
     for u in 0..d.n_users() as u32 {
         let scores = rec.score_items(u);
@@ -62,6 +70,54 @@ fn check_fused_equivalence(rec: &dyn Recommender, d: &Dataset) -> Result<(), Tes
             );
         }
     }
+    Ok(())
+}
+
+/// The early-termination contract: under the default adaptive policy, the
+/// fused list is item- and score-rank identical to the full-τ
+/// `top_k(score_into)` reference — same items in the same positions — and
+/// every served score sits at or above its fixed-τ counterpart (the
+/// monotone DP was stopped early, so costs can only be underestimates).
+fn check_adaptive_rank_equivalence(
+    rec: &dyn Recommender,
+    d: &Dataset,
+) -> Result<(), TestCaseError> {
+    let mut ctx = ScoringContext::new();
+    prop_assert_eq!(ctx.stopping, DpStopping::adaptive());
+    let mut fused: Vec<ScoredItem> = Vec::new();
+    for u in 0..d.n_users() as u32 {
+        let scores = rec.score_items(u);
+        let rated = rec.rated_items(u);
+        for k in [0usize, 1, 3, N_ITEMS + 3] {
+            let reference = top_k(&scores, k, |i| rated.binary_search(&i).is_ok());
+            rec.recommend_into(u, k, &mut ctx, &mut fused);
+            let fused_items: Vec<u32> = fused.iter().map(|s| s.item).collect();
+            let reference_items: Vec<u32> = reference.iter().map(|s| s.item).collect();
+            prop_assert_eq!(
+                &fused_items,
+                &reference_items,
+                "{} user {} k {}: early-terminated ranking diverged from full-τ",
+                rec.name(),
+                u,
+                k
+            );
+            for (f, r) in fused.iter().zip(&reference) {
+                prop_assert!(
+                    f.score >= r.score - 1e-12,
+                    "{} user {} k {} item {}: served {} below fixed-τ {}",
+                    rec.name(),
+                    u,
+                    k,
+                    f.item,
+                    f.score,
+                    r.score
+                );
+            }
+        }
+    }
+    // A context that served adaptively must never spend more than budget.
+    let t = ctx.dp_telemetry();
+    prop_assert!(t.iterations_run <= t.iterations_budget, "{:?}", t);
     Ok(())
 }
 
@@ -102,13 +158,16 @@ proptest! {
         let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
         let rec = HittingTimeRecommender::new(&d, GraphRecConfig::default());
         check_both(&rec, &d)?;
+        check_adaptive_rank_equivalence(&rec, &d)?;
         // Also under a tight subgraph budget, where most items are outside
-        // the visited neighborhood.
+        // the visited neighborhood (and the induced kernel has dangling
+        // boundary nodes, exercising the ∞-front path of the adaptive DP).
         let tight = HittingTimeRecommender::new(
             &d,
             GraphRecConfig { max_items: 2, iterations: 10 },
         );
         check_both(&tight, &d)?;
+        check_adaptive_rank_equivalence(&tight, &d)?;
     }
 
     #[test]
@@ -116,6 +175,13 @@ proptest! {
         let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
         let rec = AbsorbingTimeRecommender::new(&d, GraphRecConfig::default());
         check_both(&rec, &d)?;
+        check_adaptive_rank_equivalence(&rec, &d)?;
+        // A long budget gives the adaptive rules room to actually fire.
+        let long = AbsorbingTimeRecommender::new(
+            &d,
+            GraphRecConfig { max_items: 6000, iterations: 150 },
+        );
+        check_adaptive_rank_equivalence(&long, &d)?;
     }
 
     #[test]
@@ -123,6 +189,7 @@ proptest! {
         let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
         let ac1 = AbsorbingCostRecommender::item_entropy(&d, AbsorbingCostConfig::default());
         check_both(&ac1, &d)?;
+        check_adaptive_rank_equivalence(&ac1, &d)?;
     }
 
     #[test]
@@ -134,6 +201,7 @@ proptest! {
             AbsorbingCostConfig::default(),
         );
         check_both(&ac2, &d)?;
+        check_adaptive_rank_equivalence(&ac2, &d)?;
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! This module reproduces that measurement with plain wall-clock timing;
 //! the statistically careful version lives in the Criterion benches.
 
-use longtail_core::{Recommender, ScoringContext};
+use longtail_core::{DpStopping, DpTelemetry, Recommender, ScoringContext};
 use std::time::Instant;
 
 /// Wall-clock statistics over a batch of per-user recommendation queries.
@@ -18,14 +18,33 @@ pub struct TimingStats {
     pub total_seconds: f64,
     /// Number of queries timed.
     pub n_queries: usize,
+    /// Truncated-DP iteration counters accumulated by the timing context —
+    /// how much of the walk family's τ budget adaptive early termination
+    /// actually spent. All-zero for non-walk recommenders, and for the
+    /// batch timers (whose worker contexts are internal to
+    /// [`Recommender::recommend_batch`]).
+    pub dp: DpTelemetry,
 }
 
 /// Time `recommender` producing top-`k` lists for each user in `users`,
 /// sequentially, through one reused [`ScoringContext`] and one reused list
 /// buffer on the fused [`Recommender::recommend_into`] path — the
-/// steady-state per-query latency of a single serving worker.
+/// steady-state per-query latency of a single serving worker, under the
+/// default adaptive [`DpStopping`] policy.
 pub fn time_recommendations(recommender: &dyn Recommender, users: &[u32], k: usize) -> TimingStats {
-    let mut ctx = ScoringContext::new();
+    time_recommendations_with_stopping(recommender, users, k, DpStopping::default())
+}
+
+/// [`time_recommendations`] under an explicit serving policy — the probe
+/// benchmarks use this to compare [`DpStopping::Fixed`] against the
+/// adaptive default on identical query streams.
+pub fn time_recommendations_with_stopping(
+    recommender: &dyn Recommender,
+    users: &[u32],
+    k: usize,
+    stopping: DpStopping,
+) -> TimingStats {
+    let mut ctx = ScoringContext::with_stopping(stopping);
     let mut list = Vec::new();
     let start = Instant::now();
     for &u in users {
@@ -42,6 +61,7 @@ pub fn time_recommendations(recommender: &dyn Recommender, users: &[u32], k: usi
         },
         total_seconds: total,
         n_queries: users.len(),
+        dp: ctx.dp_telemetry(),
     }
 }
 
@@ -68,6 +88,7 @@ pub fn time_batch_recommendations(
         },
         total_seconds: total,
         n_queries: users.len(),
+        dp: DpTelemetry::default(),
     }
 }
 
@@ -93,6 +114,7 @@ pub fn time_batch_scoring(
         },
         total_seconds: total,
         n_queries: users.len(),
+        dp: DpTelemetry::default(),
     }
 }
 
@@ -125,6 +147,35 @@ mod tests {
         assert_eq!(stats.n_queries, 3);
         assert!(stats.total_seconds >= 0.0);
         assert!(stats.mean_seconds <= stats.total_seconds + 1e-12);
+        // The walk family surfaces its DP telemetry through the stats.
+        assert_eq!(stats.dp.queries, 3);
+        assert!(stats.dp.iterations_run <= stats.dp.iterations_budget);
+    }
+
+    #[test]
+    fn fixed_stopping_spends_the_full_budget() {
+        let d = Dataset::from_ratings(
+            2,
+            2,
+            &[
+                Rating {
+                    user: 0,
+                    item: 0,
+                    value: 5.0,
+                },
+                Rating {
+                    user: 1,
+                    item: 1,
+                    value: 4.0,
+                },
+            ],
+        );
+        let config = GraphRecConfig::default();
+        let rec = HittingTimeRecommender::new(&d, config);
+        let stats =
+            time_recommendations_with_stopping(&rec, &[0, 1], 1, longtail_core::DpStopping::Fixed);
+        assert_eq!(stats.dp.iterations_run, stats.dp.iterations_budget);
+        assert_eq!(stats.dp.iterations_saved_fraction(), 0.0);
     }
 
     #[test]

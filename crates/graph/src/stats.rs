@@ -39,14 +39,24 @@ impl GraphStats {
         } else {
             n_ratings as f64 / (n_users as f64 * n_items as f64)
         };
-        let pops: Vec<usize> = (0..n_items as u32)
-            .map(|i| graph.item_popularity(i))
-            .filter(|&p| p > 0)
-            .collect();
-        let acts: Vec<usize> = (0..n_users as u32)
-            .map(|u| graph.user_activity(u))
-            .filter(|&a| a > 0)
-            .collect();
+        // Fold the min/max reductions in place — no O(n) side vectors for
+        // what is a pair of scalars per axis.
+        let minmax_nonzero = |counts: &mut dyn Iterator<Item = usize>| -> (usize, usize) {
+            let (mut min, mut max) = (usize::MAX, 0usize);
+            for c in counts.filter(|&c| c > 0) {
+                min = min.min(c);
+                max = max.max(c);
+            }
+            if max == 0 {
+                (0, 0)
+            } else {
+                (min, max)
+            }
+        };
+        let (min_item_popularity, max_item_popularity) =
+            minmax_nonzero(&mut (0..n_items as u32).map(|i| graph.item_popularity(i)));
+        let (min_user_activity, max_user_activity) =
+            minmax_nonzero(&mut (0..n_users as u32).map(|u| graph.user_activity(u)));
         let mean_rating = if n_ratings == 0 {
             0.0
         } else {
@@ -57,10 +67,10 @@ impl GraphStats {
             n_items,
             n_ratings,
             density,
-            min_item_popularity: pops.iter().copied().min().unwrap_or(0),
-            max_item_popularity: pops.iter().copied().max().unwrap_or(0),
-            min_user_activity: acts.iter().copied().min().unwrap_or(0),
-            max_user_activity: acts.iter().copied().max().unwrap_or(0),
+            min_item_popularity,
+            max_item_popularity,
+            min_user_activity,
+            max_user_activity,
             mean_rating,
         }
     }
@@ -157,5 +167,22 @@ mod tests {
         assert_eq!(s.n_ratings, 0);
         assert_eq!(s.density, 0.0);
         assert_eq!(s.mean_rating, 0.0);
+        assert_eq!(s.min_item_popularity, 0);
+        assert_eq!(s.max_item_popularity, 0);
+        assert_eq!(s.min_user_activity, 0);
+        assert_eq!(s.max_user_activity, 0);
+    }
+
+    #[test]
+    fn zero_count_rows_are_excluded_from_minmax() {
+        // Items 0 and 2 and user 1 carry no ratings: the nonzero filter
+        // must drop them, so the min comes from the single rated item/user
+        // (1), not from the zero-count rows (0).
+        let g = BipartiteGraph::from_ratings(2, 3, &[(0, 1, 4.0)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.min_item_popularity, 1);
+        assert_eq!(s.max_item_popularity, 1);
+        assert_eq!(s.min_user_activity, 1);
+        assert_eq!(s.max_user_activity, 1);
     }
 }

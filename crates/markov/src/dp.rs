@@ -13,6 +13,34 @@
 //! path), bounding the divergence to last-ulp rounding. The golden tests in
 //! `tests/golden_kernel.rs` pin that equivalence against a verbatim copy of
 //! the pre-refactor code.
+//!
+//! # Early termination
+//!
+//! [`truncated_costs_into`] always runs the full τ iterations — the
+//! reference semantics every score is pinned to.
+//! [`truncated_costs_converge_into`] is the adaptive serving variant: it
+//! tracks the per-iteration sup-norm change `δ_t` and stops as soon as the
+//! remaining iterations provably cannot matter. Its soundness rests on three
+//! properties of the recursion:
+//!
+//! * **Monotonicity.** Starting from `AC_0 = 0`, with non-negative entry
+//!   costs and a non-negative kernel, `AC_{t+1} − AC_t = P(AC_t − AC_{t−1})
+//!   ≥ 0`: values only grow. (Equivalently: the negated *scores* the
+//!   recommenders serve only shrink, so an early stop reports each item at
+//!   an upper bound of its fixed-τ score.)
+//! * **Contraction of increments.** Every kernel row sums to at most 1
+//!   (rows are stochastic, or empty for dangling boundary nodes of an
+//!   induced subgraph), so `‖AC_{t+q+1} − AC_{t+q}‖_∞ =
+//!   ‖P^q (AC_{t+1} − AC_t)‖_∞ ≤ δ_t` for every `q ≥ 0`. After iteration
+//!   `t`, no value can move by more than `δ_t · (τ − t)` before the fixed-τ
+//!   horizon — the *remaining-change bound* handed to the rank-stability
+//!   probe.
+//! * **The `∞` front closes before δ is finite.** A node is `∞` exactly
+//!   when it can reach a dangling pocket within the iteration count, and
+//!   that set grows by one BFS ring per iteration until it is closed. Any
+//!   iteration that turns a finite value infinite reports `δ_t = ∞`, so no
+//!   stopping rule can fire while the reachable-candidate set is still
+//!   changing: once `δ_t` is finite, finite nodes stay finite forever.
 
 use crate::cost::CostModel;
 use longtail_graph::TransitionMatrix;
@@ -60,37 +88,110 @@ impl DpBuffers {
     }
 }
 
-/// Run the truncated absorbing-cost dynamic program (Eq. 9, Algorithm 1
-/// steps 3–4) over `kernel`, absorbing at nodes flagged in `absorbing`,
-/// for `iterations` rounds. Returns the value vector, which lives in
-/// `bufs` until the next call.
+/// What the rank-stability probe sees after one completed iteration of
+/// [`truncated_costs_converge_into`].
 ///
-/// Dangling non-absorbing nodes get `f64::INFINITY`, as do nodes whose walk
-/// can only reach dangling pockets.
+/// Two sound remaining-change bounds can be derived from it, both capping
+/// how far any value can still move before the fixed-τ horizon:
 ///
-/// # Panics
-///
-/// Panics if `absorbing.len() != kernel.n_nodes()`.
-pub fn truncated_costs_into<'a>(
+/// * [`DpProbe::global_bound`] — `δ_t · remaining`, valid for every
+///   non-negative cost model (sup-norm increments are non-increasing under
+///   a row-(sub)stochastic kernel).
+/// * [`DpProbe::node_bound`] — `(v_t(i) − v_{t−1}(i)) · remaining`, the
+///   node's *own* latest increment extended over the remaining iterations.
+///   Valid only for **superharmonic** immediate costs (`P·r ≤ r`
+///   elementwise, e.g. [`crate::UnitCost`], whose increments are per-node
+///   survival probabilities): then `e_{t+1} = P·e_t ≤ e_t` *per node* by
+///   induction, so every future increment of node `i` is at most its
+///   current one. Much tighter than the global bound near the absorbing
+///   set, where exactly the best-ranked candidates live.
+#[derive(Debug, Clone, Copy)]
+pub struct DpProbe<'a> {
+    /// Current value vector (`v_t`).
+    pub values: &'a [f64],
+    /// Previous iteration's value vector (`v_{t−1}`).
+    pub previous: &'a [f64],
+    /// Sup-norm change of the completed iteration (finite when probed).
+    pub delta: f64,
+    /// Iterations left before the fixed-τ horizon.
+    pub remaining: usize,
+}
+
+impl DpProbe<'_> {
+    /// Remaining-change bound valid for every non-negative cost model.
+    #[inline]
+    pub fn global_bound(&self) -> f64 {
+        self.delta * self.remaining as f64
+    }
+
+    /// Per-node remaining-change bound — sound only for superharmonic
+    /// immediate costs (see the type docs).
+    #[inline]
+    pub fn node_bound(&self, local: usize) -> f64 {
+        (self.values[local] - self.previous[local]) * self.remaining as f64
+    }
+}
+
+/// First iteration at which the rank-stability probe is consulted.
+const PROBE_START: usize = 6;
+
+/// The δ/scale measurement pass is `O(n)` — noticeable against the sweeps
+/// of small, sparse subgraphs — so it only runs every this many iterations
+/// (plus on every probe-scheduled and final iteration). The convergence
+/// stop can overshoot by at most `DELTA_STRIDE − 1` sweeps.
+const DELTA_STRIDE: usize = 4;
+
+/// After a failed probe at iteration `t`, the next probe runs at
+/// `t + max(2, t/8)` — a geometric schedule dense enough to overshoot the
+/// earliest provable stop by only a few percent while keeping probe
+/// overhead negligible for both small and large budgets.
+#[inline]
+fn next_probe_after(t: usize) -> usize {
+    t + (t / 8).max(2)
+}
+
+/// Outcome of one [`truncated_costs_converge_into`] run: how many of the τ
+/// budgeted iterations actually ran, and which stopping rule ended the walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpRun {
+    /// Iterations actually performed (≤ `budget`).
+    pub iterations: usize,
+    /// The fixed-τ iteration budget the run was allowed.
+    pub budget: usize,
+    /// The value-convergence rule fired: `δ_t ≤ ε · scale`.
+    pub converged: bool,
+    /// The caller's rank-stability probe declared the top-k frozen.
+    pub rank_frozen: bool,
+    /// Sup-norm change of the last *measured* iteration — δ is measured on
+    /// a small stride plus every probe-scheduled and final iteration (`∞`
+    /// when no iteration ran, or while the `∞` front was still spreading).
+    pub last_delta: f64,
+}
+
+impl DpRun {
+    /// A run that exhausted `budget` fixed iterations with no adaptive
+    /// bookkeeping (the [`truncated_costs_into`] semantics).
+    pub fn fixed(budget: usize) -> Self {
+        Self {
+            iterations: budget,
+            budget,
+            converged: false,
+            rank_frozen: false,
+            last_delta: f64::INFINITY,
+        }
+    }
+}
+
+/// Hoist the expected immediate cost of one hop out of each transient node:
+/// `Σ_j p_ij · entry_cost(j)`, constant across iterations. Returns whether
+/// any transient node is dangling — only then can `∞` enter the recursion.
+fn expected_immediate_costs(
     kernel: &TransitionMatrix,
     absorbing: &[bool],
     cost: &dyn CostModel,
-    iterations: usize,
-    bufs: &'a mut DpBuffers,
-) -> &'a [f64] {
+    immediate: &mut Vec<f64>,
+) -> bool {
     let n = kernel.n_nodes();
-    assert_eq!(absorbing.len(), n, "absorbing flag vector length mismatch");
-
-    let DpBuffers {
-        immediate,
-        current,
-        next,
-    } = bufs;
-
-    // Expected immediate cost of one hop out of each transient node:
-    // Σ_j p_ij · entry_cost(j). Constant across iterations, so hoist it.
-    // `any_infinite` remembers whether any transient node is dangling — only
-    // then can ∞ enter the recursion at all.
     immediate.clear();
     immediate.resize(n, 0.0);
     let constant = cost.constant_cost();
@@ -124,6 +225,109 @@ pub fn truncated_costs_into<'a>(
         }
         immediate[i] = acc;
     }
+    any_infinite
+}
+
+/// One DP iteration, checked variant: `∞` from unreachable pockets must
+/// short-circuit instead of producing NaN via `0.0 · ∞`-adjacent arithmetic.
+fn sweep_checked(
+    kernel: &TransitionMatrix,
+    absorbing: &[bool],
+    immediate: &[f64],
+    current: &[f64],
+    next: &mut [f64],
+) {
+    for i in 0..kernel.n_nodes() {
+        if absorbing[i] {
+            next[i] = 0.0;
+            continue;
+        }
+        let (cols, probs) = kernel.row(i);
+        if cols.is_empty() {
+            next[i] = f64::INFINITY;
+            continue;
+        }
+        let mut acc = 0.0;
+        for (&j, &p) in cols.iter().zip(probs) {
+            let v = current[j as usize];
+            if v.is_finite() {
+                acc += p * v;
+            } else {
+                acc = f64::INFINITY;
+                break;
+            }
+        }
+        next[i] = immediate[i] + acc;
+    }
+}
+
+/// One DP iteration, fast variant: every value provably stays finite (each
+/// bounded by τ·max immediate), so the per-edge finiteness branch — and the
+/// empty-row probe — drop out of the hot loop entirely. Four accumulators
+/// break the floating-point add latency chain that otherwise serializes the
+/// row reduction (summation order differs from the checked variant by
+/// last-ulp rounding only).
+fn sweep_fast(
+    kernel: &TransitionMatrix,
+    absorbing: &[bool],
+    immediate: &[f64],
+    current: &[f64],
+    next: &mut [f64],
+) {
+    for i in 0..kernel.n_nodes() {
+        if absorbing[i] {
+            next[i] = 0.0;
+            continue;
+        }
+        let (cols, probs) = kernel.row(i);
+        let mut cols4 = cols.chunks_exact(4);
+        let mut probs4 = probs.chunks_exact(4);
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0, 0.0, 0.0);
+        for (c, p) in (&mut cols4).zip(&mut probs4) {
+            a0 += p[0] * current[c[0] as usize];
+            a1 += p[1] * current[c[1] as usize];
+            a2 += p[2] * current[c[2] as usize];
+            a3 += p[3] * current[c[3] as usize];
+        }
+        let mut acc = (a0 + a1) + (a2 + a3);
+        for (&j, &p) in cols4.remainder().iter().zip(probs4.remainder()) {
+            acc += p * current[j as usize];
+        }
+        next[i] = immediate[i] + acc;
+    }
+}
+
+/// Run the truncated absorbing-cost dynamic program (Eq. 9, Algorithm 1
+/// steps 3–4) over `kernel`, absorbing at nodes flagged in `absorbing`,
+/// for `iterations` rounds. Returns the value vector, which lives in
+/// `bufs` until the next call.
+///
+/// Dangling non-absorbing nodes get `f64::INFINITY`, as do nodes whose walk
+/// can only reach dangling pockets.
+///
+/// This is the *reference* form: it always performs exactly `iterations`
+/// sweeps. Serving paths that only need the fixed-τ ranking (not the exact
+/// fixed-τ values) should prefer [`truncated_costs_converge_into`].
+///
+/// # Panics
+///
+/// Panics if `absorbing.len() != kernel.n_nodes()`.
+pub fn truncated_costs_into<'a>(
+    kernel: &TransitionMatrix,
+    absorbing: &[bool],
+    cost: &dyn CostModel,
+    iterations: usize,
+    bufs: &'a mut DpBuffers,
+) -> &'a [f64] {
+    let n = kernel.n_nodes();
+    assert_eq!(absorbing.len(), n, "absorbing flag vector length mismatch");
+
+    let DpBuffers {
+        immediate,
+        current,
+        next,
+    } = bufs;
+    let any_infinite = expected_immediate_costs(kernel, absorbing, cost, immediate);
 
     current.clear();
     current.resize(n, 0.0);
@@ -131,62 +335,163 @@ pub fn truncated_costs_into<'a>(
     next.resize(n, 0.0);
     for _ in 0..iterations {
         if any_infinite {
-            // Checked variant: ∞ from unreachable pockets must short-circuit
-            // instead of producing NaN via `0.0 · ∞`-adjacent arithmetic.
-            for i in 0..n {
-                if absorbing[i] {
-                    next[i] = 0.0;
-                    continue;
-                }
-                let (cols, probs) = kernel.row(i);
-                if cols.is_empty() {
-                    next[i] = f64::INFINITY;
-                    continue;
-                }
-                let mut acc = 0.0;
-                for (&j, &p) in cols.iter().zip(probs) {
-                    let v = current[j as usize];
-                    if v.is_finite() {
-                        acc += p * v;
-                    } else {
-                        acc = f64::INFINITY;
-                        break;
-                    }
-                }
-                next[i] = immediate[i] + acc;
-            }
+            sweep_checked(kernel, absorbing, immediate, current, next);
         } else {
-            // Fast variant: every value provably stays finite (each bounded
-            // by τ·max immediate), so the per-edge finiteness branch — and
-            // the empty-row probe — drop out of the hot loop entirely. Four
-            // accumulators break the floating-point add latency chain that
-            // otherwise serializes the row reduction (summation order
-            // differs from the checked variant by last-ulp rounding only).
-            for i in 0..n {
-                if absorbing[i] {
-                    next[i] = 0.0;
-                    continue;
-                }
-                let (cols, probs) = kernel.row(i);
-                let mut cols4 = cols.chunks_exact(4);
-                let mut probs4 = probs.chunks_exact(4);
-                let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0, 0.0, 0.0);
-                for (c, p) in (&mut cols4).zip(&mut probs4) {
-                    a0 += p[0] * current[c[0] as usize];
-                    a1 += p[1] * current[c[1] as usize];
-                    a2 += p[2] * current[c[2] as usize];
-                    a3 += p[3] * current[c[3] as usize];
-                }
-                let mut acc = (a0 + a1) + (a2 + a3);
-                for (&j, &p) in cols4.remainder().iter().zip(probs4.remainder()) {
-                    acc += p * current[j as usize];
-                }
-                next[i] = immediate[i] + acc;
-            }
+            sweep_fast(kernel, absorbing, immediate, current, next);
         }
         std::mem::swap(current, next);
     }
     current
+}
+
+/// The adaptive form of [`truncated_costs_into`]: identical per-iteration
+/// arithmetic, but the run stops as soon as the remaining iterations
+/// provably cannot matter. Two stopping rules, both derived from the
+/// per-iteration sup-norm change `δ_t` (see the module docs for the
+/// soundness argument):
+///
+/// * **Convergence** — `δ_t ≤ ε · scale`, where `scale` is the largest
+///   finite value so far (floored at 1, so ε also acts absolutely near
+///   zero). Every value is then within `δ_t · (τ − t)` of its fixed-τ
+///   counterpart. With `δ_t = 0` the vector is an exact f64 fixed point and
+///   the run stops unconditionally, bit-identical to the full run. With
+///   `0 < δ_t ≤ ε · scale` the values are converged but near-tied *orders*
+///   are not yet certified, so when a rank probe is supplied the stop
+///   additionally requires its confirmation (rankings stay fixed-τ
+///   identical); without a probe the caller gets plain value-converged
+///   semantics. Pass `epsilon < 0` to restrict the rule to exact fixed
+///   points.
+/// * **Rank stability** — on a geometric schedule (from iteration 6, then
+///   ~8 probes per decade), and only once `δ_t` is finite, `probe` (when
+///   supplied) receives a [`DpProbe`] carrying the current and previous
+///   value vectors plus the remaining iteration count; returning `true`
+///   asserts that no admissible ranking outcome can change within the
+///   probe's remaining-change bounds and stops the run. The fused serving
+///   path uses this to halt the moment its top-k list is frozen.
+///
+/// The values of the stopped run are in `bufs` (as with the fixed form);
+/// the returned [`DpRun`] reports iterations spent and which rule fired.
+///
+/// # Panics
+///
+/// Panics if `absorbing.len() != kernel.n_nodes()`.
+pub fn truncated_costs_converge_into(
+    kernel: &TransitionMatrix,
+    absorbing: &[bool],
+    cost: &dyn CostModel,
+    iterations: usize,
+    epsilon: f64,
+    mut probe: Option<&mut dyn FnMut(&DpProbe<'_>) -> bool>,
+    bufs: &mut DpBuffers,
+) -> DpRun {
+    let n = kernel.n_nodes();
+    assert_eq!(absorbing.len(), n, "absorbing flag vector length mismatch");
+
+    let DpBuffers {
+        immediate,
+        current,
+        next,
+    } = bufs;
+    let any_infinite = expected_immediate_costs(kernel, absorbing, cost, immediate);
+
+    current.clear();
+    current.resize(n, 0.0);
+    next.clear();
+    next.resize(n, 0.0);
+    let mut run = DpRun {
+        iterations: 0,
+        budget: iterations,
+        converged: false,
+        rank_frozen: false,
+        last_delta: f64::INFINITY,
+    };
+    let mut probe_at = PROBE_START;
+    for t in 0..iterations {
+        if any_infinite {
+            sweep_checked(kernel, absorbing, immediate, current, next);
+        } else {
+            sweep_fast(kernel, absorbing, immediate, current, next);
+        }
+        let performed = t + 1;
+        let scheduled_probe = probe.is_some() && performed < iterations && performed >= probe_at;
+        if !(scheduled_probe || performed % DELTA_STRIDE == 0 || performed == iterations) {
+            // Measurement skipped this iteration: the O(n) δ pass is real
+            // cost against small subgraphs, and a convergence stop can
+            // wait out the stride.
+            std::mem::swap(current, next);
+            run.iterations = performed;
+            continue;
+        }
+        // δ_t and the value scale, in one O(n) pass over the sweep output. A
+        // finite value turning infinite means the ∞ front is still
+        // spreading: report δ_t = ∞ so no stopping rule can fire yet.
+        // (Absorbing nodes hold 0 in both vectors and drop out of both
+        // reductions on their own.)
+        let mut delta = 0.0f64;
+        let mut scale = 1.0f64;
+        if any_infinite {
+            for i in 0..n {
+                let (new, old) = (next[i], current[i]);
+                if new.is_finite() {
+                    delta = delta.max((new - old).abs());
+                    scale = scale.max(new);
+                } else if old.is_finite() {
+                    delta = f64::INFINITY;
+                }
+            }
+        } else {
+            for i in 0..n {
+                delta = delta.max((next[i] - current[i]).abs());
+                scale = scale.max(next[i]);
+            }
+        }
+        std::mem::swap(current, next);
+        run.iterations = performed;
+        run.last_delta = delta;
+        // After the swap, `current` holds v_t and `next` v_{t−1}.
+        let args = DpProbe {
+            values: current,
+            previous: next,
+            delta,
+            remaining: iterations - performed,
+        };
+        if delta == 0.0 {
+            // Exact f64 fixed point: every further sweep reproduces the
+            // same vector, so stopping is bit-identical to the full run —
+            // no rank confirmation needed.
+            run.converged = true;
+            break;
+        }
+        if delta <= epsilon * scale {
+            // Value convergence certifies accuracy, not order: near-ties
+            // inside the residual drift could still settle differently by
+            // the fixed-τ horizon. With a rank probe on hand, stop only if
+            // it confirms the ranking is frozen too; without one, the
+            // caller asked for value-converged semantics.
+            match probe.as_mut() {
+                None => {
+                    run.converged = true;
+                    break;
+                }
+                Some(probe) => {
+                    if delta.is_finite() && probe(&args) {
+                        run.converged = true;
+                        run.rank_frozen = true;
+                        break;
+                    }
+                }
+            }
+        } else if scheduled_probe && delta.is_finite() {
+            probe_at = next_probe_after(performed);
+            if let Some(probe) = probe.as_mut() {
+                if probe(&args) {
+                    run.rank_frozen = true;
+                    break;
+                }
+            }
+        }
+    }
+    run
 }
 
 #[cfg(test)]
@@ -246,5 +551,280 @@ mod tests {
     fn wrong_flag_length_panics() {
         let kernel = path3_kernel();
         truncated_costs_into(&kernel, &[true], &UnitCost, 1, &mut DpBuffers::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn converge_wrong_flag_length_panics() {
+        let kernel = path3_kernel();
+        truncated_costs_converge_into(
+            &kernel,
+            &[true],
+            &UnitCost,
+            1,
+            1e-9,
+            None,
+            &mut DpBuffers::new(),
+        );
+    }
+
+    #[test]
+    fn convergence_early_exit_agrees_with_full_run_within_epsilon() {
+        // The convergence rule's contract: every early-exited value is
+        // within `δ · (τ − t) ≤ ε · scale · τ` of the full-τ value, and
+        // approaches it from below (monotone recursion).
+        let kernel = path3_kernel();
+        let absorbing = [true, false, false];
+        let budget = 2000usize;
+        let epsilon = 1e-9;
+
+        let mut adaptive = DpBuffers::new();
+        let run = truncated_costs_converge_into(
+            &kernel,
+            &absorbing,
+            &UnitCost,
+            budget,
+            epsilon,
+            None,
+            &mut adaptive,
+        );
+        assert!(run.converged, "tiny chain must converge within {budget}");
+        assert!(!run.rank_frozen);
+        assert!(run.iterations < budget, "no iterations saved: {run:?}");
+        assert!(run.last_delta <= epsilon * 4.0, "δ at stop: {run:?}");
+
+        let mut full = DpBuffers::new();
+        let exact = truncated_costs_into(&kernel, &absorbing, &UnitCost, budget, &mut full);
+        let tolerance = epsilon * 4.0 * (budget - run.iterations) as f64;
+        for (i, (&a, &e)) in adaptive.values().iter().zip(exact).enumerate() {
+            assert!(a <= e + 1e-15, "node {i}: early value {a} above full {e}");
+            assert!(e - a <= tolerance, "node {i}: {a} vs {e} (tol {tolerance})");
+        }
+    }
+
+    #[test]
+    fn exact_fixed_point_is_bit_identical_to_full_run() {
+        // ε = 0 only stops on δ = 0, i.e. an exact f64 fixed point — from
+        // there every further sweep reproduces the same vector, so the
+        // early exit is bit-identical to the full run.
+        let kernel = path3_kernel();
+        let absorbing = [true, false, false];
+        let mut adaptive = DpBuffers::new();
+        let run = truncated_costs_converge_into(
+            &kernel,
+            &absorbing,
+            &UnitCost,
+            100_000,
+            0.0,
+            None,
+            &mut adaptive,
+        );
+        assert!(run.converged);
+        assert_eq!(run.last_delta, 0.0);
+        let mut full = DpBuffers::new();
+        let exact = truncated_costs_into(&kernel, &absorbing, &UnitCost, 100_000, &mut full);
+        assert_eq!(adaptive.values(), exact);
+    }
+
+    #[test]
+    fn negative_epsilon_stops_only_at_exact_fixed_points() {
+        let kernel = path3_kernel();
+        let mut bufs = DpBuffers::new();
+        // Within a short budget the chain has not reached its f64 fixed
+        // point: ε < 0 must run every iteration, values bit-identical to
+        // the fixed form (same sweeps).
+        let run = truncated_costs_converge_into(
+            &kernel,
+            &[true, false, false],
+            &UnitCost,
+            60,
+            -1.0,
+            None,
+            &mut bufs,
+        );
+        assert!(!run.converged && !run.rank_frozen);
+        assert_eq!(run.iterations, 60);
+        let mut full = DpBuffers::new();
+        let exact = truncated_costs_into(&kernel, &[true, false, false], &UnitCost, 60, &mut full);
+        assert_eq!(bufs.values(), exact);
+
+        // Over a long budget the iteration map reaches an exact fixed
+        // point (δ = 0), where stopping is unconditional even at ε < 0 —
+        // and still bit-identical to exhausting the budget.
+        let run = truncated_costs_converge_into(
+            &kernel,
+            &[true, false, false],
+            &UnitCost,
+            500,
+            -1.0,
+            None,
+            &mut bufs,
+        );
+        assert!(run.converged && !run.rank_frozen);
+        assert!(run.iterations < 500, "{run:?}");
+        assert_eq!(run.last_delta, 0.0);
+        let exact = truncated_costs_into(&kernel, &[true, false, false], &UnitCost, 500, &mut full);
+        assert_eq!(bufs.values(), exact);
+    }
+
+    #[test]
+    fn epsilon_convergence_defers_to_a_refusing_probe() {
+        // With a probe supplied, value convergence alone must not stop the
+        // run: a refusing probe (rank not certified) keeps it iterating
+        // until the exact fixed point.
+        let kernel = path3_kernel();
+        let mut calls = 0usize;
+        let mut probe = |_: &DpProbe<'_>| -> bool {
+            calls += 1;
+            false
+        };
+        let mut bufs = DpBuffers::new();
+        let run = truncated_costs_converge_into(
+            &kernel,
+            &[true, false, false],
+            &UnitCost,
+            500,
+            1e-6, // loose: value convergence fires long before the fixed point
+            Some(&mut probe),
+            &mut bufs,
+        );
+        assert!(calls > 0);
+        assert!(run.converged && !run.rank_frozen, "{run:?}");
+        assert_eq!(run.last_delta, 0.0, "only the δ = 0 stop may fire");
+        // A loose ε without a probe stops much earlier than the fixed point.
+        let mut bufs2 = DpBuffers::new();
+        let unconfirmed = truncated_costs_converge_into(
+            &kernel,
+            &[true, false, false],
+            &UnitCost,
+            500,
+            1e-6,
+            None,
+            &mut bufs2,
+        );
+        assert!(unconfirmed.iterations < run.iterations);
+    }
+
+    #[test]
+    fn probe_receives_sound_remaining_change_bound() {
+        // At every probe call, no final value may exceed current + bound.
+        let kernel = path3_kernel();
+        let absorbing = [true, false, false];
+        let budget = 60usize;
+        let mut full = DpBuffers::new();
+        let exact =
+            truncated_costs_into(&kernel, &absorbing, &UnitCost, budget, &mut full).to_vec();
+
+        let mut calls = 0usize;
+        let mut probe = |p: &DpProbe<'_>| -> bool {
+            calls += 1;
+            let bound = p.global_bound();
+            assert!(bound.is_finite() && bound >= 0.0);
+            for (i, (&v, &e)) in p.values.iter().zip(&exact).enumerate() {
+                if v.is_finite() {
+                    assert!(e <= v + bound + 1e-12, "node {i}: {e} > {v} + {bound}");
+                    // Unit cost is superharmonic, so the per-node bound is
+                    // sound too (and no looser than the global one).
+                    let nb = p.node_bound(i);
+                    assert!(e <= v + nb + 1e-12, "node {i}: {e} > {v} + node {nb}");
+                    assert!(nb <= bound + 1e-12);
+                }
+            }
+            false // never stop: exercise every probed iteration's bound
+        };
+        let mut bufs = DpBuffers::new();
+        let run = truncated_costs_converge_into(
+            &kernel,
+            &absorbing,
+            &UnitCost,
+            budget,
+            -1.0,
+            Some(&mut probe),
+            &mut bufs,
+        );
+        assert_eq!(run.iterations, budget);
+        assert!(calls > 0, "probe never invoked");
+    }
+
+    #[test]
+    fn probe_stop_is_recorded() {
+        let kernel = path3_kernel();
+        let mut stop_after = 0usize;
+        let mut probe = |_: &DpProbe<'_>| -> bool {
+            stop_after += 1;
+            stop_after >= 3
+        };
+        let mut bufs = DpBuffers::new();
+        let run = truncated_costs_converge_into(
+            &kernel,
+            &[true, false, false],
+            &UnitCost,
+            1000,
+            -1.0,
+            Some(&mut probe),
+            &mut bufs,
+        );
+        assert!(run.rank_frozen && !run.converged);
+        // The schedule probes at iterations 6, 8, 10; the third call stops
+        // the run with 10 iterations performed.
+        assert_eq!(run.iterations, 10);
+        assert!(run.last_delta.is_finite());
+    }
+
+    #[test]
+    fn dangling_pocket_takes_checked_path_and_probe_bounds_stay_finite() {
+        // Path 0 (absorbing) - 1 - 2 plus an isolated dangling node 3: the
+        // checked sweep runs, node 3 is pinned at ∞, and every bound the
+        // probe sees is finite (δ = ∞ iterations never consult it).
+        let csr =
+            CsrMatrix::from_triplets(4, 4, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
+        let kernel = TransitionMatrix::from_adjacency(&Adjacency::from_symmetric_csr(csr));
+        let mut probe_bounds: Vec<f64> = Vec::new();
+        let mut probe = |p: &DpProbe<'_>| -> bool {
+            probe_bounds.push(p.global_bound());
+            false
+        };
+        let mut bufs = DpBuffers::new();
+        let run = truncated_costs_converge_into(
+            &kernel,
+            &[true, false, false, false],
+            &UnitCost,
+            50,
+            -1.0,
+            Some(&mut probe),
+            &mut bufs,
+        );
+        assert_eq!(run.iterations, 50);
+        assert!(bufs.values()[3].is_infinite());
+        assert!(bufs.values()[1].is_finite() && bufs.values()[2].is_finite());
+        assert!(!probe_bounds.is_empty());
+        assert!(probe_bounds.iter().all(|b| b.is_finite()));
+    }
+
+    #[test]
+    fn dp_run_fixed_shape() {
+        let run = DpRun::fixed(15);
+        assert_eq!(run.iterations, 15);
+        assert_eq!(run.budget, 15);
+        assert!(!run.converged && !run.rank_frozen);
+        assert!(run.last_delta.is_infinite());
+    }
+
+    #[test]
+    fn zero_budget_converge_runs_nothing() {
+        let kernel = path3_kernel();
+        let mut bufs = DpBuffers::new();
+        let run = truncated_costs_converge_into(
+            &kernel,
+            &[true, false, false],
+            &UnitCost,
+            0,
+            1e-9,
+            None,
+            &mut bufs,
+        );
+        assert_eq!(run.iterations, 0);
+        assert!(!run.converged && !run.rank_frozen);
+        assert_eq!(bufs.values(), &[0.0, 0.0, 0.0]);
     }
 }

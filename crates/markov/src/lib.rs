@@ -9,7 +9,9 @@
 //!   program and an exact LU-based solver;
 //! * [`dp`] — the allocation-free truncated dynamic program over a
 //!   pre-normalized [`longtail_graph::TransitionMatrix`], with caller-owned
-//!   [`DpBuffers`] (the batch-scoring hot path);
+//!   [`DpBuffers`] (the batch-scoring hot path) and an adaptive
+//!   early-terminating form ([`truncated_costs_converge_into`]) that stops
+//!   once the remaining iterations provably cannot matter;
 //! * [`cost`] — per-node entry-cost models (unit cost ⇒ absorbing time,
 //!   entropy cost ⇒ the AC1/AC2 models);
 //! * [`pagerank`] — personalized PageRank power iteration (PPR/DPPR
@@ -28,7 +30,7 @@ pub mod pagerank;
 
 pub use absorbing::AbsorbingWalk;
 pub use cost::{entropy_cost, CostModel, PerNodeCost, SliceCost, UnitCost};
-pub use dp::{truncated_costs_into, DpBuffers};
+pub use dp::{truncated_costs_converge_into, truncated_costs_into, DpBuffers, DpProbe, DpRun};
 pub use hitting::{exact_hitting_times, truncated_hitting_times};
 pub use pagerank::{
     personalized_pagerank, personalized_pagerank_into, PageRankBuffers, PageRankConfig,

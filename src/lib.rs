@@ -67,9 +67,10 @@ pub use longtail_topics as topics;
 pub mod prelude {
     pub use longtail_core::{
         AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
-        AssociationRuleRecommender, EntropySource, GraphRecConfig, HittingTimeRecommender,
-        KnnRecommender, LdaRecommender, PageRankFlavor, PageRankRecommender, PureSvdRecommender,
-        Recommender, RuleConfig, ScoredItem, ScoringContext, TopKCollector, UserSimilarity,
+        AssociationRuleRecommender, DpStopping, DpTelemetry, EntropySource, GraphRecConfig,
+        HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor,
+        PageRankRecommender, PureSvdRecommender, Recommender, RuleConfig, ScoredItem,
+        ScoringContext, TopKCollector, UserSimilarity,
     };
     pub use longtail_data::{
         holdout_longtail_favorites, Dataset, LongTailSplit, Ontology, ProtocolSplit, Rating,

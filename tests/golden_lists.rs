@@ -92,12 +92,18 @@ fn fixture_roster(train: &Dataset) -> Vec<Box<dyn Recommender>> {
 }
 
 /// Render every (recommender, user) top-10 list in the committed format,
-/// via the fused `recommend_into` path.
-fn render_lists(train: &Dataset) -> String {
+/// via the fused `recommend_into` path under the given stopping policy.
+///
+/// The committed fixture is rendered under [`DpStopping::Fixed`]: frozen
+/// scores are the full-τ values, exactly reproducible forever. The default
+/// adaptive policy serves the *same rankings* with scores from the DP's
+/// stop iteration; `adaptive_early_termination_serves_the_golden_rankings`
+/// pins that equivalence against the same fixture.
+fn render_lists(train: &Dataset, stopping: DpStopping) -> String {
     let mut out = String::from(
         "# algorithm\tuser\ttop-10 as item:score (10 significant digits), '-' when empty\n",
     );
-    let mut ctx = ScoringContext::new();
+    let mut ctx = ScoringContext::with_stopping(stopping);
     let mut list = Vec::new();
     for rec in fixture_roster(train) {
         for u in 0..train.n_users() as u32 {
@@ -124,7 +130,7 @@ fn golden_top10_lists_match_fixture() {
     let train = fixture_dataset();
     let expected = std::fs::read_to_string(golden_dir().join("expected_top10.tsv"))
         .expect("tests/golden/expected_top10.tsv is committed with the repo");
-    let got = render_lists(&train);
+    let got = render_lists(&train, DpStopping::Fixed);
     if got != expected {
         // Pinpoint the first diverging line so the failure is actionable.
         for (lineno, (g, e)) in got.lines().zip(expected.lines()).enumerate() {
@@ -142,6 +148,74 @@ fn golden_top10_lists_match_fixture() {
             got.lines().count(),
             expected.lines().count()
         );
+    }
+}
+
+/// With early termination enabled by default, every recommender must serve
+/// exactly the frozen *rankings* — same items, same positions — against the
+/// unchanged fixture. Walk-family scores may sit above the frozen full-τ
+/// scores (the monotone DP stopped early) but never below and never
+/// reordered; every other family must reproduce its committed line
+/// byte-for-byte (the adaptive policy only touches the walk DP).
+#[test]
+fn adaptive_early_termination_serves_the_golden_rankings() {
+    let train = fixture_dataset();
+    let expected = std::fs::read_to_string(golden_dir().join("expected_top10.tsv"))
+        .expect("tests/golden/expected_top10.tsv is committed with the repo");
+    let got = render_lists(&train, DpStopping::adaptive());
+
+    let parse = |line: &str| -> (String, Vec<(u32, f64)>) {
+        let mut fields = line.split('\t');
+        let algo = fields.next().unwrap().to_string();
+        let user = fields.next().unwrap();
+        let list = fields.next().unwrap();
+        let items = if list == "-" {
+            Vec::new()
+        } else {
+            list.split(' ')
+                .map(|pair| {
+                    let (item, score) = pair.split_once(':').expect("item:score pair");
+                    (item.parse().unwrap(), score.parse().unwrap())
+                })
+                .collect()
+        };
+        (format!("{algo}\tuser {user}"), items)
+    };
+
+    let content = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(String::from)
+            .collect::<Vec<_>>()
+    };
+    let got_lines = content(&got);
+    let expected_lines = content(&expected);
+    assert_eq!(got_lines.len(), expected_lines.len(), "line count changed");
+    for (g, e) in got_lines.iter().zip(&expected_lines) {
+        let walk_family = ["HT\t", "AT\t", "AC1\t", "AC2\t"]
+            .iter()
+            .any(|p| e.starts_with(p));
+        if !walk_family {
+            // Non-walk families don't run the truncated DP: the adaptive
+            // policy must not change a single committed character.
+            assert_eq!(g, e, "non-walk line drifted under the adaptive policy");
+            continue;
+        }
+        let (g_key, g_list) = parse(g);
+        let (e_key, e_list) = parse(e);
+        assert_eq!(g_key, e_key);
+        let g_items: Vec<u32> = g_list.iter().map(|&(i, _)| i).collect();
+        let e_items: Vec<u32> = e_list.iter().map(|&(i, _)| i).collect();
+        assert_eq!(
+            g_items, e_items,
+            "{g_key}: early termination changed the served ranking"
+        );
+        for (&(item, g_score), &(_, e_score)) in g_list.iter().zip(&e_list) {
+            assert!(
+                g_score >= e_score - 1e-9 * (1.0 + e_score.abs()),
+                "{g_key} item {item}: adaptive score {g_score} fell below frozen {e_score}"
+            );
+        }
     }
 }
 
@@ -200,8 +274,9 @@ fn regenerate() {
     }
     std::fs::create_dir_all(golden_dir()).unwrap();
     std::fs::write(golden_dir().join("ratings.csv"), csv).unwrap();
-    // Render from the *parsed* file so the committed CSV is authoritative.
-    let lists = render_lists(&fixture_dataset());
+    // Render from the *parsed* file so the committed CSV is authoritative,
+    // under the fixed policy so frozen scores are the exact full-τ values.
+    let lists = render_lists(&fixture_dataset(), DpStopping::Fixed);
     std::fs::write(golden_dir().join("expected_top10.tsv"), lists).unwrap();
     println!("regenerated tests/golden/{{ratings.csv,expected_top10.tsv}}");
 }
