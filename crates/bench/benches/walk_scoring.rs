@@ -20,7 +20,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use longtail_bench::baseline;
 use longtail_core::{
     top_k, AbsorbingCostConfig, AbsorbingCostRecommender, GraphRecConfig, HittingTimeRecommender,
-    Recommender, ScoringContext,
+    RecommendOptions, Recommender, ScoringContext,
 };
 use longtail_data::{SyntheticConfig, SyntheticData};
 use longtail_eval::sample_test_users;
@@ -83,12 +83,13 @@ fn bench_walk_scoring(c: &mut Criterion) {
         });
     });
     let mut ctx = ScoringContext::new();
+    let opts = RecommendOptions::default();
     let mut list = Vec::new();
     group.bench_function("ht/topk_fused", |b| {
         b.iter(|| {
             let u = users[cursor % users.len()];
             cursor += 1;
-            ht.recommend_into(u, 10, &mut ctx, &mut list);
+            ht.recommend_into(u, 10, &opts, &mut ctx, &mut list);
             list.first().copied()
         });
     });
@@ -131,12 +132,13 @@ fn bench_walk_scoring(c: &mut Criterion) {
         });
     });
     let mut ctx = ScoringContext::new();
+    let opts = RecommendOptions::default();
     let mut list = Vec::new();
     group.bench_function("ac1/topk_fused", |b| {
         b.iter(|| {
             let u = users[cursor % users.len()];
             cursor += 1;
-            ac1.recommend_into(u, 10, &mut ctx, &mut list);
+            ac1.recommend_into(u, 10, &opts, &mut ctx, &mut list);
             list.first().copied()
         });
     });

@@ -15,16 +15,25 @@
 use longtail_bench::baseline;
 use longtail_core::{
     top_k, AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender, DpStopping,
-    DpTelemetry, GraphRecConfig, HittingTimeRecommender, Recommender, ScoringContext,
+    DpTelemetry, GraphRecConfig, HittingTimeRecommender, RecommendOptions, Recommender,
+    ScoringContext,
 };
 use longtail_data::{SyntheticConfig, SyntheticData};
 use longtail_eval::sample_test_users;
 use longtail_graph::BipartiteGraph;
+use longtail_serve::{Engine, RecommendRequest, SharedRecommender};
+use std::sync::Arc;
 use std::time::Instant;
 
 const BATCH: usize = 64;
 const REPEATS: usize = 5;
 const TOP_K: usize = 10;
+/// Batches per sustained-throughput round of the serving-engine
+/// comparison: enough round trips that per-batch thread start-up (the cost
+/// the persistent pool removes) is what the measurement sees.
+const ENGINE_ROUNDS: usize = 30;
+/// Worker threads for both sides of the serving-engine comparison.
+const ENGINE_WORKERS: usize = 4;
 
 /// τ budget of the early-termination comparison: a *high-fidelity* serving
 /// tier whose truncation error is negligible (the paper's τ=15 trades
@@ -130,7 +139,9 @@ fn measure_early_termination(
     users: &[u32],
     rec: &dyn Recommender,
 ) -> EarlyTermination {
-    let mut fixed_ctx = ScoringContext::with_stopping(DpStopping::Fixed);
+    let fixed_opts = RecommendOptions::with_stopping(DpStopping::Fixed);
+    let adaptive_opts = RecommendOptions::default();
+    let mut fixed_ctx = ScoringContext::new();
     let mut adaptive_ctx = ScoringContext::new();
     let mut fixed_list = Vec::new();
     let mut adaptive_list = Vec::new();
@@ -138,8 +149,14 @@ fn measure_early_termination(
     // Rank identity: the acceptance bar for serving with early termination.
     let mut lists_identical = true;
     for &u in users {
-        rec.recommend_into(u, TOP_K, &mut fixed_ctx, &mut fixed_list);
-        rec.recommend_into(u, TOP_K, &mut adaptive_ctx, &mut adaptive_list);
+        rec.recommend_into(u, TOP_K, &fixed_opts, &mut fixed_ctx, &mut fixed_list);
+        rec.recommend_into(
+            u,
+            TOP_K,
+            &adaptive_opts,
+            &mut adaptive_ctx,
+            &mut adaptive_list,
+        );
         if fixed_list
             .iter()
             .map(|s| s.item)
@@ -152,19 +169,31 @@ fn measure_early_termination(
     // Iteration counters for exactly one adaptive pass over the batch.
     adaptive_ctx.reset_dp_telemetry();
     for &u in users {
-        rec.recommend_into(u, TOP_K, &mut adaptive_ctx, &mut adaptive_list);
+        rec.recommend_into(
+            u,
+            TOP_K,
+            &adaptive_opts,
+            &mut adaptive_ctx,
+            &mut adaptive_list,
+        );
     }
     let telemetry = adaptive_ctx.dp_telemetry();
 
     let fixed_seconds = time_best(|| {
         for &u in users {
-            rec.recommend_into(u, TOP_K, &mut fixed_ctx, &mut fixed_list);
+            rec.recommend_into(u, TOP_K, &fixed_opts, &mut fixed_ctx, &mut fixed_list);
             std::hint::black_box(&fixed_list);
         }
     });
     let adaptive_seconds = time_best(|| {
         for &u in users {
-            rec.recommend_into(u, TOP_K, &mut adaptive_ctx, &mut adaptive_list);
+            rec.recommend_into(
+                u,
+                TOP_K,
+                &adaptive_opts,
+                &mut adaptive_ctx,
+                &mut adaptive_list,
+            );
             std::hint::black_box(&adaptive_list);
         }
     });
@@ -224,10 +253,11 @@ fn measure_recommend(
     });
 
     let mut ctx = ScoringContext::new();
+    let opts = RecommendOptions::default();
     let mut list = Vec::new();
     let fused = time_best(|| {
         for &u in users {
-            rec.recommend_into(u, TOP_K, &mut ctx, &mut list);
+            rec.recommend_into(u, TOP_K, &opts, &mut ctx, &mut list);
             std::hint::black_box(&list);
         }
     });
@@ -238,7 +268,7 @@ fn measure_recommend(
 
     for (name, threads) in [("recommend_batch_t1", 1usize), ("recommend_batch_t4", 4)] {
         let t = time_best(|| {
-            std::hint::black_box(rec.recommend_batch(users, TOP_K, threads));
+            std::hint::black_box(rec.recommend_batch(users, TOP_K, &opts, threads));
         });
         out.push(Measurement {
             name,
@@ -258,6 +288,81 @@ fn measure_recommend(
         );
     }
     out
+}
+
+struct ServingEngine {
+    engine_seconds: f64,
+    scoped_seconds: f64,
+    requests: usize,
+    lists_match_direct: bool,
+}
+
+/// Sustained serving throughput: `ENGINE_ROUNDS` back-to-back 64-user
+/// batches through a persistent-worker [`Engine`] vs the same batches
+/// through `Recommender::recommend_batch` (which spawns and joins
+/// `ENGINE_WORKERS` scoped threads *per batch*). Also checks the engine's
+/// lists item-for-item against the direct fused path — routing and pooling
+/// must never change a ranking.
+fn measure_serving_engine(
+    label: &'static str,
+    users: &[u32],
+    model: SharedRecommender,
+) -> ServingEngine {
+    let engine = Engine::builder()
+        .model(label, Arc::clone(&model))
+        .workers(ENGINE_WORKERS)
+        .build();
+    let requests: Vec<RecommendRequest> = users
+        .iter()
+        .map(|&u| RecommendRequest::new(label, u, TOP_K))
+        .collect();
+    let opts = RecommendOptions::default();
+
+    // Correctness gate before timing anything.
+    let mut ctx = ScoringContext::new();
+    let mut direct = Vec::new();
+    let mut lists_match_direct = true;
+    for (req, response) in requests
+        .iter()
+        .zip(engine.recommend_batch(requests.clone()))
+    {
+        let response = response.expect("registered model");
+        model.recommend_into(req.user, TOP_K, &opts, &mut ctx, &mut direct);
+        if response
+            .items
+            .iter()
+            .map(|s| s.item)
+            .ne(direct.iter().map(|s| s.item))
+        {
+            lists_match_direct = false;
+        }
+    }
+
+    let engine_seconds = time_best(|| {
+        for _ in 0..ENGINE_ROUNDS {
+            std::hint::black_box(engine.recommend_batch(requests.clone()));
+        }
+    });
+    let scoped_seconds = time_best(|| {
+        for _ in 0..ENGINE_ROUNDS {
+            std::hint::black_box(model.recommend_batch(users, TOP_K, &opts, ENGINE_WORKERS));
+        }
+    });
+    let requests_total = ENGINE_ROUNDS * users.len();
+    println!(
+        "\n{label} serving engine ({ENGINE_WORKERS} workers, {requests_total} requests): \
+         persistent pool {:.1} req/s, per-call scoped threads {:.1} req/s ({:.2}x), \
+         lists match direct path: {lists_match_direct}",
+        requests_total as f64 / engine_seconds,
+        requests_total as f64 / scoped_seconds,
+        scoped_seconds / engine_seconds,
+    );
+    ServingEngine {
+        engine_seconds,
+        scoped_seconds,
+        requests: requests_total,
+        lists_match_direct,
+    }
 }
 
 fn main() {
@@ -337,6 +442,11 @@ fn main() {
     let ht_recommend = measure_recommend("HT", &serve_users, &serve_ht);
     let ac_recommend = measure_recommend("AC1", &serve_users, &serve_ac1);
 
+    // Sustained engine throughput on the same serving corpus: persistent
+    // worker pool vs per-call scoped-thread spawning.
+    let ht_engine = measure_serving_engine("HT", &serve_users, Arc::new(serve_ht.clone()));
+    let ac_engine = measure_serving_engine("AC1", &serve_users, Arc::new(serve_ac1.clone()));
+
     // Early termination on the same serving corpus at the high-fidelity τ
     // budget (see ET_ITERATIONS): fixed-τ vs the default adaptive policy.
     let et_config = GraphRecConfig {
@@ -390,6 +500,8 @@ fn main() {
         &ac_measurements,
         &ht_recommend,
         &ac_recommend,
+        &ht_engine,
+        &ac_engine,
         &ht_early,
         &at_early,
         &ac_early,
@@ -410,6 +522,8 @@ fn render_json(
     ac: &[Measurement],
     ht_rec: &[Measurement],
     ac_rec: &[Measurement],
+    ht_engine: &ServingEngine,
+    ac_engine: &ServingEngine,
     ht_early: &EarlyTermination,
     at_early: &EarlyTermination,
     ac_early: &EarlyTermination,
@@ -451,6 +565,19 @@ fn render_json(
             e.lists_identical
         )
     }
+    fn engine(e: &ServingEngine) -> String {
+        format!(
+            "{{\"engine_pool_seconds\": {:.6e}, \"scoped_threads_seconds\": {:.6e}, \
+             \"engine_requests_per_sec\": {:.1}, \"scoped_requests_per_sec\": {:.1}, \
+             \"speedup_vs_scoped_threads\": {:.3}, \"lists_match_direct\": {}}}",
+            e.engine_seconds,
+            e.scoped_seconds,
+            e.requests as f64 / e.engine_seconds,
+            e.requests as f64 / e.scoped_seconds,
+            e.scoped_seconds / e.engine_seconds,
+            e.lists_match_direct
+        )
+    }
     let epsilon = match DpStopping::default() {
         DpStopping::Adaptive { epsilon } => epsilon,
         DpStopping::Fixed => -1.0,
@@ -464,6 +591,9 @@ fn render_json(
          \"recommend_topk\": {{\n    \"k\": {TOP_K},\n    \
          \"dataset\": {{\"n_users\": {}, \"n_items\": {}}},\n    \
          \"HT\": [\n{}\n    ],\n    \"AC1\": [\n{}\n    ]\n  }},\n  \
+         \"serving_engine\": {{\n    \"workers\": {ENGINE_WORKERS},\n    \
+         \"rounds\": {ENGINE_ROUNDS},\n    \"requests\": {},\n    \
+         \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
          \"early_termination\": {{\n    \"epsilon\": {:e},\n    \"k\": {TOP_K},\n    \
          \"dp_budget\": {ET_ITERATIONS},\n    \
          \"HT\": {},\n    \"AT\": {},\n    \"AC1\": {}\n  }},\n  \
@@ -479,6 +609,9 @@ fn render_json(
         serve_config.n_items,
         series(ht_rec, "speedup_vs_score_then_sort"),
         series(ac_rec, "speedup_vs_score_then_sort"),
+        ht_engine.requests,
+        engine(ht_engine),
+        engine(ac_engine),
         epsilon,
         early(ht_early),
         early(at_early),

@@ -30,6 +30,7 @@ fn walk_scoring_summary_keeps_its_schema() {
         "\"threads\"",
         "\"results\"",
         "\"recommend_topk\"",
+        "\"serving_engine\"",
         "\"early_termination\"",
         "\"single_query_ht\"",
     ] {
@@ -45,6 +46,32 @@ fn walk_scoring_summary_keeps_its_schema() {
             "schema drift: {algo} must appear in both results and recommend_topk"
         );
     }
+
+    // Serving-engine throughput: persistent worker pool vs per-call scoped
+    // threads, for both algorithms, with the direct-path equivalence
+    // verdict.
+    for key in ["\"workers\"", "\"rounds\"", "\"requests\""] {
+        assert!(json.contains(key), "schema drift: serving_engine.{key}");
+    }
+    for key in [
+        "\"engine_pool_seconds\"",
+        "\"scoped_threads_seconds\"",
+        "\"engine_requests_per_sec\"",
+        "\"scoped_requests_per_sec\"",
+        "\"speedup_vs_scoped_threads\"",
+        "\"lists_match_direct\"",
+    ] {
+        assert_eq!(
+            json.matches(key).count(),
+            2,
+            "schema drift: serving-engine field {key} missing for an algorithm"
+        );
+    }
+    // The committed summary must never record an engine ranking divergence.
+    assert!(
+        !json.contains("\"lists_match_direct\": false"),
+        "engine serving diverged from the direct fused path"
+    );
     for series in [
         "sequential_prerefactor",
         "sequential_context",

@@ -22,7 +22,8 @@ impl Default for GraphRecConfig {
 }
 
 /// How the truncated DP behind the fused serving path decides when to stop
-/// iterating (carried per worker on [`crate::ScoringContext::stopping`]).
+/// iterating (a per-request parameter, carried on
+/// [`RecommendOptions::stopping`]).
 ///
 /// The τ in [`GraphRecConfig::iterations`] is always the *budget*; the
 /// policy governs whether a serving query may spend less of it. Reference
@@ -74,6 +75,78 @@ impl Default for DpStopping {
     }
 }
 
+/// Per-request serving parameters of [`crate::Recommender::recommend_into`]
+/// and [`crate::Recommender::recommend_batch`].
+///
+/// The typed request surface of the serving API: everything that varies per
+/// query but is not the query itself (user, k) lives here, so a context can
+/// be shared by requests with different policies. `Default` is the plain
+/// serving configuration — adaptive stopping, no extra exclusions — and is
+/// what the convenience methods ([`crate::Recommender::recommend`],
+/// [`crate::Recommender::recommend_with`]) use.
+///
+/// ```
+/// use longtail_core::{DpStopping, RecommendOptions};
+///
+/// // Exact fixed-τ scores, with two request-scoped exclusions on top of
+/// // the user's training items.
+/// let hidden = [3u32, 17];
+/// let opts = RecommendOptions {
+///     stopping: DpStopping::Fixed,
+///     exclude: &hidden,
+/// };
+/// assert!(opts.is_excluded(17) && !opts.is_excluded(4));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecommendOptions<'a> {
+    /// Stopping policy for the walk family's serving DP (ignored by the
+    /// non-walk families). Defaults to [`DpStopping::adaptive`].
+    pub stopping: DpStopping,
+    /// Request-scoped exclusions: item ids removed from the list *in
+    /// addition to* the user's training items, e.g. items already on the
+    /// page or filtered by business rules. Must be sorted ascending and
+    /// deduplicated (the serving engine normalizes request exclusion sets
+    /// before building options; direct callers sort their own slice).
+    pub exclude: &'a [u32],
+}
+
+impl<'a> RecommendOptions<'a> {
+    /// The default options: adaptive stopping, no extra exclusions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Options with an explicit stopping policy and no extra exclusions.
+    pub fn with_stopping(stopping: DpStopping) -> Self {
+        Self {
+            stopping,
+            exclude: &[],
+        }
+    }
+
+    /// Options excluding `exclude` (sorted ascending, deduplicated) on top
+    /// of the user's rated items, under the default adaptive stopping.
+    pub fn excluding(exclude: &'a [u32]) -> Self {
+        let opts = Self {
+            stopping: DpStopping::default(),
+            exclude,
+        };
+        debug_assert!(
+            exclude.windows(2).all(|w| w[0] < w[1]),
+            "RecommendOptions::exclude must be sorted ascending and deduplicated"
+        );
+        opts
+    }
+
+    /// Whether `item` is in the request-scoped exclusion set (training-item
+    /// exclusion is separate — see
+    /// [`crate::Recommender::recommend_into`]).
+    #[inline]
+    pub fn is_excluded(&self, item: u32) -> bool {
+        !self.exclude.is_empty() && self.exclude.binary_search(&item).is_ok()
+    }
+}
+
 /// Parameters of the Absorbing Cost recommenders (AC1/AC2).
 #[derive(Debug, Clone, Copy)]
 pub struct AbsorbingCostConfig {
@@ -105,6 +178,23 @@ mod tests {
         assert_eq!(g.iterations, 15);
         let c = AbsorbingCostConfig::default();
         assert_eq!(c.item_entry_cost, 1.0);
+    }
+
+    #[test]
+    fn options_default_to_adaptive_and_empty_exclusions() {
+        let opts = RecommendOptions::new();
+        assert_eq!(opts.stopping, DpStopping::adaptive());
+        assert!(opts.exclude.is_empty());
+        assert!(!opts.is_excluded(0));
+
+        let fixed = RecommendOptions::with_stopping(DpStopping::Fixed);
+        assert_eq!(fixed.stopping, DpStopping::Fixed);
+
+        let hidden = [2u32, 5, 9];
+        let opts = RecommendOptions::excluding(&hidden);
+        assert!(opts.is_excluded(5));
+        assert!(!opts.is_excluded(4));
+        assert_eq!(opts.stopping, DpStopping::adaptive());
     }
 
     #[test]

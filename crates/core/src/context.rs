@@ -8,15 +8,21 @@
 //! `O(n_nodes)` allocations at all (buffers are resized in place, retaining
 //! capacity across queries).
 //!
-//! The context also carries the per-worker *serving policy*: the
-//! [`DpStopping`] rule the walk family's fused top-k path applies to its
-//! truncated DP, plus [`DpTelemetry`] counters recording how many of the
-//! budgeted iterations each query actually spent.
+//! The context carries no serving *policy*: the [`crate::DpStopping`] rule
+//! the walk family applies to its truncated DP is a per-request parameter
+//! on [`crate::RecommendOptions`]. What the context does carry besides
+//! scratch is [`DpTelemetry`] — cumulative counters recording how many of
+//! the budgeted DP iterations each query actually spent.
+//!
+//! Convenience methods that take no context
+//! ([`crate::Recommender::score_items`], [`crate::Recommender::recommend`])
+//! borrow a thread-local instance via [`with_thread_context`], so even
+//! naive callers reuse buffers across queries.
 
-use crate::config::DpStopping;
 use crate::topk::{ScoredItem, TopKCollector};
 use longtail_graph::SubgraphScratch;
 use longtail_markov::{DpBuffers, DpRun, PageRankBuffers};
+use std::cell::RefCell;
 
 /// Cumulative counters over every truncated-DP run a context performed —
 /// the observability half of adaptive early termination.
@@ -68,6 +74,22 @@ impl DpTelemetry {
         self.converged += other.converged;
         self.rank_frozen += other.rank_frozen;
     }
+
+    /// Counter-wise difference against an `earlier` snapshot of the same
+    /// monotone counters — the telemetry attributable to the queries run
+    /// between the two reads (saturating, so a reset between snapshots
+    /// yields the post-reset counts instead of wrapping).
+    pub fn since(&self, earlier: &DpTelemetry) -> DpTelemetry {
+        DpTelemetry {
+            queries: self.queries.saturating_sub(earlier.queries),
+            iterations_run: self.iterations_run.saturating_sub(earlier.iterations_run),
+            iterations_budget: self
+                .iterations_budget
+                .saturating_sub(earlier.iterations_budget),
+            converged: self.converged.saturating_sub(earlier.converged),
+            rank_frozen: self.rank_frozen.saturating_sub(earlier.rank_frozen),
+        }
+    }
 }
 
 /// All reusable buffers a recommender query needs.
@@ -80,11 +102,6 @@ impl DpTelemetry {
 /// guarantee.
 #[derive(Debug, Clone, Default)]
 pub struct ScoringContext {
-    /// Stopping policy for the walk family's fused serving DP. Defaults to
-    /// [`DpStopping::adaptive`]; set to [`DpStopping::Fixed`] to force the
-    /// full fixed-τ semantics (bit-identical scores to
-    /// [`crate::Recommender::score_into`]).
-    pub stopping: DpStopping,
     /// BFS subgraph extraction + induced transition kernel (Algorithm 1,
     /// step 2).
     pub(crate) subgraph: SubgraphScratch,
@@ -131,14 +148,6 @@ impl ScoringContext {
         Self::default()
     }
 
-    /// A context serving with the given stopping policy.
-    pub fn with_stopping(stopping: DpStopping) -> Self {
-        Self {
-            stopping,
-            ..Self::default()
-        }
-    }
-
     /// Cumulative truncated-DP iteration counters for every walk-family
     /// query this context served since creation or the last
     /// [`ScoringContext::reset_dp_telemetry`].
@@ -150,6 +159,34 @@ impl ScoringContext {
     pub fn reset_dp_telemetry(&mut self) {
         self.dp_telemetry = DpTelemetry::default();
     }
+}
+
+thread_local! {
+    /// The per-thread context behind the no-context convenience methods.
+    static THREAD_CONTEXT: RefCell<ScoringContext> = RefCell::new(ScoringContext::new());
+}
+
+/// Run `f` with this thread's shared [`ScoringContext`].
+///
+/// This is what makes [`crate::Recommender::score_items`] and
+/// [`crate::Recommender::recommend`] cheap to call in a loop: the
+/// `O(n_nodes)` buffer setup is paid once per thread, not once per query.
+/// Results never depend on prior context use (a pinned invariant), so
+/// sharing is invisible.
+///
+/// Prefer an explicitly owned context ([`crate::Recommender::score_into`] /
+/// [`crate::Recommender::recommend_into`], or a `longtail-serve` engine's
+/// pooled contexts) when you need the [`DpTelemetry`] of your own queries —
+/// the thread-local accumulates counters across every caller on the thread
+/// — or when a long-lived service thread should not pin catalog-sized
+/// buffers between request bursts. If the thread-local is already borrowed
+/// (a reentrant call from inside a scoring path), a fresh transient context
+/// is used instead, preserving correctness at the old allocation cost.
+pub fn with_thread_context<R>(f: impl FnOnce(&mut ScoringContext) -> R) -> R {
+    THREAD_CONTEXT.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ctx) => f(&mut ctx),
+        Err(_) => f(&mut ScoringContext::new()),
+    })
 }
 
 #[cfg(test)]
@@ -193,9 +230,41 @@ mod tests {
     }
 
     #[test]
-    fn with_stopping_sets_policy() {
-        let ctx = ScoringContext::with_stopping(DpStopping::Fixed);
-        assert_eq!(ctx.stopping, DpStopping::Fixed);
-        assert_eq!(ScoringContext::new().stopping, DpStopping::adaptive());
+    fn since_diffs_monotone_snapshots() {
+        let mut t = DpTelemetry::default();
+        t.record(&DpRun::fixed(10));
+        let snapshot = t;
+        t.record(&DpRun {
+            iterations: 4,
+            budget: 10,
+            converged: true,
+            rank_frozen: false,
+            last_delta: 0.0,
+        });
+        let diff = t.since(&snapshot);
+        assert_eq!(diff.queries, 1);
+        assert_eq!(diff.iterations_run, 4);
+        assert_eq!(diff.iterations_budget, 10);
+        assert_eq!(diff.converged, 1);
+        // A reset between snapshots saturates instead of wrapping.
+        assert_eq!(DpTelemetry::default().since(&snapshot).queries, 0);
+    }
+
+    #[test]
+    fn thread_context_is_reused_and_reentrancy_safe() {
+        let first = with_thread_context(|ctx| {
+            ctx.scratch.push(1.0);
+            ctx as *const ScoringContext as usize
+        });
+        let second = with_thread_context(|ctx| {
+            assert_eq!(ctx.scratch, vec![1.0], "buffer survived between calls");
+            ctx.scratch.clear();
+            // Reentrant borrow falls back to a transient context rather
+            // than panicking.
+            let inner = with_thread_context(|inner| inner as *const ScoringContext as usize);
+            assert_ne!(inner, ctx as *const ScoringContext as usize);
+            ctx as *const ScoringContext as usize
+        });
+        assert_eq!(first, second, "same thread shares one context");
     }
 }

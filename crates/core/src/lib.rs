@@ -44,9 +44,9 @@ pub mod recommenders;
 pub mod topk;
 mod walk_common;
 
-pub use config::{AbsorbingCostConfig, DpStopping, GraphRecConfig};
-pub use context::{DpTelemetry, ScoringContext};
-pub use parallel::parallel_map_indexed;
+pub use config::{AbsorbingCostConfig, DpStopping, GraphRecConfig, RecommendOptions};
+pub use context::{with_thread_context, DpTelemetry, ScoringContext};
+pub use parallel::{parallel_map_indexed, parallel_map_indexed_with_states};
 pub use recommenders::{
     AbsorbingCostRecommender, AbsorbingTimeRecommender, AssociationRuleRecommender, EntropySource,
     HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor, PageRankRecommender,
@@ -95,40 +95,59 @@ pub trait Recommender: Sync {
     fn n_items(&self) -> usize;
 
     /// Score every item for `user` into a fresh vector (convenience form of
-    /// [`Recommender::score_into`] paying one context per call).
+    /// [`Recommender::score_into`] through this thread's shared context —
+    /// see [`with_thread_context`] for when to prefer an owned or pooled
+    /// context instead).
     fn score_items(&self, user: u32) -> Vec<f64> {
-        let mut ctx = ScoringContext::new();
-        let mut out = Vec::new();
-        self.score_into(user, &mut ctx, &mut out);
-        out
+        context::with_thread_context(|ctx| {
+            let mut out = Vec::new();
+            self.score_into(user, ctx, &mut out);
+            out
+        })
     }
 
-    /// Top-`k` recommendations for `user`, excluding training items.
+    /// Top-`k` recommendations for `user` under the default
+    /// [`RecommendOptions`], excluding training items.
+    ///
+    /// Runs through this thread's shared [`ScoringContext`], so calling it
+    /// in a loop pays no `O(n_nodes)` setup per query; see
+    /// [`with_thread_context`] for when to prefer an owned or pooled
+    /// context (per-query telemetry, long-lived service threads).
     fn recommend(&self, user: u32, k: usize) -> Vec<ScoredItem> {
-        self.recommend_with(user, k, &mut ScoringContext::new())
+        context::with_thread_context(|ctx| {
+            self.recommend_with(user, k, &RecommendOptions::default(), ctx)
+        })
     }
 
-    /// [`Recommender::recommend`] through a caller-owned context — the form
-    /// to use when producing lists for many users.
-    fn recommend_with(&self, user: u32, k: usize, ctx: &mut ScoringContext) -> Vec<ScoredItem> {
+    /// [`Recommender::recommend`] through explicit per-request options and
+    /// a caller-owned context — the form to use when producing lists for
+    /// many users.
+    fn recommend_with(
+        &self,
+        user: u32,
+        k: usize,
+        opts: &RecommendOptions<'_>,
+        ctx: &mut ScoringContext,
+    ) -> Vec<ScoredItem> {
         let mut out = Vec::new();
-        self.recommend_into(user, k, ctx, &mut out);
+        self.recommend_into(user, k, opts, ctx, &mut out);
         out
     }
 
     /// Write the top-`k` recommendations for `user` into `out` (cleared
-    /// first), excluding training items — the fused serving primitive.
+    /// first), excluding training items and the request-scoped
+    /// [`RecommendOptions::exclude`] set — the fused serving primitive.
     ///
     /// The contract, pinned by the equivalence property tests: the result
     /// is item-for-item and rank-for-rank identical to
-    /// `top_k(score_into(user), k, rated)`, including tie-breaking by
-    /// ascending item id. Scores are also identical, with one carve-out:
-    /// under the default [`DpStopping::Adaptive`] policy on `ctx`, the walk
-    /// family (HT/AT/AC) may terminate its truncated DP early once this
-    /// top-k list is provably frozen, reporting each item's score from the
-    /// stop iteration — at or above the fixed-τ score, within the certified
-    /// remaining-change bound, and never reordered. Set
-    /// [`ScoringContext::stopping`] to [`DpStopping::Fixed`] for
+    /// `top_k(score_into(user), k, rated ∪ opts.exclude)`, including
+    /// tie-breaking by ascending item id. Scores are also identical, with
+    /// one carve-out: under the default [`DpStopping::Adaptive`] policy on
+    /// `opts`, the walk family (HT/AT/AC) may terminate its truncated DP
+    /// early once this top-k list is provably frozen, reporting each item's
+    /// score from the stop iteration — at or above the fixed-τ score,
+    /// within the certified remaining-change bound, and never reordered.
+    /// Set [`RecommendOptions::stopping`] to [`DpStopping::Fixed`] for
     /// score-for-score identity.
     ///
     /// The default implementation *is* the score-then-sort computation
@@ -141,6 +160,7 @@ pub trait Recommender: Sync {
         &self,
         user: u32,
         k: usize,
+        opts: &RecommendOptions<'_>,
         ctx: &mut ScoringContext,
         out: &mut Vec<ScoredItem>,
     ) {
@@ -152,7 +172,7 @@ pub trait Recommender: Sync {
         ctx.topk.reset(k);
         for (i, &s) in scores.iter().enumerate() {
             let i = i as u32;
-            if rated.binary_search(&i).is_err() {
+            if rated.binary_search(&i).is_err() && !opts.is_excluded(i) {
                 ctx.topk.push(i, s);
             }
         }
@@ -163,18 +183,53 @@ pub trait Recommender: Sync {
     /// Top-`k` lists for a batch of users, sharding the queries over
     /// `n_threads` scoped worker threads that each own one
     /// [`ScoringContext`] — the top-k counterpart of
-    /// [`Recommender::score_batch`].
+    /// [`Recommender::score_batch`]. `opts` applies to every query of the
+    /// batch.
     ///
-    /// `results[j]` is exactly what `recommend(users[j], k)` returns —
-    /// output is bit-identical to the sequential loop for every thread
-    /// count, with workers pulling queries off a shared atomic cursor so
-    /// stragglers cannot imbalance the shards.
-    fn recommend_batch(&self, users: &[u32], k: usize, n_threads: usize) -> Vec<Vec<ScoredItem>> {
-        parallel_map_indexed(users.len(), n_threads, ScoringContext::new, |ctx, idx| {
-            let mut out = Vec::new();
-            self.recommend_into(users[idx], k, ctx, &mut out);
-            out
-        })
+    /// `results[j]` is exactly what `recommend_with(users[j], k, opts)`
+    /// returns — output is bit-identical to the sequential loop for every
+    /// thread count, with workers pulling queries off a shared atomic
+    /// cursor so stragglers cannot imbalance the shards.
+    ///
+    /// Worker threads are spawned (and joined) per call; sustained serving
+    /// traffic should prefer a `longtail-serve` engine, whose persistent
+    /// worker pool amortizes thread start-up across batches.
+    fn recommend_batch(
+        &self,
+        users: &[u32],
+        k: usize,
+        opts: &RecommendOptions<'_>,
+        n_threads: usize,
+    ) -> Vec<Vec<ScoredItem>> {
+        self.recommend_batch_telemetry(users, k, opts, n_threads).0
+    }
+
+    /// [`Recommender::recommend_batch`] that also returns the batch's
+    /// [`DpTelemetry`], merged across every worker context via
+    /// [`DpTelemetry::merge`] — without this, the iteration counters of the
+    /// internally-owned worker contexts would be dropped with them.
+    fn recommend_batch_telemetry(
+        &self,
+        users: &[u32],
+        k: usize,
+        opts: &RecommendOptions<'_>,
+        n_threads: usize,
+    ) -> (Vec<Vec<ScoredItem>>, DpTelemetry) {
+        let (lists, contexts) = parallel_map_indexed_with_states(
+            users.len(),
+            n_threads,
+            ScoringContext::new,
+            |ctx, idx| {
+                let mut out = Vec::new();
+                self.recommend_into(users[idx], k, opts, ctx, &mut out);
+                out
+            },
+        );
+        let mut dp = DpTelemetry::default();
+        for ctx in &contexts {
+            dp.merge(&ctx.dp_telemetry());
+        }
+        (lists, dp)
     }
 
     /// Score a batch of users, sharding the queries over `n_threads` scoped

@@ -23,14 +23,37 @@ pub fn parallel_map_indexed<T, S>(
 ) -> Vec<T>
 where
     T: Send,
+    S: Send,
 {
-    let n_threads = n_threads.max(1).min(n);
+    parallel_map_indexed_with_states(n, n_threads, init, f).0
+}
+
+/// [`parallel_map_indexed`] that also hands back every worker's final state
+/// (in no particular order; one state per worker that ran, at least one).
+///
+/// This is how batch callers recover per-worker accumulators — e.g. the
+/// [`crate::DpTelemetry`] counters a [`crate::ScoringContext`] collected
+/// over its shard of the queries — that would otherwise be dropped with the
+/// worker.
+pub fn parallel_map_indexed_with_states<T, S>(
+    n: usize,
+    n_threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize) -> T + Sync,
+) -> (Vec<T>, Vec<S>)
+where
+    T: Send,
+    S: Send,
+{
+    let n_threads = n_threads.max(1).min(n.max(1));
     if n_threads <= 1 {
         let mut state = init();
-        return (0..n).map(|i| f(&mut state, i)).collect();
+        let results = (0..n).map(|i| f(&mut state, i)).collect();
+        return (results, vec![state]);
     }
 
     let results = parking_lot::Mutex::new((0..n).map(|_| None).collect::<Vec<Option<T>>>());
+    let states = parking_lot::Mutex::new(Vec::with_capacity(n_threads));
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..n_threads {
@@ -44,14 +67,16 @@ where
                     let value = f(&mut state, idx);
                     results.lock()[idx] = Some(value);
                 }
+                states.lock().push(state);
             });
         }
     });
-    results
+    let results = results
         .into_inner()
         .into_iter()
         .map(|v| v.expect("worker produced every index"))
-        .collect()
+        .collect();
+    (results, states.into_inner())
 }
 
 #[cfg(test)]
@@ -82,5 +107,28 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out = parallel_map_indexed(0, 4, || (), |(), i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn states_cover_all_work() {
+        for n_threads in [1usize, 3, 8] {
+            let (out, states) = parallel_map_indexed_with_states(
+                20,
+                n_threads,
+                || 0usize,
+                |state, i| {
+                    *state += 1;
+                    i
+                },
+            );
+            assert_eq!(out, (0..20).collect::<Vec<_>>());
+            assert!(!states.is_empty() && states.len() <= n_threads.max(1));
+            // Every index was processed by exactly one worker.
+            assert_eq!(states.iter().sum::<usize>(), 20, "{n_threads} threads");
+        }
+        // Even a zero-length batch returns the initialized state.
+        let (out, states) = parallel_map_indexed_with_states(0, 4, || 7u32, |_, i| i);
+        assert!(out.is_empty());
+        assert_eq!(states, vec![7]);
     }
 }

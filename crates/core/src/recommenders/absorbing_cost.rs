@@ -10,7 +10,7 @@
 //! * **AC2** — topic-based entropy (Eq. 11) from the LDA model of §4.2.3,
 //!   the best performer in every experiment of §5.
 
-use crate::config::AbsorbingCostConfig;
+use crate::config::{AbsorbingCostConfig, DpStopping, RecommendOptions};
 use crate::context::ScoringContext;
 use crate::walk_common::{
     collect_walk_topk, grow_absorbing_subgraph, reset_scores, run_truncated_walk,
@@ -108,10 +108,17 @@ impl AbsorbingCostRecommender {
         );
     }
 
-    /// Run the entropy-biased absorbing-cost walk for `user` under `mode`,
-    /// leaving per-node costs in `ctx.walk`. Returns `false` when the user
-    /// rated nothing (no absorbing set).
-    fn run_walk(&self, user: u32, mode: WalkMode<'_>, ctx: &mut ScoringContext) -> bool {
+    /// Run the entropy-biased absorbing-cost walk for `user` under `mode`
+    /// and the request's `stopping` policy, leaving per-node costs in
+    /// `ctx.walk`. Returns `false` when the user rated nothing (no
+    /// absorbing set).
+    fn run_walk(
+        &self,
+        user: u32,
+        mode: WalkMode<'_>,
+        stopping: DpStopping,
+        ctx: &mut ScoringContext,
+    ) -> bool {
         if !grow_absorbing_subgraph(&self.graph, user, self.config.graph.max_items, ctx) {
             return false;
         }
@@ -121,6 +128,7 @@ impl AbsorbingCostRecommender {
             WalkCostModel::EntryCosts,
             self.config.graph.iterations,
             mode,
+            stopping,
             ctx,
         );
         true
@@ -137,7 +145,7 @@ impl Recommender for AbsorbingCostRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        if self.run_walk(user, WalkMode::Reference, ctx) {
+        if self.run_walk(user, WalkMode::Reference, DpStopping::Fixed, ctx) {
             write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
     }
@@ -146,6 +154,7 @@ impl Recommender for AbsorbingCostRecommender {
         &self,
         user: u32,
         k: usize,
+        opts: &RecommendOptions<'_>,
         ctx: &mut ScoringContext,
         out: &mut Vec<ScoredItem>,
     ) {
@@ -155,14 +164,16 @@ impl Recommender for AbsorbingCostRecommender {
         let mode = WalkMode::Serving {
             k,
             rated: self.rated_items(user),
+            extra: opts.exclude,
             rated_absorbing: true,
         };
-        if self.run_walk(user, mode, ctx) {
+        if self.run_walk(user, mode, opts.stopping, ctx) {
             collect_walk_topk(
                 &self.graph,
                 &ctx.subgraph,
                 &ctx.walk,
                 self.rated_items(user),
+                opts.exclude,
                 &mut ctx.topk,
             );
         }
@@ -283,16 +294,21 @@ mod tests {
                 item_entry_cost: 1.0,
             },
         );
-        let mut fixed = ScoringContext::with_stopping(DpStopping::Fixed);
+        let mut fixed = ScoringContext::new();
         let mut adaptive = ScoringContext::new();
         for u in 0..5u32 {
             let f: Vec<u32> = rec
-                .recommend_with(u, 6, &mut fixed)
+                .recommend_with(
+                    u,
+                    6,
+                    &RecommendOptions::with_stopping(DpStopping::Fixed),
+                    &mut fixed,
+                )
                 .iter()
                 .map(|s| s.item)
                 .collect();
             let a: Vec<u32> = rec
-                .recommend_with(u, 6, &mut adaptive)
+                .recommend_with(u, 6, &RecommendOptions::default(), &mut adaptive)
                 .iter()
                 .map(|s| s.item)
                 .collect();

@@ -6,7 +6,7 @@
 //! signal (the paper's Problem 3), and the paper finds AT beats HT on every
 //! metric.
 
-use crate::config::GraphRecConfig;
+use crate::config::{DpStopping, GraphRecConfig, RecommendOptions};
 use crate::context::ScoringContext;
 use crate::walk_common::{
     collect_walk_topk, grow_absorbing_subgraph, reset_scores, run_truncated_walk,
@@ -43,10 +43,16 @@ impl AbsorbingTimeRecommender {
         self.score_items(user).iter().map(|s| -s).collect()
     }
 
-    /// Run the absorbing-time walk for `user` under `mode`, leaving
-    /// per-node times in `ctx.walk`. Returns `false` when the user rated
-    /// nothing (no absorbing set).
-    fn run_walk(&self, user: u32, mode: WalkMode<'_>, ctx: &mut ScoringContext) -> bool {
+    /// Run the absorbing-time walk for `user` under `mode` and the
+    /// request's `stopping` policy, leaving per-node times in `ctx.walk`.
+    /// Returns `false` when the user rated nothing (no absorbing set).
+    fn run_walk(
+        &self,
+        user: u32,
+        mode: WalkMode<'_>,
+        stopping: DpStopping,
+        ctx: &mut ScoringContext,
+    ) -> bool {
         if !grow_absorbing_subgraph(&self.graph, user, self.config.max_items, ctx) {
             return false;
         }
@@ -55,6 +61,7 @@ impl AbsorbingTimeRecommender {
             WalkCostModel::Unit,
             self.config.iterations,
             mode,
+            stopping,
             ctx,
         );
         true
@@ -68,7 +75,7 @@ impl Recommender for AbsorbingTimeRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        if self.run_walk(user, WalkMode::Reference, ctx) {
+        if self.run_walk(user, WalkMode::Reference, DpStopping::Fixed, ctx) {
             write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
     }
@@ -77,6 +84,7 @@ impl Recommender for AbsorbingTimeRecommender {
         &self,
         user: u32,
         k: usize,
+        opts: &RecommendOptions<'_>,
         ctx: &mut ScoringContext,
         out: &mut Vec<ScoredItem>,
     ) {
@@ -86,14 +94,16 @@ impl Recommender for AbsorbingTimeRecommender {
         let mode = WalkMode::Serving {
             k,
             rated: self.rated_items(user),
+            extra: opts.exclude,
             rated_absorbing: true,
         };
-        if self.run_walk(user, mode, ctx) {
+        if self.run_walk(user, mode, opts.stopping, ctx) {
             collect_walk_topk(
                 &self.graph,
                 &ctx.subgraph,
                 &ctx.walk,
                 self.rated_items(user),
+                opts.exclude,
                 &mut ctx.topk,
             );
         }

@@ -7,7 +7,7 @@
 //! thresholds and exists to demonstrate exactly that bias against the
 //! walk-based methods.
 
-use crate::{Recommender, ScoredItem, ScoringContext};
+use crate::{RecommendOptions, Recommender, ScoredItem, ScoringContext};
 use longtail_data::Dataset;
 use longtail_graph::CsrMatrix;
 
@@ -119,6 +119,7 @@ impl Recommender for AssociationRuleRecommender {
         &self,
         user: u32,
         k: usize,
+        opts: &RecommendOptions<'_>,
         ctx: &mut ScoringContext,
         out: &mut Vec<ScoredItem>,
     ) {
@@ -149,7 +150,7 @@ impl Recommender for AssociationRuleRecommender {
         for &b in &ctx.touched {
             let score = ctx.accum[b as usize];
             ctx.accum[b as usize] = f64::NEG_INFINITY;
-            if rated.binary_search(&b).is_err() {
+            if rated.binary_search(&b).is_err() && !opts.is_excluded(b) {
                 ctx.topk.push(b, score);
             }
         }

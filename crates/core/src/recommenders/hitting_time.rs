@@ -6,7 +6,7 @@
 //! by `π_j`). Computed as an absorbing walk with `S = {q}` on a BFS subgraph
 //! around the query user.
 
-use crate::config::GraphRecConfig;
+use crate::config::{DpStopping, GraphRecConfig, RecommendOptions};
 use crate::context::ScoringContext;
 use crate::walk_common::{
     collect_walk_topk, reset_scores, run_truncated_walk, write_scores_from_scratch, WalkCostModel,
@@ -37,10 +37,17 @@ impl HittingTimeRecommender {
         &self.graph
     }
 
-    /// Run the hitting-time walk for `user` under `mode`, leaving the
-    /// per-node times in `ctx.walk`. Returns `false` when the query user
-    /// reaches nothing (an unrated, isolated node).
-    fn run_walk(&self, user: u32, mode: WalkMode<'_>, ctx: &mut ScoringContext) -> bool {
+    /// Run the hitting-time walk for `user` under `mode` and the request's
+    /// `stopping` policy, leaving the per-node times in `ctx.walk`. Returns
+    /// `false` when the query user reaches nothing (an unrated, isolated
+    /// node).
+    fn run_walk(
+        &self,
+        user: u32,
+        mode: WalkMode<'_>,
+        stopping: DpStopping,
+        ctx: &mut ScoringContext,
+    ) -> bool {
         let q = self.graph.user_node(user);
         ctx.subgraph.grow(&self.graph, &[q], self.config.max_items);
         if ctx.subgraph.n_nodes() == 1 {
@@ -58,6 +65,7 @@ impl HittingTimeRecommender {
             WalkCostModel::Unit,
             self.config.iterations,
             mode,
+            stopping,
             ctx,
         );
         true
@@ -71,7 +79,7 @@ impl Recommender for HittingTimeRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        if self.run_walk(user, WalkMode::Reference, ctx) {
+        if self.run_walk(user, WalkMode::Reference, DpStopping::Fixed, ctx) {
             write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
     }
@@ -80,6 +88,7 @@ impl Recommender for HittingTimeRecommender {
         &self,
         user: u32,
         k: usize,
+        opts: &RecommendOptions<'_>,
         ctx: &mut ScoringContext,
         out: &mut Vec<ScoredItem>,
     ) {
@@ -91,14 +100,16 @@ impl Recommender for HittingTimeRecommender {
         let mode = WalkMode::Serving {
             k,
             rated: self.rated_items(user),
+            extra: opts.exclude,
             rated_absorbing: false,
         };
-        if self.run_walk(user, mode, ctx) {
+        if self.run_walk(user, mode, opts.stopping, ctx) {
             collect_walk_topk(
                 &self.graph,
                 &ctx.subgraph,
                 &ctx.walk,
                 self.rated_items(user),
+                opts.exclude,
                 &mut ctx.topk,
             );
         }
@@ -201,12 +212,14 @@ mod tests {
                 iterations: 200,
             },
         );
-        let mut fixed = ScoringContext::with_stopping(DpStopping::Fixed);
+        let mut fixed = ScoringContext::new();
         let mut adaptive = ScoringContext::new();
+        let fixed_opts = RecommendOptions::with_stopping(DpStopping::Fixed);
+        let adaptive_opts = RecommendOptions::default();
         for u in 0..5u32 {
             for k in [1usize, 3, 6] {
-                let f = rec.recommend_with(u, k, &mut fixed);
-                let a = rec.recommend_with(u, k, &mut adaptive);
+                let f = rec.recommend_with(u, k, &fixed_opts, &mut fixed);
+                let a = rec.recommend_with(u, k, &adaptive_opts, &mut adaptive);
                 let fi: Vec<u32> = f.iter().map(|s| s.item).collect();
                 let ai: Vec<u32> = a.iter().map(|s| s.item).collect();
                 assert_eq!(ai, fi, "user {u} k {k}");

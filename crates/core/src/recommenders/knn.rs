@@ -7,7 +7,7 @@
 //! here: on the Figure 2 example it recommends the *locally popular* M1 to
 //! U5 where the walk methods surface the niche M4.
 
-use crate::{Recommender, ScoredItem, ScoringContext};
+use crate::{RecommendOptions, Recommender, ScoredItem, ScoringContext};
 use longtail_data::Dataset;
 use longtail_graph::CsrMatrix;
 
@@ -171,6 +171,7 @@ impl Recommender for KnnRecommender {
         &self,
         user: u32,
         k: usize,
+        opts: &RecommendOptions<'_>,
         ctx: &mut ScoringContext,
         out: &mut Vec<ScoredItem>,
     ) {
@@ -201,7 +202,7 @@ impl Recommender for KnnRecommender {
         for &i in &ctx.touched {
             let score = ctx.accum[i as usize];
             ctx.accum[i as usize] = f64::NEG_INFINITY;
-            if rated.binary_search(&i).is_err() {
+            if rated.binary_search(&i).is_err() && !opts.is_excluded(i) {
                 ctx.topk.push(i, score);
             }
         }

@@ -9,7 +9,7 @@
 
 use crate::context::ScoringContext;
 use crate::walk_common::rated_item_nodes_into;
-use crate::{Recommender, ScoredItem};
+use crate::{RecommendOptions, Recommender, ScoredItem};
 use longtail_data::Dataset;
 use longtail_graph::{Adjacency, BipartiteGraph, TransitionMatrix};
 use longtail_markov::{personalized_pagerank_into, PageRankConfig};
@@ -105,6 +105,7 @@ impl Recommender for PageRankRecommender {
         &self,
         user: u32,
         k: usize,
+        opts: &RecommendOptions<'_>,
         ctx: &mut ScoringContext,
         out: &mut Vec<ScoredItem>,
     ) {
@@ -124,7 +125,7 @@ impl Recommender for PageRankRecommender {
             let rated = self.rated_items(user);
             for i in 0..self.graph.n_items() {
                 let item = i as u32;
-                if rated.binary_search(&item).is_ok() {
+                if rated.binary_search(&item).is_ok() || opts.is_excluded(item) {
                     continue;
                 }
                 let mass = rank[n_users + i];

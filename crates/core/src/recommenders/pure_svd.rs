@@ -7,7 +7,7 @@
 //! item factors. Zero-filling bakes popularity into the factors, which is
 //! exactly why its recommendations concentrate on the short head (Figure 6).
 
-use crate::{Recommender, ScoredItem, ScoringContext};
+use crate::{RecommendOptions, Recommender, ScoredItem, ScoringContext};
 use longtail_data::Dataset;
 use longtail_graph::CsrMatrix;
 use longtail_linalg::ops::LinearOp;
@@ -120,6 +120,7 @@ impl Recommender for PureSvdRecommender {
         &self,
         user: u32,
         k: usize,
+        opts: &RecommendOptions<'_>,
         ctx: &mut ScoringContext,
         out: &mut Vec<ScoredItem>,
     ) {
@@ -132,7 +133,7 @@ impl Recommender for PureSvdRecommender {
         let projection = &ctx.scratch;
         let rated = self.rated_items(user);
         for i in 0..self.user_items.cols() {
-            if rated.binary_search(&(i as u32)).is_ok() {
+            if rated.binary_search(&(i as u32)).is_ok() || opts.is_excluded(i as u32) {
                 continue;
             }
             let score = self

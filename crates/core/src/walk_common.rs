@@ -10,10 +10,13 @@
 //! [`run_truncated_walk`] is the one place the DP is launched. In
 //! [`WalkMode::Reference`] (the `score_into` contract) it always runs the
 //! full fixed-τ program, keeping scored values bit-for-bit reproducible. In
-//! [`WalkMode::Serving`] (the fused top-k path) the context's
-//! [`DpStopping`] policy applies: the DP may stop once the value vector has
-//! converged or once [`rank_frozen`] proves the query's top-k list can no
-//! longer change — the rankings served are identical to fixed-τ either way.
+//! [`WalkMode::Serving`] (the fused top-k path) the request's
+//! [`DpStopping`] policy (from [`crate::RecommendOptions`]) applies: the DP
+//! may stop once the value vector has converged or once [`rank_frozen`]
+//! proves the query's top-k list can no longer change — the rankings served
+//! are identical to fixed-τ either way. The serving mode also carries the
+//! request's extra exclusion set, so the probe certifies exactly the list
+//! the collector will serve.
 
 use crate::config::DpStopping;
 use crate::topk::{outranks, ScoredItem, TopKCollector};
@@ -43,14 +46,17 @@ pub(crate) enum WalkMode<'a> {
     /// Reference scoring (`score_into`): the full fixed-τ DP always runs,
     /// so scores are exactly reproducible regardless of context policy.
     Reference,
-    /// Fused serving (`recommend_into`): the context's [`DpStopping`]
+    /// Fused serving (`recommend_into`): the request's [`DpStopping`]
     /// applies, with the rank-stability probe targeting the top-`k` list
-    /// over non-`rated` items.
+    /// over non-excluded items.
     Serving {
         /// List length being served.
         k: usize,
         /// The query user's rated items (sorted), excluded from the list.
         rated: &'a [u32],
+        /// Request-scoped extra exclusions (sorted), from
+        /// [`crate::RecommendOptions::exclude`].
+        extra: &'a [u32],
         /// Whether the rated items are exactly the walk's absorbing item
         /// nodes (true for AT/AC, false for HT) — lets the probe exclude
         /// them with an `O(1)` absorbing-flag lookup instead of a binary
@@ -65,6 +71,7 @@ pub(crate) struct ProbeTarget<'a> {
     pub graph: &'a BipartiteGraph,
     pub scratch: &'a SubgraphScratch,
     pub rated: &'a [u32],
+    pub extra: &'a [u32],
     pub absorbing: &'a [bool],
     pub rated_absorbing: bool,
     pub k: usize,
@@ -141,16 +148,17 @@ pub(crate) fn grow_absorbing_subgraph(
 /// Launch the truncated DP over the context's prepared subgraph, absorbing
 /// flags and (for [`WalkCostModel::EntryCosts`]) entry-cost buffer, leaving
 /// the values in the context's [`DpBuffers`] and folding the run into the
-/// context's [`crate::DpTelemetry`].
+/// context's [`crate::DpTelemetry`]. `stopping` is the request's serving
+/// policy; it only applies in [`WalkMode::Serving`].
 pub(crate) fn run_truncated_walk(
     graph: &BipartiteGraph,
     cost_model: WalkCostModel,
     iterations: usize,
     mode: WalkMode<'_>,
+    stopping: DpStopping,
     ctx: &mut crate::ScoringContext,
 ) -> DpRun {
     let crate::ScoringContext {
-        stopping,
         subgraph,
         walk,
         absorbing,
@@ -169,7 +177,7 @@ pub(crate) fn run_truncated_walk(
         WalkCostModel::Unit => &UnitCost,
         WalkCostModel::EntryCosts => &slice_cost,
     };
-    let run = match (mode, *stopping) {
+    let run = match (mode, stopping) {
         (WalkMode::Reference, _) | (WalkMode::Serving { .. }, DpStopping::Fixed) => {
             truncated_costs_into(subgraph.kernel(), absorbing, cost, iterations, walk);
             DpRun::fixed(iterations)
@@ -178,6 +186,7 @@ pub(crate) fn run_truncated_walk(
             WalkMode::Serving {
                 k,
                 rated,
+                extra,
                 rated_absorbing,
             },
             DpStopping::Adaptive { epsilon },
@@ -186,6 +195,7 @@ pub(crate) fn run_truncated_walk(
                 graph,
                 scratch: &*subgraph,
                 rated,
+                extra,
                 absorbing: absorbing.as_slice(),
                 rated_absorbing,
                 k,
@@ -279,7 +289,8 @@ pub(crate) fn write_scores_from_scratch(
 
 /// Fused top-k extraction for the walk family: push every *subgraph-local*
 /// item's negated walk value straight from the DP state into `collector`,
-/// skipping the user's `rated` items and unreachable pockets.
+/// skipping the user's `rated` items, the request's `extra` exclusions and
+/// unreachable pockets.
 ///
 /// This is the step that lets HT/AT/AC serve a top-k query without touching
 /// the global catalog at all — only nodes the BFS actually visited are
@@ -291,6 +302,7 @@ pub(crate) fn collect_walk_topk(
     scratch: &SubgraphScratch,
     walk: &DpBuffers,
     rated: &[u32],
+    extra: &[u32],
     collector: &mut TopKCollector,
 ) {
     let n_users = graph.n_users();
@@ -298,6 +310,9 @@ pub(crate) fn collect_walk_topk(
         if global >= n_users {
             let item = (global - n_users) as u32;
             if rated.binary_search(&item).is_ok() {
+                continue;
+            }
+            if !extra.is_empty() && extra.binary_search(&item).is_ok() {
                 continue;
             }
             if let Some(v) = walk.finite_cost(local as u32) {
@@ -344,6 +359,7 @@ pub(crate) fn rank_frozen(
         graph,
         scratch,
         rated,
+        extra,
         absorbing,
         rated_absorbing,
         k,
@@ -365,17 +381,18 @@ pub(crate) fn rank_frozen(
     let n_users = graph.n_users();
     for (local, &global) in scratch.global_ids().iter().enumerate() {
         if global >= n_users {
+            let item = (global - n_users) as u32;
             let excluded = if rated_absorbing {
                 absorbing[local]
             } else {
-                rated.binary_search(&((global - n_users) as u32)).is_ok()
-            };
+                rated.binary_search(&item).is_ok()
+            } || (!extra.is_empty() && extra.binary_search(&item).is_ok());
             if excluded {
                 continue;
             }
             let v = probe.values[local];
             if v.is_finite() {
-                collector.push((global - n_users) as u32, -v);
+                collector.push(item, -v);
             }
         }
     }
@@ -554,6 +571,7 @@ mod tests {
             graph: g,
             scratch: subgraph,
             rated,
+            extra: &[],
             absorbing: &no_absorbing,
             rated_absorbing: false,
             k,
@@ -599,6 +617,50 @@ mod tests {
         // leaving its exact tie item 3 outside: the twin exception never
         // applies at the list boundary, so the freeze is refused.
         assert!(!frozen_global(&g, &mut ctx, &values, &[1], 2, 0.5));
+    }
+
+    #[test]
+    fn probe_extra_exclusions_shape_the_target_list() {
+        // The request-scoped exclusion set must shift the probe's target
+        // list exactly like a rated exclusion: hiding item 1 via `extra`
+        // promotes item 2 into the k = 2 list, leaving its exact tie item 3
+        // at the boundary — so the freeze must be refused, while the same
+        // state with no exclusions freezes (item 2 loses the boundary tie
+        // by id).
+        let (g, mut ctx) = probe_fixture();
+        let values = values_by_item(&g, &ctx, &[1.0, 2.0, 2.5, 2.5]);
+        let no_absorbing = vec![false; ctx.subgraph.n_nodes()];
+        let ScoringContext {
+            subgraph,
+            probe_topk,
+            probe_items,
+            ..
+        } = &mut ctx;
+        let probe = DpProbe {
+            values: &values,
+            previous: &values,
+            delta: 0.5,
+            remaining: 1,
+        };
+        let mut target = ProbeTarget {
+            graph: &g,
+            scratch: subgraph,
+            rated: &[],
+            extra: &[],
+            absorbing: &no_absorbing,
+            rated_absorbing: false,
+            k: 2,
+            per_node: false,
+        };
+        assert!(matches!(
+            rank_frozen(&target, &probe, probe_topk, probe_items),
+            ProbeVerdict::Frozen
+        ));
+        target.extra = &[1];
+        assert!(matches!(
+            rank_frozen(&target, &probe, probe_topk, probe_items),
+            ProbeVerdict::Blocked { .. }
+        ));
     }
 
     #[test]
@@ -694,6 +756,7 @@ mod tests {
             graph: &g,
             scratch: subgraph,
             rated: &[],
+            extra: &[],
             absorbing: &no_absorbing,
             rated_absorbing: false,
             k: 1,

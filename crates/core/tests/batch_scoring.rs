@@ -100,7 +100,7 @@ fn recommend_with_matches_recommend() {
     for rec in roster(&train) {
         for u in 0..train.n_users() as u32 {
             assert_eq!(
-                rec.recommend_with(u, 10, &mut ctx),
+                rec.recommend_with(u, 10, &longtail_core::RecommendOptions::default(), &mut ctx),
                 rec.recommend(u, 10),
                 "{} user {}",
                 rec.name(),

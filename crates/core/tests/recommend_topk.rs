@@ -24,8 +24,8 @@
 use longtail_core::{
     top_k, AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
     AssociationRuleRecommender, DpStopping, GraphRecConfig, HittingTimeRecommender, KnnRecommender,
-    LdaRecommender, PageRankRecommender, PureSvdRecommender, Recommender, RuleConfig, ScoredItem,
-    ScoringContext, UserSimilarity,
+    LdaRecommender, PageRankRecommender, PureSvdRecommender, RecommendOptions, Recommender,
+    RuleConfig, ScoredItem, ScoringContext, UserSimilarity,
 };
 use longtail_data::{Dataset, Rating};
 use longtail_topics::LdaConfig;
@@ -52,14 +52,15 @@ fn ratings() -> impl Strategy<Value = Vec<Rating>> {
 /// Runs under [`DpStopping::Fixed`] so the walk family's DP spends its full
 /// τ — the policy under which score-for-score identity is the contract.
 fn check_fused_equivalence(rec: &dyn Recommender, d: &Dataset) -> Result<(), TestCaseError> {
-    let mut ctx = ScoringContext::with_stopping(DpStopping::Fixed);
+    let mut ctx = ScoringContext::new();
+    let opts = RecommendOptions::with_stopping(DpStopping::Fixed);
     let mut fused: Vec<ScoredItem> = Vec::new();
     for u in 0..d.n_users() as u32 {
         let scores = rec.score_items(u);
         let rated = rec.rated_items(u);
         for k in [0usize, 1, 3, N_ITEMS + 3] {
             let reference = top_k(&scores, k, |i| rated.binary_search(&i).is_ok());
-            rec.recommend_into(u, k, &mut ctx, &mut fused);
+            rec.recommend_into(u, k, &opts, &mut ctx, &mut fused);
             prop_assert_eq!(
                 &fused,
                 &reference,
@@ -68,6 +69,51 @@ fn check_fused_equivalence(rec: &dyn Recommender, d: &Dataset) -> Result<(), Tes
                 u,
                 k
             );
+        }
+    }
+    Ok(())
+}
+
+/// The request-scoped exclusion contract: for every user, excluding a set
+/// through [`RecommendOptions::exclude`] equals score-then-sort with the
+/// union of rated items and that set — across every family, under both
+/// stopping policies.
+fn check_exclusion_equivalence(rec: &dyn Recommender, d: &Dataset) -> Result<(), TestCaseError> {
+    let mut ctx = ScoringContext::new();
+    let mut fused: Vec<ScoredItem> = Vec::new();
+    // A deterministic spread: every third item, plus the catalog boundary.
+    let exclude: Vec<u32> = (0..N_ITEMS as u32).step_by(3).collect();
+    for stopping in [DpStopping::Fixed, DpStopping::adaptive()] {
+        let opts = RecommendOptions {
+            stopping,
+            exclude: &exclude,
+        };
+        for u in 0..d.n_users() as u32 {
+            let scores = rec.score_items(u);
+            let rated = rec.rated_items(u);
+            for k in [1usize, 4, N_ITEMS + 3] {
+                let reference = top_k(&scores, k, |i| {
+                    rated.binary_search(&i).is_ok() || exclude.binary_search(&i).is_ok()
+                });
+                rec.recommend_into(u, k, &opts, &mut ctx, &mut fused);
+                let fused_items: Vec<u32> = fused.iter().map(|s| s.item).collect();
+                let reference_items: Vec<u32> = reference.iter().map(|s| s.item).collect();
+                prop_assert_eq!(
+                    &fused_items,
+                    &reference_items,
+                    "{} user {} k {} ({:?}): exclusion set diverged",
+                    rec.name(),
+                    u,
+                    k,
+                    stopping
+                );
+                prop_assert!(fused
+                    .iter()
+                    .all(|s| exclude.binary_search(&s.item).is_err()));
+                if stopping == DpStopping::Fixed {
+                    prop_assert_eq!(&fused, &reference);
+                }
+            }
         }
     }
     Ok(())
@@ -83,14 +129,15 @@ fn check_adaptive_rank_equivalence(
     d: &Dataset,
 ) -> Result<(), TestCaseError> {
     let mut ctx = ScoringContext::new();
-    prop_assert_eq!(ctx.stopping, DpStopping::adaptive());
+    let opts = RecommendOptions::default();
+    prop_assert_eq!(opts.stopping, DpStopping::adaptive());
     let mut fused: Vec<ScoredItem> = Vec::new();
     for u in 0..d.n_users() as u32 {
         let scores = rec.score_items(u);
         let rated = rec.rated_items(u);
         for k in [0usize, 1, 3, N_ITEMS + 3] {
             let reference = top_k(&scores, k, |i| rated.binary_search(&i).is_ok());
-            rec.recommend_into(u, k, &mut ctx, &mut fused);
+            rec.recommend_into(u, k, &opts, &mut ctx, &mut fused);
             let fused_items: Vec<u32> = fused.iter().map(|s| s.item).collect();
             let reference_items: Vec<u32> = reference.iter().map(|s| s.item).collect();
             prop_assert_eq!(
@@ -126,16 +173,18 @@ fn check_adaptive_rank_equivalence(
 fn check_batch_equivalence(rec: &dyn Recommender, d: &Dataset) -> Result<(), TestCaseError> {
     let users: Vec<u32> = (0..d.n_users() as u32).collect();
     let mut ctx = ScoringContext::new();
+    let opts = RecommendOptions::default();
     let sequential: Vec<Vec<ScoredItem>> = users
         .iter()
         .map(|&u| {
             let mut out = Vec::new();
-            rec.recommend_into(u, 5, &mut ctx, &mut out);
+            rec.recommend_into(u, 5, &opts, &mut ctx, &mut out);
             out
         })
         .collect();
+    let sequential_dp = ctx.dp_telemetry();
     for n_threads in [1usize, 2, 4] {
-        let batch = rec.recommend_batch(&users, 5, n_threads);
+        let (batch, dp) = rec.recommend_batch_telemetry(&users, 5, &opts, n_threads);
         prop_assert_eq!(
             &batch,
             &sequential,
@@ -143,12 +192,17 @@ fn check_batch_equivalence(rec: &dyn Recommender, d: &Dataset) -> Result<(), Tes
             rec.name(),
             n_threads
         );
+        // Worker telemetry is merged, not dropped: the batch accounts for
+        // exactly the queries and budgets of the sequential loop.
+        prop_assert_eq!(dp.queries, sequential_dp.queries);
+        prop_assert_eq!(dp.iterations_budget, sequential_dp.iterations_budget);
     }
     Ok(())
 }
 
 fn check_both(rec: &dyn Recommender, d: &Dataset) -> Result<(), TestCaseError> {
     check_fused_equivalence(rec, d)?;
+    check_exclusion_equivalence(rec, d)?;
     check_batch_equivalence(rec, d)
 }
 
@@ -263,10 +317,11 @@ proptest! {
         let at = AbsorbingTimeRecommender::new(&d, GraphRecConfig::default());
         let recs: [&dyn Recommender; 3] = [&knn, &rules, &at];
         let mut ctx = ScoringContext::new();
+        let opts = RecommendOptions::default();
         let mut out = Vec::new();
         for u in 0..d.n_users() as u32 {
             for rec in recs {
-                rec.recommend_into(u, 4, &mut ctx, &mut out);
+                rec.recommend_into(u, 4, &opts, &mut ctx, &mut out);
                 let fresh = rec.recommend(u, 4);
                 prop_assert_eq!(&out, &fresh, "{} user {}", rec.name(), u);
             }

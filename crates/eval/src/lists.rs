@@ -4,7 +4,7 @@
 //! list — under different lenses (popularity, diversity, similarity). This
 //! module computes the lists once so the metrics can share them.
 
-use longtail_core::{Recommender, ScoredItem};
+use longtail_core::{RecommendOptions, Recommender, ScoredItem};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -33,7 +33,7 @@ impl RecommendationLists {
     ) -> Self {
         Self {
             users: users.to_vec(),
-            lists: recommender.recommend_batch(users, k, n_threads),
+            lists: recommender.recommend_batch(users, k, &RecommendOptions::default(), n_threads),
             k,
         }
     }

@@ -6,7 +6,7 @@
 //! This module reproduces that measurement with plain wall-clock timing;
 //! the statistically careful version lives in the Criterion benches.
 
-use longtail_core::{DpStopping, DpTelemetry, Recommender, ScoringContext};
+use longtail_core::{DpStopping, DpTelemetry, RecommendOptions, Recommender, ScoringContext};
 use std::time::Instant;
 
 /// Wall-clock statistics over a batch of per-user recommendation queries.
@@ -18,11 +18,13 @@ pub struct TimingStats {
     pub total_seconds: f64,
     /// Number of queries timed.
     pub n_queries: usize,
-    /// Truncated-DP iteration counters accumulated by the timing context —
+    /// Truncated-DP iteration counters accumulated over the timed queries —
     /// how much of the walk family's τ budget adaptive early termination
-    /// actually spent. All-zero for non-walk recommenders, and for the
-    /// batch timers (whose worker contexts are internal to
-    /// [`Recommender::recommend_batch`]).
+    /// actually spent. Sequential timers read them off the timing context;
+    /// [`time_batch_recommendations`] merges them across the batch's worker
+    /// contexts via [`DpTelemetry::merge`]. All-zero for non-walk
+    /// recommenders and for [`time_batch_scoring`] (reference scoring runs
+    /// no serving DP).
     pub dp: DpTelemetry,
 }
 
@@ -44,12 +46,13 @@ pub fn time_recommendations_with_stopping(
     k: usize,
     stopping: DpStopping,
 ) -> TimingStats {
-    let mut ctx = ScoringContext::with_stopping(stopping);
+    let mut ctx = ScoringContext::new();
+    let opts = RecommendOptions::with_stopping(stopping);
     let mut list = Vec::new();
     let start = Instant::now();
     for &u in users {
         // The list itself is the product being timed; discard it.
-        recommender.recommend_into(u, k, &mut ctx, &mut list);
+        recommender.recommend_into(u, k, &opts, &mut ctx, &mut list);
         std::hint::black_box(&list);
     }
     let total = start.elapsed().as_secs_f64();
@@ -75,8 +78,9 @@ pub fn time_batch_recommendations(
     k: usize,
     n_threads: usize,
 ) -> TimingStats {
+    let opts = RecommendOptions::default();
     let start = Instant::now();
-    let lists = recommender.recommend_batch(users, k, n_threads);
+    let (lists, dp) = recommender.recommend_batch_telemetry(users, k, &opts, n_threads);
     let total = start.elapsed().as_secs_f64();
     // Consume the lists so the work cannot be optimized away.
     std::hint::black_box(&lists);
@@ -88,7 +92,7 @@ pub fn time_batch_recommendations(
         },
         total_seconds: total,
         n_queries: users.len(),
-        dp: DpTelemetry::default(),
+        dp,
     }
 }
 
@@ -176,6 +180,34 @@ mod tests {
             time_recommendations_with_stopping(&rec, &[0, 1], 1, longtail_core::DpStopping::Fixed);
         assert_eq!(stats.dp.iterations_run, stats.dp.iterations_budget);
         assert_eq!(stats.dp.iterations_saved_fraction(), 0.0);
+    }
+
+    #[test]
+    fn batch_timer_surfaces_merged_worker_telemetry() {
+        let d = Dataset::from_ratings(
+            2,
+            2,
+            &[
+                Rating {
+                    user: 0,
+                    item: 0,
+                    value: 5.0,
+                },
+                Rating {
+                    user: 1,
+                    item: 1,
+                    value: 4.0,
+                },
+            ],
+        );
+        let rec = HittingTimeRecommender::new(&d, GraphRecConfig::default());
+        for n_threads in [1usize, 2] {
+            let stats = time_batch_recommendations(&rec, &[0, 1, 0], 1, n_threads);
+            // The workers' DP counters are merged into the stats instead of
+            // dropping with the worker contexts.
+            assert_eq!(stats.dp.queries, 3, "{n_threads} threads");
+            assert!(stats.dp.iterations_budget > 0);
+        }
     }
 
     #[test]

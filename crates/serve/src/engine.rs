@@ -1,0 +1,382 @@
+//! The serving engine: model registry, request execution and the
+//! persistent worker pool.
+
+use crate::pool::ContextPool;
+use crate::request::{RecommendRequest, RecommendResponse, ServeError};
+use crate::router::ShardRouter;
+use longtail_core::{DpStopping, DpTelemetry, RecommendOptions, Recommender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// A recommender shared between the engine's caller threads and pool
+/// workers. Every concrete recommender in `longtail-core` is an immutable
+/// model after construction, hence `Send + Sync`.
+pub type SharedRecommender = Arc<dyn Recommender + Send + Sync>;
+
+/// One registry slot: a single model, or a user-sharded group of them.
+enum ModelEntry {
+    Single(SharedRecommender),
+    Sharded {
+        router: Arc<dyn ShardRouter>,
+        shards: Vec<SharedRecommender>,
+    },
+}
+
+impl ModelEntry {
+    /// The recommender (and shard index, for sharded entries) owning
+    /// `user`'s requests.
+    fn resolve(&self, user: u32) -> (&SharedRecommender, Option<usize>) {
+        match self {
+            Self::Single(rec) => (rec, None),
+            Self::Sharded { router, shards } => {
+                let shard = router.route(user, shards.len());
+                assert!(
+                    shard < shards.len(),
+                    "router returned shard {shard} for {} shards",
+                    shards.len()
+                );
+                (&shards[shard], Some(shard))
+            }
+        }
+    }
+}
+
+/// Registry + pools — the part of the engine shared with worker threads.
+struct EngineCore {
+    models: HashMap<String, ModelEntry>,
+    default_stopping: DpStopping,
+    contexts: ContextPool,
+    /// Engine-lifetime [`DpTelemetry`], merged across every request served
+    /// by any caller thread or pool worker.
+    aggregate: Mutex<DpTelemetry>,
+}
+
+impl EngineCore {
+    /// Serve one request on the calling thread through a pooled context.
+    fn execute(&self, req: &RecommendRequest) -> Result<RecommendResponse, ServeError> {
+        let entry = self
+            .models
+            .get(&req.model)
+            .ok_or_else(|| ServeError::UnknownModel(req.model.clone()))?;
+        let (rec, shard) = entry.resolve(req.user);
+
+        // Normalize the request's exclusion set to the sorted/deduped form
+        // RecommendOptions requires. Only requests that actually exclude
+        // anything pay the copy.
+        let mut exclude_sorted;
+        let exclude: &[u32] = if req.exclude.is_empty() {
+            &[]
+        } else {
+            exclude_sorted = req.exclude.clone();
+            exclude_sorted.sort_unstable();
+            exclude_sorted.dedup();
+            &exclude_sorted
+        };
+        let opts = RecommendOptions {
+            stopping: req.stopping.unwrap_or(self.default_stopping),
+            exclude,
+        };
+
+        let mut ctx = self.contexts.checkout();
+        let before = ctx.dp_telemetry();
+        let mut items = Vec::new();
+        // A panicking query (e.g. an out-of-range user id) must not take a
+        // long-lived pool worker — or a whole batch — down with it: catch
+        // it and fail only this request. The context is NOT checked back in
+        // on panic (its buffers may be mid-update); dropping it costs one
+        // warm context, nothing else. The shared state touched below the
+        // catch (pool, aggregate) is only ever locked around non-panicking
+        // code, so observing it after an unwind is sound.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rec.recommend_into(req.user, req.k, &opts, &mut ctx, &mut items);
+        }));
+        if let Err(payload) = outcome {
+            return Err(ServeError::RequestPanicked(panic_message(&payload)));
+        }
+        let telemetry = ctx.dp_telemetry().since(&before);
+        self.contexts.checkin(ctx);
+        self.aggregate.lock().merge(&telemetry);
+
+        Ok(RecommendResponse {
+            items,
+            model: rec.name(),
+            shard,
+            telemetry,
+        })
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A queued unit of work: one request plus the reply slot it answers to.
+struct Job {
+    index: usize,
+    request: RecommendRequest,
+    reply: mpsc::Sender<(usize, Result<RecommendResponse, ServeError>)>,
+}
+
+/// The multi-model serving engine.
+///
+/// An `Engine` owns a registry of named models (optionally sharded by a
+/// [`ShardRouter`]), a [`ContextPool`] of reusable scoring contexts, and —
+/// unless built with `workers(0)` — a pool of persistent worker threads
+/// draining a shared channel queue. [`Engine::recommend`] serves inline on
+/// the calling thread (lowest latency); [`Engine::recommend_batch`] fans a
+/// batch out across the worker pool, paying no thread start-up per call.
+///
+/// Output equivalence is a pinned contract: for any request, the response's
+/// `items` are exactly what the routed recommender's
+/// [`Recommender::recommend_into`] produces with the request's effective
+/// [`RecommendOptions`] — the engine adds routing, pooling and telemetry,
+/// never ranking changes.
+///
+/// ```
+/// use longtail_core::{GraphRecConfig, HittingTimeRecommender};
+/// use longtail_data::{Dataset, Rating};
+/// use longtail_serve::{Engine, RecommendRequest};
+/// use std::sync::Arc;
+///
+/// let ratings = [
+///     Rating { user: 0, item: 0, value: 5.0 },
+///     Rating { user: 1, item: 0, value: 4.0 },
+///     Rating { user: 1, item: 1, value: 5.0 },
+/// ];
+/// let train = Dataset::from_ratings(2, 2, &ratings);
+/// let engine = Engine::builder()
+///     .model("HT", Arc::new(HittingTimeRecommender::new(&train, GraphRecConfig::default())))
+///     .workers(2)
+///     .build();
+/// let response = engine.recommend(&RecommendRequest::new("HT", 0, 5)).unwrap();
+/// assert_eq!(response.items[0].item, 1);
+/// ```
+pub struct Engine {
+    core: Arc<EngineCore>,
+    /// Job queue feeding the worker pool; `None` when built with 0 workers.
+    /// Behind a mutex because `mpsc::Sender` is single-threaded to clone
+    /// from — batch dispatch clones it once per call.
+    queue: Option<Mutex<mpsc::Sender<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Start configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Serve one request inline on the calling thread, through a pooled
+    /// context — the low-latency path. The worker pool is not involved.
+    pub fn recommend(&self, req: &RecommendRequest) -> Result<RecommendResponse, ServeError> {
+        self.core.execute(req)
+    }
+
+    /// Serve a batch by fanning the requests out across the persistent
+    /// worker pool (or inline, in order, when built with `workers(0)`).
+    ///
+    /// `results[j]` answers `requests[j]`; per-request failures (unknown
+    /// model) are returned in place, never aborting the rest of the batch.
+    pub fn recommend_batch(
+        &self,
+        requests: Vec<RecommendRequest>,
+    ) -> Vec<Result<RecommendResponse, ServeError>> {
+        let Some(queue) = &self.queue else {
+            return requests.iter().map(|r| self.core.execute(r)).collect();
+        };
+        let n = requests.len();
+        let (reply, inbox) = mpsc::channel();
+        {
+            let sender = queue.lock().clone();
+            for (index, request) in requests.into_iter().enumerate() {
+                sender
+                    .send(Job {
+                        index,
+                        request,
+                        reply: reply.clone(),
+                    })
+                    .expect("worker pool outlives the engine");
+            }
+        }
+        drop(reply);
+        let mut slots: Vec<Option<Result<RecommendResponse, ServeError>>> =
+            (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (index, result) = inbox.recv().expect("every job replies once");
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index answered"))
+            .collect()
+    }
+
+    /// Names of every registered model, sorted.
+    pub fn models(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.core.models.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of persistent worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Engine-lifetime [`DpTelemetry`], merged (via [`DpTelemetry::merge`])
+    /// across every request served so far — inline and pool-worker alike.
+    pub fn telemetry(&self) -> DpTelemetry {
+        *self.core.aggregate.lock()
+    }
+
+    /// Zero the engine-lifetime telemetry (e.g. between benchmark phases).
+    pub fn reset_telemetry(&self) {
+        *self.core.aggregate.lock() = DpTelemetry::default();
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Closing the queue ends every worker's recv loop; join so no
+        // worker outlives the registry it borrows through `Arc`.
+        self.queue = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// What a pool worker does for its whole life: pull jobs off the shared
+/// queue, serve them through the core, reply. Ends when the engine drops
+/// the queue's send side.
+fn worker_loop(core: Arc<EngineCore>, queue: Arc<Mutex<mpsc::Receiver<Job>>>) {
+    loop {
+        // Hold the queue lock only for the dequeue itself: serving runs
+        // unlocked, so workers overlap on the actual scoring work.
+        let job = queue.lock().recv();
+        match job {
+            Ok(Job {
+                index,
+                request,
+                reply,
+            }) => {
+                // A closed reply channel means the batch caller gave up
+                // (e.g. panicked); nothing useful to do with the result.
+                let _ = reply.send((index, core.execute(&request)));
+            }
+            Err(mpsc::RecvError) => break,
+        }
+    }
+}
+
+/// Configures and builds an [`Engine`].
+pub struct EngineBuilder {
+    models: HashMap<String, ModelEntry>,
+    workers: Option<usize>,
+    max_idle_contexts: Option<usize>,
+    default_stopping: DpStopping,
+}
+
+impl EngineBuilder {
+    /// An empty registry with defaults: one worker per available core, a
+    /// context pool sized to the workers, adaptive stopping.
+    pub fn new() -> Self {
+        Self {
+            models: HashMap::new(),
+            workers: None,
+            max_idle_contexts: None,
+            default_stopping: DpStopping::default(),
+        }
+    }
+
+    /// Register `rec` under `name`, replacing any previous registration of
+    /// that name.
+    pub fn model(mut self, name: impl Into<String>, rec: SharedRecommender) -> Self {
+        self.models.insert(name.into(), ModelEntry::Single(rec));
+        self
+    }
+
+    /// Register a user-sharded model group under `name`: requests route to
+    /// `shards[router.route(user, shards.len())]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn sharded_model(
+        mut self,
+        name: impl Into<String>,
+        router: Arc<dyn ShardRouter>,
+        shards: Vec<SharedRecommender>,
+    ) -> Self {
+        assert!(!shards.is_empty(), "a sharded model needs at least 1 shard");
+        self.models
+            .insert(name.into(), ModelEntry::Sharded { router, shards });
+        self
+    }
+
+    /// Number of persistent worker threads backing
+    /// [`Engine::recommend_batch`]. `0` disables the pool (batches run
+    /// inline on the calling thread). Defaults to the available
+    /// parallelism.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Cap on idle [`longtail_core::ScoringContext`]s the engine retains
+    /// between requests. Defaults to `workers + 2` (every worker plus a
+    /// couple of inline callers stay warm).
+    pub fn max_idle_contexts(mut self, n: usize) -> Self {
+        self.max_idle_contexts = Some(n);
+        self
+    }
+
+    /// The [`DpStopping`] applied to requests that don't override it.
+    /// Defaults to [`DpStopping::adaptive`].
+    pub fn default_stopping(mut self, stopping: DpStopping) -> Self {
+        self.default_stopping = stopping;
+        self
+    }
+
+    /// Spawn the worker pool and finish the engine.
+    pub fn build(self) -> Engine {
+        let workers = self
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+        let core = Arc::new(EngineCore {
+            models: self.models,
+            default_stopping: self.default_stopping,
+            contexts: ContextPool::new(self.max_idle_contexts.unwrap_or(workers + 2)),
+            aggregate: Mutex::new(DpTelemetry::default()),
+        });
+        let (sender, receiver) = mpsc::channel();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|_| {
+                let core = Arc::clone(&core);
+                let queue = Arc::clone(&receiver);
+                std::thread::spawn(move || worker_loop(core, queue))
+            })
+            .collect();
+        Engine {
+            core,
+            queue: (workers > 0).then(|| Mutex::new(sender)),
+            workers: handles,
+        }
+    }
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}

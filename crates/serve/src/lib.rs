@@ -1,0 +1,41 @@
+//! # longtail-serve — the unified serving engine
+//!
+//! The serving layer over `longtail-core`'s recommenders, shaped for the
+//! paper's deployment story (*Challenging the Long Tail Recommendation*,
+//! Yin et al., VLDB 2012: many users, many algorithm variants, low
+//! latency):
+//!
+//! * **Registry of named models** — one [`Engine`] owns every variant a
+//!   deployment serves (`"HT"`, `"AC2"`, `"PureSVD"`, …) plus optional
+//!   *user-sharded* groups (several graphs routed by a [`ShardRouter`]),
+//!   so popularity-bias-aware deployments can pick which model answers
+//!   per request instead of linking one model per binary.
+//! * **Typed request surface** — [`RecommendRequest`] carries user, k,
+//!   model name, an optional [`longtail_core::DpStopping`] override and a
+//!   request-scoped exclusion set; [`RecommendResponse`] carries the list,
+//!   the answering model + shard, and the request's
+//!   [`longtail_core::DpTelemetry`].
+//! * **Context pooling** — requests run in [`ContextPool`]-recycled
+//!   [`longtail_core::ScoringContext`]s: no `O(n_nodes)` buffer setup per
+//!   query, on any thread.
+//! * **Persistent worker pool** — [`Engine::recommend_batch`] fans out
+//!   over long-lived worker threads draining a channel queue, replacing
+//!   the per-call scoped-thread spawning of
+//!   [`longtail_core::Recommender::recommend_batch`] for sustained
+//!   traffic.
+//!
+//! Engine output is pinned — by equivalence property tests — to be
+//! identical (items, ranks, scores) to calling the routed recommender's
+//! [`longtail_core::Recommender::recommend_into`] directly.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod pool;
+mod request;
+mod router;
+
+pub use engine::{Engine, EngineBuilder, SharedRecommender};
+pub use pool::ContextPool;
+pub use request::{RecommendRequest, RecommendResponse, ServeError};
+pub use router::{ModuloRouter, RangeRouter, ShardRouter};

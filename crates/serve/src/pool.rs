@@ -1,0 +1,84 @@
+//! A checkout/checkin pool of [`ScoringContext`]s.
+//!
+//! Scoring contexts are where all per-query scratch lives; warming one up
+//! costs `O(n_nodes)` in buffer growth. The engine therefore never builds a
+//! context per request — it checks one out of this pool, serves, and checks
+//! it back in, so steady-state requests run entirely in recycled buffers no
+//! matter which caller thread (or pool worker) they arrive on.
+
+use longtail_core::ScoringContext;
+use parking_lot::Mutex;
+
+/// A bounded stack of idle [`ScoringContext`]s.
+///
+/// Checkout pops the most recently returned context (the one with the
+/// warmest buffers); an empty pool hands out a fresh context instead of
+/// blocking, so the pool bounds only *retained* memory, never concurrency.
+#[derive(Debug, Default)]
+pub struct ContextPool {
+    idle: Mutex<Vec<ScoringContext>>,
+    max_idle: usize,
+}
+
+impl ContextPool {
+    /// A pool retaining at most `max_idle` idle contexts (further checkins
+    /// drop their context, releasing its buffers).
+    pub fn new(max_idle: usize) -> Self {
+        Self {
+            idle: Mutex::new(Vec::with_capacity(max_idle.min(64))),
+            max_idle,
+        }
+    }
+
+    /// Take a context — a recycled one when available, otherwise fresh.
+    pub fn checkout(&self) -> ScoringContext {
+        self.idle.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a context to the pool for reuse.
+    pub fn checkin(&self, ctx: ScoringContext) {
+        let mut idle = self.idle.lock();
+        if idle.len() < self.max_idle {
+            idle.push(ctx);
+        }
+    }
+
+    /// Number of idle contexts currently retained.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_up_to_capacity() {
+        let pool = ContextPool::new(2);
+        assert_eq!(pool.idle_count(), 0);
+
+        let mut a = pool.checkout();
+        a.reset_dp_telemetry();
+        pool.checkin(a);
+        assert_eq!(pool.idle_count(), 1);
+
+        // The recycled context comes back out...
+        let b = pool.checkout();
+        assert_eq!(pool.idle_count(), 0);
+
+        // ...and checkins beyond capacity are dropped.
+        pool.checkin(b);
+        pool.checkin(ScoringContext::new());
+        pool.checkin(ScoringContext::new());
+        assert_eq!(pool.idle_count(), 2);
+    }
+
+    #[test]
+    fn empty_pool_hands_out_fresh_contexts() {
+        let pool = ContextPool::new(0);
+        let ctx = pool.checkout();
+        pool.checkin(ctx);
+        assert_eq!(pool.idle_count(), 0, "max_idle 0 retains nothing");
+    }
+}

@@ -1,0 +1,129 @@
+//! The typed request/response surface of the serving engine.
+
+use longtail_core::{DpStopping, DpTelemetry, ScoredItem};
+
+/// One top-k recommendation request against an [`crate::Engine`].
+///
+/// Everything per-call is here, typed: which registered model answers,
+/// the list length, an optional stopping-policy override and a
+/// request-scoped exclusion set. Build with [`RecommendRequest::new`] and
+/// customize via the builder methods:
+///
+/// ```
+/// use longtail_serve::RecommendRequest;
+/// use longtail_core::DpStopping;
+///
+/// let req = RecommendRequest::new("AC2", 42, 10)
+///     .with_stopping(DpStopping::Fixed)
+///     .excluding(vec![7, 3, 7]); // any order, duplicates fine
+/// assert_eq!(req.model, "AC2");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecommendRequest {
+    /// The query user id (must be a user of the routed model's training
+    /// data; ids outside it are a caller bug, like indexing out of bounds).
+    pub user: u32,
+    /// List length.
+    pub k: usize,
+    /// Name of the registered model (or sharded model group) to serve
+    /// from.
+    pub model: String,
+    /// Per-request stopping override for the walk family's serving DP;
+    /// `None` uses the engine's default policy.
+    pub stopping: Option<DpStopping>,
+    /// Request-scoped exclusions merged with the user's training items —
+    /// any order, duplicates allowed; the engine normalizes before scoring.
+    pub exclude: Vec<u32>,
+}
+
+impl RecommendRequest {
+    /// A plain request: engine-default stopping, no extra exclusions.
+    pub fn new(model: impl Into<String>, user: u32, k: usize) -> Self {
+        Self {
+            user,
+            k,
+            model: model.into(),
+            stopping: None,
+            exclude: Vec::new(),
+        }
+    }
+
+    /// Override the engine's default stopping policy for this request.
+    pub fn with_stopping(mut self, stopping: DpStopping) -> Self {
+        self.stopping = Some(stopping);
+        self
+    }
+
+    /// Exclude `items` (any order, duplicates allowed) on top of the
+    /// user's training items.
+    pub fn excluding(mut self, items: Vec<u32>) -> Self {
+        self.exclude = items;
+        self
+    }
+}
+
+/// The engine's answer to a [`RecommendRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecommendResponse {
+    /// The top-k list, best first — identical (items, ranks, scores) to
+    /// calling the routed recommender's `recommend_into` directly with the
+    /// request's effective options.
+    pub items: Vec<ScoredItem>,
+    /// Display name of the recommender that answered (its
+    /// `Recommender::name()`, e.g. `"AC2"` — the registry name is echoed
+    /// on the request).
+    pub model: &'static str,
+    /// Which shard served the request; `None` for unsharded models.
+    pub shard: Option<usize>,
+    /// DP iteration counters of exactly this request's query (all-zero for
+    /// non-walk models), diffed off the pooled context that served it.
+    pub telemetry: DpTelemetry,
+}
+
+/// Why the engine refused or failed a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request named a model the engine has no registration for.
+    UnknownModel(String),
+    /// The query panicked while being served (e.g. a user id outside the
+    /// routed model's training data). The engine survives — pool workers
+    /// keep running and later requests are unaffected — and the panic
+    /// message is preserved here; the panic hook still logs to stderr.
+    RequestPanicked(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownModel(name) => write!(f, "no model registered under {name:?}"),
+            Self::RequestPanicked(message) => {
+                write!(f, "request panicked while being served: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let req = RecommendRequest::new("HT", 3, 5)
+            .with_stopping(DpStopping::Fixed)
+            .excluding(vec![9, 1]);
+        assert_eq!(req.user, 3);
+        assert_eq!(req.k, 5);
+        assert_eq!(req.model, "HT");
+        assert_eq!(req.stopping, Some(DpStopping::Fixed));
+        assert_eq!(req.exclude, vec![9, 1]);
+    }
+
+    #[test]
+    fn error_displays_model_name() {
+        let e = ServeError::UnknownModel("nope".into());
+        assert!(e.to_string().contains("nope"));
+    }
+}

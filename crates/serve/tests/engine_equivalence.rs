@@ -1,0 +1,390 @@
+//! Engine equivalence: property tests over random bipartite corpora.
+//!
+//! The engine adds routing, context pooling and a worker pool on top of
+//! `Recommender::recommend_into`; none of that may ever change a ranking.
+//! Three pinned contracts, each across all 8 recommender families:
+//!
+//! * **context pooling is invisible** — lists produced through
+//!   [`ContextPool`]-recycled contexts are bit-identical to fresh-context
+//!   lists, query after query;
+//! * **`Engine::recommend` ≡ direct `recommend_into`** — same items, same
+//!   ranks, same scores, for every registered model, under the default
+//!   policy, a `Fixed` override, and request-scoped exclusions; batches
+//!   through the persistent worker pool agree with the inline path;
+//! * **sharded routing is transparent** — a sharded registration answers
+//!   exactly what the owning shard's recommender answers directly, and
+//!   reports the shard the router picked.
+//!
+//! Case counts honour `PROPTEST_CASES` (see `vendor/proptest`), which CI
+//! pins so the suite stays bounded.
+
+use longtail_core::{
+    AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
+    AssociationRuleRecommender, DpStopping, GraphRecConfig, HittingTimeRecommender, KnnRecommender,
+    LdaRecommender, PageRankRecommender, PureSvdRecommender, RecommendOptions, RuleConfig,
+    ScoredItem, ScoringContext, UserSimilarity,
+};
+use longtail_data::{Dataset, Rating};
+use longtail_serve::{
+    ContextPool, Engine, ModuloRouter, RecommendRequest, ServeError, SharedRecommender,
+};
+use longtail_topics::LdaConfig;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const N_USERS: usize = 8;
+const N_ITEMS: usize = 10;
+
+fn ratings() -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (0..N_USERS as u32, 0..N_ITEMS as u32, 1.0f64..5.0).prop_map(|(user, item, value)| {
+            Rating {
+                user,
+                item,
+                value: value.round().max(1.0),
+            }
+        }),
+        1..60,
+    )
+}
+
+/// Every family, trained deterministically on `d`, as engine-shareable
+/// models keyed by registry name.
+fn roster(d: &Dataset) -> Vec<(&'static str, SharedRecommender)> {
+    let graph = GraphRecConfig::default();
+    let ac = AbsorbingCostConfig::default();
+    vec![
+        (
+            "HT",
+            Arc::new(HittingTimeRecommender::new(d, graph)) as SharedRecommender,
+        ),
+        ("AT", Arc::new(AbsorbingTimeRecommender::new(d, graph))),
+        (
+            "AC1",
+            Arc::new(AbsorbingCostRecommender::item_entropy(d, ac)),
+        ),
+        (
+            "AC2",
+            Arc::new(AbsorbingCostRecommender::topic_entropy_auto(d, 2, ac)),
+        ),
+        (
+            "kNN",
+            Arc::new(KnnRecommender::train(d, 3, UserSimilarity::Cosine)),
+        ),
+        (
+            "rules",
+            Arc::new(AssociationRuleRecommender::train(
+                d,
+                &RuleConfig {
+                    min_support: 1,
+                    min_confidence: 0.0,
+                },
+            )),
+        ),
+        ("svd", Arc::new(PureSvdRecommender::train(d, 4))),
+        (
+            "lda",
+            Arc::new(LdaRecommender::train_with(
+                d,
+                &LdaConfig {
+                    iterations: 15,
+                    ..LdaConfig::with_topics(2)
+                },
+            )),
+        ),
+        ("ppr", Arc::new(PageRankRecommender::plain(d))),
+        ("dppr", Arc::new(PageRankRecommender::discounted(d))),
+    ]
+}
+
+fn items_of(list: &[ScoredItem]) -> Vec<u32> {
+    list.iter().map(|s| s.item).collect()
+}
+
+proptest! {
+    /// (a) Pooled / recycled contexts are invisible: for every family, a
+    /// list served through a `ContextPool`-checkout context (previously
+    /// used by *other* families and users) is bit-identical to one from a
+    /// fresh context.
+    #[test]
+    fn pooled_contexts_match_fresh_contexts(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        let pool = ContextPool::new(2);
+        let opts = RecommendOptions::default();
+        let mut pooled = Vec::new();
+        let mut fresh_list = Vec::new();
+        for round in 0..2 {
+            for (name, rec) in &roster(&d) {
+                for u in 0..d.n_users() as u32 {
+                    let mut ctx = pool.checkout();
+                    rec.recommend_into(u, 5, &opts, &mut ctx, &mut pooled);
+                    pool.checkin(ctx);
+                    let mut fresh = ScoringContext::new();
+                    rec.recommend_into(u, 5, &opts, &mut fresh, &mut fresh_list);
+                    prop_assert_eq!(
+                        &pooled,
+                        &fresh_list,
+                        "{} user {} round {}: pooled context diverged",
+                        name,
+                        u,
+                        round
+                    );
+                }
+            }
+        }
+    }
+
+    /// (b) `Engine::recommend` ≡ direct `recommend_into` for every
+    /// registered model — default policy, `Fixed` override, and a
+    /// request-scoped exclusion set (handed to the engine unsorted, with
+    /// duplicates) — and the worker-pool batch path agrees with inline.
+    #[test]
+    fn engine_matches_direct_recommend_into(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        let models = roster(&d);
+        let mut builder = Engine::builder().workers(2);
+        for (name, rec) in &models {
+            builder = builder.model(*name, Arc::clone(rec));
+        }
+        let engine = builder.build();
+        let mut ctx = ScoringContext::new();
+        let mut direct = Vec::new();
+        // Unsorted, duplicated on purpose: the engine must normalize.
+        let raw_exclude = vec![7u32, 2, 7, 4];
+        let mut sorted_exclude = raw_exclude.clone();
+        sorted_exclude.sort_unstable();
+        sorted_exclude.dedup();
+
+        let mut batch = Vec::new();
+        let mut expected_items = Vec::new();
+        for (name, rec) in &models {
+            for u in 0..d.n_users() as u32 {
+                for (req, opts) in [
+                    (
+                        RecommendRequest::new(*name, u, 5),
+                        RecommendOptions::default(),
+                    ),
+                    (
+                        RecommendRequest::new(*name, u, 5).with_stopping(DpStopping::Fixed),
+                        RecommendOptions::with_stopping(DpStopping::Fixed),
+                    ),
+                    (
+                        RecommendRequest::new(*name, u, 5).excluding(raw_exclude.clone()),
+                        RecommendOptions {
+                            stopping: DpStopping::default(),
+                            exclude: &sorted_exclude,
+                        },
+                    ),
+                ] {
+                    let response = engine.recommend(&req).unwrap();
+                    rec.recommend_into(u, 5, &opts, &mut ctx, &mut direct);
+                    prop_assert_eq!(
+                        &response.items,
+                        &direct,
+                        "{} user {}: engine diverged from direct path",
+                        name,
+                        u
+                    );
+                    prop_assert_eq!(response.model, rec.name());
+                    prop_assert_eq!(response.shard, None);
+                    batch.push(req);
+                    expected_items.push(items_of(&direct));
+                }
+            }
+        }
+        // The same requests through the persistent worker pool.
+        for (response, expected) in engine.recommend_batch(batch).into_iter().zip(&expected_items) {
+            prop_assert_eq!(&items_of(&response.unwrap().items), expected);
+        }
+        // Aggregate telemetry accounted for every walk-family DP run.
+        prop_assert!(engine.telemetry().queries > 0);
+    }
+
+    /// (c) Sharded routing is transparent: the engine's answer under a
+    /// 2-shard `ModuloRouter` registration equals querying the owning
+    /// shard's recommender directly, and the response names that shard.
+    #[test]
+    fn sharded_routing_matches_owning_shard(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        // Two genuinely different models per shard: different walk budgets.
+        let shards: Vec<SharedRecommender> = vec![
+            Arc::new(HittingTimeRecommender::new(
+                &d,
+                GraphRecConfig { max_items: 4, iterations: 15 },
+            )),
+            Arc::new(HittingTimeRecommender::new(&d, GraphRecConfig::default())),
+        ];
+        let engine = Engine::builder()
+            .sharded_model("HT", Arc::new(ModuloRouter), shards.clone())
+            .workers(1)
+            .build();
+        let opts = RecommendOptions::default();
+        let mut ctx = ScoringContext::new();
+        let mut direct = Vec::new();
+        for u in 0..d.n_users() as u32 {
+            let response = engine.recommend(&RecommendRequest::new("HT", u, 5)).unwrap();
+            let owner = u as usize % shards.len();
+            prop_assert_eq!(response.shard, Some(owner), "user {}", u);
+            shards[owner].recommend_into(u, 5, &opts, &mut ctx, &mut direct);
+            prop_assert_eq!(
+                &response.items,
+                &direct,
+                "user {}: sharded answer diverged from owning shard",
+                u
+            );
+        }
+    }
+}
+
+#[test]
+fn unknown_model_is_an_error_not_a_panic() {
+    let d = Dataset::from_ratings(
+        2,
+        2,
+        &[Rating {
+            user: 0,
+            item: 0,
+            value: 5.0,
+        }],
+    );
+    let engine = Engine::builder()
+        .model(
+            "HT",
+            Arc::new(HittingTimeRecommender::new(&d, GraphRecConfig::default())),
+        )
+        .workers(1)
+        .build();
+    let err = engine
+        .recommend(&RecommendRequest::new("missing", 0, 3))
+        .unwrap_err();
+    assert_eq!(err, ServeError::UnknownModel("missing".into()));
+    // Batch form returns the failure in place without poisoning the rest.
+    let results = engine.recommend_batch(vec![
+        RecommendRequest::new("missing", 0, 3),
+        RecommendRequest::new("HT", 0, 3),
+    ]);
+    assert!(results[0].is_err());
+    assert!(results[1].is_ok());
+    assert_eq!(engine.models(), vec!["HT"]);
+}
+
+#[test]
+fn panicking_request_fails_alone_without_killing_the_engine() {
+    let d = Dataset::from_ratings(
+        2,
+        2,
+        &[
+            Rating {
+                user: 0,
+                item: 0,
+                value: 5.0,
+            },
+            Rating {
+                user: 1,
+                item: 1,
+                value: 4.0,
+            },
+        ],
+    );
+    let engine = Engine::builder()
+        .model(
+            "HT",
+            Arc::new(HittingTimeRecommender::new(&d, GraphRecConfig::default())),
+        )
+        .workers(2)
+        .build();
+    // User 99 is outside the training data: the query panics inside the
+    // recommender. The batch must fail only that slot, and the pool's
+    // workers must survive to serve later traffic.
+    let results = engine.recommend_batch(vec![
+        RecommendRequest::new("HT", 0, 2),
+        RecommendRequest::new("HT", 99, 2),
+        RecommendRequest::new("HT", 1, 2),
+    ]);
+    assert!(results[0].is_ok());
+    assert!(matches!(results[1], Err(ServeError::RequestPanicked(_))));
+    assert!(results[2].is_ok());
+    // Both the batch path and the inline path still serve afterwards.
+    let again = engine.recommend_batch(vec![RecommendRequest::new("HT", 0, 2)]);
+    assert!(again[0].is_ok());
+    assert!(engine.recommend(&RecommendRequest::new("HT", 1, 2)).is_ok());
+    assert!(matches!(
+        engine.recommend(&RecommendRequest::new("HT", 99, 2)),
+        Err(ServeError::RequestPanicked(_))
+    ));
+}
+
+#[test]
+fn zero_worker_engine_serves_batches_inline() {
+    let d = Dataset::from_ratings(
+        2,
+        2,
+        &[
+            Rating {
+                user: 0,
+                item: 0,
+                value: 5.0,
+            },
+            Rating {
+                user: 1,
+                item: 1,
+                value: 4.0,
+            },
+        ],
+    );
+    let engine = Engine::builder()
+        .model(
+            "HT",
+            Arc::new(HittingTimeRecommender::new(&d, GraphRecConfig::default())),
+        )
+        .workers(0)
+        .build();
+    assert_eq!(engine.n_workers(), 0);
+    let results = engine.recommend_batch(vec![
+        RecommendRequest::new("HT", 0, 2),
+        RecommendRequest::new("HT", 1, 2),
+    ]);
+    assert_eq!(results.len(), 2);
+    assert!(results.iter().all(|r| r.is_ok()));
+}
+
+#[test]
+fn per_request_telemetry_sums_into_engine_aggregate() {
+    let d = Dataset::from_ratings(
+        2,
+        2,
+        &[
+            Rating {
+                user: 0,
+                item: 0,
+                value: 5.0,
+            },
+            Rating {
+                user: 1,
+                item: 1,
+                value: 4.0,
+            },
+        ],
+    );
+    let engine = Engine::builder()
+        .model(
+            "HT",
+            Arc::new(HittingTimeRecommender::new(&d, GraphRecConfig::default())),
+        )
+        .workers(2)
+        .build();
+    let requests: Vec<RecommendRequest> = (0..6)
+        .map(|i| RecommendRequest::new("HT", i % 2, 1))
+        .collect();
+    let mut per_request = 0u64;
+    for result in engine.recommend_batch(requests) {
+        let response = result.unwrap();
+        assert_eq!(response.telemetry.queries, 1, "one DP run per HT query");
+        per_request += response.telemetry.iterations_run;
+    }
+    let aggregate = engine.telemetry();
+    assert_eq!(aggregate.queries, 6);
+    assert_eq!(aggregate.iterations_run, per_request);
+    engine.reset_telemetry();
+    assert_eq!(engine.telemetry().queries, 0);
+}

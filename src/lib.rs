@@ -26,6 +26,7 @@
 //! | [`topics`] | `longtail-topics` | Gibbs-sampled LDA over rating counts, user entropy |
 //! | [`data`]   | `longtail-data`   | synthetic long-tail datasets, MovieLens parsers, protocol splits, ontology |
 //! | [`core`]   | `longtail-core`   | the recommenders: HT, AT, AC1, AC2, LDA, PureSVD, PPR, DPPR |
+//! | [`serve`]  | `longtail-serve`  | the serving engine: multi-model registry, shard routing, context pool, worker pool |
 //! | [`eval`]   | `longtail-eval`   | Recall@N, Popularity@N, Diversity, Similarity, timing, user study |
 //!
 //! ## Quickstart
@@ -60,6 +61,7 @@ pub use longtail_eval as eval;
 pub use longtail_graph as graph;
 pub use longtail_linalg as linalg;
 pub use longtail_markov as markov;
+pub use longtail_serve as serve;
 pub use longtail_topics as topics;
 
 /// One-line import for applications: every type needed to load data, train
@@ -69,8 +71,8 @@ pub mod prelude {
         AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
         AssociationRuleRecommender, DpStopping, DpTelemetry, EntropySource, GraphRecConfig,
         HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor,
-        PageRankRecommender, PureSvdRecommender, Recommender, RuleConfig, ScoredItem,
-        ScoringContext, TopKCollector, UserSimilarity,
+        PageRankRecommender, PureSvdRecommender, RecommendOptions, Recommender, RuleConfig,
+        ScoredItem, ScoringContext, TopKCollector, UserSimilarity,
     };
     pub use longtail_data::{
         holdout_longtail_favorites, Dataset, LongTailSplit, Ontology, ProtocolSplit, Rating,
@@ -81,5 +83,9 @@ pub mod prelude {
         sample_test_users, simulate_study, RecallConfig, RecommendationLists, StudyConfig,
     };
     pub use longtail_graph::{BipartiteGraph, GraphStats};
+    pub use longtail_serve::{
+        Engine, EngineBuilder, ModuloRouter, RangeRouter, RecommendRequest, RecommendResponse,
+        ServeError, ShardRouter,
+    };
     pub use longtail_topics::{LdaConfig, LdaModel};
 }

@@ -59,7 +59,9 @@ fn fixture_dataset() -> Dataset {
 
 /// All 8 recommender families (10 instances — both AC and both PageRank
 /// flavors), trained with fixed, fully deterministic hyper-parameters.
-fn fixture_roster(train: &Dataset) -> Vec<Box<dyn Recommender>> {
+/// `Arc`'d so the same roster can also be registered in a serving
+/// [`Engine`] (`engine_serves_the_golden_rankings`).
+fn fixture_roster(train: &Dataset) -> Vec<longtail::serve::SharedRecommender> {
     let graph = GraphRecConfig {
         max_items: 40,
         iterations: 25,
@@ -69,25 +71,25 @@ fn fixture_roster(train: &Dataset) -> Vec<Box<dyn Recommender>> {
         item_entry_cost: 1.0,
     };
     vec![
-        Box::new(HittingTimeRecommender::new(train, graph)),
-        Box::new(AbsorbingTimeRecommender::new(train, graph)),
-        Box::new(AbsorbingCostRecommender::item_entropy(train, ac)),
-        Box::new(AbsorbingCostRecommender::topic_entropy_auto(train, 4, ac)),
-        Box::new(KnnRecommender::train(train, 5, UserSimilarity::Cosine)),
-        Box::new(AssociationRuleRecommender::train(
+        std::sync::Arc::new(HittingTimeRecommender::new(train, graph)),
+        std::sync::Arc::new(AbsorbingTimeRecommender::new(train, graph)),
+        std::sync::Arc::new(AbsorbingCostRecommender::item_entropy(train, ac)),
+        std::sync::Arc::new(AbsorbingCostRecommender::topic_entropy_auto(train, 4, ac)),
+        std::sync::Arc::new(KnnRecommender::train(train, 5, UserSimilarity::Cosine)),
+        std::sync::Arc::new(AssociationRuleRecommender::train(
             train,
             &RuleConfig {
                 min_support: 2,
                 min_confidence: 0.05,
             },
         )),
-        Box::new(PureSvdRecommender::train(train, 8)),
-        Box::new(LdaRecommender::train_with(
+        std::sync::Arc::new(PureSvdRecommender::train(train, 8)),
+        std::sync::Arc::new(LdaRecommender::train_with(
             train,
             &LdaConfig::with_topics(4),
         )),
-        Box::new(PageRankRecommender::plain(train)),
-        Box::new(PageRankRecommender::discounted(train)),
+        std::sync::Arc::new(PageRankRecommender::plain(train)),
+        std::sync::Arc::new(PageRankRecommender::discounted(train)),
     ]
 }
 
@@ -103,11 +105,12 @@ fn render_lists(train: &Dataset, stopping: DpStopping) -> String {
     let mut out = String::from(
         "# algorithm\tuser\ttop-10 as item:score (10 significant digits), '-' when empty\n",
     );
-    let mut ctx = ScoringContext::with_stopping(stopping);
+    let mut ctx = ScoringContext::new();
+    let opts = RecommendOptions::with_stopping(stopping);
     let mut list = Vec::new();
     for rec in fixture_roster(train) {
         for u in 0..train.n_users() as u32 {
-            rec.recommend_into(u, 10, &mut ctx, &mut list);
+            rec.recommend_into(u, 10, &opts, &mut ctx, &mut list);
             write!(out, "{}\t{}\t", rec.name(), u).unwrap();
             if list.is_empty() {
                 out.push('-');
@@ -217,6 +220,67 @@ fn adaptive_early_termination_serves_the_golden_rankings() {
             );
         }
     }
+}
+
+/// The serving engine must pass the golden fixture *unchanged*: routing a
+/// request through the registry, the context pool and the worker pool
+/// yields byte-for-byte the committed `Fixed`-policy lists for every
+/// family and user.
+#[test]
+fn engine_serves_the_golden_rankings() {
+    let train = fixture_dataset();
+    let expected = std::fs::read_to_string(golden_dir().join("expected_top10.tsv"))
+        .expect("tests/golden/expected_top10.tsv is committed with the repo");
+
+    let roster = fixture_roster(&train);
+    let mut builder = Engine::builder().workers(2);
+    for rec in &roster {
+        builder = builder.model(rec.name(), std::sync::Arc::clone(rec));
+    }
+    let engine = builder.build();
+
+    // Re-render the committed format, but through the engine's batch path
+    // (the persistent worker pool) instead of direct recommend_into.
+    let requests: Vec<RecommendRequest> = roster
+        .iter()
+        .flat_map(|rec| {
+            (0..train.n_users() as u32)
+                .map(|u| RecommendRequest::new(rec.name(), u, 10).with_stopping(DpStopping::Fixed))
+        })
+        .collect();
+    let keys: Vec<(&'static str, u32)> = roster
+        .iter()
+        .flat_map(|rec| (0..train.n_users() as u32).map(move |u| (rec.name(), u)))
+        .collect();
+
+    let mut got = String::from(
+        "# algorithm\tuser\ttop-10 as item:score (10 significant digits), '-' when empty\n",
+    );
+    for ((name, u), response) in keys.iter().zip(engine.recommend_batch(requests)) {
+        let response = response.expect("fixture model is registered");
+        assert_eq!(response.model, *name);
+        write!(got, "{}\t{}\t", name, u).unwrap();
+        if response.items.is_empty() {
+            got.push('-');
+        } else {
+            for (j, s) in response.items.iter().enumerate() {
+                if j > 0 {
+                    got.push(' ');
+                }
+                write!(got, "{}:{:.10e}", s.item, s.score).unwrap();
+            }
+        }
+        got.push('\n');
+    }
+    for (lineno, (g, e)) in got.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(
+            g,
+            e,
+            "engine diverged from the golden fixture at line {}",
+            lineno + 1
+        );
+    }
+    assert_eq!(got.lines().count(), expected.lines().count());
 }
 
 #[test]
