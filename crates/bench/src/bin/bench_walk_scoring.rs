@@ -19,9 +19,9 @@ use longtail_core::{
     ScoringContext,
 };
 use longtail_data::{SyntheticConfig, SyntheticData};
-use longtail_eval::sample_test_users;
+use longtail_eval::{sample_test_users, time_open_loop_submission};
 use longtail_graph::BipartiteGraph;
-use longtail_serve::{Engine, RecommendRequest, SharedRecommender};
+use longtail_serve::{Engine, RecommendRequest, ServeError, SharedRecommender};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -34,6 +34,14 @@ const TOP_K: usize = 10;
 const ENGINE_ROUNDS: usize = 30;
 /// Worker threads for both sides of the serving-engine comparison.
 const ENGINE_WORKERS: usize = 4;
+/// Admission-queue capacity of the async front-end measurement: deep
+/// enough that a whole open-loop round fits without engaging backpressure
+/// (throughput, not shedding, is what that series measures).
+const ASYNC_QUEUE_CAPACITY: usize = 256;
+/// Every this-many-th request of the async deadline pass carries an
+/// already-expired deadline, making the shed count exact and
+/// machine-independent.
+const ASYNC_EXPIRED_STRIDE: usize = 4;
 
 /// τ budget of the early-termination comparison: a *high-fidelity* serving
 /// tier whose truncation error is negligible (the paper's τ=15 trades
@@ -365,6 +373,139 @@ fn measure_serving_engine(
     }
 }
 
+struct AsyncServing {
+    open_loop_seconds: f64,
+    closed_loop_seconds: f64,
+    requests: usize,
+    deadline_requests: usize,
+    deadline_expired: usize,
+    expired_at_dequeue: u64,
+    expired_in_dp: u64,
+    deadline_completed: u64,
+    counts_consistent: bool,
+    rankings_match_blocking: bool,
+}
+
+/// The async front-end under open-loop load: every request of a round is
+/// submitted before any response is claimed (arrivals never wait on
+/// completions), vs the closed-loop serial baseline (`Engine::recommend`
+/// one request at a time). A second pass mixes in already-expired
+/// deadlines — every `ASYNC_EXPIRED_STRIDE`-th request — so the shed
+/// accounting is exact: expired requests must be dropped at dequeue
+/// without running the DP, and every live request must still serve a
+/// ranking identical to the blocking batch path.
+fn measure_async_serving(
+    label: &'static str,
+    users: &[u32],
+    model: SharedRecommender,
+) -> AsyncServing {
+    let engine = Engine::builder()
+        .model(label, Arc::clone(&model))
+        .workers(ENGINE_WORKERS)
+        .queue_capacity(ASYNC_QUEUE_CAPACITY)
+        .build();
+    let requests: Vec<RecommendRequest> = users
+        .iter()
+        .map(|&u| RecommendRequest::new(label, u, TOP_K))
+        .collect();
+
+    // Correctness gate: open-loop responses ≡ the blocking batch path.
+    let blocking = engine.recommend_batch(requests.clone());
+    let (_, open_loop) = time_open_loop_submission(&engine, requests.clone());
+    let mut rankings_match_blocking = true;
+    for (a, b) in open_loop.iter().zip(&blocking) {
+        let (a, b) = (a.as_ref().expect("admitted"), b.as_ref().expect("admitted"));
+        if a.items
+            .iter()
+            .map(|s| s.item)
+            .ne(b.items.iter().map(|s| s.item))
+        {
+            rankings_match_blocking = false;
+        }
+    }
+
+    let open_loop_seconds = time_best(|| {
+        for _ in 0..ENGINE_ROUNDS {
+            let (_, results) = time_open_loop_submission(&engine, requests.clone());
+            std::hint::black_box(&results);
+        }
+    });
+    let closed_loop_seconds = time_best(|| {
+        for _ in 0..ENGINE_ROUNDS {
+            for req in &requests {
+                std::hint::black_box(engine.recommend(req).expect("registered model"));
+            }
+        }
+    });
+
+    // Deadline pass: a deterministic mix of live and already-expired
+    // requests, accounted through the eval timer's EngineStats diff.
+    let deadlined: Vec<RecommendRequest> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, req)| {
+            if i % ASYNC_EXPIRED_STRIDE == 0 {
+                req.clone().deadline_at(Instant::now())
+            } else {
+                req.clone()
+            }
+        })
+        .collect();
+    let expected_expired = deadlined.iter().filter(|r| r.deadline.is_some()).count();
+    let (deadline_stats, deadline_results) = time_open_loop_submission(&engine, deadlined);
+    let stats = deadline_stats.engine.expect("engine timer carries stats");
+    let mut deadline_ok = true;
+    for (i, result) in deadline_results.iter().enumerate() {
+        let expired = i % ASYNC_EXPIRED_STRIDE == 0;
+        match result {
+            Err(ServeError::DeadlineExceeded) if expired => {}
+            Ok(response) if !expired => {
+                // Live requests still serve the blocking path's ranking.
+                let b = blocking[i].as_ref().expect("admitted");
+                if response
+                    .items
+                    .iter()
+                    .map(|s| s.item)
+                    .ne(b.items.iter().map(|s| s.item))
+                {
+                    deadline_ok = false;
+                }
+            }
+            _ => deadline_ok = false,
+        }
+    }
+    rankings_match_blocking &= deadline_ok;
+    let counts_consistent = stats.submitted == users.len() as u64
+        && stats.expired_at_dequeue + stats.expired_in_dp == expected_expired as u64
+        && stats.completed == (users.len() - expected_expired) as u64
+        && deadline_stats.dp.queries == stats.completed;
+
+    let requests_total = ENGINE_ROUNDS * users.len();
+    println!(
+        "\n{label} async front-end ({ENGINE_WORKERS} workers, {requests_total} requests): \
+         open-loop submit+drain {:.1} req/s, closed-loop inline {:.1} req/s ({:.2}x); \
+         deadline pass: {}/{} expired shed at dequeue, counts consistent: {counts_consistent}, \
+         rankings match blocking path: {rankings_match_blocking}",
+        requests_total as f64 / open_loop_seconds,
+        requests_total as f64 / closed_loop_seconds,
+        closed_loop_seconds / open_loop_seconds,
+        stats.expired_at_dequeue,
+        expected_expired,
+    );
+    AsyncServing {
+        open_loop_seconds,
+        closed_loop_seconds,
+        requests: requests_total,
+        deadline_requests: users.len(),
+        deadline_expired: expected_expired,
+        expired_at_dequeue: stats.expired_at_dequeue,
+        expired_in_dp: stats.expired_in_dp,
+        deadline_completed: stats.completed,
+        counts_consistent,
+        rankings_match_blocking,
+    }
+}
+
 fn main() {
     let config = SyntheticConfig {
         n_users: 600,
@@ -447,6 +588,11 @@ fn main() {
     let ht_engine = measure_serving_engine("HT", &serve_users, Arc::new(serve_ht.clone()));
     let ac_engine = measure_serving_engine("AC1", &serve_users, Arc::new(serve_ac1.clone()));
 
+    // The async front-end on the same serving corpus: open-loop submission
+    // throughput plus the deterministic deadline-shedding pass.
+    let ht_async = measure_async_serving("HT", &serve_users, Arc::new(serve_ht.clone()));
+    let ac_async = measure_async_serving("AC1", &serve_users, Arc::new(serve_ac1.clone()));
+
     // Early termination on the same serving corpus at the high-fidelity τ
     // budget (see ET_ITERATIONS): fixed-τ vs the default adaptive policy.
     let et_config = GraphRecConfig {
@@ -502,6 +648,8 @@ fn main() {
         &ac_recommend,
         &ht_engine,
         &ac_engine,
+        &ht_async,
+        &ac_async,
         &ht_early,
         &at_early,
         &ac_early,
@@ -524,6 +672,8 @@ fn render_json(
     ac_rec: &[Measurement],
     ht_engine: &ServingEngine,
     ac_engine: &ServingEngine,
+    ht_async: &AsyncServing,
+    ac_async: &AsyncServing,
     ht_early: &EarlyTermination,
     at_early: &EarlyTermination,
     ac_early: &EarlyTermination,
@@ -545,6 +695,28 @@ fn render_json(
             })
             .collect();
         entries.join(",\n")
+    }
+    fn async_serving(a: &AsyncServing) -> String {
+        format!(
+            "{{\"open_loop_seconds\": {:.6e}, \"closed_loop_seconds\": {:.6e}, \
+             \"open_loop_requests_per_sec\": {:.1}, \"closed_loop_requests_per_sec\": {:.1}, \
+             \"speedup_vs_closed_loop\": {:.3}, \"rankings_match_blocking\": {}, \
+             \"deadline\": {{\"requests\": {}, \"expired_requests\": {}, \
+             \"expired_at_dequeue\": {}, \"expired_in_dp\": {}, \"completed\": {}, \
+             \"counts_consistent\": {}}}}}",
+            a.open_loop_seconds,
+            a.closed_loop_seconds,
+            a.requests as f64 / a.open_loop_seconds,
+            a.requests as f64 / a.closed_loop_seconds,
+            a.closed_loop_seconds / a.open_loop_seconds,
+            a.rankings_match_blocking,
+            a.deadline_requests,
+            a.deadline_expired,
+            a.expired_at_dequeue,
+            a.expired_in_dp,
+            a.deadline_completed,
+            a.counts_consistent
+        )
     }
     fn early(e: &EarlyTermination) -> String {
         format!(
@@ -594,6 +766,10 @@ fn render_json(
          \"serving_engine\": {{\n    \"workers\": {ENGINE_WORKERS},\n    \
          \"rounds\": {ENGINE_ROUNDS},\n    \"requests\": {},\n    \
          \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
+         \"async_serving\": {{\n    \"workers\": {ENGINE_WORKERS},\n    \
+         \"queue_capacity\": {ASYNC_QUEUE_CAPACITY},\n    \
+         \"rounds\": {ENGINE_ROUNDS},\n    \"requests\": {},\n    \
+         \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
          \"early_termination\": {{\n    \"epsilon\": {:e},\n    \"k\": {TOP_K},\n    \
          \"dp_budget\": {ET_ITERATIONS},\n    \
          \"HT\": {},\n    \"AT\": {},\n    \"AC1\": {}\n  }},\n  \
@@ -612,6 +788,9 @@ fn render_json(
         ht_engine.requests,
         engine(ht_engine),
         engine(ac_engine),
+        ht_async.requests,
+        async_serving(ht_async),
+        async_serving(ac_async),
         epsilon,
         early(ht_early),
         early(at_early),

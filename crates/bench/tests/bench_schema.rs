@@ -31,6 +31,7 @@ fn walk_scoring_summary_keeps_its_schema() {
         "\"results\"",
         "\"recommend_topk\"",
         "\"serving_engine\"",
+        "\"async_serving\"",
         "\"early_termination\"",
         "\"single_query_ht\"",
     ] {
@@ -71,6 +72,43 @@ fn walk_scoring_summary_keeps_its_schema() {
     assert!(
         !json.contains("\"lists_match_direct\": false"),
         "engine serving diverged from the direct fused path"
+    );
+
+    // Async front-end: open-loop submission throughput vs the closed-loop
+    // inline baseline, plus the deterministic deadline-shedding pass, for
+    // both algorithms.
+    assert!(
+        json.contains("\"queue_capacity\""),
+        "schema drift: async_serving.queue_capacity"
+    );
+    for key in [
+        "\"open_loop_seconds\"",
+        "\"closed_loop_seconds\"",
+        "\"open_loop_requests_per_sec\"",
+        "\"closed_loop_requests_per_sec\"",
+        "\"speedup_vs_closed_loop\"",
+        "\"rankings_match_blocking\"",
+        "\"deadline\": {",
+        "\"expired_requests\"",
+        "\"expired_at_dequeue\"",
+        "\"expired_in_dp\"",
+        "\"counts_consistent\"",
+    ] {
+        assert_eq!(
+            json.matches(key).count(),
+            2,
+            "schema drift: async-serving field {key} missing for an algorithm"
+        );
+    }
+    // Shed/deadline accounting must balance, and the async path must never
+    // record a ranking divergence from the blocking path.
+    assert!(
+        !json.contains("\"counts_consistent\": false"),
+        "async serving shed/deadline counters do not reconcile"
+    );
+    assert!(
+        !json.contains("\"rankings_match_blocking\": false"),
+        "async serving diverged from the blocking batch path"
     );
     for series in [
         "sequential_prerefactor",

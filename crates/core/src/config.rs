@@ -94,6 +94,7 @@ impl Default for DpStopping {
 /// let opts = RecommendOptions {
 ///     stopping: DpStopping::Fixed,
 ///     exclude: &hidden,
+///     ..RecommendOptions::default()
 /// };
 /// assert!(opts.is_excluded(17) && !opts.is_excluded(4));
 /// ```
@@ -108,6 +109,18 @@ pub struct RecommendOptions<'a> {
     /// deduplicated (the serving engine normalizes request exclusion sets
     /// before building options; direct callers sort their own slice).
     pub exclude: &'a [u32],
+    /// Cooperative deadline for the walk family's serving DP: once this
+    /// instant passes, the truncated walk aborts at its next measured
+    /// iteration (the stride-scheduled δ pass, so the hot loop pays
+    /// nothing) and the query's [`crate::DpTelemetry`] records a
+    /// `deadline_expired` run. A cancelled query serves an **empty list**
+    /// (never a ranking over partially-iterated values); callers that set
+    /// a deadline distinguish "cancelled" from "nothing to recommend" via
+    /// the telemetry (the `longtail-serve` engine does, answering
+    /// `DeadlineExceeded` instead). Non-walk families ignore the
+    /// deadline: their queries have no iteration loop to interrupt.
+    /// `None` (the default) never cancels.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl<'a> RecommendOptions<'a> {
@@ -120,16 +133,23 @@ impl<'a> RecommendOptions<'a> {
     pub fn with_stopping(stopping: DpStopping) -> Self {
         Self {
             stopping,
-            exclude: &[],
+            ..Self::default()
         }
+    }
+
+    /// These options with a cooperative walk-DP deadline (see
+    /// [`RecommendOptions::deadline`] for the cancelled-query contract).
+    pub fn deadline_at(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Options excluding `exclude` (sorted ascending, deduplicated) on top
     /// of the user's rated items, under the default adaptive stopping.
     pub fn excluding(exclude: &'a [u32]) -> Self {
         let opts = Self {
-            stopping: DpStopping::default(),
             exclude,
+            ..Self::default()
         };
         debug_assert!(
             exclude.windows(2).all(|w| w[0] < w[1]),

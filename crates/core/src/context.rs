@@ -43,6 +43,11 @@ pub struct DpTelemetry {
     pub converged: u64,
     /// Runs stopped by the rank-stability probe.
     pub rank_frozen: u64,
+    /// Runs aborted by an expired request deadline (cooperative
+    /// cancellation inside the DP loop). Lists produced by such runs are
+    /// invalid and must not be served — the serving engine answers
+    /// `DeadlineExceeded` whenever a request's diff shows one.
+    pub deadline_expired: u64,
 }
 
 impl DpTelemetry {
@@ -53,6 +58,7 @@ impl DpTelemetry {
         self.iterations_budget += run.budget as u64;
         self.converged += u64::from(run.converged);
         self.rank_frozen += u64::from(run.rank_frozen);
+        self.deadline_expired += u64::from(run.cancelled);
     }
 
     /// Fraction of the budgeted iterations early termination skipped
@@ -73,6 +79,7 @@ impl DpTelemetry {
         self.iterations_budget += other.iterations_budget;
         self.converged += other.converged;
         self.rank_frozen += other.rank_frozen;
+        self.deadline_expired += other.deadline_expired;
     }
 
     /// Counter-wise difference against an `earlier` snapshot of the same
@@ -88,6 +95,9 @@ impl DpTelemetry {
                 .saturating_sub(earlier.iterations_budget),
             converged: self.converged.saturating_sub(earlier.converged),
             rank_frozen: self.rank_frozen.saturating_sub(earlier.rank_frozen),
+            deadline_expired: self
+                .deadline_expired
+                .saturating_sub(earlier.deadline_expired),
         }
     }
 }
@@ -201,6 +211,7 @@ mod tests {
             budget: 15,
             converged: true,
             rank_frozen: false,
+            cancelled: false,
             last_delta: 0.0,
         });
         t.record(&DpRun::fixed(15));
@@ -239,6 +250,7 @@ mod tests {
             budget: 10,
             converged: true,
             rank_frozen: false,
+            cancelled: false,
             last_delta: 0.0,
         });
         let diff = t.since(&snapshot);

@@ -111,27 +111,34 @@ impl AbsorbingCostRecommender {
     /// Run the entropy-biased absorbing-cost walk for `user` under `mode`
     /// and the request's `stopping` policy, leaving per-node costs in
     /// `ctx.walk`. Returns `false` when the user rated nothing (no
-    /// absorbing set).
+    /// absorbing set), or
+    /// when the request's deadline cancelled the walk (the values then
+    /// rank nothing — see [`crate::RecommendOptions::deadline`]).
     fn run_walk(
         &self,
         user: u32,
         mode: WalkMode<'_>,
         stopping: DpStopping,
+        deadline: Option<std::time::Instant>,
         ctx: &mut ScoringContext,
     ) -> bool {
         if !grow_absorbing_subgraph(&self.graph, user, self.config.graph.max_items, ctx) {
             return false;
         }
         self.fill_local_costs(ctx.subgraph.global_ids(), &mut ctx.entry_costs);
-        run_truncated_walk(
+        let run = run_truncated_walk(
             &self.graph,
             WalkCostModel::EntryCosts,
             self.config.graph.iterations,
             mode,
             stopping,
+            deadline,
             ctx,
         );
-        true
+        // A deadline-cancelled run ranks partially-iterated values:
+        // report it like an empty walk so no caller ever collects a
+        // garbage list (the telemetry records the cancellation).
+        !run.cancelled
     }
 }
 
@@ -145,7 +152,7 @@ impl Recommender for AbsorbingCostRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        if self.run_walk(user, WalkMode::Reference, DpStopping::Fixed, ctx) {
+        if self.run_walk(user, WalkMode::Reference, DpStopping::Fixed, None, ctx) {
             write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
     }
@@ -167,7 +174,7 @@ impl Recommender for AbsorbingCostRecommender {
             extra: opts.exclude,
             rated_absorbing: true,
         };
-        if self.run_walk(user, mode, opts.stopping, ctx) {
+        if self.run_walk(user, mode, opts.stopping, opts.deadline, ctx) {
             collect_walk_topk(
                 &self.graph,
                 &ctx.subgraph,

@@ -40,12 +40,15 @@ impl HittingTimeRecommender {
     /// Run the hitting-time walk for `user` under `mode` and the request's
     /// `stopping` policy, leaving the per-node times in `ctx.walk`. Returns
     /// `false` when the query user reaches nothing (an unrated, isolated
-    /// node).
+    /// node), or
+    /// when the request's deadline cancelled the walk (the values then
+    /// rank nothing — see [`crate::RecommendOptions::deadline`]).
     fn run_walk(
         &self,
         user: u32,
         mode: WalkMode<'_>,
         stopping: DpStopping,
+        deadline: Option<std::time::Instant>,
         ctx: &mut ScoringContext,
     ) -> bool {
         let q = self.graph.user_node(user);
@@ -60,15 +63,19 @@ impl HittingTimeRecommender {
         ctx.absorbing.clear();
         ctx.absorbing.resize(ctx.subgraph.n_nodes(), false);
         ctx.absorbing[local_q as usize] = true;
-        run_truncated_walk(
+        let run = run_truncated_walk(
             &self.graph,
             WalkCostModel::Unit,
             self.config.iterations,
             mode,
             stopping,
+            deadline,
             ctx,
         );
-        true
+        // A deadline-cancelled run ranks partially-iterated values:
+        // report it like an empty walk so no caller ever collects a
+        // garbage list (the telemetry records the cancellation).
+        !run.cancelled
     }
 }
 
@@ -79,7 +86,7 @@ impl Recommender for HittingTimeRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        if self.run_walk(user, WalkMode::Reference, DpStopping::Fixed, ctx) {
+        if self.run_walk(user, WalkMode::Reference, DpStopping::Fixed, None, ctx) {
             write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
     }
@@ -103,7 +110,7 @@ impl Recommender for HittingTimeRecommender {
             extra: opts.exclude,
             rated_absorbing: false,
         };
-        if self.run_walk(user, mode, opts.stopping, ctx) {
+        if self.run_walk(user, mode, opts.stopping, opts.deadline, ctx) {
             collect_walk_topk(
                 &self.graph,
                 &ctx.subgraph,
@@ -200,6 +207,53 @@ mod tests {
         let d = Dataset::from_ratings(2, 2, &ratings);
         let rec = HittingTimeRecommender::new(&d, GraphRecConfig::default());
         assert!(rec.recommend(1, 5).is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_cancels_the_serving_walk() {
+        use crate::config::DpStopping;
+        use std::time::{Duration, Instant};
+        let rec = HittingTimeRecommender::new(
+            &figure2(),
+            GraphRecConfig {
+                max_items: 6000,
+                iterations: 200,
+            },
+        );
+        let mut ctx = ScoringContext::new();
+        let mut out = Vec::new();
+        // A deadline already in the past: the walk must abort at its first
+        // measured iteration (well short of the 200 budget) and record the
+        // cancellation, under both stopping policies.
+        for stopping in [DpStopping::Fixed, DpStopping::adaptive()] {
+            ctx.reset_dp_telemetry();
+            let opts = RecommendOptions::with_stopping(stopping).deadline_at(Instant::now());
+            rec.recommend_into(4, 3, &opts, &mut ctx, &mut out);
+            assert!(
+                out.is_empty(),
+                "{stopping:?}: a cancelled walk must serve an empty list, got {out:?}"
+            );
+            let t = ctx.dp_telemetry();
+            assert_eq!(t.deadline_expired, 1, "{stopping:?}");
+            assert!(
+                t.iterations_run < t.iterations_budget,
+                "{stopping:?}: cancellation saved nothing ({t:?})"
+            );
+        }
+
+        // A generous deadline changes nothing: list identical to the
+        // undeadlined query, no cancellation recorded.
+        ctx.reset_dp_telemetry();
+        let far = Instant::now() + Duration::from_secs(3600);
+        let with_deadline = rec.recommend_with(
+            4,
+            3,
+            &RecommendOptions::default().deadline_at(far),
+            &mut ctx,
+        );
+        assert_eq!(ctx.dp_telemetry().deadline_expired, 0);
+        let without = rec.recommend_with(4, 3, &RecommendOptions::default(), &mut ctx);
+        assert_eq!(with_deadline, without);
     }
 
     #[test]

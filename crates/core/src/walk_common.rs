@@ -148,14 +148,23 @@ pub(crate) fn grow_absorbing_subgraph(
 /// Launch the truncated DP over the context's prepared subgraph, absorbing
 /// flags and (for [`WalkCostModel::EntryCosts`]) entry-cost buffer, leaving
 /// the values in the context's [`DpBuffers`] and folding the run into the
-/// context's [`crate::DpTelemetry`]. `stopping` is the request's serving
-/// policy; it only applies in [`WalkMode::Serving`].
+/// context's [`crate::DpTelemetry`]. `stopping` and `deadline` are the
+/// request's serving policy; they only apply in [`WalkMode::Serving`]
+/// ([`WalkMode::Reference`] always runs the exact fixed-τ program).
+///
+/// A `deadline` arms cooperative cancellation: the DP consults the clock on
+/// its measured iterations (the stride-scheduled δ pass — the hot sweep
+/// stays branch-free) and aborts once the instant has passed, recording a
+/// `deadline_expired` run in the context's telemetry. The values left in
+/// the buffers then rank nothing; callers must check the telemetry before
+/// serving (see [`crate::RecommendOptions::deadline`]).
 pub(crate) fn run_truncated_walk(
     graph: &BipartiteGraph,
     cost_model: WalkCostModel,
     iterations: usize,
     mode: WalkMode<'_>,
     stopping: DpStopping,
+    deadline: Option<std::time::Instant>,
     ctx: &mut crate::ScoringContext,
 ) -> DpRun {
     let crate::ScoringContext {
@@ -177,10 +186,41 @@ pub(crate) fn run_truncated_walk(
         WalkCostModel::Unit => &UnitCost,
         WalkCostModel::EntryCosts => &slice_cost,
     };
+    // The deadline check the DP consults on measured iterations. Reference
+    // scoring never cancels (its contract is the exact fixed-τ program).
+    let expired = || deadline.is_some_and(|d| std::time::Instant::now() >= d);
+    let cancel: Option<&dyn Fn() -> bool> = if matches!(mode, WalkMode::Serving { .. }) {
+        deadline.is_some().then_some(&expired as &dyn Fn() -> bool)
+    } else {
+        None
+    };
     let run = match (mode, stopping) {
-        (WalkMode::Reference, _) | (WalkMode::Serving { .. }, DpStopping::Fixed) => {
+        (WalkMode::Reference, _) => {
             truncated_costs_into(subgraph.kernel(), absorbing, cost, iterations, walk);
             DpRun::fixed(iterations)
+        }
+        (WalkMode::Serving { .. }, DpStopping::Fixed) => {
+            if cancel.is_none() {
+                truncated_costs_into(subgraph.kernel(), absorbing, cost, iterations, walk);
+                DpRun::fixed(iterations)
+            } else {
+                // A deadline-carrying Fixed request runs the adaptive form
+                // with the convergence rule restricted to exact fixed
+                // points (ε < 0) and no probe: the sweeps — and hence the
+                // values — are identical to the fixed program, the only
+                // extra exits being the bit-identical δ = 0 stop and the
+                // deadline itself.
+                truncated_costs_converge_into(
+                    subgraph.kernel(),
+                    absorbing,
+                    cost,
+                    iterations,
+                    -1.0,
+                    None,
+                    cancel,
+                    walk,
+                )
+            }
         }
         (
             WalkMode::Serving {
@@ -249,6 +289,7 @@ pub(crate) fn run_truncated_walk(
                 iterations,
                 epsilon,
                 probe_dyn,
+                cancel,
                 walk,
             )
         }

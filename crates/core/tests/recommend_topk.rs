@@ -87,6 +87,7 @@ fn check_exclusion_equivalence(rec: &dyn Recommender, d: &Dataset) -> Result<(),
         let opts = RecommendOptions {
             stopping,
             exclude: &exclude,
+            ..RecommendOptions::default()
         };
         for u in 0..d.n_users() as u32 {
             let scores = rec.score_items(u);

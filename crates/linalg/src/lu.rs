@@ -2,7 +2,7 @@
 //!
 //! The exact hitting/absorbing time of §3.3/§4.1 is the solution of the
 //! linear system `(I - P_TT) h = 1` over the transient states (Kemeny &
-//! Snell 1976, the paper's [13]). Subgraphs are small (µ item nodes plus
+//! Snell 1976, the paper's \[13\]). Subgraphs are small (µ item nodes plus
 //! their raters), so a dense LU with partial pivoting is both simple and
 //! exact — it is the reference the truncated iteration is validated against.
 

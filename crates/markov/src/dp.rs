@@ -162,6 +162,12 @@ pub struct DpRun {
     pub converged: bool,
     /// The caller's rank-stability probe declared the top-k frozen.
     pub rank_frozen: bool,
+    /// The caller's cooperative cancellation hook aborted the run (e.g. a
+    /// serving deadline expired mid-walk). The value vector is whatever the
+    /// last completed sweep produced — a sound *lower* bound on every
+    /// fixed-τ value, but not rank-certified; callers must not serve a
+    /// ranking from a cancelled run.
+    pub cancelled: bool,
     /// Sup-norm change of the last *measured* iteration — δ is measured on
     /// a small stride plus every probe-scheduled and final iteration (`∞`
     /// when no iteration ran, or while the `∞` front was still spreading).
@@ -177,6 +183,7 @@ impl DpRun {
             budget,
             converged: false,
             rank_frozen: false,
+            cancelled: false,
             last_delta: f64::INFINITY,
         }
     }
@@ -369,12 +376,24 @@ pub fn truncated_costs_into<'a>(
 ///   probe's remaining-change bounds and stops the run. The fused serving
 ///   path uses this to halt the moment its top-k list is frozen.
 ///
+/// A third, *non*-sound exit is cooperative cancellation: `cancel` (when
+/// supplied) is consulted on the same measured iterations the δ pass runs
+/// on — never inside the hot sweep — and returning `true` aborts the run
+/// with [`DpRun::cancelled`] set. The serving layer uses this to stop
+/// paying for a walk whose request deadline has already expired; the
+/// abandoned values are monotone lower bounds of the fixed-τ values but
+/// certify no ranking, so cancelled runs must not be served. An exact
+/// fixed point (`δ_t = 0`) still stops as `converged` even when `cancel`
+/// fires on the same iteration — the result is bit-identical to the full
+/// run, so there is nothing to abandon.
+///
 /// The values of the stopped run are in `bufs` (as with the fixed form);
 /// the returned [`DpRun`] reports iterations spent and which rule fired.
 ///
 /// # Panics
 ///
 /// Panics if `absorbing.len() != kernel.n_nodes()`.
+#[allow(clippy::too_many_arguments)]
 pub fn truncated_costs_converge_into(
     kernel: &TransitionMatrix,
     absorbing: &[bool],
@@ -382,6 +401,7 @@ pub fn truncated_costs_converge_into(
     iterations: usize,
     epsilon: f64,
     mut probe: Option<&mut dyn FnMut(&DpProbe<'_>) -> bool>,
+    cancel: Option<&dyn Fn() -> bool>,
     bufs: &mut DpBuffers,
 ) -> DpRun {
     let n = kernel.n_nodes();
@@ -403,6 +423,7 @@ pub fn truncated_costs_converge_into(
         budget: iterations,
         converged: false,
         rank_frozen: false,
+        cancelled: false,
         last_delta: f64::INFINITY,
     };
     let mut probe_at = PROBE_START;
@@ -458,9 +479,18 @@ pub fn truncated_costs_converge_into(
         if delta == 0.0 {
             // Exact f64 fixed point: every further sweep reproduces the
             // same vector, so stopping is bit-identical to the full run —
-            // no rank confirmation needed.
+            // no rank confirmation needed (and it outranks cancellation:
+            // the finished result costs nothing more to keep).
             run.converged = true;
             break;
+        }
+        if let Some(cancel) = cancel {
+            // Cooperative cancellation rides the measured iterations only,
+            // so the hot sweep never pays for the check.
+            if cancel() {
+                run.cancelled = true;
+                break;
+            }
         }
         if delta <= epsilon * scale {
             // Value convergence certifies accuracy, not order: near-ties
@@ -564,6 +594,7 @@ mod tests {
             1,
             1e-9,
             None,
+            None,
             &mut DpBuffers::new(),
         );
     }
@@ -585,6 +616,7 @@ mod tests {
             &UnitCost,
             budget,
             epsilon,
+            None,
             None,
             &mut adaptive,
         );
@@ -617,6 +649,7 @@ mod tests {
             100_000,
             0.0,
             None,
+            None,
             &mut adaptive,
         );
         assert!(run.converged);
@@ -640,6 +673,7 @@ mod tests {
             60,
             -1.0,
             None,
+            None,
             &mut bufs,
         );
         assert!(!run.converged && !run.rank_frozen);
@@ -657,6 +691,7 @@ mod tests {
             &UnitCost,
             500,
             -1.0,
+            None,
             None,
             &mut bufs,
         );
@@ -686,6 +721,7 @@ mod tests {
             500,
             1e-6, // loose: value convergence fires long before the fixed point
             Some(&mut probe),
+            None,
             &mut bufs,
         );
         assert!(calls > 0);
@@ -699,6 +735,7 @@ mod tests {
             &UnitCost,
             500,
             1e-6,
+            None,
             None,
             &mut bufs2,
         );
@@ -740,6 +777,7 @@ mod tests {
             budget,
             -1.0,
             Some(&mut probe),
+            None,
             &mut bufs,
         );
         assert_eq!(run.iterations, budget);
@@ -762,6 +800,7 @@ mod tests {
             1000,
             -1.0,
             Some(&mut probe),
+            None,
             &mut bufs,
         );
         assert!(run.rank_frozen && !run.converged);
@@ -792,6 +831,7 @@ mod tests {
             50,
             -1.0,
             Some(&mut probe),
+            None,
             &mut bufs,
         );
         assert_eq!(run.iterations, 50);
@@ -799,6 +839,70 @@ mod tests {
         assert!(bufs.values()[1].is_finite() && bufs.values()[2].is_finite());
         assert!(!probe_bounds.is_empty());
         assert!(probe_bounds.iter().all(|b| b.is_finite()));
+    }
+
+    #[test]
+    fn cancel_aborts_on_a_measured_iteration() {
+        let kernel = path3_kernel();
+        // Always-true cancel: the run must stop at the FIRST measured
+        // iteration (the δ stride), not at iteration 1 — cancellation only
+        // rides the measurement pass.
+        let cancel = || true;
+        let mut bufs = DpBuffers::new();
+        let run = truncated_costs_converge_into(
+            &kernel,
+            &[true, false, false],
+            &UnitCost,
+            1000,
+            -1.0,
+            None,
+            Some(&cancel),
+            &mut bufs,
+        );
+        assert!(run.cancelled && !run.converged && !run.rank_frozen);
+        assert_eq!(run.iterations, DELTA_STRIDE);
+
+        // A never-firing cancel changes nothing: values bit-identical to
+        // the uncancellable run.
+        let never = || false;
+        let mut with_hook = DpBuffers::new();
+        let hooked = truncated_costs_converge_into(
+            &kernel,
+            &[true, false, false],
+            &UnitCost,
+            60,
+            -1.0,
+            None,
+            Some(&never),
+            &mut with_hook,
+        );
+        assert!(!hooked.cancelled);
+        assert_eq!(hooked.iterations, 60);
+        let mut full = DpBuffers::new();
+        let exact = truncated_costs_into(&kernel, &[true, false, false], &UnitCost, 60, &mut full);
+        assert_eq!(with_hook.values(), exact);
+    }
+
+    #[test]
+    fn exact_fixed_point_outranks_cancellation() {
+        // When δ = 0 on the same measured iteration the cancel hook would
+        // fire, the converged stop wins: the result is bit-identical to
+        // the full run, so there is nothing to abandon. All-absorbing
+        // makes the very first measurement an exact fixed point.
+        let kernel = path3_kernel();
+        let mut bufs = DpBuffers::new();
+        let run = truncated_costs_converge_into(
+            &kernel,
+            &[true, true, true],
+            &UnitCost,
+            100_000,
+            -1.0,
+            None,
+            Some(&(|| true)),
+            &mut bufs,
+        );
+        assert!(run.converged && !run.cancelled);
+        assert_eq!(run.last_delta, 0.0);
     }
 
     #[test]
@@ -820,6 +924,7 @@ mod tests {
             &UnitCost,
             0,
             1e-9,
+            None,
             None,
             &mut bufs,
         );

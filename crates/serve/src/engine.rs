@@ -1,14 +1,17 @@
-//! The serving engine: model registry, request execution and the
-//! persistent worker pool.
+//! The serving engine: model registry, request execution, the persistent
+//! worker pool and the async submission front-end.
 
 use crate::pool::ContextPool;
+use crate::queue::{Admission, AdmissionPolicy, Job, JobQueue};
 use crate::request::{RecommendRequest, RecommendResponse, ServeError};
 use crate::router::ShardRouter;
+use crate::submit::{EngineCounters, EngineStats, PendingResponse};
 use longtail_core::{DpStopping, DpTelemetry, RecommendOptions, Recommender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A recommender shared between the engine's caller threads and pool
 /// workers. Every concrete recommender in `longtail-core` is an immutable
@@ -43,7 +46,8 @@ impl ModelEntry {
     }
 }
 
-/// Registry + pools — the part of the engine shared with worker threads.
+/// Registry + pools + counters — the part of the engine shared with worker
+/// threads.
 struct EngineCore {
     models: HashMap<String, ModelEntry>,
     default_stopping: DpStopping,
@@ -51,9 +55,30 @@ struct EngineCore {
     /// Engine-lifetime [`DpTelemetry`], merged across every request served
     /// by any caller thread or pool worker.
     aggregate: Mutex<DpTelemetry>,
+    /// Saturation/shed/deadline counters (see [`EngineStats`]).
+    counters: EngineCounters,
 }
 
 impl EngineCore {
+    /// Serve one *admitted* request on the calling thread — the shared path
+    /// of pool workers and the inline `recommend`: the dequeue-time
+    /// deadline check, then execution, with the outcome counted.
+    fn serve_admitted(&self, req: &RecommendRequest) -> Result<RecommendResponse, ServeError> {
+        if req.deadline.is_some_and(|d| Instant::now() >= d) {
+            // Shed before any scoring work: an expired request's answer
+            // could not be used, so the DP never runs for it.
+            EngineCounters::bump(&self.counters.expired_at_dequeue);
+            return Err(ServeError::DeadlineExceeded);
+        }
+        let result = self.execute(req);
+        EngineCounters::bump(match &result {
+            Ok(_) => &self.counters.completed,
+            Err(ServeError::DeadlineExceeded) => &self.counters.expired_in_dp,
+            Err(_) => &self.counters.failed,
+        });
+        result
+    }
+
     /// Serve one request on the calling thread through a pooled context.
     fn execute(&self, req: &RecommendRequest) -> Result<RecommendResponse, ServeError> {
         let entry = self
@@ -77,6 +102,7 @@ impl EngineCore {
         let opts = RecommendOptions {
             stopping: req.stopping.unwrap_or(self.default_stopping),
             exclude,
+            deadline: req.deadline,
         };
 
         let mut ctx = self.contexts.checkout();
@@ -99,6 +125,12 @@ impl EngineCore {
         self.contexts.checkin(ctx);
         self.aggregate.lock().merge(&telemetry);
 
+        if telemetry.deadline_expired > 0 {
+            // The walk DP cancelled cooperatively: the collected list ranks
+            // partially-iterated values and must not be served.
+            return Err(ServeError::DeadlineExceeded);
+        }
+
         Ok(RecommendResponse {
             items,
             model: rec.name(),
@@ -119,27 +151,28 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A queued unit of work: one request plus the reply slot it answers to.
-struct Job {
-    index: usize,
-    request: RecommendRequest,
-    reply: mpsc::Sender<(usize, Result<RecommendResponse, ServeError>)>,
-}
-
 /// The multi-model serving engine.
 ///
 /// An `Engine` owns a registry of named models (optionally sharded by a
 /// [`ShardRouter`]), a [`ContextPool`] of reusable scoring contexts, and —
 /// unless built with `workers(0)` — a pool of persistent worker threads
-/// draining a shared channel queue. [`Engine::recommend`] serves inline on
-/// the calling thread (lowest latency); [`Engine::recommend_batch`] fans a
-/// batch out across the worker pool, paying no thread start-up per call.
+/// draining a **bounded admission queue**. Three request paths:
 ///
-/// Output equivalence is a pinned contract: for any request, the response's
-/// `items` are exactly what the routed recommender's
-/// [`Recommender::recommend_into`] produces with the request's effective
-/// [`RecommendOptions`] — the engine adds routing, pooling and telemetry,
-/// never ranking changes.
+/// * [`Engine::recommend`] — inline on the calling thread (lowest latency);
+/// * [`Engine::submit`] — non-blocking enqueue, returning a
+///   [`PendingResponse`] handle; the queue's [`AdmissionPolicy`] decides
+///   what a full queue does, and per-request deadlines shed work that can
+///   no longer answer in time;
+/// * [`Engine::recommend_batch`] — fan-out over `submit` plus an in-order
+///   drain, i.e. the blocking convenience form of the async path.
+///
+/// Output equivalence is a pinned contract: for any request the engine
+/// *answers*, the response's `items` are exactly what the routed
+/// recommender's [`Recommender::recommend_into`] produces with the
+/// request's effective [`RecommendOptions`] — the engine adds routing,
+/// pooling, admission control and telemetry, never ranking changes.
+/// Requests it cannot answer in time fail typed instead
+/// ([`ServeError::Overloaded`] / [`ServeError::DeadlineExceeded`]).
 ///
 /// ```
 /// use longtail_core::{GraphRecConfig, HittingTimeRecommender};
@@ -157,15 +190,17 @@ struct Job {
 ///     .model("HT", Arc::new(HittingTimeRecommender::new(&train, GraphRecConfig::default())))
 ///     .workers(2)
 ///     .build();
-/// let response = engine.recommend(&RecommendRequest::new("HT", 0, 5)).unwrap();
+/// // Async submission: enqueue now, claim the response when needed.
+/// let pending = engine.submit(RecommendRequest::new("HT", 0, 5)).unwrap();
+/// let response = pending.wait().unwrap();
 /// assert_eq!(response.items[0].item, 1);
 /// ```
 pub struct Engine {
     core: Arc<EngineCore>,
-    /// Job queue feeding the worker pool; `None` when built with 0 workers.
-    /// Behind a mutex because `mpsc::Sender` is single-threaded to clone
-    /// from — batch dispatch clones it once per call.
-    queue: Option<Mutex<mpsc::Sender<Job>>>,
+    /// Bounded job queue feeding the worker pool; `None` when built with 0
+    /// workers (submissions then run inline).
+    queue: Option<Arc<JobQueue>>,
+    policy: AdmissionPolicy,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -176,47 +211,71 @@ impl Engine {
     }
 
     /// Serve one request inline on the calling thread, through a pooled
-    /// context — the low-latency path. The worker pool is not involved.
+    /// context — the low-latency path. The worker pool and admission queue
+    /// are not involved; the request's deadline still applies (both before
+    /// execution and inside the walk DP).
     pub fn recommend(&self, req: &RecommendRequest) -> Result<RecommendResponse, ServeError> {
-        self.core.execute(req)
+        EngineCounters::bump(&self.core.counters.submitted);
+        self.core.serve_admitted(req)
     }
 
-    /// Serve a batch by fanning the requests out across the persistent
-    /// worker pool (or inline, in order, when built with `workers(0)`).
+    /// Submit one request to the worker pool without waiting for it: the
+    /// returned [`PendingResponse`] yields the response (or typed failure)
+    /// via `try_recv`/`wait_timeout`/`wait`.
+    ///
+    /// Admission is governed by the engine's [`AdmissionPolicy`] when the
+    /// bounded queue is full: `Block` waits for a slot (the only way this
+    /// method blocks), `Reject` returns [`ServeError::Overloaded`]
+    /// immediately, and `ShedOldest` admits this request by resolving the
+    /// oldest queued request's handle with `Overloaded`. An engine built
+    /// with `workers(0)` has no queue and serves submissions synchronously
+    /// on the calling thread (the handle comes back already resolved).
+    pub fn submit(&self, request: RecommendRequest) -> Result<PendingResponse, ServeError> {
+        let Some(queue) = &self.queue else {
+            EngineCounters::bump(&self.core.counters.submitted);
+            return Ok(PendingResponse::ready(self.core.serve_admitted(&request)));
+        };
+        let (reply, rx) = mpsc::channel();
+        match queue.push(Job { request, reply }, self.policy) {
+            Admission::Enqueued => {
+                EngineCounters::bump(&self.core.counters.submitted);
+                Ok(PendingResponse::new(rx))
+            }
+            Admission::Shed(victim) => {
+                EngineCounters::bump(&self.core.counters.submitted);
+                EngineCounters::bump(&self.core.counters.shed);
+                victim.refuse(ServeError::Overloaded);
+                Ok(PendingResponse::new(rx))
+            }
+            Admission::Rejected => {
+                EngineCounters::bump(&self.core.counters.rejected);
+                Err(ServeError::Overloaded)
+            }
+            Admission::Closed => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Serve a batch as fan-out over [`Engine::submit`] plus an in-order
+    /// drain (or inline, in order, when built with `workers(0)`).
     ///
     /// `results[j]` answers `requests[j]`; per-request failures (unknown
-    /// model) are returned in place, never aborting the rest of the batch.
+    /// model, shed, expired) are returned in place, never aborting the rest
+    /// of the batch. Under the default [`AdmissionPolicy::Block`] every
+    /// request is admitted and the batch behaves exactly like the blocking
+    /// API of previous releases; under `Reject`/`ShedOldest` a saturated
+    /// queue surfaces [`ServeError::Overloaded`] in the affected slots.
     pub fn recommend_batch(
         &self,
         requests: Vec<RecommendRequest>,
     ) -> Vec<Result<RecommendResponse, ServeError>> {
-        let Some(queue) = &self.queue else {
-            return requests.iter().map(|r| self.core.execute(r)).collect();
-        };
-        let n = requests.len();
-        let (reply, inbox) = mpsc::channel();
-        {
-            let sender = queue.lock().clone();
-            for (index, request) in requests.into_iter().enumerate() {
-                sender
-                    .send(Job {
-                        index,
-                        request,
-                        reply: reply.clone(),
-                    })
-                    .expect("worker pool outlives the engine");
-            }
-        }
-        drop(reply);
-        let mut slots: Vec<Option<Result<RecommendResponse, ServeError>>> =
-            (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (index, result) = inbox.recv().expect("every job replies once");
-            slots[index] = Some(result);
-        }
-        slots
+        let pending: Vec<Result<PendingResponse, ServeError>> =
+            requests.into_iter().map(|r| self.submit(r)).collect();
+        pending
             .into_iter()
-            .map(|s| s.expect("every index answered"))
+            .map(|p| match p {
+                Ok(handle) => handle.wait(),
+                Err(refused) => Err(refused),
+            })
             .collect()
     }
 
@@ -232,13 +291,28 @@ impl Engine {
         self.workers.len()
     }
 
+    /// Number of submitted requests currently waiting in the admission
+    /// queue (0 for a zero-worker engine).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.as_ref().map_or(0, |q| q.depth())
+    }
+
     /// Engine-lifetime [`DpTelemetry`], merged (via [`DpTelemetry::merge`])
     /// across every request served so far — inline and pool-worker alike.
     pub fn telemetry(&self) -> DpTelemetry {
         *self.core.aggregate.lock()
     }
 
+    /// Engine-lifetime [`EngineStats`]: submission, saturation, shed and
+    /// deadline counters. Monotone — diff snapshots with
+    /// [`EngineStats::since`] to scope them to a traffic window.
+    pub fn stats(&self) -> EngineStats {
+        self.core.counters.snapshot()
+    }
+
     /// Zero the engine-lifetime telemetry (e.g. between benchmark phases).
+    /// [`Engine::stats`] counters are intentionally not reset (they are
+    /// monotone; use [`EngineStats::since`]).
     pub fn reset_telemetry(&self) {
         *self.core.aggregate.lock() = DpTelemetry::default();
     }
@@ -246,35 +320,32 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        // Closing the queue ends every worker's recv loop; join so no
-        // worker outlives the registry it borrows through `Arc`.
-        self.queue = None;
+        // Bounded-time shutdown: close the queue and cancel every
+        // not-yet-started request (each pending handle resolves
+        // `ShuttingDown`), so the join below waits only for the at most
+        // `n_workers` requests already mid-execution — never for a backlog.
+        if let Some(queue) = &self.queue {
+            for job in queue.close_and_drain() {
+                EngineCounters::bump(&self.core.counters.cancelled_at_shutdown);
+                job.refuse(ServeError::ShuttingDown);
+            }
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
 }
 
-/// What a pool worker does for its whole life: pull jobs off the shared
-/// queue, serve them through the core, reply. Ends when the engine drops
-/// the queue's send side.
-fn worker_loop(core: Arc<EngineCore>, queue: Arc<Mutex<mpsc::Receiver<Job>>>) {
-    loop {
-        // Hold the queue lock only for the dequeue itself: serving runs
-        // unlocked, so workers overlap on the actual scoring work.
-        let job = queue.lock().recv();
-        match job {
-            Ok(Job {
-                index,
-                request,
-                reply,
-            }) => {
-                // A closed reply channel means the batch caller gave up
-                // (e.g. panicked); nothing useful to do with the result.
-                let _ = reply.send((index, core.execute(&request)));
-            }
-            Err(mpsc::RecvError) => break,
-        }
+/// What a pool worker does for its whole life: pull jobs off the bounded
+/// queue, serve them through the core, reply. Ends when the engine closes
+/// the queue and the backlog is cancelled.
+fn worker_loop(core: Arc<EngineCore>, queue: Arc<JobQueue>) {
+    while let Some(job) = queue.pop() {
+        // A closed reply channel means the submitter dropped its handle
+        // (gave up on the result); the work still ran, the reply just has
+        // no audience.
+        let result = core.serve_admitted(&job.request);
+        let _ = job.reply.send(result);
     }
 }
 
@@ -284,17 +355,26 @@ pub struct EngineBuilder {
     workers: Option<usize>,
     max_idle_contexts: Option<usize>,
     default_stopping: DpStopping,
+    queue_capacity: usize,
+    policy: AdmissionPolicy,
 }
 
 impl EngineBuilder {
+    /// Queued (not yet started) requests the admission queue holds before
+    /// the [`AdmissionPolicy`] engages.
+    pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
     /// An empty registry with defaults: one worker per available core, a
-    /// context pool sized to the workers, adaptive stopping.
+    /// context pool sized to the workers, adaptive stopping, a
+    /// 1024-request admission queue under [`AdmissionPolicy::Block`].
     pub fn new() -> Self {
         Self {
             models: HashMap::new(),
             workers: None,
             max_idle_contexts: None,
             default_stopping: DpStopping::default(),
+            queue_capacity: Self::DEFAULT_QUEUE_CAPACITY,
+            policy: AdmissionPolicy::default(),
         }
     }
 
@@ -323,12 +403,33 @@ impl EngineBuilder {
         self
     }
 
-    /// Number of persistent worker threads backing
-    /// [`Engine::recommend_batch`]. `0` disables the pool (batches run
-    /// inline on the calling thread). Defaults to the available
-    /// parallelism.
+    /// Number of persistent worker threads backing [`Engine::submit`] and
+    /// [`Engine::recommend_batch`]. `0` disables the pool (submissions and
+    /// batches run inline on the calling thread). Defaults to the
+    /// available parallelism.
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = Some(n);
+        self
+    }
+
+    /// Capacity of the bounded admission queue — how many submitted
+    /// requests may wait for a worker before the [`AdmissionPolicy`]
+    /// engages. Defaults to
+    /// [`EngineBuilder::DEFAULT_QUEUE_CAPACITY`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 (a queue that can hold nothing cannot admit).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        assert!(n > 0, "queue capacity must be at least 1");
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Backpressure policy applied by [`Engine::submit`] when the admission
+    /// queue is full. Defaults to [`AdmissionPolicy::Block`].
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -357,19 +458,23 @@ impl EngineBuilder {
             default_stopping: self.default_stopping,
             contexts: ContextPool::new(self.max_idle_contexts.unwrap_or(workers + 2)),
             aggregate: Mutex::new(DpTelemetry::default()),
+            counters: EngineCounters::default(),
         });
-        let (sender, receiver) = mpsc::channel();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let handles = (0..workers)
-            .map(|_| {
-                let core = Arc::clone(&core);
-                let queue = Arc::clone(&receiver);
-                std::thread::spawn(move || worker_loop(core, queue))
-            })
-            .collect();
+        let queue = (workers > 0).then(|| Arc::new(JobQueue::new(self.queue_capacity)));
+        let handles = match &queue {
+            Some(queue) => (0..workers)
+                .map(|_| {
+                    let core = Arc::clone(&core);
+                    let queue = Arc::clone(queue);
+                    std::thread::spawn(move || worker_loop(core, queue))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         Engine {
             core,
-            queue: (workers > 0).then(|| Mutex::new(sender)),
+            queue,
+            policy: self.policy,
             workers: handles,
         }
     }

@@ -11,31 +11,45 @@
 //!   so popularity-bias-aware deployments can pick which model answers
 //!   per request instead of linking one model per binary.
 //! * **Typed request surface** — [`RecommendRequest`] carries user, k,
-//!   model name, an optional [`longtail_core::DpStopping`] override and a
-//!   request-scoped exclusion set; [`RecommendResponse`] carries the list,
-//!   the answering model + shard, and the request's
-//!   [`longtail_core::DpTelemetry`].
+//!   model name, an optional [`longtail_core::DpStopping`] override, a
+//!   request-scoped exclusion set and an optional deadline;
+//!   [`RecommendResponse`] carries the list, the answering model + shard,
+//!   and the request's [`longtail_core::DpTelemetry`].
+//! * **Async front-end** — [`Engine::submit`] enqueues without blocking
+//!   and returns a [`PendingResponse`] handle
+//!   (`try_recv`/`wait_timeout`/`wait`, no async runtime required); the
+//!   **bounded admission queue** applies an explicit backpressure policy
+//!   ([`AdmissionPolicy::Block`] / [`AdmissionPolicy::Reject`] /
+//!   [`AdmissionPolicy::ShedOldest`] → [`ServeError::Overloaded`]), and
+//!   per-request **deadlines** shed expired work at dequeue and cancel the
+//!   walk DP cooperatively mid-query
+//!   ([`ServeError::DeadlineExceeded`]). [`EngineStats`] counts it all.
 //! * **Context pooling** — requests run in [`ContextPool`]-recycled
 //!   [`longtail_core::ScoringContext`]s: no `O(n_nodes)` buffer setup per
 //!   query, on any thread.
-//! * **Persistent worker pool** — [`Engine::recommend_batch`] fans out
-//!   over long-lived worker threads draining a channel queue, replacing
-//!   the per-call scoped-thread spawning of
-//!   [`longtail_core::Recommender::recommend_batch`] for sustained
-//!   traffic.
+//! * **Persistent worker pool** — submissions drain through long-lived
+//!   worker threads; [`Engine::recommend_batch`] is fan-out over
+//!   [`Engine::submit`] plus an in-order drain, and engine drop cancels
+//!   the queued backlog so shutdown is bounded-time.
 //!
 //! Engine output is pinned — by equivalence property tests — to be
 //! identical (items, ranks, scores) to calling the routed recommender's
-//! [`longtail_core::Recommender::recommend_into`] directly.
+//! [`longtail_core::Recommender::recommend_into`] directly, for every
+//! request the engine answers; requests dropped by backpressure or
+//! deadlines fail typed instead of degrading silently.
 
 #![warn(missing_docs)]
 
 mod engine;
 mod pool;
+mod queue;
 mod request;
 mod router;
+mod submit;
 
 pub use engine::{Engine, EngineBuilder, SharedRecommender};
 pub use pool::ContextPool;
+pub use queue::AdmissionPolicy;
 pub use request::{RecommendRequest, RecommendResponse, ServeError};
 pub use router::{ModuloRouter, RangeRouter, ShardRouter};
+pub use submit::{EngineStats, PendingResponse};

@@ -1,0 +1,262 @@
+//! The bounded admission queue feeding the engine's worker pool.
+//!
+//! This is the backpressure point of the async front-end: submissions pass
+//! through a capacity-bounded FIFO whose full-queue behaviour is the
+//! engine's [`AdmissionPolicy`]. Built on `std::sync::{Mutex, Condvar}`
+//! (the vendored `parking_lot` stub deliberately exposes only `Mutex`):
+//! two condition variables — `not_empty` wakes idle workers, `not_full`
+//! wakes blocked submitters — and a closed flag that turns both waits into
+//! immediate returns at shutdown.
+
+use crate::request::{RecommendRequest, RecommendResponse, ServeError};
+use std::collections::VecDeque;
+use std::sync::{mpsc, Condvar, Mutex, MutexGuard};
+
+/// What [`crate::Engine::submit`] does when the admission queue is full —
+/// the engine's backpressure policy, set by
+/// [`crate::EngineBuilder::admission`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Wait for a queue slot: `submit` blocks until a worker drains one
+    /// (closed-loop producers; the default, and the policy under which
+    /// fan-out batches behave exactly like the blocking batch API).
+    #[default]
+    Block,
+    /// Refuse the new request: `submit` returns
+    /// [`ServeError::Overloaded`] without blocking (open-loop producers
+    /// that would rather drop than queue).
+    Reject,
+    /// Admit the new request by shedding the *oldest* queued one, whose
+    /// [`crate::PendingResponse`] resolves to [`ServeError::Overloaded`].
+    /// `submit` never blocks and fresh traffic is never refused — the
+    /// stalest waiter pays, which under overload is the request most
+    /// likely past caring (its deadline nearest or gone).
+    ShedOldest,
+}
+
+/// One queued unit of work: a request plus the one-shot reply channel its
+/// [`crate::PendingResponse`] is waiting on.
+pub(crate) struct Job {
+    pub(crate) request: RecommendRequest,
+    pub(crate) reply: mpsc::Sender<Result<RecommendResponse, ServeError>>,
+}
+
+impl Job {
+    /// Resolve this job without serving it (shed / cancelled). A dead
+    /// receiver just means nobody is waiting any more.
+    pub(crate) fn refuse(self, error: ServeError) {
+        let _ = self.reply.send(Err(error));
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Cleared exactly once, at engine shutdown.
+    open: bool,
+}
+
+/// How a submission entered (or failed to enter) the queue.
+pub(crate) enum Admission {
+    /// The job is queued; a worker will pick it up in FIFO order.
+    Enqueued,
+    /// The job is queued and the returned oldest job was shed to make room
+    /// ([`AdmissionPolicy::ShedOldest`]); the caller resolves the victim.
+    Shed(Job),
+    /// The queue was full and [`AdmissionPolicy::Reject`] refused the job
+    /// (dropped here; the submitter still holds the reply receiver).
+    Rejected,
+    /// The queue is closed (engine shutting down); the job was dropped.
+    Closed,
+}
+
+/// A closed-capacity FIFO of [`Job`]s shared by submitters and workers.
+pub(crate) struct JobQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// An open queue admitting at most `capacity` *waiting* jobs (jobs a
+    /// worker has already dequeued don't count against it).
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue could admit nothing");
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        // Poisoning is impossible in practice (no lock-holding code path
+        // panics: request panics are caught inside `execute`, outside any
+        // queue lock) — recover the guard rather than propagating.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admit `job` under `policy`. Only [`AdmissionPolicy::Block`] can
+    /// block, and only while the queue is both full and open.
+    pub(crate) fn push(&self, job: Job, policy: AdmissionPolicy) -> Admission {
+        let mut state = self.lock();
+        loop {
+            if !state.open {
+                drop(job);
+                return Admission::Closed;
+            }
+            if state.jobs.len() < self.capacity {
+                state.jobs.push_back(job);
+                self.not_empty.notify_one();
+                return Admission::Enqueued;
+            }
+            match policy {
+                AdmissionPolicy::Block => {
+                    state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                AdmissionPolicy::Reject => {
+                    drop(job);
+                    return Admission::Rejected;
+                }
+                AdmissionPolicy::ShedOldest => {
+                    let victim = state.jobs.pop_front().expect("full queue has a front");
+                    state.jobs.push_back(job);
+                    // Queue length is unchanged (still full): no not_full
+                    // wakeup. The new job keeps FIFO order at the back.
+                    self.not_empty.notify_one();
+                    return Admission::Shed(victim);
+                }
+            }
+        }
+    }
+
+    /// Next job in FIFO order, blocking while the queue is empty but open.
+    /// `None` means the queue is closed and drained: the worker exits.
+    pub(crate) fn pop(&self) -> Option<Job> {
+        let mut state = self.lock();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the queue and return every not-yet-started job, waking all
+    /// blocked submitters (they observe `Closed`) and all idle workers
+    /// (they observe the drained close and exit). This is what makes
+    /// engine drop bounded-time: teardown cancels the backlog instead of
+    /// serving it.
+    pub(crate) fn close_and_drain(&self) -> Vec<Job> {
+        let mut state = self.lock();
+        state.open = false;
+        let drained = state.jobs.drain(..).collect();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        drained
+    }
+
+    /// Number of jobs currently waiting (diagnostics / tests).
+    pub(crate) fn depth(&self) -> usize {
+        self.lock().jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(user: u32) -> (Job, mpsc::Receiver<Result<RecommendResponse, ServeError>>) {
+        let (reply, rx) = mpsc::channel();
+        (
+            Job {
+                request: RecommendRequest::new("m", user, 1),
+                reply,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = JobQueue::new(2);
+        let (a, _ra) = job(0);
+        let (b, _rb) = job(1);
+        assert!(matches!(
+            q.push(a, AdmissionPolicy::Reject),
+            Admission::Enqueued
+        ));
+        assert!(matches!(
+            q.push(b, AdmissionPolicy::Reject),
+            Admission::Enqueued
+        ));
+        assert_eq!(q.depth(), 2);
+        let (c, _rc) = job(2);
+        assert!(matches!(
+            q.push(c, AdmissionPolicy::Reject),
+            Admission::Rejected
+        ));
+        // ShedOldest drops the front (user 0) and admits the new job.
+        let (c, _rc) = job(2);
+        let Admission::Shed(victim) = q.push(c, AdmissionPolicy::ShedOldest) else {
+            panic!("full queue must shed");
+        };
+        assert_eq!(victim.request.user, 0);
+        assert_eq!(q.pop().unwrap().request.user, 1);
+        assert_eq!(q.pop().unwrap().request.user, 2);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn close_drains_and_unblocks() {
+        let q = JobQueue::new(1);
+        let (a, ra) = job(7);
+        assert!(matches!(
+            q.push(a, AdmissionPolicy::Block),
+            Admission::Enqueued
+        ));
+        let drained = q.close_and_drain();
+        assert_eq!(drained.len(), 1);
+        for j in drained {
+            j.refuse(ServeError::ShuttingDown);
+        }
+        assert_eq!(ra.recv().unwrap(), Err(ServeError::ShuttingDown));
+        // Closed queue: pop returns None, push observes Closed.
+        assert!(q.pop().is_none());
+        let (b, _rb) = job(8);
+        assert!(matches!(
+            q.push(b, AdmissionPolicy::Block),
+            Admission::Closed
+        ));
+    }
+
+    #[test]
+    fn blocked_submitter_wakes_when_a_worker_drains() {
+        let q = std::sync::Arc::new(JobQueue::new(1));
+        let (a, _ra) = job(0);
+        assert!(matches!(
+            q.push(a, AdmissionPolicy::Block),
+            Admission::Enqueued
+        ));
+        let q2 = std::sync::Arc::clone(&q);
+        let submitter = std::thread::spawn(move || {
+            let (b, _rb) = job(1);
+            matches!(q2.push(b, AdmissionPolicy::Block), Admission::Enqueued)
+        });
+        // Drain one slot; the blocked submitter must complete.
+        assert_eq!(q.pop().unwrap().request.user, 0);
+        assert!(submitter.join().unwrap());
+        assert_eq!(q.pop().unwrap().request.user, 1);
+    }
+}

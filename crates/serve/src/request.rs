@@ -34,6 +34,14 @@ pub struct RecommendRequest {
     /// Request-scoped exclusions merged with the user's training items —
     /// any order, duplicates allowed; the engine normalizes before scoring.
     pub exclude: Vec<u32>,
+    /// Deadline for this request, `None` for no time bound. An expired
+    /// deadline is checked twice: at dequeue — the request is shed with
+    /// [`ServeError::DeadlineExceeded`] *without* running any scoring — and
+    /// cooperatively inside the walk family's DP loop, which aborts at its
+    /// next measured iteration so a request cannot keep burning a worker
+    /// past its deadline. A query that completes before the check fires
+    /// returns its response normally.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl RecommendRequest {
@@ -45,6 +53,7 @@ impl RecommendRequest {
             model: model.into(),
             stopping: None,
             exclude: Vec::new(),
+            deadline: None,
         }
     }
 
@@ -59,6 +68,19 @@ impl RecommendRequest {
     pub fn excluding(mut self, items: Vec<u32>) -> Self {
         self.exclude = items;
         self
+    }
+
+    /// Bound this request by an absolute deadline (see
+    /// [`RecommendRequest::deadline`]).
+    pub fn deadline_at(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Bound this request by a time budget from now —
+    /// `deadline_at(Instant::now() + budget)`.
+    pub fn deadline_in(self, budget: std::time::Duration) -> Self {
+        self.deadline_at(std::time::Instant::now() + budget)
     }
 }
 
@@ -90,6 +112,20 @@ pub enum ServeError {
     /// keep running and later requests are unaffected — and the panic
     /// message is preserved here; the panic hook still logs to stderr.
     RequestPanicked(String),
+    /// The admission queue was full and the backpressure policy refused the
+    /// request: [`crate::AdmissionPolicy::Reject`] returns this from
+    /// [`crate::Engine::submit`] itself, and
+    /// [`crate::AdmissionPolicy::ShedOldest`] resolves the *oldest queued*
+    /// request's [`crate::PendingResponse`] with it.
+    Overloaded,
+    /// The request's deadline expired before a response was produced —
+    /// either already at dequeue (shed without running any scoring) or
+    /// mid-query, when the walk DP's cooperative cancellation fired.
+    DeadlineExceeded,
+    /// The engine shut down before the queued request was served: engine
+    /// drop cancels every not-yet-started request so teardown never waits
+    /// on a backlog.
+    ShuttingDown,
 }
 
 impl std::fmt::Display for ServeError {
@@ -99,6 +135,9 @@ impl std::fmt::Display for ServeError {
             Self::RequestPanicked(message) => {
                 write!(f, "request panicked while being served: {message}")
             }
+            Self::Overloaded => write!(f, "admission queue full, request refused by backpressure"),
+            Self::DeadlineExceeded => write!(f, "request deadline expired before completion"),
+            Self::ShuttingDown => write!(f, "engine shut down before the request was served"),
         }
     }
 }

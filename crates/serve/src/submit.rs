@@ -1,0 +1,259 @@
+//! The asynchronous half of the engine's request surface:
+//! [`PendingResponse`] handles returned by [`crate::Engine::submit`], and
+//! the [`EngineStats`] saturation/shed/deadline counters.
+
+use crate::request::{RecommendResponse, ServeError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// The future-style handle to one submitted request.
+///
+/// [`crate::Engine::submit`] enqueues the request and returns immediately;
+/// the response materializes on a pool worker and is claimed through this
+/// handle — poll it ([`PendingResponse::try_recv`]), bound the wait
+/// ([`PendingResponse::wait_timeout`]), or block ([`PendingResponse::wait`]).
+/// No async runtime is involved: the handle is a one-shot reply channel,
+/// usable from any thread the handle is moved to.
+///
+/// The result is yielded **exactly once**: after any accessor has returned
+/// it, `try_recv`/`wait_timeout` return `None` forever. Dropping the handle
+/// abandons the request's *result* only — the request itself still runs (or
+/// is shed) as scheduled; the worker's reply to an abandoned handle is
+/// discarded.
+#[derive(Debug)]
+pub struct PendingResponse {
+    rx: mpsc::Receiver<Result<RecommendResponse, ServeError>>,
+    /// Set once the one-shot result has been yielded.
+    taken: bool,
+}
+
+impl PendingResponse {
+    pub(crate) fn new(rx: mpsc::Receiver<Result<RecommendResponse, ServeError>>) -> Self {
+        Self { rx, taken: false }
+    }
+
+    /// A handle that is already resolved (the zero-worker engine serves
+    /// submissions synchronously).
+    pub(crate) fn ready(result: Result<RecommendResponse, ServeError>) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(result);
+        Self::new(rx)
+    }
+
+    /// Non-blocking poll: the result if it is ready (or was abandoned —
+    /// see below), `None` while the request is still queued or running.
+    ///
+    /// A disconnected reply channel — the engine dropped the job without
+    /// answering, which no live code path does — degrades to
+    /// [`ServeError::ShuttingDown`] rather than hanging the caller.
+    pub fn try_recv(&mut self) -> Option<Result<RecommendResponse, ServeError>> {
+        if self.taken {
+            return None;
+        }
+        match self.rx.try_recv() {
+            Ok(result) => {
+                self.taken = true;
+                Some(result)
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                self.taken = true;
+                Some(Err(ServeError::ShuttingDown))
+            }
+        }
+    }
+
+    /// Block for at most `timeout`: the result, or `None` if it is not
+    /// ready in time (the request keeps running; poll or wait again).
+    pub fn wait_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Option<Result<RecommendResponse, ServeError>> {
+        if self.taken {
+            return None;
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => {
+                self.taken = true;
+                Some(result)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.taken = true;
+                Some(Err(ServeError::ShuttingDown))
+            }
+        }
+    }
+
+    /// Block until the response arrives. Cannot deadlock against the
+    /// engine: every admitted job is answered — served, shed, expired, or
+    /// cancelled at shutdown — and an already-yielded result returns
+    /// [`ServeError::ShuttingDown`] instead of hanging.
+    pub fn wait(self) -> Result<RecommendResponse, ServeError> {
+        if self.taken {
+            return Err(ServeError::ShuttingDown);
+        }
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(mpsc::RecvError) => Err(ServeError::ShuttingDown),
+        }
+    }
+}
+
+/// Engine-lifetime serving counters — the observability surface of the
+/// async front-end, read via [`crate::Engine::stats`].
+///
+/// All counters are monotone; diff two snapshots with
+/// [`EngineStats::since`] to attribute counts to a traffic window. The
+/// ledger balances: every submission accepted by `submit`/`recommend`/
+/// `recommend_batch` (`submitted`) is eventually counted in exactly one of
+/// `completed`, `failed`, `expired_at_dequeue`, `expired_in_dp`, `shed` or
+/// `cancelled_at_shutdown`; refusals (`rejected`) were never admitted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests admitted: enqueued for the pool or started inline.
+    pub submitted: u64,
+    /// Requests answered with a response.
+    pub completed: u64,
+    /// Requests answered with a non-deadline error (unknown model, query
+    /// panic).
+    pub failed: u64,
+    /// Submissions refused outright by [`crate::AdmissionPolicy::Reject`]
+    /// on a full queue ([`ServeError::Overloaded`] from `submit` itself).
+    pub rejected: u64,
+    /// Queued requests shed by [`crate::AdmissionPolicy::ShedOldest`] to
+    /// admit newer traffic (their handles resolve
+    /// [`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Requests whose deadline had already expired when a worker (or the
+    /// inline path) picked them up: shed without running any scoring.
+    pub expired_at_dequeue: u64,
+    /// Requests cancelled mid-query by the walk DP's cooperative deadline
+    /// check.
+    pub expired_in_dp: u64,
+    /// Queued requests cancelled by engine shutdown (their handles resolve
+    /// [`ServeError::ShuttingDown`]).
+    pub cancelled_at_shutdown: u64,
+}
+
+impl EngineStats {
+    /// Counter-wise difference against an `earlier` snapshot (saturating).
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            completed: self.completed.saturating_sub(earlier.completed),
+            failed: self.failed.saturating_sub(earlier.failed),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            shed: self.shed.saturating_sub(earlier.shed),
+            expired_at_dequeue: self
+                .expired_at_dequeue
+                .saturating_sub(earlier.expired_at_dequeue),
+            expired_in_dp: self.expired_in_dp.saturating_sub(earlier.expired_in_dp),
+            cancelled_at_shutdown: self
+                .cancelled_at_shutdown
+                .saturating_sub(earlier.cancelled_at_shutdown),
+        }
+    }
+
+    /// Requests never served because backpressure or deadlines dropped
+    /// them: `rejected + shed + expired_at_dequeue + expired_in_dp`.
+    pub fn dropped(&self) -> u64 {
+        self.rejected + self.shed + self.expired_at_dequeue + self.expired_in_dp
+    }
+}
+
+/// The atomic counters behind [`EngineStats`], owned by the engine core and
+/// bumped lock-free from every caller thread and pool worker.
+#[derive(Debug, Default)]
+pub(crate) struct EngineCounters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) expired_at_dequeue: AtomicU64,
+    pub(crate) expired_in_dp: AtomicU64,
+    pub(crate) cancelled_at_shutdown: AtomicU64,
+}
+
+impl EngineCounters {
+    /// One relaxed increment (counters are statistics, not synchronization).
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired_at_dequeue: self.expired_at_dequeue.load(Ordering::Relaxed),
+            expired_in_dp: self.expired_in_dp.load(Ordering::Relaxed),
+            cancelled_at_shutdown: self.cancelled_at_shutdown.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_yields_exactly_once() {
+        let mut p = PendingResponse::ready(Err(ServeError::Overloaded));
+        assert_eq!(p.try_recv(), Some(Err(ServeError::Overloaded)));
+        assert_eq!(p.try_recv(), None);
+        assert_eq!(p.wait_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn pending_try_recv_is_none_while_unresolved() {
+        let (tx, rx) = mpsc::channel();
+        let mut p = PendingResponse::new(rx);
+        assert_eq!(p.try_recv(), None);
+        assert_eq!(p.wait_timeout(Duration::from_millis(1)), None);
+        tx.send(Err(ServeError::Overloaded)).unwrap();
+        assert_eq!(
+            p.wait_timeout(Duration::from_secs(5)),
+            Some(Err(ServeError::Overloaded))
+        );
+    }
+
+    #[test]
+    fn dropped_sender_degrades_to_shutting_down() {
+        let (tx, rx) = mpsc::channel::<Result<RecommendResponse, ServeError>>();
+        drop(tx);
+        assert_eq!(
+            PendingResponse::new(rx).wait(),
+            Err(ServeError::ShuttingDown)
+        );
+        let (tx, rx) = mpsc::channel::<Result<RecommendResponse, ServeError>>();
+        drop(tx);
+        let mut p = PendingResponse::new(rx);
+        assert_eq!(p.try_recv(), Some(Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn stats_since_and_dropped() {
+        let earlier = EngineStats {
+            submitted: 5,
+            completed: 3,
+            ..EngineStats::default()
+        };
+        let later = EngineStats {
+            submitted: 9,
+            completed: 5,
+            rejected: 1,
+            shed: 2,
+            expired_at_dequeue: 1,
+            ..earlier
+        };
+        let diff = later.since(&earlier);
+        assert_eq!(diff.submitted, 4);
+        assert_eq!(diff.completed, 2);
+        assert_eq!(diff.dropped(), 4);
+    }
+}

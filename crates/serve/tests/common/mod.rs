@@ -1,0 +1,79 @@
+//! Shared fixtures of the serve integration suites: the random-ratings
+//! strategy and the all-families model roster. Lives in a subdirectory so
+//! cargo does not treat it as a test target of its own.
+
+use longtail_core::{
+    AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
+    AssociationRuleRecommender, GraphRecConfig, HittingTimeRecommender, KnnRecommender,
+    LdaRecommender, PageRankRecommender, PureSvdRecommender, RuleConfig, UserSimilarity,
+};
+use longtail_data::{Dataset, Rating};
+use longtail_serve::SharedRecommender;
+use longtail_topics::LdaConfig;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+pub const N_USERS: usize = 8;
+pub const N_ITEMS: usize = 10;
+
+pub fn ratings() -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (0..N_USERS as u32, 0..N_ITEMS as u32, 1.0f64..5.0).prop_map(|(user, item, value)| {
+            Rating {
+                user,
+                item,
+                value: value.round().max(1.0),
+            }
+        }),
+        1..60,
+    )
+}
+
+/// Every family, trained deterministically on `d`, as engine-shareable
+/// models keyed by registry name.
+pub fn roster(d: &Dataset) -> Vec<(&'static str, SharedRecommender)> {
+    let graph = GraphRecConfig::default();
+    let ac = AbsorbingCostConfig::default();
+    vec![
+        (
+            "HT",
+            Arc::new(HittingTimeRecommender::new(d, graph)) as SharedRecommender,
+        ),
+        ("AT", Arc::new(AbsorbingTimeRecommender::new(d, graph))),
+        (
+            "AC1",
+            Arc::new(AbsorbingCostRecommender::item_entropy(d, ac)),
+        ),
+        (
+            "AC2",
+            Arc::new(AbsorbingCostRecommender::topic_entropy_auto(d, 2, ac)),
+        ),
+        (
+            "kNN",
+            Arc::new(KnnRecommender::train(d, 3, UserSimilarity::Cosine)),
+        ),
+        (
+            "rules",
+            Arc::new(AssociationRuleRecommender::train(
+                d,
+                &RuleConfig {
+                    min_support: 1,
+                    min_confidence: 0.0,
+                },
+            )),
+        ),
+        ("svd", Arc::new(PureSvdRecommender::train(d, 4))),
+        (
+            "lda",
+            Arc::new(LdaRecommender::train_with(
+                d,
+                &LdaConfig {
+                    iterations: 15,
+                    ..LdaConfig::with_topics(2)
+                },
+            )),
+        ),
+        ("ppr", Arc::new(PageRankRecommender::plain(d))),
+        ("dppr", Arc::new(PageRankRecommender::discounted(d))),
+    ]
+}

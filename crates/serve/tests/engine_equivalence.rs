@@ -19,83 +19,18 @@
 //! pins so the suite stays bounded.
 
 use longtail_core::{
-    AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
-    AssociationRuleRecommender, DpStopping, GraphRecConfig, HittingTimeRecommender, KnnRecommender,
-    LdaRecommender, PageRankRecommender, PureSvdRecommender, RecommendOptions, RuleConfig,
-    ScoredItem, ScoringContext, UserSimilarity,
+    DpStopping, GraphRecConfig, HittingTimeRecommender, RecommendOptions, ScoredItem,
+    ScoringContext,
 };
 use longtail_data::{Dataset, Rating};
 use longtail_serve::{
     ContextPool, Engine, ModuloRouter, RecommendRequest, ServeError, SharedRecommender,
 };
-use longtail_topics::LdaConfig;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-const N_USERS: usize = 8;
-const N_ITEMS: usize = 10;
-
-fn ratings() -> impl Strategy<Value = Vec<Rating>> {
-    prop::collection::vec(
-        (0..N_USERS as u32, 0..N_ITEMS as u32, 1.0f64..5.0).prop_map(|(user, item, value)| {
-            Rating {
-                user,
-                item,
-                value: value.round().max(1.0),
-            }
-        }),
-        1..60,
-    )
-}
-
-/// Every family, trained deterministically on `d`, as engine-shareable
-/// models keyed by registry name.
-fn roster(d: &Dataset) -> Vec<(&'static str, SharedRecommender)> {
-    let graph = GraphRecConfig::default();
-    let ac = AbsorbingCostConfig::default();
-    vec![
-        (
-            "HT",
-            Arc::new(HittingTimeRecommender::new(d, graph)) as SharedRecommender,
-        ),
-        ("AT", Arc::new(AbsorbingTimeRecommender::new(d, graph))),
-        (
-            "AC1",
-            Arc::new(AbsorbingCostRecommender::item_entropy(d, ac)),
-        ),
-        (
-            "AC2",
-            Arc::new(AbsorbingCostRecommender::topic_entropy_auto(d, 2, ac)),
-        ),
-        (
-            "kNN",
-            Arc::new(KnnRecommender::train(d, 3, UserSimilarity::Cosine)),
-        ),
-        (
-            "rules",
-            Arc::new(AssociationRuleRecommender::train(
-                d,
-                &RuleConfig {
-                    min_support: 1,
-                    min_confidence: 0.0,
-                },
-            )),
-        ),
-        ("svd", Arc::new(PureSvdRecommender::train(d, 4))),
-        (
-            "lda",
-            Arc::new(LdaRecommender::train_with(
-                d,
-                &LdaConfig {
-                    iterations: 15,
-                    ..LdaConfig::with_topics(2)
-                },
-            )),
-        ),
-        ("ppr", Arc::new(PageRankRecommender::plain(d))),
-        ("dppr", Arc::new(PageRankRecommender::discounted(d))),
-    ]
-}
+mod common;
+use common::{ratings, roster, N_ITEMS, N_USERS};
 
 fn items_of(list: &[ScoredItem]) -> Vec<u32> {
     list.iter().map(|s| s.item).collect()
@@ -173,6 +108,7 @@ proptest! {
                         RecommendOptions {
                             stopping: DpStopping::default(),
                             exclude: &sorted_exclude,
+                            ..RecommendOptions::default()
                         },
                     ),
                 ] {

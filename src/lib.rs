@@ -84,8 +84,8 @@ pub mod prelude {
     };
     pub use longtail_graph::{BipartiteGraph, GraphStats};
     pub use longtail_serve::{
-        Engine, EngineBuilder, ModuloRouter, RangeRouter, RecommendRequest, RecommendResponse,
-        ServeError, ShardRouter,
+        AdmissionPolicy, Engine, EngineBuilder, EngineStats, ModuloRouter, PendingResponse,
+        RangeRouter, RecommendRequest, RecommendResponse, ServeError, ShardRouter,
     };
     pub use longtail_topics::{LdaConfig, LdaModel};
 }
