@@ -15,13 +15,16 @@
 use longtail_bench::baseline;
 use longtail_core::{
     top_k, AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender, DpStopping,
-    DpTelemetry, GraphRecConfig, HittingTimeRecommender, RecommendOptions, Recommender,
-    ScoringContext,
+    DpTelemetry, GraphRecConfig, HittingTimeRecommender, PopularityRecommender, RecommendOptions,
+    Recommender, ScoringContext,
 };
 use longtail_data::{SyntheticConfig, SyntheticData};
 use longtail_eval::{sample_test_users, time_open_loop_submission};
 use longtail_graph::BipartiteGraph;
-use longtail_serve::{Engine, RecommendRequest, ServeError, SharedRecommender};
+use longtail_serve::{
+    BreakerConfig, Engine, FaultKind, FaultPlan, FaultyRecommender, RecommendRequest, RetryPolicy,
+    ServeError, SharedRecommender,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -42,6 +45,15 @@ const ASYNC_QUEUE_CAPACITY: usize = 256;
 /// already-expired deadline, making the shed count exact and
 /// machine-independent.
 const ASYNC_EXPIRED_STRIDE: usize = 4;
+
+/// Request rounds of the fault-tolerance pass: `FAULT_ROUNDS * BATCH`
+/// requests per engine, enough that the seeded fault mix lands dozens of
+/// faults while the pass stays cheap next to the timing series.
+const FAULT_ROUNDS: usize = 4;
+/// Per-call probability of an injected panic in the chaos mix.
+const FAULT_P_PANIC: f64 = 0.12;
+/// Per-call probability of injected NaN score poisoning in the chaos mix.
+const FAULT_P_NAN: f64 = 0.08;
 
 /// τ budget of the early-termination comparison: a *high-fidelity* serving
 /// tier whose truncation error is negligible (the paper's τ=15 trades
@@ -506,6 +518,142 @@ fn measure_async_serving(
     }
 }
 
+struct FaultTolerance {
+    requests: usize,
+    injected_faults_protected: u64,
+    injected_faults_unprotected: u64,
+    answered_protected: usize,
+    degraded: usize,
+    retries: u64,
+    answered_unprotected: usize,
+    non_degraded_rankings_match: bool,
+}
+
+impl FaultTolerance {
+    fn availability_with_protection(&self) -> f64 {
+        self.answered_protected as f64 / self.requests as f64
+    }
+    fn availability_without_protection(&self) -> f64 {
+        self.answered_unprotected as f64 / self.requests as f64
+    }
+    /// The acceptance bar of the fault-tolerance work: breakers + retry +
+    /// fallback keep at least 99% of in-deadline requests answered.
+    fn meets_availability_target(&self) -> bool {
+        self.availability_with_protection() >= 0.99
+    }
+}
+
+/// Availability under a seeded chaos mix (injected panics + NaN-poisoned
+/// scores), three engines on the same deterministic request sequence: the
+/// *protected* engine (circuit breakers, one retry on a fresh context, POP
+/// degraded-mode fallback), the *unprotected* engine (same fault plan, no
+/// protection), and a fault-free reference engine. Every response the
+/// protected engine serves non-degraded must be rank-identical to the
+/// fault-free engine — protection machinery must never perturb a healthy
+/// ranking.
+fn measure_fault_tolerance(
+    label: &'static str,
+    users: &[u32],
+    model: SharedRecommender,
+    fallback: SharedRecommender,
+) -> FaultTolerance {
+    // Same seeds, same probabilities, same call-indexed fault set every
+    // run; two instances so the protected and unprotected engines each
+    // start from call 0.
+    let plan = || {
+        FaultPlan::new()
+            .seeded(0xfa01, FAULT_P_PANIC, FaultKind::Panic)
+            .seeded(0xfa02, FAULT_P_NAN, FaultKind::NanScores)
+    };
+    let requests: Vec<RecommendRequest> = (0..FAULT_ROUNDS)
+        .flat_map(|_| {
+            users
+                .iter()
+                .map(|&u| RecommendRequest::new(label, u, TOP_K))
+        })
+        .collect();
+
+    let clean = Engine::builder()
+        .model(label, Arc::clone(&model))
+        .workers(0)
+        .build();
+    let protected_primary = Arc::new(FaultyRecommender::new(Arc::clone(&model), plan()));
+    let protected = Engine::builder()
+        .model(label, Arc::clone(&protected_primary) as SharedRecommender)
+        .model("POP", Arc::clone(&fallback))
+        .fallback(label, "POP")
+        .breakers(BreakerConfig::default())
+        .default_retry(RetryPolicy::attempts(2))
+        .workers(0)
+        .build();
+    let unprotected_primary = Arc::new(FaultyRecommender::new(Arc::clone(&model), plan()));
+    let unprotected = Engine::builder()
+        .model(label, Arc::clone(&unprotected_primary) as SharedRecommender)
+        .workers(0)
+        .build();
+
+    let mut answered_protected = 0usize;
+    let mut degraded = 0usize;
+    let mut non_degraded_rankings_match = true;
+    for req in &requests {
+        if let Ok(response) = protected.recommend(req) {
+            answered_protected += 1;
+            if response.degraded {
+                degraded += 1;
+            } else {
+                let reference = clean.recommend(req).expect("fault-free engine serves");
+                if response
+                    .items
+                    .iter()
+                    .map(|s| s.item)
+                    .ne(reference.items.iter().map(|s| s.item))
+                {
+                    non_degraded_rankings_match = false;
+                }
+            }
+        }
+    }
+    let answered_unprotected = requests
+        .iter()
+        .filter(|req| unprotected.recommend(req).is_ok())
+        .count();
+
+    let out = FaultTolerance {
+        requests: requests.len(),
+        injected_faults_protected: protected_primary
+            .plan()
+            .count_faults(protected_primary.calls_made()),
+        injected_faults_unprotected: unprotected_primary
+            .plan()
+            .count_faults(unprotected_primary.calls_made()),
+        answered_protected,
+        degraded,
+        retries: protected.stats().retries,
+        answered_unprotected,
+        non_degraded_rankings_match,
+    };
+    println!(
+        "\n{label} fault tolerance ({} requests, seeded p_panic={FAULT_P_PANIC}, \
+         p_nan={FAULT_P_NAN}): protected {}/{} answered ({} degraded, {} retries, \
+         {} faults injected, availability {:.1}%), unprotected {}/{} answered \
+         ({} faults injected, availability {:.1}%), \
+         non-degraded rankings match fault-free engine: {}",
+        out.requests,
+        out.answered_protected,
+        out.requests,
+        out.degraded,
+        out.retries,
+        out.injected_faults_protected,
+        out.availability_with_protection() * 100.0,
+        out.answered_unprotected,
+        out.requests,
+        out.injected_faults_unprotected,
+        out.availability_without_protection() * 100.0,
+        out.non_degraded_rankings_match
+    );
+    out
+}
+
 fn main() {
     let config = SyntheticConfig {
         n_users: 600,
@@ -593,6 +741,27 @@ fn main() {
     let ht_async = measure_async_serving("HT", &serve_users, Arc::new(serve_ht.clone()));
     let ac_async = measure_async_serving("AC1", &serve_users, Arc::new(serve_ac1.clone()));
 
+    // Availability under injected faults on the same serving corpus. The
+    // engine catches every injected panic; silence the default hook's
+    // per-panic backtrace for the duration so the bench output stays
+    // readable, then restore it.
+    let serve_pop: SharedRecommender = Arc::new(PopularityRecommender::train(serve_train));
+    let panic_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let ht_fault = measure_fault_tolerance(
+        "HT",
+        &serve_users,
+        Arc::new(serve_ht.clone()),
+        Arc::clone(&serve_pop),
+    );
+    let ac_fault = measure_fault_tolerance(
+        "AC1",
+        &serve_users,
+        Arc::new(serve_ac1.clone()),
+        Arc::clone(&serve_pop),
+    );
+    std::panic::set_hook(panic_hook);
+
     // Early termination on the same serving corpus at the high-fidelity τ
     // budget (see ET_ITERATIONS): fixed-τ vs the default adaptive policy.
     let et_config = GraphRecConfig {
@@ -650,6 +819,8 @@ fn main() {
         &ac_engine,
         &ht_async,
         &ac_async,
+        &ht_fault,
+        &ac_fault,
         &ht_early,
         &at_early,
         &ac_early,
@@ -674,6 +845,8 @@ fn render_json(
     ac_engine: &ServingEngine,
     ht_async: &AsyncServing,
     ac_async: &AsyncServing,
+    ht_fault: &FaultTolerance,
+    ac_fault: &FaultTolerance,
     ht_early: &EarlyTermination,
     at_early: &EarlyTermination,
     ac_early: &EarlyTermination,
@@ -716,6 +889,27 @@ fn render_json(
             a.expired_in_dp,
             a.deadline_completed,
             a.counts_consistent
+        )
+    }
+    fn fault_tolerance(f: &FaultTolerance) -> String {
+        format!(
+            "{{\"requests\": {}, \"injected_faults_protected\": {}, \
+             \"injected_faults_unprotected\": {}, \"answered_with_protection\": {}, \
+             \"degraded\": {}, \"retries\": {}, \"answered_without_protection\": {}, \
+             \"availability_with_protection\": {:.4}, \
+             \"availability_without_protection\": {:.4}, \
+             \"non_degraded_rankings_match\": {}, \"meets_availability_target\": {}}}",
+            f.requests,
+            f.injected_faults_protected,
+            f.injected_faults_unprotected,
+            f.answered_protected,
+            f.degraded,
+            f.retries,
+            f.answered_unprotected,
+            f.availability_with_protection(),
+            f.availability_without_protection(),
+            f.non_degraded_rankings_match,
+            f.meets_availability_target()
         )
     }
     fn early(e: &EarlyTermination) -> String {
@@ -770,6 +964,9 @@ fn render_json(
          \"queue_capacity\": {ASYNC_QUEUE_CAPACITY},\n    \
          \"rounds\": {ENGINE_ROUNDS},\n    \"requests\": {},\n    \
          \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
+         \"fault_tolerance\": {{\n    \"rounds\": {FAULT_ROUNDS},\n    \
+         \"fault_plan\": {{\"p_panic\": {FAULT_P_PANIC}, \"p_nan\": {FAULT_P_NAN}}},\n    \
+         \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
          \"early_termination\": {{\n    \"epsilon\": {:e},\n    \"k\": {TOP_K},\n    \
          \"dp_budget\": {ET_ITERATIONS},\n    \
          \"HT\": {},\n    \"AT\": {},\n    \"AC1\": {}\n  }},\n  \
@@ -791,6 +988,8 @@ fn render_json(
         ht_async.requests,
         async_serving(ht_async),
         async_serving(ac_async),
+        fault_tolerance(ht_fault),
+        fault_tolerance(ac_fault),
         epsilon,
         early(ht_early),
         early(at_early),

@@ -32,6 +32,7 @@ fn walk_scoring_summary_keeps_its_schema() {
         "\"recommend_topk\"",
         "\"serving_engine\"",
         "\"async_serving\"",
+        "\"fault_tolerance\"",
         "\"early_termination\"",
         "\"single_query_ht\"",
     ] {
@@ -110,6 +111,41 @@ fn walk_scoring_summary_keeps_its_schema() {
         !json.contains("\"rankings_match_blocking\": false"),
         "async serving diverged from the blocking batch path"
     );
+    // Fault tolerance: availability under the seeded chaos mix with and
+    // without protection (breakers + retry + POP fallback), for both
+    // algorithms, plus the fault-plan parameters the pass ran under.
+    for key in ["\"fault_plan\"", "\"p_panic\"", "\"p_nan\""] {
+        assert!(json.contains(key), "schema drift: fault_tolerance.{key}");
+    }
+    for key in [
+        "\"injected_faults_protected\"",
+        "\"injected_faults_unprotected\"",
+        "\"answered_with_protection\"",
+        "\"degraded\"",
+        "\"retries\"",
+        "\"answered_without_protection\"",
+        "\"availability_with_protection\"",
+        "\"availability_without_protection\"",
+        "\"non_degraded_rankings_match\"",
+        "\"meets_availability_target\"",
+    ] {
+        assert_eq!(
+            json.matches(key).count(),
+            2,
+            "schema drift: fault-tolerance field {key} missing for an algorithm"
+        );
+    }
+    // The committed summary must never record a protected engine that
+    // perturbed a healthy ranking or missed the ≥99% availability bar.
+    assert!(
+        !json.contains("\"non_degraded_rankings_match\": false"),
+        "a non-degraded response diverged from the fault-free engine"
+    );
+    assert!(
+        !json.contains("\"meets_availability_target\": false"),
+        "protected engine availability fell below the 99% target"
+    );
+
     for series in [
         "sequential_prerefactor",
         "sequential_context",

@@ -50,7 +50,7 @@ pub use parallel::{parallel_map_indexed, parallel_map_indexed_with_states};
 pub use recommenders::{
     AbsorbingCostRecommender, AbsorbingTimeRecommender, AssociationRuleRecommender, EntropySource,
     HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor, PageRankRecommender,
-    PureSvdRecommender, RuleConfig, UserSimilarity,
+    PopularityRecommender, PureSvdRecommender, RuleConfig, UserSimilarity,
 };
 pub use topk::{rank_of, top_k, ScoredItem, TopKCollector};
 

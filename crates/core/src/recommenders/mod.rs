@@ -8,6 +8,7 @@ pub mod hitting_time;
 pub mod knn;
 pub mod lda_rec;
 pub mod pagerank_rec;
+pub mod popularity;
 pub mod pure_svd;
 
 pub use absorbing_cost::{AbsorbingCostRecommender, EntropySource};
@@ -17,4 +18,5 @@ pub use hitting_time::HittingTimeRecommender;
 pub use knn::{KnnRecommender, UserSimilarity};
 pub use lda_rec::LdaRecommender;
 pub use pagerank_rec::{PageRankFlavor, PageRankRecommender};
+pub use popularity::PopularityRecommender;
 pub use pure_svd::PureSvdRecommender;

@@ -1,14 +1,19 @@
 //! The serving engine: model registry, request execution, the persistent
-//! worker pool and the async submission front-end.
+//! worker pool, the async submission front-end, and the fault-tolerance
+//! layer (circuit breakers, retries, degraded-mode fallback, worker
+//! supervision).
 
+use crate::breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
+use crate::faults::WORKER_KILL_MARK;
 use crate::pool::ContextPool;
 use crate::queue::{Admission, AdmissionPolicy, Job, JobQueue};
-use crate::request::{RecommendRequest, RecommendResponse, ServeError};
+use crate::request::{RecommendRequest, RecommendResponse, RetryPolicy, ServeError};
 use crate::router::ShardRouter;
 use crate::submit::{EngineCounters, EngineStats, PendingResponse};
 use longtail_core::{DpStopping, DpTelemetry, RecommendOptions, Recommender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -18,21 +23,30 @@ use std::time::Instant;
 /// model after construction, hence `Send + Sync`.
 pub type SharedRecommender = Arc<dyn Recommender + Send + Sync>;
 
+/// One servable unit: a recommender plus the circuit breaker guarding it
+/// (disabled unless the engine was built with breakers).
+struct ModelSlot {
+    rec: SharedRecommender,
+    breaker: CircuitBreaker,
+}
+
 /// One registry slot: a single model, or a user-sharded group of them.
+/// Sharded groups carry one breaker per shard — a down shard stops taking
+/// its users' traffic without opening the whole group.
 enum ModelEntry {
-    Single(SharedRecommender),
+    Single(ModelSlot),
     Sharded {
         router: Arc<dyn ShardRouter>,
-        shards: Vec<SharedRecommender>,
+        shards: Vec<ModelSlot>,
     },
 }
 
 impl ModelEntry {
-    /// The recommender (and shard index, for sharded entries) owning
-    /// `user`'s requests.
-    fn resolve(&self, user: u32) -> (&SharedRecommender, Option<usize>) {
+    /// The slot (and shard index, for sharded entries) owning `user`'s
+    /// requests.
+    fn resolve(&self, user: u32) -> (&ModelSlot, Option<usize>) {
         match self {
-            Self::Single(rec) => (rec, None),
+            Self::Single(slot) => (slot, None),
             Self::Sharded { router, shards } => {
                 let shard = router.route(user, shards.len());
                 assert!(
@@ -44,19 +58,43 @@ impl ModelEntry {
             }
         }
     }
+
+    /// Breaker state per servable unit (length 1 for unsharded models).
+    fn breaker_states(&self) -> Vec<BreakerState> {
+        match self {
+            Self::Single(slot) => vec![slot.breaker.state()],
+            Self::Sharded { shards, .. } => shards.iter().map(|s| s.breaker.state()).collect(),
+        }
+    }
+
+    /// Lifetime Closed→Open trips summed over the entry's breakers.
+    fn breaker_trips(&self) -> u64 {
+        match self {
+            Self::Single(slot) => slot.breaker.trips(),
+            Self::Sharded { shards, .. } => shards.iter().map(|s| s.breaker.trips()).sum(),
+        }
+    }
 }
 
 /// Registry + pools + counters — the part of the engine shared with worker
 /// threads.
 struct EngineCore {
     models: HashMap<String, ModelEntry>,
+    /// Degraded-mode routing: primary registry name → fallback registry
+    /// name, consulted when the primary's breaker is open or its retries
+    /// are exhausted.
+    fallbacks: HashMap<String, String>,
     default_stopping: DpStopping,
+    default_retry: RetryPolicy,
     contexts: ContextPool,
     /// Engine-lifetime [`DpTelemetry`], merged across every request served
     /// by any caller thread or pool worker.
     aggregate: Mutex<DpTelemetry>,
-    /// Saturation/shed/deadline counters (see [`EngineStats`]).
+    /// Saturation/shed/deadline/fault counters (see [`EngineStats`]).
     counters: EngineCounters,
+    /// Workers that exited without a clean shutdown, pending respawn by
+    /// supervision (see [`Engine::health`]).
+    workers_dead: AtomicU64,
 }
 
 impl EngineCore {
@@ -71,21 +109,38 @@ impl EngineCore {
             return Err(ServeError::DeadlineExceeded);
         }
         let result = self.execute(req);
-        EngineCounters::bump(match &result {
-            Ok(_) => &self.counters.completed,
-            Err(ServeError::DeadlineExceeded) => &self.counters.expired_in_dp,
-            Err(_) => &self.counters.failed,
-        });
+        match &result {
+            Ok(resp) => {
+                EngineCounters::bump(&self.counters.completed);
+                if resp.degraded {
+                    EngineCounters::bump(&self.counters.degraded);
+                }
+            }
+            Err(ServeError::DeadlineExceeded) => EngineCounters::bump(&self.counters.expired_in_dp),
+            Err(ServeError::RequestPanicked(_)) => EngineCounters::bump(&self.counters.panicked),
+            Err(_) => EngineCounters::bump(&self.counters.failed),
+        }
         result
     }
 
-    /// Serve one request on the calling thread through a pooled context.
+    /// Serve one request on the calling thread: breaker admission, the
+    /// bounded retry loop, and degraded-mode fallback when the primary is
+    /// unavailable.
     fn execute(&self, req: &RecommendRequest) -> Result<RecommendResponse, ServeError> {
         let entry = self
             .models
             .get(&req.model)
             .ok_or_else(|| ServeError::UnknownModel(req.model.clone()))?;
-        let (rec, shard) = entry.resolve(req.user);
+        let (slot, shard) = entry.resolve(req.user);
+
+        // Breaker admission happens before any queueing cost is sunk into
+        // the request — an open breaker costs neither a ScoringContext nor
+        // a scoring attempt.
+        let decision = slot.breaker.admit();
+        if decision == BreakerDecision::Refuse {
+            return self.answer_unavailable(req, ServeError::CircuitOpen);
+        }
+        let probe = decision == BreakerDecision::Probe;
 
         // Normalize the request's exclusion set to the sorted/deduped form
         // RecommendOptions requires. Only requests that actually exclude
@@ -105,21 +160,127 @@ impl EngineCore {
             deadline: req.deadline,
         };
 
+        let retry = req.retry.unwrap_or(self.default_retry);
+        let mut attempt_no: u32 = 0;
+        let last_err = loop {
+            attempt_no += 1;
+            // The breaker is fed per attempt: each one is independent
+            // evidence about the model. Only the first attempt can be the
+            // half-open probe.
+            let probe = probe && attempt_no == 1;
+            match self.attempt(slot, shard, req, &opts) {
+                Ok(resp) => {
+                    slot.breaker.record_success(probe);
+                    return Ok(resp);
+                }
+                Err(err) => {
+                    slot.breaker.record_failure(probe);
+                    if !retryable(&err) || attempt_no >= retry.max_attempts {
+                        break err;
+                    }
+                    // Never retry past the deadline: an answer arriving
+                    // after it is as useless as no answer, at full cost.
+                    if let Some(deadline) = req.deadline {
+                        if Instant::now() + retry.backoff >= deadline {
+                            break err;
+                        }
+                    }
+                    if !retry.backoff.is_zero() {
+                        std::thread::sleep(retry.backoff);
+                    }
+                    EngineCounters::bump(&self.counters.retries);
+                }
+            }
+        };
+        match last_err {
+            // Out of time: a fallback answer would also arrive too late.
+            ServeError::DeadlineExceeded => Err(ServeError::DeadlineExceeded),
+            err => self.answer_unavailable(req, err),
+        }
+    }
+
+    /// The primary cannot answer (`why`: open breaker, or the error its
+    /// last attempt produced): serve the registered fallback flagged
+    /// degraded, or surface `why` if there is none (or the fallback itself
+    /// fails).
+    ///
+    /// The fallback is the last resort, so it gets exactly one attempt and
+    /// no breaker bookkeeping — tripping a breaker on the availability
+    /// floor would only convert degraded answers into errors.
+    fn answer_unavailable(
+        &self,
+        req: &RecommendRequest,
+        why: ServeError,
+    ) -> Result<RecommendResponse, ServeError> {
+        let Some(entry) = self
+            .fallbacks
+            .get(&req.model)
+            .and_then(|name| self.models.get(name))
+        else {
+            if why == ServeError::CircuitOpen {
+                EngineCounters::bump(&self.counters.circuit_open);
+            }
+            return Err(why);
+        };
+        let (slot, shard) = entry.resolve(req.user);
+        let opts = RecommendOptions {
+            stopping: req.stopping.unwrap_or(self.default_stopping),
+            exclude: &[],
+            deadline: req.deadline,
+        };
+        // The fallback must honor the request's exclusions too.
+        let mut exclude_sorted;
+        let opts = if req.exclude.is_empty() {
+            opts
+        } else {
+            exclude_sorted = req.exclude.clone();
+            exclude_sorted.sort_unstable();
+            exclude_sorted.dedup();
+            RecommendOptions {
+                exclude: &exclude_sorted,
+                ..opts
+            }
+        };
+        match self.attempt(slot, shard, req, &opts) {
+            Ok(resp) => Ok(RecommendResponse {
+                degraded: true,
+                ..resp
+            }),
+            // The fallback failing is not the story: report why the
+            // primary was unavailable.
+            Err(_) => Err(why),
+        }
+    }
+
+    /// One serving attempt through a pooled context: catch panics, refuse
+    /// poisoned scores, detect cooperative deadline cancellation.
+    fn attempt(
+        &self,
+        slot: &ModelSlot,
+        shard: Option<usize>,
+        req: &RecommendRequest,
+        opts: &RecommendOptions<'_>,
+    ) -> Result<RecommendResponse, ServeError> {
         let mut ctx = self.contexts.checkout();
         let before = ctx.dp_telemetry();
         let mut items = Vec::new();
         // A panicking query (e.g. an out-of-range user id) must not take a
         // long-lived pool worker — or a whole batch — down with it: catch
-        // it and fail only this request. The context is NOT checked back in
+        // it and fail only this attempt. The context is NOT checked back in
         // on panic (its buffers may be mid-update); dropping it costs one
         // warm context, nothing else. The shared state touched below the
         // catch (pool, aggregate) is only ever locked around non-panicking
         // code, so observing it after an unwind is sound.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            rec.recommend_into(req.user, req.k, &opts, &mut ctx, &mut items);
+            slot.rec
+                .recommend_into(req.user, req.k, opts, &mut ctx, &mut items);
         }));
         if let Err(payload) = outcome {
-            return Err(ServeError::RequestPanicked(panic_message(&payload)));
+            EngineCounters::bump(&self.counters.contexts_discarded);
+            // `&*payload`, not `&payload`: the latter would unsize-coerce
+            // the Box itself to `&dyn Any` and every downcast inside would
+            // miss the real payload.
+            return Err(ServeError::RequestPanicked(panic_message(&*payload)));
         }
         let telemetry = ctx.dp_telemetry().since(&before);
         self.contexts.checkin(ctx);
@@ -130,24 +291,121 @@ impl EngineCore {
             // partially-iterated values and must not be served.
             return Err(ServeError::DeadlineExceeded);
         }
+        // The shared TopKCollector never admits non-finite scores, so any
+        // NaN/−∞ here is poison from a buggy (or fault-injected) custom
+        // path — refuse it rather than serve garbage ranks.
+        if items.iter().any(|item| !item.score.is_finite()) {
+            return Err(ServeError::PoisonedScores);
+        }
 
         Ok(RecommendResponse {
             items,
-            model: rec.name(),
+            model: slot.rec.name(),
             shard,
             telemetry,
+            degraded: false,
         })
     }
 }
 
-/// Best-effort extraction of a panic payload's message.
+/// Whether a retry could change this outcome: model faults (panics,
+/// poisoned scores) are transient-able; everything else is deterministic
+/// (unknown model) or already out of time (deadline).
+fn retryable(err: &ServeError) -> bool {
+    matches!(
+        err,
+        ServeError::RequestPanicked(_) | ServeError::PoisonedScores
+    )
+}
+
+/// Best-effort extraction of a panic payload's message; non-string
+/// payloads report their type name when it is a commonly-panicked type,
+/// falling back to the opaque [`std::any::TypeId`].
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    macro_rules! probe {
+        ($($ty:ty),* $(,)?) => {
+            $(if payload.is::<$ty>() {
+                return format!(
+                    "non-string panic payload of type {}",
+                    std::any::type_name::<$ty>()
+                );
+            })*
+        };
+    }
+    probe!(
+        i8,
+        i16,
+        i32,
+        i64,
+        i128,
+        isize,
+        u8,
+        u16,
+        u32,
+        u64,
+        u128,
+        usize,
+        f32,
+        f64,
+        bool,
+        char,
+        (),
+        std::io::Error,
+        Box<dyn std::error::Error + Send + Sync>,
+    );
+    format!("non-string panic payload ({:?})", payload.type_id())
+}
+
+/// Point-in-time health snapshot of one registered model (or sharded
+/// group) — see [`Engine::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelHealth {
+    /// Registry name of the model.
+    pub name: String,
+    /// Breaker state per servable unit: one entry for unsharded models,
+    /// one per shard for sharded groups. All-`Closed` when breakers are
+    /// disabled.
+    pub breakers: Vec<BreakerState>,
+    /// Registry name of the fallback that answers (degraded) when this
+    /// model is unavailable, if one is registered.
+    pub fallback: Option<String>,
+    /// Lifetime Closed→Open breaker trips, summed over shards.
+    pub breaker_trips: u64,
+}
+
+/// Point-in-time health snapshot of an [`Engine`], read via
+/// [`Engine::health`] — what an operator's probe endpoint would export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineHealth {
+    /// Per-model breaker states and fallback routing, sorted by name.
+    pub models: Vec<ModelHealth>,
+    /// Requests waiting in the admission queue right now.
+    pub queue_depth: usize,
+    /// Live worker threads (after this snapshot's supervision pass — taking
+    /// a snapshot respawns any dead workers it finds).
+    pub workers_alive: usize,
+    /// The worker count the engine was built with and supervision
+    /// maintains.
+    pub workers_configured: usize,
+    /// Engine-lifetime serving counters at snapshot time.
+    pub stats: EngineStats,
+}
+
+impl EngineHealth {
+    /// `true` when nothing is degraded: every breaker closed and the full
+    /// configured worker pool alive.
+    pub fn all_healthy(&self) -> bool {
+        self.workers_alive == self.workers_configured
+            && self
+                .models
+                .iter()
+                .all(|m| m.breakers.iter().all(|b| *b == BreakerState::Closed))
     }
 }
 
@@ -167,12 +425,22 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 ///   drain, i.e. the blocking convenience form of the async path.
 ///
 /// Output equivalence is a pinned contract: for any request the engine
-/// *answers*, the response's `items` are exactly what the routed
-/// recommender's [`Recommender::recommend_into`] produces with the
+/// *answers non-degraded*, the response's `items` are exactly what the
+/// routed recommender's [`Recommender::recommend_into`] produces with the
 /// request's effective [`RecommendOptions`] — the engine adds routing,
 /// pooling, admission control and telemetry, never ranking changes.
 /// Requests it cannot answer in time fail typed instead
 /// ([`ServeError::Overloaded`] / [`ServeError::DeadlineExceeded`]).
+///
+/// **Fault tolerance** is opt-in per engine: [`EngineBuilder::breakers`]
+/// arms a circuit breaker per model/shard (open breaker → fail fast with
+/// [`ServeError::CircuitOpen`] before any queue slot or context is spent),
+/// [`EngineBuilder::default_retry`] retries model faults on fresh
+/// contexts, and [`EngineBuilder::fallback`] routes unavailable primaries
+/// to a degraded-mode stand-in (responses flagged
+/// [`RecommendResponse::degraded`]). Worker threads are supervised:
+/// [`Engine::health`] (and every `submit`) respawns dead workers to keep
+/// the pool at its configured size.
 ///
 /// ```
 /// use longtail_core::{GraphRecConfig, HittingTimeRecommender};
@@ -194,6 +462,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// let pending = engine.submit(RecommendRequest::new("HT", 0, 5)).unwrap();
 /// let response = pending.wait().unwrap();
 /// assert_eq!(response.items[0].item, 1);
+/// assert!(!response.degraded);
 /// ```
 pub struct Engine {
     core: Arc<EngineCore>,
@@ -201,7 +470,11 @@ pub struct Engine {
     /// workers (submissions then run inline).
     queue: Option<Arc<JobQueue>>,
     policy: AdmissionPolicy,
-    workers: Vec<JoinHandle<()>>,
+    /// The pool, under a lock so supervision can swap dead handles for
+    /// fresh ones.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// The size supervision maintains the pool at.
+    configured_workers: usize,
 }
 
 impl Engine {
@@ -230,7 +503,27 @@ impl Engine {
     /// oldest queued request's handle with `Overloaded`. An engine built
     /// with `workers(0)` has no queue and serves submissions synchronously
     /// on the calling thread (the handle comes back already resolved).
+    ///
+    /// Two fault-tolerance hooks run here: dead workers detected by
+    /// supervision are respawned before the request enqueues, and a
+    /// request routed to a model whose breaker is open **with no fallback
+    /// registered** is refused with [`ServeError::CircuitOpen`]
+    /// immediately — before it spends a queue slot — rather than queueing
+    /// work that a worker would refuse anyway.
     pub fn submit(&self, request: RecommendRequest) -> Result<PendingResponse, ServeError> {
+        self.respawn_dead_workers();
+        // Fail fast on an open breaker (unless a fallback will answer):
+        // read-only check, the authoritative transition still happens at
+        // the worker's admit().
+        if !self.core.fallbacks.contains_key(&request.model) {
+            if let Some(entry) = self.core.models.get(&request.model) {
+                let (slot, _) = entry.resolve(request.user);
+                if slot.breaker.would_refuse() {
+                    EngineCounters::bump(&self.core.counters.circuit_open);
+                    return Err(ServeError::CircuitOpen);
+                }
+            }
+        }
         let Some(queue) = &self.queue else {
             EngineCounters::bump(&self.core.counters.submitted);
             return Ok(PendingResponse::ready(self.core.serve_admitted(&request)));
@@ -286,9 +579,14 @@ impl Engine {
         names
     }
 
-    /// Number of persistent worker threads.
+    /// Number of live worker threads (the configured count, except in the
+    /// window between a worker dying and supervision respawning it).
     pub fn n_workers(&self) -> usize {
-        self.workers.len()
+        self.workers
+            .lock()
+            .iter()
+            .filter(|w| !w.is_finished())
+            .count()
     }
 
     /// Number of submitted requests currently waiting in the admission
@@ -303,11 +601,39 @@ impl Engine {
         *self.core.aggregate.lock()
     }
 
-    /// Engine-lifetime [`EngineStats`]: submission, saturation, shed and
-    /// deadline counters. Monotone — diff snapshots with
+    /// Engine-lifetime [`EngineStats`]: submission, saturation, shed,
+    /// deadline and fault counters. Monotone — diff snapshots with
     /// [`EngineStats::since`] to scope them to a traffic window.
     pub fn stats(&self) -> EngineStats {
         self.core.counters.snapshot()
+    }
+
+    /// Health snapshot: per-model breaker states and fallback routing,
+    /// queue depth, worker liveness and the stats counters. Taking a
+    /// snapshot runs a supervision pass first, so any dead worker it
+    /// reports on has already been replaced (visible in
+    /// `stats.workers_restarted`).
+    pub fn health(&self) -> EngineHealth {
+        self.respawn_dead_workers();
+        let mut models: Vec<ModelHealth> = self
+            .core
+            .models
+            .iter()
+            .map(|(name, entry)| ModelHealth {
+                name: name.clone(),
+                breakers: entry.breaker_states(),
+                fallback: self.core.fallbacks.get(name).cloned(),
+                breaker_trips: entry.breaker_trips(),
+            })
+            .collect();
+        models.sort_by(|a, b| a.name.cmp(&b.name));
+        EngineHealth {
+            models,
+            queue_depth: self.queue_depth(),
+            workers_alive: self.n_workers(),
+            workers_configured: self.configured_workers,
+            stats: self.stats(),
+        }
     }
 
     /// Zero the engine-lifetime telemetry (e.g. between benchmark phases).
@@ -315,6 +641,36 @@ impl Engine {
     /// monotone; use [`EngineStats::since`]).
     pub fn reset_telemetry(&self) {
         *self.core.aggregate.lock() = DpTelemetry::default();
+    }
+
+    /// Supervision: replace dead worker threads with fresh ones so the
+    /// pool stays at its configured size. Runs on every `submit` (cheap: a
+    /// single atomic load when nothing died) and on [`Engine::health`].
+    fn respawn_dead_workers(&self) {
+        if self.core.workers_dead.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let Some(queue) = &self.queue else { return };
+        let mut workers = self.workers.lock();
+        let mut respawned: u64 = 0;
+        for handle in workers.iter_mut() {
+            if handle.is_finished() {
+                let fresh = spawn_worker(Arc::clone(&self.core), Arc::clone(queue));
+                let dead = std::mem::replace(handle, fresh);
+                let _ = dead.join();
+                EngineCounters::bump(&self.core.counters.workers_restarted);
+                respawned += 1;
+            }
+        }
+        if respawned > 0 {
+            // A death notice can land before `is_finished()` flips; leave
+            // any unmatched notices for the next pass (still under the
+            // workers lock, so the subtraction cannot race another pass).
+            let pending = self.core.workers_dead.load(Ordering::Relaxed);
+            self.core
+                .workers_dead
+                .fetch_sub(respawned.min(pending), Ordering::Relaxed);
+        }
     }
 }
 
@@ -330,33 +686,80 @@ impl Drop for Engine {
                 job.refuse(ServeError::ShuttingDown);
             }
         }
-        for worker in self.workers.drain(..) {
+        for worker in self.workers.lock().drain(..) {
             let _ = worker.join();
         }
     }
 }
 
+fn spawn_worker(core: Arc<EngineCore>, queue: Arc<JobQueue>) -> JoinHandle<()> {
+    std::thread::spawn(move || worker_loop(core, queue))
+}
+
 /// What a pool worker does for its whole life: pull jobs off the bounded
 /// queue, serve them through the core, reply. Ends when the engine closes
-/// the queue and the backlog is cancelled.
+/// the queue and the backlog is cancelled — or abnormally, on a
+/// [`WORKER_KILL_MARK`] panic, in which case a death notice is left for
+/// supervision to respawn the thread.
 fn worker_loop(core: Arc<EngineCore>, queue: Arc<JobQueue>) {
+    /// Drop guard: any exit from the loop that isn't the clean
+    /// queue-closed shutdown files a death notice — including unwinds this
+    /// function didn't anticipate.
+    struct DeathNotice {
+        core: Arc<EngineCore>,
+        armed: bool,
+    }
+    impl Drop for DeathNotice {
+        fn drop(&mut self) {
+            if self.armed {
+                self.core.workers_dead.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let mut notice = DeathNotice {
+        core: Arc::clone(&core),
+        armed: true,
+    };
     while let Some(job) = queue.pop() {
         // A closed reply channel means the submitter dropped its handle
         // (gave up on the result); the work still ran, the reply just has
         // no audience.
         let result = core.serve_admitted(&job.request);
+        // A kill-marked panic emulates a fault unwind-catching cannot
+        // contain: answer the request, then die (armed notice → respawn).
+        let fatal = matches!(
+            &result,
+            Err(ServeError::RequestPanicked(msg)) if msg.contains(WORKER_KILL_MARK)
+        );
         let _ = job.reply.send(result);
+        if fatal {
+            return;
+        }
     }
+    notice.armed = false;
 }
 
 /// Configures and builds an [`Engine`].
 pub struct EngineBuilder {
-    models: HashMap<String, ModelEntry>,
+    models: HashMap<String, BuilderEntry>,
+    fallbacks: HashMap<String, String>,
     workers: Option<usize>,
     max_idle_contexts: Option<usize>,
     default_stopping: DpStopping,
+    default_retry: RetryPolicy,
+    breakers: Option<BreakerConfig>,
     queue_capacity: usize,
     policy: AdmissionPolicy,
+}
+
+/// Builder-side registry entries (breakers attach at build, once the
+/// engine-wide [`BreakerConfig`] is known).
+enum BuilderEntry {
+    Single(SharedRecommender),
+    Sharded {
+        router: Arc<dyn ShardRouter>,
+        shards: Vec<SharedRecommender>,
+    },
 }
 
 impl EngineBuilder {
@@ -366,13 +769,17 @@ impl EngineBuilder {
 
     /// An empty registry with defaults: one worker per available core, a
     /// context pool sized to the workers, adaptive stopping, a
-    /// 1024-request admission queue under [`AdmissionPolicy::Block`].
+    /// 1024-request admission queue under [`AdmissionPolicy::Block`], and
+    /// fault tolerance off (no breakers, no retries, no fallbacks).
     pub fn new() -> Self {
         Self {
             models: HashMap::new(),
+            fallbacks: HashMap::new(),
             workers: None,
             max_idle_contexts: None,
             default_stopping: DpStopping::default(),
+            default_retry: RetryPolicy::default(),
+            breakers: None,
             queue_capacity: Self::DEFAULT_QUEUE_CAPACITY,
             policy: AdmissionPolicy::default(),
         }
@@ -381,7 +788,7 @@ impl EngineBuilder {
     /// Register `rec` under `name`, replacing any previous registration of
     /// that name.
     pub fn model(mut self, name: impl Into<String>, rec: SharedRecommender) -> Self {
-        self.models.insert(name.into(), ModelEntry::Single(rec));
+        self.models.insert(name.into(), BuilderEntry::Single(rec));
         self
     }
 
@@ -399,7 +806,32 @@ impl EngineBuilder {
     ) -> Self {
         assert!(!shards.is_empty(), "a sharded model needs at least 1 shard");
         self.models
-            .insert(name.into(), ModelEntry::Sharded { router, shards });
+            .insert(name.into(), BuilderEntry::Sharded { router, shards });
+        self
+    }
+
+    /// Arm a circuit breaker (with this config) on every registered model
+    /// and shard. Without this call breakers are disabled: nothing is
+    /// recorded, nothing ever refuses, the fault-free path is unchanged.
+    pub fn breakers(mut self, config: BreakerConfig) -> Self {
+        self.breakers = Some(config);
+        self
+    }
+
+    /// Serve requests for `primary` from `fallback` (flagged
+    /// [`RecommendResponse::degraded`]) when the primary's breaker is open
+    /// or its retries are exhausted. Both names refer to registered
+    /// models; registration order does not matter, but both must exist by
+    /// [`EngineBuilder::build`] time.
+    pub fn fallback(mut self, primary: impl Into<String>, fallback: impl Into<String>) -> Self {
+        self.fallbacks.insert(primary.into(), fallback.into());
+        self
+    }
+
+    /// The [`RetryPolicy`] applied to requests that don't carry their own
+    /// ([`RecommendRequest::with_retry`]). Defaults to no retries.
+    pub fn default_retry(mut self, retry: RetryPolicy) -> Self {
+        self.default_retry = retry;
         self
     }
 
@@ -449,25 +881,62 @@ impl EngineBuilder {
     }
 
     /// Spawn the worker pool and finish the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`EngineBuilder::fallback`] registration names an
+    /// unregistered model, or maps a model to itself.
     pub fn build(self) -> Engine {
+        for (primary, fallback) in &self.fallbacks {
+            assert!(
+                self.models.contains_key(primary),
+                "fallback registered for unknown model {primary:?}"
+            );
+            assert!(
+                self.models.contains_key(fallback),
+                "fallback {fallback:?} (for {primary:?}) is not a registered model"
+            );
+            assert!(
+                primary != fallback,
+                "model {primary:?} cannot be its own fallback"
+            );
+        }
+        let breakers = self.breakers;
+        let slot = |rec: SharedRecommender| ModelSlot {
+            rec,
+            breaker: CircuitBreaker::new(breakers),
+        };
+        let models = self
+            .models
+            .into_iter()
+            .map(|(name, entry)| {
+                let entry = match entry {
+                    BuilderEntry::Single(rec) => ModelEntry::Single(slot(rec)),
+                    BuilderEntry::Sharded { router, shards } => ModelEntry::Sharded {
+                        router,
+                        shards: shards.into_iter().map(slot).collect(),
+                    },
+                };
+                (name, entry)
+            })
+            .collect();
         let workers = self
             .workers
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
         let core = Arc::new(EngineCore {
-            models: self.models,
+            models,
+            fallbacks: self.fallbacks,
             default_stopping: self.default_stopping,
+            default_retry: self.default_retry,
             contexts: ContextPool::new(self.max_idle_contexts.unwrap_or(workers + 2)),
             aggregate: Mutex::new(DpTelemetry::default()),
             counters: EngineCounters::default(),
+            workers_dead: AtomicU64::new(0),
         });
         let queue = (workers > 0).then(|| Arc::new(JobQueue::new(self.queue_capacity)));
         let handles = match &queue {
             Some(queue) => (0..workers)
-                .map(|_| {
-                    let core = Arc::clone(&core);
-                    let queue = Arc::clone(queue);
-                    std::thread::spawn(move || worker_loop(core, queue))
-                })
+                .map(|_| spawn_worker(Arc::clone(&core), Arc::clone(queue)))
                 .collect(),
             None => Vec::new(),
         };
@@ -475,7 +944,8 @@ impl EngineBuilder {
             core,
             queue,
             policy: self.policy,
-            workers: handles,
+            workers: Mutex::new(handles),
+            configured_workers: workers,
         }
     }
 }
@@ -483,5 +953,22 @@ impl EngineBuilder {
 impl Default for EngineBuilder {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_message_reports_common_payload_types() {
+        let caught =
+            std::panic::catch_unwind(|| std::panic::panic_any(42i32)).expect_err("panicked");
+        assert!(panic_message(&*caught).contains("i32"));
+        let caught =
+            std::panic::catch_unwind(|| std::panic::panic_any(1.5f64)).expect_err("panicked");
+        assert!(panic_message(&*caught).contains("f64"));
+        let caught = std::panic::catch_unwind(|| panic!("plain {}", "message")).unwrap_err();
+        assert_eq!(panic_message(&*caught), "plain message");
     }
 }

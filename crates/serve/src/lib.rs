@@ -31,25 +31,43 @@
 //!   worker threads; [`Engine::recommend_batch`] is fan-out over
 //!   [`Engine::submit`] plus an in-order drain, and engine drop cancels
 //!   the queued backlog so shutdown is bounded-time.
+//! * **Fault tolerance (opt-in)** — [`EngineBuilder::breakers`] arms a
+//!   **circuit breaker** per model/shard (rolling failure window over
+//!   panics, poisoned scores and in-DP deadline expiries;
+//!   Closed→Open→HalfOpen; open breakers fail fast with
+//!   [`ServeError::CircuitOpen`] before any queue slot or context is
+//!   spent), [`RetryPolicy`] retries model faults on fresh contexts within
+//!   the deadline, and [`EngineBuilder::fallback`] serves unavailable
+//!   primaries from a registered stand-in (e.g. the popularity baseline)
+//!   with [`RecommendResponse::degraded`] set. Worker threads are
+//!   supervised — dead ones respawn — and [`Engine::health`] snapshots
+//!   breaker states, queue depth and worker liveness. The deterministic
+//!   [`FaultPlan`]/[`FaultyRecommender`] harness drives all of it in
+//!   chaos tests and the `fault_tolerance` bench section.
 //!
 //! Engine output is pinned — by equivalence property tests — to be
 //! identical (items, ranks, scores) to calling the routed recommender's
 //! [`longtail_core::Recommender::recommend_into`] directly, for every
-//! request the engine answers; requests dropped by backpressure or
-//! deadlines fail typed instead of degrading silently.
+//! request the engine answers non-degraded; requests dropped by
+//! backpressure or deadlines fail typed, and fallback answers are flagged
+//! degraded — nothing degrades silently.
 
 #![warn(missing_docs)]
 
+mod breaker;
 mod engine;
+mod faults;
 mod pool;
 mod queue;
 mod request;
 mod router;
 mod submit;
 
-pub use engine::{Engine, EngineBuilder, SharedRecommender};
+pub use breaker::{BreakerConfig, BreakerState};
+pub use engine::{Engine, EngineBuilder, EngineHealth, ModelHealth, SharedRecommender};
+pub use faults::{FaultKind, FaultPlan, FaultyRecommender, WORKER_KILL_MARK};
 pub use pool::ContextPool;
 pub use queue::AdmissionPolicy;
-pub use request::{RecommendRequest, RecommendResponse, ServeError};
+pub use request::{RecommendRequest, RecommendResponse, RetryPolicy, ServeError};
 pub use router::{ModuloRouter, RangeRouter, ShardRouter};
 pub use submit::{EngineStats, PendingResponse};

@@ -2,6 +2,53 @@
 
 use longtail_core::{DpStopping, DpTelemetry, ScoredItem};
 
+/// Bounded in-place retry of failed attempts, configured per request
+/// ([`RecommendRequest::with_retry`]) or engine-wide
+/// ([`crate::EngineBuilder::default_retry`]; the request wins).
+///
+/// Only *model faults* are retried — a caught query panic or a
+/// NaN/−∞-poisoned response ([`ServeError::PoisonedScores`]) — each retry
+/// on a **fresh** [`longtail_core::ScoringContext`], since the one a panic
+/// unwound through is discarded as poisoned. Deadline expiries, unknown
+/// models and open breakers are never retried: the first is already out of
+/// time and the others cannot change between attempts. A retry is also
+/// skipped when its backoff cannot finish before the request's deadline —
+/// retrying past the deadline would burn a worker on an answer nobody can
+/// use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (so `max_attempts: 1` means "no
+    /// retries" and is what `Default` gives).
+    pub max_attempts: u32,
+    /// Pause before each retry (constant; attempt 2 and later).
+    pub backoff: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff: std::time::Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Up to `max_attempts` total attempts with no pause between them.
+    pub fn attempts(max_attempts: u32) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            backoff: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Set the pause inserted before each retry.
+    pub fn with_backoff(mut self, backoff: std::time::Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
+
 /// One top-k recommendation request against an [`crate::Engine`].
 ///
 /// Everything per-call is here, typed: which registered model answers,
@@ -42,6 +89,9 @@ pub struct RecommendRequest {
     /// past its deadline. A query that completes before the check fires
     /// returns its response normally.
     pub deadline: Option<std::time::Instant>,
+    /// Per-request retry override; `None` uses the engine's default policy
+    /// (no retries unless [`crate::EngineBuilder::default_retry`] set one).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl RecommendRequest {
@@ -54,6 +104,7 @@ impl RecommendRequest {
             stopping: None,
             exclude: Vec::new(),
             deadline: None,
+            retry: None,
         }
     }
 
@@ -82,6 +133,12 @@ impl RecommendRequest {
     pub fn deadline_in(self, budget: std::time::Duration) -> Self {
         self.deadline_at(std::time::Instant::now() + budget)
     }
+
+    /// Override the engine's default [`RetryPolicy`] for this request.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
 }
 
 /// The engine's answer to a [`RecommendRequest`].
@@ -100,6 +157,12 @@ pub struct RecommendResponse {
     /// DP iteration counters of exactly this request's query (all-zero for
     /// non-walk models), diffed off the pooled context that served it.
     pub telemetry: DpTelemetry,
+    /// `true` when the registered **fallback** model produced this list
+    /// because the requested primary was unavailable (breaker open, or its
+    /// retries exhausted); [`RecommendResponse::model`] then names the
+    /// fallback. Every non-degraded response is rank-identical to a
+    /// fault-free engine's answer — degradation is flagged, never silent.
+    pub degraded: bool,
 }
 
 /// Why the engine refused or failed a request.
@@ -126,6 +189,18 @@ pub enum ServeError {
     /// drop cancels every not-yet-started request so teardown never waits
     /// on a backlog.
     ShuttingDown,
+    /// The routed model's (or shard's) circuit breaker is open and no
+    /// fallback model is registered: the request is refused fast — at
+    /// submit time when possible, before it spends a queue slot or a
+    /// [`longtail_core::ScoringContext`] — instead of feeding a model the
+    /// rolling window says is down.
+    CircuitOpen,
+    /// The model returned non-finite (NaN or −∞) scores in its top-k list.
+    /// The shared [`longtail_core::TopKCollector`] never admits such
+    /// scores, so any non-finite score in a response is poison from a buggy
+    /// or faulted custom path; the engine refuses to serve it and feeds the
+    /// breaker a failure.
+    PoisonedScores,
 }
 
 impl std::fmt::Display for ServeError {
@@ -138,6 +213,12 @@ impl std::fmt::Display for ServeError {
             Self::Overloaded => write!(f, "admission queue full, request refused by backpressure"),
             Self::DeadlineExceeded => write!(f, "request deadline expired before completion"),
             Self::ShuttingDown => write!(f, "engine shut down before the request was served"),
+            Self::CircuitOpen => {
+                write!(f, "model circuit breaker is open, request refused fast")
+            }
+            Self::PoisonedScores => {
+                write!(f, "model returned non-finite scores, response refused")
+            }
         }
     }
 }
@@ -164,5 +245,14 @@ mod tests {
     fn error_displays_model_name() {
         let e = ServeError::UnknownModel("nope".into());
         assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn retry_policy_floors_at_one_attempt() {
+        assert_eq!(RetryPolicy::attempts(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::default().max_attempts, 1);
+        let p = RetryPolicy::attempts(3).with_backoff(std::time::Duration::from_millis(5));
+        assert_eq!(p.max_attempts, 3);
+        assert_eq!(p.backoff, std::time::Duration::from_millis(5));
     }
 }

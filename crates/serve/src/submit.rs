@@ -108,17 +108,30 @@ impl PendingResponse {
 /// [`EngineStats::since`] to attribute counts to a traffic window. The
 /// ledger balances: every submission accepted by `submit`/`recommend`/
 /// `recommend_batch` (`submitted`) is eventually counted in exactly one of
-/// `completed`, `failed`, `expired_at_dequeue`, `expired_in_dp`, `shed` or
-/// `cancelled_at_shutdown`; refusals (`rejected`) were never admitted.
+/// `completed`, `failed`, `panicked`, `expired_at_dequeue`, `expired_in_dp`,
+/// `shed` or `cancelled_at_shutdown`; refusals (`rejected`, and the
+/// submit-time share of `circuit_open`) were never admitted.
+///
+/// The counters below the ledger block — `degraded`, `retries`,
+/// `contexts_discarded`, `circuit_open`, `workers_restarted` — are
+/// *attribution* counters: they explain how requests were handled, overlap
+/// with the ledger slots (a degraded request is also `completed`; a retried
+/// panic bumps `contexts_discarded` without any ledger entry if the retry
+/// succeeds) and must not be added into the balance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Requests admitted: enqueued for the pool or started inline.
     pub submitted: u64,
-    /// Requests answered with a response.
+    /// Requests answered with a response (degraded or not).
     pub completed: u64,
-    /// Requests answered with a non-deadline error (unknown model, query
-    /// panic).
+    /// Requests answered with a non-deadline, non-panic error (unknown
+    /// model, poisoned scores, worker-side circuit-open refusals with no
+    /// fallback).
     pub failed: u64,
+    /// Requests whose *final* answer was [`ServeError::RequestPanicked`]:
+    /// every attempt (and any fallback) panicked. Split out of `failed`
+    /// because a panicking model is an incident, not a caller error.
+    pub panicked: u64,
     /// Submissions refused outright by [`crate::AdmissionPolicy::Reject`]
     /// on a full queue ([`ServeError::Overloaded`] from `submit` itself).
     pub rejected: u64,
@@ -135,6 +148,24 @@ pub struct EngineStats {
     /// Queued requests cancelled by engine shutdown (their handles resolve
     /// [`ServeError::ShuttingDown`]).
     pub cancelled_at_shutdown: u64,
+    /// Requests completed by the registered **fallback** model because the
+    /// primary was unavailable (subset of `completed`; the responses carry
+    /// [`RecommendResponse::degraded`] = `true`).
+    pub degraded: u64,
+    /// Extra serving attempts made under a [`crate::RetryPolicy`] (a
+    /// request served on its 3rd attempt adds 2 here and 1 to `completed`).
+    pub retries: u64,
+    /// [`longtail_core::ScoringContext`]s discarded instead of returned to
+    /// the pool because a query panicked while holding one — every caught
+    /// panic bumps this, whether or not a retry then succeeds.
+    pub contexts_discarded: u64,
+    /// Requests refused by an open circuit breaker with no fallback to
+    /// serve — at submit time (these never count as `submitted`, like
+    /// `rejected`) or at a worker (these land in `failed`).
+    pub circuit_open: u64,
+    /// Dead pool workers detected and respawned by supervision, keeping
+    /// the worker count at its configured size.
+    pub workers_restarted: u64,
 }
 
 impl EngineStats {
@@ -144,6 +175,7 @@ impl EngineStats {
             submitted: self.submitted.saturating_sub(earlier.submitted),
             completed: self.completed.saturating_sub(earlier.completed),
             failed: self.failed.saturating_sub(earlier.failed),
+            panicked: self.panicked.saturating_sub(earlier.panicked),
             rejected: self.rejected.saturating_sub(earlier.rejected),
             shed: self.shed.saturating_sub(earlier.shed),
             expired_at_dequeue: self
@@ -153,11 +185,26 @@ impl EngineStats {
             cancelled_at_shutdown: self
                 .cancelled_at_shutdown
                 .saturating_sub(earlier.cancelled_at_shutdown),
+            degraded: self.degraded.saturating_sub(earlier.degraded),
+            retries: self.retries.saturating_sub(earlier.retries),
+            contexts_discarded: self
+                .contexts_discarded
+                .saturating_sub(earlier.contexts_discarded),
+            circuit_open: self.circuit_open.saturating_sub(earlier.circuit_open),
+            workers_restarted: self
+                .workers_restarted
+                .saturating_sub(earlier.workers_restarted),
         }
     }
 
     /// Requests never served because backpressure or deadlines dropped
     /// them: `rejected + shed + expired_at_dequeue + expired_in_dp`.
+    ///
+    /// `panicked` and worker-side `circuit_open` requests are *not* drops:
+    /// they were admitted and answered, just with an error — they live in
+    /// the `panicked`/`failed` ledger slots instead. Submit-time
+    /// `circuit_open` refusals are drops in spirit but tracked separately
+    /// so this sum keeps its pre-breaker meaning.
     pub fn dropped(&self) -> u64 {
         self.rejected + self.shed + self.expired_at_dequeue + self.expired_in_dp
     }
@@ -170,11 +217,17 @@ pub(crate) struct EngineCounters {
     pub(crate) submitted: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) failed: AtomicU64,
+    pub(crate) panicked: AtomicU64,
     pub(crate) rejected: AtomicU64,
     pub(crate) shed: AtomicU64,
     pub(crate) expired_at_dequeue: AtomicU64,
     pub(crate) expired_in_dp: AtomicU64,
     pub(crate) cancelled_at_shutdown: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) contexts_discarded: AtomicU64,
+    pub(crate) circuit_open: AtomicU64,
+    pub(crate) workers_restarted: AtomicU64,
 }
 
 impl EngineCounters {
@@ -188,11 +241,17 @@ impl EngineCounters {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             expired_at_dequeue: self.expired_at_dequeue.load(Ordering::Relaxed),
             expired_in_dp: self.expired_in_dp.load(Ordering::Relaxed),
             cancelled_at_shutdown: self.cancelled_at_shutdown.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            contexts_discarded: self.contexts_discarded.load(Ordering::Relaxed),
+            circuit_open: self.circuit_open.load(Ordering::Relaxed),
+            workers_restarted: self.workers_restarted.load(Ordering::Relaxed),
         }
     }
 }
@@ -249,11 +308,23 @@ mod tests {
             rejected: 1,
             shed: 2,
             expired_at_dequeue: 1,
+            panicked: 1,
+            degraded: 2,
+            retries: 3,
+            contexts_discarded: 4,
+            circuit_open: 5,
+            workers_restarted: 1,
             ..earlier
         };
         let diff = later.since(&earlier);
         assert_eq!(diff.submitted, 4);
         assert_eq!(diff.completed, 2);
-        assert_eq!(diff.dropped(), 4);
+        assert_eq!(diff.dropped(), 4, "panics and breaker refusals not drops");
+        assert_eq!(diff.panicked, 1);
+        assert_eq!(diff.degraded, 2);
+        assert_eq!(diff.retries, 3);
+        assert_eq!(diff.contexts_discarded, 4);
+        assert_eq!(diff.circuit_open, 5);
+        assert_eq!(diff.workers_restarted, 1);
     }
 }

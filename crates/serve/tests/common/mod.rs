@@ -5,7 +5,8 @@
 use longtail_core::{
     AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
     AssociationRuleRecommender, GraphRecConfig, HittingTimeRecommender, KnnRecommender,
-    LdaRecommender, PageRankRecommender, PureSvdRecommender, RuleConfig, UserSimilarity,
+    LdaRecommender, PageRankRecommender, PopularityRecommender, PureSvdRecommender, RuleConfig,
+    UserSimilarity,
 };
 use longtail_data::{Dataset, Rating};
 use longtail_serve::SharedRecommender;
@@ -75,5 +76,6 @@ pub fn roster(d: &Dataset) -> Vec<(&'static str, SharedRecommender)> {
         ),
         ("ppr", Arc::new(PageRankRecommender::plain(d))),
         ("dppr", Arc::new(PageRankRecommender::discounted(d))),
+        ("POP", Arc::new(PopularityRecommender::train(d))),
     ]
 }

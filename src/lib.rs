@@ -25,8 +25,8 @@
 //! | [`markov`] | `longtail-markov` | hitting/absorbing times and costs, personalized PageRank |
 //! | [`topics`] | `longtail-topics` | Gibbs-sampled LDA over rating counts, user entropy |
 //! | [`data`]   | `longtail-data`   | synthetic long-tail datasets, MovieLens parsers, protocol splits, ontology |
-//! | [`core`]   | `longtail-core`   | the recommenders: HT, AT, AC1, AC2, LDA, PureSVD, PPR, DPPR |
-//! | [`serve`]  | `longtail-serve`  | the serving engine: multi-model registry, shard routing, context pool, worker pool |
+//! | [`core`]   | `longtail-core`   | the recommenders: HT, AT, AC1, AC2, LDA, PureSVD, PPR, DPPR, POP |
+//! | [`serve`]  | `longtail-serve`  | the serving engine: multi-model registry, shard routing, context pool, worker pool, circuit breakers + fallback |
 //! | [`eval`]   | `longtail-eval`   | Recall@N, Popularity@N, Diversity, Similarity, timing, user study |
 //!
 //! ## Quickstart
@@ -71,8 +71,8 @@ pub mod prelude {
         AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
         AssociationRuleRecommender, DpStopping, DpTelemetry, EntropySource, GraphRecConfig,
         HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor,
-        PageRankRecommender, PureSvdRecommender, RecommendOptions, Recommender, RuleConfig,
-        ScoredItem, ScoringContext, TopKCollector, UserSimilarity,
+        PageRankRecommender, PopularityRecommender, PureSvdRecommender, RecommendOptions,
+        Recommender, RuleConfig, ScoredItem, ScoringContext, TopKCollector, UserSimilarity,
     };
     pub use longtail_data::{
         holdout_longtail_favorites, Dataset, LongTailSplit, Ontology, ProtocolSplit, Rating,
@@ -84,8 +84,10 @@ pub mod prelude {
     };
     pub use longtail_graph::{BipartiteGraph, GraphStats};
     pub use longtail_serve::{
-        AdmissionPolicy, Engine, EngineBuilder, EngineStats, ModuloRouter, PendingResponse,
-        RangeRouter, RecommendRequest, RecommendResponse, ServeError, ShardRouter,
+        AdmissionPolicy, BreakerConfig, BreakerState, Engine, EngineBuilder, EngineHealth,
+        EngineStats, FaultKind, FaultPlan, FaultyRecommender, ModelHealth, ModuloRouter,
+        PendingResponse, RangeRouter, RecommendRequest, RecommendResponse, RetryPolicy, ServeError,
+        ShardRouter,
     };
     pub use longtail_topics::{LdaConfig, LdaModel};
 }
