@@ -19,14 +19,14 @@ use longtail_core::{
     Recommender, ScoringContext,
 };
 use longtail_data::{SyntheticConfig, SyntheticData};
-use longtail_eval::{sample_test_users, time_open_loop_submission};
+use longtail_eval::{sample_test_users, time_open_loop_submission, TimingStats};
 use longtail_graph::BipartiteGraph;
 use longtail_serve::{
-    BreakerConfig, Engine, FaultKind, FaultPlan, FaultyRecommender, RecommendRequest, RetryPolicy,
-    ServeError, SharedRecommender,
+    BreakerConfig, Engine, FaultKind, FaultPlan, FaultyRecommender, Priority, RecommendRequest,
+    RecommendResponse, RetryPolicy, SchedPolicy, ServeError, SharedRecommender,
 };
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const BATCH: usize = 64;
 const REPEATS: usize = 5;
@@ -54,6 +54,19 @@ const FAULT_ROUNDS: usize = 4;
 const FAULT_P_PANIC: f64 = 0.12;
 /// Per-call probability of injected NaN score poisoning in the chaos mix.
 const FAULT_P_NAN: f64 = 0.08;
+
+/// Requests in the QoS overload mix (the sampled users, cycled): enough
+/// that the single worker is overloaded for the whole pass and the seeded
+/// class mix lands dozens of requests per class.
+const QOS_REQUESTS: usize = 96;
+/// Interactive deadline, as a fraction of the mix's total service demand
+/// (`QOS_REQUESTS` × the calibrated per-request estimate). At 0.5, FIFO
+/// meets it only for Interactive requests that happen to land in the first
+/// half of the arrival order (~50% hit rate) while EDF-with-priority
+/// serves the whole class first (~100%).
+const QOS_INTERACTIVE_SLACK: f64 = 0.5;
+/// Batch deadline fraction: generous enough that both schedulers meet it.
+const QOS_BATCH_SLACK: f64 = 1.25;
 
 /// τ budget of the early-termination comparison: a *high-fidelity* serving
 /// tier whose truncation error is negligible (the paper's τ=15 trades
@@ -654,6 +667,199 @@ fn measure_fault_tolerance(
     out
 }
 
+/// One scheduler's side of the QoS comparison: the open-loop overload mix
+/// through one engine, accounted per class.
+struct QosPass {
+    seconds: f64,
+    interactive_submitted: u64,
+    interactive_served: u64,
+    batch_submitted: u64,
+    batch_served: u64,
+    ledger_consistent: bool,
+    rankings_match_blocking: bool,
+}
+
+impl QosPass {
+    fn interactive_hit_rate(&self) -> f64 {
+        self.interactive_served as f64 / self.interactive_submitted.max(1) as f64
+    }
+    fn batch_hit_rate(&self) -> f64 {
+        self.batch_served as f64 / self.batch_submitted.max(1) as f64
+    }
+}
+
+struct QosScheduling {
+    requests: usize,
+    service_estimate_seconds: f64,
+    fifo: QosPass,
+    qos: QosPass,
+    shed_unmeetable: u64,
+    interactive_p50_seconds: f64,
+    interactive_p99_seconds: f64,
+}
+
+impl QosScheduling {
+    /// The acceptance bar of the scheduling work: under the same overload,
+    /// EDF-with-priority serves strictly more Interactive deadlines than
+    /// FIFO.
+    fn interactive_hit_rate_improves(&self) -> bool {
+        self.qos.interactive_hit_rate() > self.fifo.interactive_hit_rate()
+    }
+}
+
+/// splitmix64: the seeded class mix of the QoS pass, stable across runs
+/// and machines.
+fn qos_mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deadline-hit rates under a seeded overload mix, FIFO vs the QoS
+/// scheduler, on otherwise identical single-worker engines.
+///
+/// A calibration pass first serves the whole mix closed-loop — measuring
+/// the per-request service estimate the deadlines are denominated in, and
+/// training the QoS engine's service-time EWMA (the slack shedder never
+/// acts without evidence). The overload mix then goes open loop: 96
+/// requests submitted at once against one worker, every third request
+/// (seeded) Interactive with a tight deadline, Batch with a loose one, or
+/// deadline-free Background. The scheduler may only reorder or shed:
+/// every response either matches the blocking path's ranking or is a typed
+/// deadline failure, and each class's ledger must balance
+/// (`submitted = served + shed + expired`, nothing `failed`).
+fn measure_qos_scheduling(
+    label: &'static str,
+    users: &[u32],
+    model: SharedRecommender,
+) -> QosScheduling {
+    let build = |sched: SchedPolicy| {
+        Engine::builder()
+            .model(label, Arc::clone(&model))
+            .workers(1)
+            .queue_capacity(ASYNC_QUEUE_CAPACITY)
+            .scheduling(sched)
+            .build()
+    };
+    let fifo = build(SchedPolicy::Fifo);
+    let qos = build(SchedPolicy::Qos);
+    let mix_users: Vec<u32> = (0..QOS_REQUESTS).map(|i| users[i % users.len()]).collect();
+
+    // Calibration: the mix served closed-loop on the inline path — the
+    // blocking-path reference rankings, the service estimate, and (on the
+    // QoS engine) the EWMA the slack shedder consults.
+    let start = Instant::now();
+    let reference: Vec<Vec<u32>> = mix_users
+        .iter()
+        .map(|&u| {
+            let resp = fifo
+                .recommend(&RecommendRequest::new(label, u, TOP_K))
+                .expect("calibration serves");
+            resp.items.iter().map(|s| s.item).collect()
+        })
+        .collect();
+    let estimate = start.elapsed().as_secs_f64() / QOS_REQUESTS as f64;
+    for &u in &mix_users {
+        qos.recommend(&RecommendRequest::new(label, u, TOP_K))
+            .expect("calibration serves");
+    }
+
+    // The overload mix. Deadlines are absolute, so each engine gets its
+    // own freshly-stamped copy of the same request sequence.
+    let demand = estimate * QOS_REQUESTS as f64;
+    let mix_requests = || -> Vec<RecommendRequest> {
+        let now = Instant::now();
+        mix_users
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                let req = RecommendRequest::new(label, u, TOP_K);
+                match qos_mix(0x9a05 ^ i as u64) % 3 {
+                    0 => req
+                        .deadline_at(now + Duration::from_secs_f64(QOS_INTERACTIVE_SLACK * demand)),
+                    1 => req
+                        .with_priority(Priority::Batch)
+                        .deadline_at(now + Duration::from_secs_f64(QOS_BATCH_SLACK * demand)),
+                    _ => req.with_priority(Priority::Background),
+                }
+            })
+            .collect()
+    };
+    let evaluate = |timing: &TimingStats, results: &[Result<RecommendResponse, ServeError>]| {
+        let stats = timing.engine.expect("engine timer carries stats");
+        let mut rankings_match_blocking = true;
+        for (i, result) in results.iter().enumerate() {
+            match result {
+                // A served ranking must be the blocking path's, whatever
+                // the scheduler did to the queue around it.
+                Ok(resp) => {
+                    if resp
+                        .items
+                        .iter()
+                        .map(|s| s.item)
+                        .ne(reference[i].iter().copied())
+                    {
+                        rankings_match_blocking = false;
+                    }
+                }
+                // The only acceptable failure in this mix: out of time.
+                Err(ServeError::DeadlineExceeded) => {}
+                Err(_) => rankings_match_blocking = false,
+            }
+        }
+        let ledger_consistent = stats
+            .per_class
+            .iter()
+            .all(|c| c.failed == 0 && c.submitted == c.served + c.shed + c.expired);
+        let class = |p: Priority| stats.per_class[p.index()];
+        QosPass {
+            seconds: timing.total_seconds,
+            interactive_submitted: class(Priority::Interactive).submitted,
+            interactive_served: class(Priority::Interactive).served,
+            batch_submitted: class(Priority::Batch).submitted,
+            batch_served: class(Priority::Batch).served,
+            ledger_consistent,
+            rankings_match_blocking,
+        }
+    };
+
+    let (fifo_timing, fifo_results) = time_open_loop_submission(&fifo, mix_requests());
+    let (qos_timing, qos_results) = time_open_loop_submission(&qos, mix_requests());
+    let qos_stats = qos_timing.engine.expect("engine timer carries stats");
+    let interactive = qos_stats.per_class[Priority::Interactive.index()];
+    let out = QosScheduling {
+        requests: QOS_REQUESTS,
+        service_estimate_seconds: estimate,
+        fifo: evaluate(&fifo_timing, &fifo_results),
+        qos: evaluate(&qos_timing, &qos_results),
+        shed_unmeetable: qos_stats.shed_unmeetable,
+        interactive_p50_seconds: interactive.latency_p50().unwrap_or(-1.0),
+        interactive_p99_seconds: interactive.latency_p99().unwrap_or(-1.0),
+    };
+    println!(
+        "\n{label} qos scheduling ({QOS_REQUESTS} requests, 1 worker, est {:.2} ms/req): \
+         fifo {:.1} req/s, qos {:.1} req/s; interactive deadline hits \
+         fifo {:.0}%, qos {:.0}% (improves: {}); batch hits fifo {:.0}%, qos {:.0}%; \
+         {} slack-shed, interactive p50 {:.1} ms / p99 {:.1} ms, \
+         ledgers consistent: {}, rankings match blocking path: {}",
+        out.service_estimate_seconds * 1e3,
+        out.requests as f64 / out.fifo.seconds,
+        out.requests as f64 / out.qos.seconds,
+        out.fifo.interactive_hit_rate() * 100.0,
+        out.qos.interactive_hit_rate() * 100.0,
+        out.interactive_hit_rate_improves(),
+        out.fifo.batch_hit_rate() * 100.0,
+        out.qos.batch_hit_rate() * 100.0,
+        out.shed_unmeetable,
+        out.interactive_p50_seconds * 1e3,
+        out.interactive_p99_seconds * 1e3,
+        out.fifo.ledger_consistent && out.qos.ledger_consistent,
+        out.fifo.rankings_match_blocking && out.qos.rankings_match_blocking,
+    );
+    out
+}
+
 fn main() {
     let config = SyntheticConfig {
         n_users: 600,
@@ -741,6 +947,11 @@ fn main() {
     let ht_async = measure_async_serving("HT", &serve_users, Arc::new(serve_ht.clone()));
     let ac_async = measure_async_serving("AC1", &serve_users, Arc::new(serve_ac1.clone()));
 
+    // Deadline-hit rates under a seeded overload mix: the QoS scheduler
+    // (strict priority + EDF + slack shedding) vs the FIFO baseline.
+    let ht_qos = measure_qos_scheduling("HT", &serve_users, Arc::new(serve_ht.clone()));
+    let ac_qos = measure_qos_scheduling("AC1", &serve_users, Arc::new(serve_ac1.clone()));
+
     // Availability under injected faults on the same serving corpus. The
     // engine catches every injected panic; silence the default hook's
     // per-panic backtrace for the duration so the bench output stays
@@ -819,6 +1030,8 @@ fn main() {
         &ac_engine,
         &ht_async,
         &ac_async,
+        &ht_qos,
+        &ac_qos,
         &ht_fault,
         &ac_fault,
         &ht_early,
@@ -845,6 +1058,8 @@ fn render_json(
     ac_engine: &ServingEngine,
     ht_async: &AsyncServing,
     ac_async: &AsyncServing,
+    ht_qos: &QosScheduling,
+    ac_qos: &QosScheduling,
     ht_fault: &FaultTolerance,
     ac_fault: &FaultTolerance,
     ht_early: &EarlyTermination,
@@ -889,6 +1104,30 @@ fn render_json(
             a.expired_in_dp,
             a.deadline_completed,
             a.counts_consistent
+        )
+    }
+    fn qos_scheduling(q: &QosScheduling) -> String {
+        format!(
+            "{{\"service_estimate_seconds\": {:.6e}, \
+             \"fifo_requests_per_sec\": {:.1}, \"qos_requests_per_sec\": {:.1}, \
+             \"fifo_interactive_hit_rate\": {:.4}, \"qos_interactive_hit_rate\": {:.4}, \
+             \"fifo_batch_hit_rate\": {:.4}, \"qos_batch_hit_rate\": {:.4}, \
+             \"interactive_p50_seconds\": {:.6e}, \"interactive_p99_seconds\": {:.6e}, \
+             \"shed_unmeetable\": {}, \"ledger_consistent\": {}, \
+             \"rankings_match_blocking\": {}, \"interactive_hit_rate_improves\": {}}}",
+            q.service_estimate_seconds,
+            q.requests as f64 / q.fifo.seconds,
+            q.requests as f64 / q.qos.seconds,
+            q.fifo.interactive_hit_rate(),
+            q.qos.interactive_hit_rate(),
+            q.fifo.batch_hit_rate(),
+            q.qos.batch_hit_rate(),
+            q.interactive_p50_seconds,
+            q.interactive_p99_seconds,
+            q.shed_unmeetable,
+            q.fifo.ledger_consistent && q.qos.ledger_consistent,
+            q.fifo.rankings_match_blocking && q.qos.rankings_match_blocking,
+            q.interactive_hit_rate_improves()
         )
     }
     fn fault_tolerance(f: &FaultTolerance) -> String {
@@ -964,6 +1203,11 @@ fn render_json(
          \"queue_capacity\": {ASYNC_QUEUE_CAPACITY},\n    \
          \"rounds\": {ENGINE_ROUNDS},\n    \"requests\": {},\n    \
          \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
+         \"qos_scheduling\": {{\n    \"workers\": 1,\n    \
+         \"requests\": {QOS_REQUESTS},\n    \
+         \"interactive_slack\": {QOS_INTERACTIVE_SLACK},\n    \
+         \"batch_slack\": {QOS_BATCH_SLACK},\n    \
+         \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
          \"fault_tolerance\": {{\n    \"rounds\": {FAULT_ROUNDS},\n    \
          \"fault_plan\": {{\"p_panic\": {FAULT_P_PANIC}, \"p_nan\": {FAULT_P_NAN}}},\n    \
          \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
@@ -988,6 +1232,8 @@ fn render_json(
         ht_async.requests,
         async_serving(ht_async),
         async_serving(ac_async),
+        qos_scheduling(ht_qos),
+        qos_scheduling(ac_qos),
         fault_tolerance(ht_fault),
         fault_tolerance(ac_fault),
         epsilon,

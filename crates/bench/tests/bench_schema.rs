@@ -32,6 +32,7 @@ fn walk_scoring_summary_keeps_its_schema() {
         "\"recommend_topk\"",
         "\"serving_engine\"",
         "\"async_serving\"",
+        "\"qos_scheduling\"",
         "\"fault_tolerance\"",
         "\"early_termination\"",
         "\"single_query_ht\"",
@@ -88,7 +89,6 @@ fn walk_scoring_summary_keeps_its_schema() {
         "\"open_loop_requests_per_sec\"",
         "\"closed_loop_requests_per_sec\"",
         "\"speedup_vs_closed_loop\"",
-        "\"rankings_match_blocking\"",
         "\"deadline\": {",
         "\"expired_requests\"",
         "\"expired_at_dequeue\"",
@@ -101,7 +101,14 @@ fn walk_scoring_summary_keeps_its_schema() {
             "schema drift: async-serving field {key} missing for an algorithm"
         );
     }
-    // Shed/deadline accounting must balance, and the async path must never
+    // The blocking-path equivalence verdict appears in the async section
+    // and the qos_scheduling section, for both algorithms.
+    assert_eq!(
+        json.matches("\"rankings_match_blocking\"").count(),
+        4,
+        "schema drift: rankings_match_blocking missing for a section/algorithm"
+    );
+    // Shed/deadline accounting must balance, and no serving path may ever
     // record a ranking divergence from the blocking path.
     assert!(
         !json.contains("\"counts_consistent\": false"),
@@ -109,8 +116,47 @@ fn walk_scoring_summary_keeps_its_schema() {
     );
     assert!(
         !json.contains("\"rankings_match_blocking\": false"),
-        "async serving diverged from the blocking batch path"
+        "a serving path diverged from the blocking batch path"
     );
+
+    // QoS scheduling: per-class deadline-hit rates under the seeded
+    // overload mix, FIFO vs the EDF/priority scheduler, for both
+    // algorithms, plus the mix parameters the pass ran under.
+    for key in ["\"interactive_slack\"", "\"batch_slack\""] {
+        assert!(json.contains(key), "schema drift: qos_scheduling.{key}");
+    }
+    for key in [
+        "\"service_estimate_seconds\"",
+        "\"fifo_requests_per_sec\"",
+        "\"qos_requests_per_sec\"",
+        "\"fifo_interactive_hit_rate\"",
+        "\"qos_interactive_hit_rate\"",
+        "\"fifo_batch_hit_rate\"",
+        "\"qos_batch_hit_rate\"",
+        "\"interactive_p50_seconds\"",
+        "\"interactive_p99_seconds\"",
+        "\"shed_unmeetable\"",
+        "\"ledger_consistent\"",
+        "\"interactive_hit_rate_improves\"",
+    ] {
+        assert_eq!(
+            json.matches(key).count(),
+            2,
+            "schema drift: qos-scheduling field {key} missing for an algorithm"
+        );
+    }
+    // The committed summary must never record an out-of-balance per-class
+    // ledger (submitted = served + shed + expired, nothing failed) or a
+    // scheduler that fails to beat FIFO on Interactive deadline hits.
+    assert!(
+        !json.contains("\"ledger_consistent\": false"),
+        "a per-class QoS ledger does not reconcile"
+    );
+    assert!(
+        !json.contains("\"interactive_hit_rate_improves\": false"),
+        "the QoS scheduler did not improve the Interactive deadline-hit rate over FIFO"
+    );
+
     // Fault tolerance: availability under the seeded chaos mix with and
     // without protection (breakers + retry + POP fallback), for both
     // algorithms, plus the fault-plan parameters the pass ran under.

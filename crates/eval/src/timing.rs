@@ -29,10 +29,12 @@ pub struct TimingStats {
     /// recommenders and for [`time_batch_scoring`] (reference scoring runs
     /// no serving DP).
     pub dp: DpTelemetry,
-    /// Engine-level saturation/shed/deadline counters for the timed
-    /// window, when the timer drove a `longtail-serve` [`Engine`]
-    /// ([`time_open_loop_submission`]); `None` for the direct-recommender
-    /// timers, which have no admission queue to account for.
+    /// Engine-level saturation/shed/deadline counters — including the
+    /// per-[`longtail_serve::Priority`]-class QoS ledgers and latency
+    /// histograms — for the timed window, when the timer drove a
+    /// `longtail-serve` [`Engine`] ([`time_open_loop_submission`]); `None`
+    /// for the direct-recommender timers, which have no admission queue to
+    /// account for.
     pub engine: Option<EngineStats>,
 }
 
@@ -287,11 +289,12 @@ mod tests {
             )
             .workers(1)
             .build();
-        // A mixed burst: two live requests and one already expired.
+        // A mixed burst: two live requests (one Batch-class) and one
+        // already-expired Interactive request.
         let requests = vec![
             RecommendRequest::new("HT", 0, 1),
             RecommendRequest::new("HT", 1, 1).deadline_at(std::time::Instant::now()),
-            RecommendRequest::new("HT", 1, 1),
+            RecommendRequest::new("HT", 1, 1).with_priority(longtail_serve::Priority::Batch),
         ];
         let (stats, results) = time_open_loop_submission(&engine, requests);
         assert_eq!(stats.n_queries, 3);
@@ -304,6 +307,18 @@ mod tests {
         assert_eq!(engine_stats.submitted, 3);
         assert_eq!(engine_stats.completed, 2);
         assert_eq!(engine_stats.expired_at_dequeue, 1);
+        // The per-class QoS ledgers ride the same diff: each class balances
+        // (`submitted = served + shed + expired + failed`) and the served
+        // requests' latencies surface as percentiles.
+        let interactive = engine_stats.per_class[longtail_serve::Priority::Interactive.index()];
+        let batch = engine_stats.per_class[longtail_serve::Priority::Batch.index()];
+        assert_eq!(interactive.submitted, 2);
+        assert_eq!(interactive.served, 1);
+        assert_eq!(interactive.expired, 1);
+        assert_eq!(batch.submitted, 1);
+        assert_eq!(batch.served, 1);
+        assert!(interactive.latency_p50().is_some());
+        assert!(batch.latency_p99().unwrap() >= batch.latency_p50().unwrap());
         // The DP telemetry diff covers only the completed walk queries.
         assert_eq!(stats.dp.queries, 2);
 

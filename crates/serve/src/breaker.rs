@@ -237,6 +237,26 @@ impl CircuitBreaker {
         }
     }
 
+    /// Restore a probe token that will never report: the probing attempt
+    /// died without recording an outcome (worker kill, or an unwind
+    /// escaping between take and record). The breaker re-opens for a fresh
+    /// cooldown — the next admission after it becomes the new probe —
+    /// instead of wedging HalfOpen forever with its only probe slot
+    /// leaked. A no-op in every other state (the probe recorded normally
+    /// before the pledge dropped) and not counted as a trip (no outcome
+    /// was observed).
+    pub(crate) fn abandon_probe(&self) {
+        let Some(mut inner) = self.lock() else { return };
+        if let State::HalfOpen {
+            probe_in_flight: true,
+        } = inner.state
+        {
+            inner.state = State::Open {
+                since: Instant::now(),
+            };
+        }
+    }
+
     /// Current observable state (a disabled breaker reads Closed).
     pub(crate) fn state(&self) -> BreakerState {
         match self.lock().as_deref() {
@@ -345,6 +365,31 @@ mod tests {
         assert_eq!(b.trips(), 2);
         // A new cooldown gates the next probe (zero here, so immediate).
         assert_eq!(b.admit(), BreakerDecision::Probe);
+    }
+
+    /// Regression test for the half-open wedge: a probe that dies without
+    /// recording an outcome must hand its token back, or the breaker
+    /// refuses every request forever.
+    #[test]
+    fn abandoned_probe_reopens_instead_of_wedging() {
+        let b = CircuitBreaker::new(config(2, 1, Duration::ZERO));
+        b.record_failure(false);
+        assert_eq!(b.admit(), BreakerDecision::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Without abandon_probe, this breaker would now refuse forever:
+        // no transition out of HalfOpen ever fires without an outcome.
+        assert_eq!(b.admit(), BreakerDecision::Refuse);
+        b.abandon_probe();
+        assert_eq!(b.state(), BreakerState::Open, "token restored via Open");
+        assert_eq!(b.trips(), 1, "an abandoned probe is not a trip");
+        // Zero cooldown: the next admission becomes a fresh probe, and a
+        // successful one still closes the breaker — full recovery.
+        assert_eq!(b.admit(), BreakerDecision::Probe);
+        b.record_success(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Abandoning when no probe is pending is a no-op.
+        b.abandon_probe();
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::pool::ContextPool;
 use crate::queue::{Admission, AdmissionPolicy, Job, JobQueue};
 use crate::request::{RecommendRequest, RecommendResponse, RetryPolicy, ServeError};
 use crate::router::ShardRouter;
+use crate::sched::{Priority, SchedPolicy, ServiceEwma};
 use crate::submit::{EngineCounters, EngineStats, PendingResponse};
 use longtail_core::{DpStopping, DpTelemetry, RecommendOptions, Recommender};
 use parking_lot::Mutex;
@@ -95,30 +96,80 @@ struct EngineCore {
     /// Workers that exited without a clean shutdown, pending respawn by
     /// supervision (see [`Engine::health`]).
     workers_dead: AtomicU64,
+    /// Dequeue ordering policy; slack shedding is active only under
+    /// [`SchedPolicy::Qos`].
+    sched: SchedPolicy,
+    /// EWMA of per-model service times — the evidence slack shedding
+    /// consults before spending scoring work on a doomed deadline.
+    service_times: ServiceEwma,
 }
 
 impl EngineCore {
     /// Serve one *admitted* request on the calling thread — the shared path
     /// of pool workers and the inline `recommend`: the dequeue-time
-    /// deadline check, then execution, with the outcome counted.
-    fn serve_admitted(&self, req: &RecommendRequest) -> Result<RecommendResponse, ServeError> {
+    /// deadline and slack checks, then execution, with the outcome counted
+    /// (globally and in the request's class ledger). `enqueued_at` anchors
+    /// the class latency histogram: queueing time is part of the latency a
+    /// caller observes.
+    fn serve_admitted(
+        &self,
+        req: &RecommendRequest,
+        enqueued_at: Instant,
+    ) -> Result<RecommendResponse, ServeError> {
+        let class = self.counters.class(req.priority);
         if req.deadline.is_some_and(|d| Instant::now() >= d) {
             // Shed before any scoring work: an expired request's answer
             // could not be used, so the DP never runs for it.
             EngineCounters::bump(&self.counters.expired_at_dequeue);
+            EngineCounters::bump(&class.expired);
             return Err(ServeError::DeadlineExceeded);
         }
+        // Slack-based shedding (Qos only): when the EWMA of this model's
+        // observed service time says even starting now cannot make the
+        // deadline, drop the request before any scoring runs — the worker
+        // time saved serves a request that still can. No estimate (a model
+        // never successfully served) means no shedding: the engine never
+        // refuses on zero evidence.
+        if self.sched == SchedPolicy::Qos {
+            if let (Some(deadline), Some(estimate)) =
+                (req.deadline, self.service_times.estimate(&req.model))
+            {
+                if Instant::now() + estimate >= deadline {
+                    EngineCounters::bump(&self.counters.shed);
+                    EngineCounters::bump(&self.counters.shed_unmeetable);
+                    EngineCounters::bump(&class.shed);
+                    return Err(ServeError::DeadlineExceeded);
+                }
+            }
+        }
+        let started = Instant::now();
         let result = self.execute(req);
         match &result {
             Ok(resp) => {
                 EngineCounters::bump(&self.counters.completed);
+                EngineCounters::bump(&class.served);
+                class.latency.record(enqueued_at.elapsed());
+                // Service time excludes queueing (started, not
+                // enqueued_at): the estimate answers "what would one more
+                // admission cost", not "how long was the queue".
+                self.service_times
+                    .observe(&req.model, started.elapsed().as_secs_f64());
                 if resp.degraded {
                     EngineCounters::bump(&self.counters.degraded);
                 }
             }
-            Err(ServeError::DeadlineExceeded) => EngineCounters::bump(&self.counters.expired_in_dp),
-            Err(ServeError::RequestPanicked(_)) => EngineCounters::bump(&self.counters.panicked),
-            Err(_) => EngineCounters::bump(&self.counters.failed),
+            Err(ServeError::DeadlineExceeded) => {
+                EngineCounters::bump(&self.counters.expired_in_dp);
+                EngineCounters::bump(&class.expired);
+            }
+            Err(ServeError::RequestPanicked(_)) => {
+                EngineCounters::bump(&self.counters.panicked);
+                EngineCounters::bump(&class.failed);
+            }
+            Err(_) => {
+                EngineCounters::bump(&self.counters.failed);
+                EngineCounters::bump(&class.failed);
+            }
         }
         result
     }
@@ -141,6 +192,16 @@ impl EngineCore {
             return self.answer_unavailable(req, ServeError::CircuitOpen);
         }
         let probe = decision == BreakerDecision::Probe;
+        // The half-open probe token is held under an RAII pledge from here
+        // until its outcome is recorded: should this frame die without
+        // recording (a kill-marked worker death, an unwind a future edit
+        // lets slip between take and record), the drop restores the
+        // breaker to Open instead of leaving it wedged HalfOpen forever
+        // with its only probe slot leaked.
+        let mut pledge = ProbePledge {
+            breaker: &slot.breaker,
+            armed: probe,
+        };
 
         // Normalize the request's exclusion set to the sorted/deduped form
         // RecommendOptions requires. Only requests that actually exclude
@@ -171,21 +232,33 @@ impl EngineCore {
             match self.attempt(slot, shard, req, &opts) {
                 Ok(resp) => {
                     slot.breaker.record_success(probe);
+                    pledge.settle();
                     return Ok(resp);
                 }
                 Err(err) => {
                     slot.breaker.record_failure(probe);
+                    pledge.settle();
                     if !retryable(&err) || attempt_no >= retry.max_attempts {
                         break err;
                     }
-                    // Never retry past the deadline: an answer arriving
-                    // after it is as useless as no answer, at full cost.
-                    if let Some(deadline) = req.deadline {
-                        if Instant::now() + retry.backoff >= deadline {
-                            break err;
+                    // A retry only needs to *start* before the deadline —
+                    // the walk DP cancels cooperatively mid-flight if it
+                    // then expires. Only a deadline already in the past
+                    // abandons the retry; a backoff pause that would not
+                    // fit in the remaining time is skipped (retry
+                    // immediately) rather than turning a servable retry
+                    // into a guaranteed expiry.
+                    let pause = match req.deadline {
+                        Some(deadline) => {
+                            let now = Instant::now();
+                            if now >= deadline {
+                                break err;
+                            }
+                            now + retry.backoff < deadline
                         }
-                    }
-                    if !retry.backoff.is_zero() {
+                        None => true,
+                    };
+                    if pause && !retry.backoff.is_zero() {
                         std::thread::sleep(retry.backoff);
                     }
                     EngineCounters::bump(&self.counters.retries);
@@ -308,6 +381,31 @@ impl EngineCore {
     }
 }
 
+/// RAII guard for the half-open probe token: armed while a probe's
+/// outcome is pending, disarmed ([`ProbePledge::settle`]) the moment the
+/// breaker records it. Dropping an armed pledge — the probing frame died
+/// without recording — hands the token back via
+/// [`CircuitBreaker::abandon_probe`] so the breaker re-opens for a fresh
+/// cooldown instead of refusing everything forever.
+struct ProbePledge<'a> {
+    breaker: &'a CircuitBreaker,
+    armed: bool,
+}
+
+impl ProbePledge<'_> {
+    fn settle(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ProbePledge<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.breaker.abandon_probe();
+        }
+    }
+}
+
 /// Whether a retry could change this outcome: model faults (panics,
 /// poisoned scores) are transient-able; everything else is deterministic
 /// (unknown model) or already out of time (deadline).
@@ -387,6 +485,10 @@ pub struct EngineHealth {
     pub models: Vec<ModelHealth>,
     /// Requests waiting in the admission queue right now.
     pub queue_depth: usize,
+    /// The same waiting requests sliced by [`Priority`] class (indexed by
+    /// [`Priority::index`]) — a backlog concentrating in `Interactive` is
+    /// an overload signal even while the total depth looks modest.
+    pub queue_depth_by_class: [usize; Priority::COUNT],
     /// Live worker threads (after this snapshot's supervision pass — taking
     /// a snapshot respawns any dead workers it finds).
     pub workers_alive: usize,
@@ -419,8 +521,12 @@ impl EngineHealth {
 /// * [`Engine::recommend`] — inline on the calling thread (lowest latency);
 /// * [`Engine::submit`] — non-blocking enqueue, returning a
 ///   [`PendingResponse`] handle; the queue's [`AdmissionPolicy`] decides
-///   what a full queue does, and per-request deadlines shed work that can
-///   no longer answer in time;
+///   what a full queue does, the engine's [`SchedPolicy`] decides dequeue
+///   order (strict [`Priority`] classes with EDF within a class, by
+///   default), and per-request deadlines shed work that can no longer
+///   answer in time — at dequeue, by slack-based shedding when the
+///   model's observed service time says the deadline is unmeetable, and
+///   cooperatively inside the walk DP;
 /// * [`Engine::recommend_batch`] — fan-out over `submit` plus an in-order
 ///   drain, i.e. the blocking convenience form of the async path.
 ///
@@ -489,7 +595,8 @@ impl Engine {
     /// execution and inside the walk DP).
     pub fn recommend(&self, req: &RecommendRequest) -> Result<RecommendResponse, ServeError> {
         EngineCounters::bump(&self.core.counters.submitted);
-        self.core.serve_admitted(req)
+        EngineCounters::bump(&self.core.counters.class(req.priority).submitted);
+        self.core.serve_admitted(req, Instant::now())
     }
 
     /// Submit one request to the worker pool without waiting for it: the
@@ -526,17 +633,24 @@ impl Engine {
         }
         let Some(queue) = &self.queue else {
             EngineCounters::bump(&self.core.counters.submitted);
-            return Ok(PendingResponse::ready(self.core.serve_admitted(&request)));
+            EngineCounters::bump(&self.core.counters.class(request.priority).submitted);
+            return Ok(PendingResponse::ready(
+                self.core.serve_admitted(&request, Instant::now()),
+            ));
         };
+        let priority = request.priority;
         let (reply, rx) = mpsc::channel();
-        match queue.push(Job { request, reply }, self.policy) {
+        match queue.push(Job::new(request, reply), self.policy) {
             Admission::Enqueued => {
                 EngineCounters::bump(&self.core.counters.submitted);
+                EngineCounters::bump(&self.core.counters.class(priority).submitted);
                 Ok(PendingResponse::new(rx))
             }
             Admission::Shed(victim) => {
                 EngineCounters::bump(&self.core.counters.submitted);
+                EngineCounters::bump(&self.core.counters.class(priority).submitted);
                 EngineCounters::bump(&self.core.counters.shed);
+                EngineCounters::bump(&self.core.counters.class(victim.request.priority).shed);
                 victim.refuse(ServeError::Overloaded);
                 Ok(PendingResponse::new(rx))
             }
@@ -595,6 +709,14 @@ impl Engine {
         self.queue.as_ref().map_or(0, |q| q.depth())
     }
 
+    /// Waiting requests per [`Priority`] class (indexed by
+    /// [`Priority::index`]; all zero for a zero-worker engine).
+    pub fn queue_depth_by_class(&self) -> [usize; Priority::COUNT] {
+        self.queue
+            .as_ref()
+            .map_or([0; Priority::COUNT], |q| q.depth_by_class())
+    }
+
     /// Engine-lifetime [`DpTelemetry`], merged (via [`DpTelemetry::merge`])
     /// across every request served so far — inline and pool-worker alike.
     pub fn telemetry(&self) -> DpTelemetry {
@@ -630,6 +752,7 @@ impl Engine {
         EngineHealth {
             models,
             queue_depth: self.queue_depth(),
+            queue_depth_by_class: self.queue_depth_by_class(),
             workers_alive: self.n_workers(),
             workers_configured: self.configured_workers,
             stats: self.stats(),
@@ -683,6 +806,7 @@ impl Drop for Engine {
         if let Some(queue) = &self.queue {
             for job in queue.close_and_drain() {
                 EngineCounters::bump(&self.core.counters.cancelled_at_shutdown);
+                EngineCounters::bump(&self.core.counters.class(job.request.priority).failed);
                 job.refuse(ServeError::ShuttingDown);
             }
         }
@@ -724,7 +848,7 @@ fn worker_loop(core: Arc<EngineCore>, queue: Arc<JobQueue>) {
         // A closed reply channel means the submitter dropped its handle
         // (gave up on the result); the work still ran, the reply just has
         // no audience.
-        let result = core.serve_admitted(&job.request);
+        let result = core.serve_admitted(&job.request, job.enqueued_at);
         // A kill-marked panic emulates a fault unwind-catching cannot
         // contain: answer the request, then die (armed notice → respawn).
         let fatal = matches!(
@@ -750,6 +874,8 @@ pub struct EngineBuilder {
     breakers: Option<BreakerConfig>,
     queue_capacity: usize,
     policy: AdmissionPolicy,
+    sched: SchedPolicy,
+    model_quota: Option<usize>,
 }
 
 /// Builder-side registry entries (breakers attach at build, once the
@@ -782,6 +908,8 @@ impl EngineBuilder {
             breakers: None,
             queue_capacity: Self::DEFAULT_QUEUE_CAPACITY,
             policy: AdmissionPolicy::default(),
+            sched: SchedPolicy::default(),
+            model_quota: None,
         }
     }
 
@@ -865,6 +993,34 @@ impl EngineBuilder {
         self
     }
 
+    /// Dequeue ordering of the admission queue. Defaults to
+    /// [`SchedPolicy::Qos`] (strict priority classes, EDF within a class,
+    /// slack-based shedding) — which degrades to exact FIFO for workloads
+    /// that set no priorities and no deadlines. [`SchedPolicy::Fifo`]
+    /// forces literal arrival order and disables slack shedding (the
+    /// measurable baseline).
+    pub fn scheduling(mut self, sched: SchedPolicy) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Cap the number of *waiting* queued requests any single model (or
+    /// sharded group) may hold, so one hot model's burst cannot occupy the
+    /// whole admission queue and starve every other model behind it. A
+    /// model at its quota is treated as "queue full" for its own requests
+    /// — the [`AdmissionPolicy`] engages, with `ShedOldest` evicting
+    /// within the same model — while other models' requests still enter
+    /// freely. Defaults to no quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 (no model could ever enqueue anything).
+    pub fn model_quota(mut self, n: usize) -> Self {
+        assert!(n > 0, "a zero model quota could admit nothing");
+        self.model_quota = Some(n);
+        self
+    }
+
     /// Cap on idle [`longtail_core::ScoringContext`]s the engine retains
     /// between requests. Defaults to `workers + 2` (every worker plus a
     /// couple of inline callers stay warm).
@@ -932,8 +1088,16 @@ impl EngineBuilder {
             aggregate: Mutex::new(DpTelemetry::default()),
             counters: EngineCounters::default(),
             workers_dead: AtomicU64::new(0),
+            sched: self.sched,
+            service_times: ServiceEwma::new(),
         });
-        let queue = (workers > 0).then(|| Arc::new(JobQueue::new(self.queue_capacity)));
+        let queue = (workers > 0).then(|| {
+            Arc::new(JobQueue::new(
+                self.queue_capacity,
+                self.sched,
+                self.model_quota,
+            ))
+        });
         let handles = match &queue {
             Some(queue) => (0..workers)
                 .map(|_| spawn_worker(Arc::clone(&core), Arc::clone(queue)))

@@ -24,6 +24,17 @@
 //!   per-request **deadlines** shed expired work at dequeue and cancel the
 //!   walk DP cooperatively mid-query
 //!   ([`ServeError::DeadlineExceeded`]). [`EngineStats`] counts it all.
+//! * **QoS scheduling** — under the default [`SchedPolicy::Qos`] dequeue
+//!   is no longer FIFO: requests carry a [`Priority`] class
+//!   (`Interactive`/`Batch`/`Background`, strict priority across classes,
+//!   earliest-deadline-first within one), **slack-based shedding** drops a
+//!   request at dequeue when the EWMA of its model's observed service time
+//!   proves the deadline unmeetable, and a per-model **admission quota**
+//!   ([`EngineBuilder::model_quota`]) stops one hot model's burst from
+//!   occupying the whole queue. [`EngineStats::per_class`] ledgers each
+//!   class (submitted/served/shed/expired plus a fixed-bucket latency
+//!   histogram with p50/p99), and the scheduler only ever reorders or
+//!   sheds — a served ranking is identical to the blocking path's.
 //! * **Context pooling** — requests run in [`ContextPool`]-recycled
 //!   [`longtail_core::ScoringContext`]s: no `O(n_nodes)` buffer setup per
 //!   query, on any thread.
@@ -61,6 +72,7 @@ mod pool;
 mod queue;
 mod request;
 mod router;
+mod sched;
 mod submit;
 
 pub use breaker::{BreakerConfig, BreakerState};
@@ -70,4 +82,5 @@ pub use pool::ContextPool;
 pub use queue::AdmissionPolicy;
 pub use request::{RecommendRequest, RecommendResponse, RetryPolicy, ServeError};
 pub use router::{ModuloRouter, RangeRouter, ShardRouter};
-pub use submit::{EngineStats, PendingResponse};
+pub use sched::{latency_bucket_bound, latency_quantile, Priority, SchedPolicy, LATENCY_BUCKETS};
+pub use submit::{ClassStats, EngineStats, PendingResponse};

@@ -1,5 +1,6 @@
 //! The typed request/response surface of the serving engine.
 
+use crate::sched::Priority;
 use longtail_core::{DpStopping, DpTelemetry, ScoredItem};
 
 /// Bounded in-place retry of failed attempts, configured per request
@@ -11,10 +12,12 @@ use longtail_core::{DpStopping, DpTelemetry, ScoredItem};
 /// on a **fresh** [`longtail_core::ScoringContext`], since the one a panic
 /// unwound through is discarded as poisoned. Deadline expiries, unknown
 /// models and open breakers are never retried: the first is already out of
-/// time and the others cannot change between attempts. A retry is also
-/// skipped when its backoff cannot finish before the request's deadline —
-/// retrying past the deadline would burn a worker on an answer nobody can
-/// use.
+/// time and the others cannot change between attempts. A retry must
+/// *start* before the request's deadline — after it, the attempt is
+/// abandoned (an answer past the deadline is useless at full cost); when
+/// the backoff pause itself would not fit in the remaining time, the retry
+/// runs immediately instead, since the walk DP cancels cooperatively
+/// mid-flight if the deadline then expires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts, the first included (so `max_attempts: 1` means "no
@@ -92,6 +95,14 @@ pub struct RecommendRequest {
     /// Per-request retry override; `None` uses the engine's default policy
     /// (no retries unless [`crate::EngineBuilder::default_retry`] set one).
     pub retry: Option<RetryPolicy>,
+    /// QoS class of this request (default [`Priority::Interactive`]).
+    /// Under [`crate::SchedPolicy::Qos`] the engine dequeues strictly by
+    /// class — every queued `Interactive` request before any `Batch`, every
+    /// `Batch` before any `Background` — with earliest-deadline-first
+    /// ordering inside a class; lower classes are also preferred as shed
+    /// victims. Under [`crate::SchedPolicy::Fifo`] the class is recorded in
+    /// the per-class stats but does not affect ordering.
+    pub priority: Priority,
 }
 
 impl RecommendRequest {
@@ -105,6 +116,7 @@ impl RecommendRequest {
             exclude: Vec::new(),
             deadline: None,
             retry: None,
+            priority: Priority::default(),
         }
     }
 
@@ -137,6 +149,12 @@ impl RecommendRequest {
     /// Override the engine's default [`RetryPolicy`] for this request.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = Some(retry);
+        self
+    }
+
+    /// Set this request's QoS class (see [`RecommendRequest::priority`]).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -239,6 +257,9 @@ mod tests {
         assert_eq!(req.model, "HT");
         assert_eq!(req.stopping, Some(DpStopping::Fixed));
         assert_eq!(req.exclude, vec![9, 1]);
+        assert_eq!(req.priority, Priority::Interactive, "default class");
+        let req = req.with_priority(Priority::Background);
+        assert_eq!(req.priority, Priority::Background);
     }
 
     #[test]

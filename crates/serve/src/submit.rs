@@ -3,6 +3,7 @@
 //! the [`EngineStats`] saturation/shed/deadline counters.
 
 use crate::request::{RecommendResponse, ServeError};
+use crate::sched::{latency_quantile, LatencyHistogram, Priority, LATENCY_BUCKETS};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::Duration;
@@ -101,6 +102,68 @@ impl PendingResponse {
     }
 }
 
+/// Per-priority-class slice of [`EngineStats`], indexed by
+/// [`Priority::index`] into [`EngineStats::per_class`].
+///
+/// Only *admitted* requests are counted (submit-time refusals — `Reject`
+/// on a full queue, open breakers — never enter a class ledger), and the
+/// ledger balances per class:
+/// `submitted = served + shed + expired + failed`, where `shed` covers
+/// both admission victims and slack-shed unmeetable deadlines, `expired`
+/// covers dequeue-time and in-DP deadline expiries, and `failed` absorbs
+/// every other terminal error (panics, unknown models, worker-side breaker
+/// refusals) plus shutdown cancellation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Requests of this class admitted (enqueued or started inline).
+    pub submitted: u64,
+    /// Requests of this class answered with a response (degraded or not).
+    pub served: u64,
+    /// Requests of this class shed without serving: admission victims
+    /// ([`crate::AdmissionPolicy::ShedOldest`]) and slack-shed requests
+    /// whose deadline was provably unmeetable.
+    pub shed: u64,
+    /// Requests of this class whose deadline expired — at dequeue or
+    /// cooperatively inside the walk DP.
+    pub expired: u64,
+    /// Requests of this class answered with any other error, or cancelled
+    /// by engine shutdown.
+    pub failed: u64,
+    /// Fixed-bucket histogram of this class's served-request latencies
+    /// (submit → response, queueing included): bucket `i` counts latencies
+    /// in `(bound(i-1), bound(i)]` seconds with
+    /// `bound(i) = `[`crate::latency_bucket_bound`]`(i)` ` = 1µs · 2^i`.
+    /// Monotone and bucket-wise diffable like every other counter.
+    pub latency: [u64; LATENCY_BUCKETS],
+}
+
+impl ClassStats {
+    /// Counter-wise (and bucket-wise) difference against an `earlier`
+    /// snapshot (saturating).
+    pub fn since(&self, earlier: &ClassStats) -> ClassStats {
+        ClassStats {
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            served: self.served.saturating_sub(earlier.served),
+            shed: self.shed.saturating_sub(earlier.shed),
+            expired: self.expired.saturating_sub(earlier.expired),
+            failed: self.failed.saturating_sub(earlier.failed),
+            latency: std::array::from_fn(|i| self.latency[i].saturating_sub(earlier.latency[i])),
+        }
+    }
+
+    /// Median served latency in seconds (conservative: the holding
+    /// bucket's upper bound); `None` while nothing was served.
+    pub fn latency_p50(&self) -> Option<f64> {
+        latency_quantile(&self.latency, 0.50)
+    }
+
+    /// 99th-percentile served latency in seconds (conservative: the
+    /// holding bucket's upper bound); `None` while nothing was served.
+    pub fn latency_p99(&self) -> Option<f64> {
+        latency_quantile(&self.latency, 0.99)
+    }
+}
+
 /// Engine-lifetime serving counters — the observability surface of the
 /// async front-end, read via [`crate::Engine::stats`].
 ///
@@ -135,9 +198,12 @@ pub struct EngineStats {
     /// Submissions refused outright by [`crate::AdmissionPolicy::Reject`]
     /// on a full queue ([`ServeError::Overloaded`] from `submit` itself).
     pub rejected: u64,
-    /// Queued requests shed by [`crate::AdmissionPolicy::ShedOldest`] to
-    /// admit newer traffic (their handles resolve
-    /// [`ServeError::Overloaded`]).
+    /// Queued requests shed without serving: admission victims evicted by
+    /// [`crate::AdmissionPolicy::ShedOldest`] to admit newer traffic
+    /// (their handles resolve [`ServeError::Overloaded`]) plus requests
+    /// slack-shed at dequeue because their deadline was provably
+    /// unmeetable (the `shed_unmeetable` subset, resolving
+    /// [`ServeError::DeadlineExceeded`]).
     pub shed: u64,
     /// Requests whose deadline had already expired when a worker (or the
     /// inline path) picked them up: shed without running any scoring.
@@ -166,6 +232,17 @@ pub struct EngineStats {
     /// Dead pool workers detected and respawned by supervision, keeping
     /// the worker count at its configured size.
     pub workers_restarted: u64,
+    /// Admitted requests dropped at dequeue by **slack-based shedding**
+    /// under [`crate::SchedPolicy::Qos`]: the EWMA of the routed model's
+    /// service time said the deadline provably could not be met, so no
+    /// scoring ran (their handles resolve
+    /// [`ServeError::DeadlineExceeded`]). A subset of `shed` — attribution,
+    /// not a ledger slot of its own.
+    pub shed_unmeetable: u64,
+    /// The same ledger, sliced by [`Priority`] class (indexed by
+    /// [`Priority::index`]), each slice carrying its own served-latency
+    /// histogram for [`ClassStats::latency_p50`]/[`ClassStats::latency_p99`].
+    pub per_class: [ClassStats; Priority::COUNT],
 }
 
 impl EngineStats {
@@ -194,6 +271,8 @@ impl EngineStats {
             workers_restarted: self
                 .workers_restarted
                 .saturating_sub(earlier.workers_restarted),
+            shed_unmeetable: self.shed_unmeetable.saturating_sub(earlier.shed_unmeetable),
+            per_class: std::array::from_fn(|i| self.per_class[i].since(&earlier.per_class[i])),
         }
     }
 
@@ -207,6 +286,30 @@ impl EngineStats {
     /// so this sum keeps its pre-breaker meaning.
     pub fn dropped(&self) -> u64 {
         self.rejected + self.shed + self.expired_at_dequeue + self.expired_in_dp
+    }
+}
+
+/// The atomic counters behind one [`ClassStats`] slice.
+#[derive(Debug, Default)]
+pub(crate) struct ClassCounters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) served: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) expired: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ClassCounters {
+    fn snapshot(&self) -> ClassStats {
+        ClassStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+        }
     }
 }
 
@@ -228,12 +331,19 @@ pub(crate) struct EngineCounters {
     pub(crate) contexts_discarded: AtomicU64,
     pub(crate) circuit_open: AtomicU64,
     pub(crate) workers_restarted: AtomicU64,
+    pub(crate) shed_unmeetable: AtomicU64,
+    pub(crate) per_class: [ClassCounters; Priority::COUNT],
 }
 
 impl EngineCounters {
     /// One relaxed increment (counters are statistics, not synchronization).
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The per-class counter slice owning `priority`'s requests.
+    pub(crate) fn class(&self, priority: Priority) -> &ClassCounters {
+        &self.per_class[priority.index()]
     }
 
     pub(crate) fn snapshot(&self) -> EngineStats {
@@ -252,6 +362,8 @@ impl EngineCounters {
             contexts_discarded: self.contexts_discarded.load(Ordering::Relaxed),
             circuit_open: self.circuit_open.load(Ordering::Relaxed),
             workers_restarted: self.workers_restarted.load(Ordering::Relaxed),
+            shed_unmeetable: self.shed_unmeetable.load(Ordering::Relaxed),
+            per_class: std::array::from_fn(|i| self.per_class[i].snapshot()),
         }
     }
 }
@@ -326,5 +438,47 @@ mod tests {
         assert_eq!(diff.contexts_discarded, 4);
         assert_eq!(diff.circuit_open, 5);
         assert_eq!(diff.workers_restarted, 1);
+    }
+
+    #[test]
+    fn class_stats_diff_and_percentiles() {
+        let mut earlier = ClassStats {
+            submitted: 10,
+            served: 8,
+            shed: 1,
+            expired: 1,
+            ..ClassStats::default()
+        };
+        earlier.latency[4] = 8;
+        let mut later = earlier;
+        later.submitted += 100;
+        later.served += 99;
+        later.failed += 1;
+        later.latency[4] += 90;
+        later.latency[9] += 9;
+        let diff = later.since(&earlier);
+        assert_eq!(diff.submitted, 100);
+        assert_eq!(diff.served, 99);
+        assert_eq!(diff.failed, 1);
+        assert_eq!(diff.latency[4], 90);
+        assert_eq!(diff.latency[9], 9);
+        // 90 of 99 in bucket 4, 9 in bucket 9: p50 in the low bucket, p99
+        // in the tail bucket.
+        assert_eq!(diff.latency_p50(), Some(crate::latency_bucket_bound(4)));
+        assert_eq!(diff.latency_p99(), Some(crate::latency_bucket_bound(9)));
+        assert_eq!(ClassStats::default().latency_p50(), None);
+    }
+
+    #[test]
+    fn per_class_rides_along_in_engine_stats_since() {
+        let mut earlier = EngineStats::default();
+        earlier.per_class[Priority::Batch.index()].submitted = 3;
+        let mut later = earlier;
+        later.per_class[Priority::Batch.index()].submitted = 7;
+        later.shed_unmeetable = 2;
+        let diff = later.since(&earlier);
+        assert_eq!(diff.per_class[Priority::Batch.index()].submitted, 4);
+        assert_eq!(diff.per_class[Priority::Interactive.index()].submitted, 0);
+        assert_eq!(diff.shed_unmeetable, 2);
     }
 }

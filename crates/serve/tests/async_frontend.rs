@@ -14,29 +14,27 @@
 //! * **Bounded-time shutdown** — dropping the engine cancels queued
 //!   not-yet-started requests instead of serving the backlog.
 //!
-//! The deterministic full-queue/shutdown tests drive a `GatedRecommender`:
-//! a wrapper that parks inside `recommend_into` until the test opens its
-//! gate, making "worker busy, queue full" a constructed state rather than
-//! a race.
+//! The deterministic full-queue/shutdown tests drive the shared
+//! `common::GatedRecommender`: a wrapper that parks inside
+//! `recommend_into` until the test opens its gate, making "worker busy,
+//! queue full" a constructed state rather than a race.
 
 use longtail_core::{
     DpStopping, GraphRecConfig, HittingTimeRecommender, RecommendOptions, Recommender, ScoredItem,
     ScoringContext,
 };
-use longtail_data::{Dataset, Rating};
+use longtail_data::Dataset;
 use longtail_serve::{
     AdmissionPolicy, Engine, PendingResponse, RecommendRequest, ServeError, SharedRecommender,
 };
 use proptest::prelude::*;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 mod common;
-use common::{ratings, roster, N_ITEMS, N_USERS};
-
-/// Generous bound for waits that must complete promptly; hitting it means
-/// the contract under test is broken (a hang), not a slow machine.
-const HANG: Duration = Duration::from_secs(30);
+use common::{
+    chain_dataset, ratings, roster, tiny_dataset, Gate, GatedRecommender, HANG, N_ITEMS, N_USERS,
+};
 
 fn items_of(list: &[ScoredItem]) -> Vec<u32> {
     list.iter().map(|s| s.item).collect()
@@ -92,135 +90,15 @@ proptest! {
     }
 }
 
-/// A test gate: `recommend_into` callers park on it until the test opens
-/// it, and the test can wait until a known number of callers have arrived.
-struct Gate {
-    open: Mutex<bool>,
-    opened: Condvar,
-    entered: Mutex<usize>,
-    arrived: Condvar,
-}
-
-impl Gate {
-    fn closed() -> Arc<Self> {
-        Arc::new(Self {
-            open: Mutex::new(false),
-            opened: Condvar::new(),
-            entered: Mutex::new(0),
-            arrived: Condvar::new(),
-        })
-    }
-
-    /// Called by the gated recommender: announce arrival, park until open.
-    fn pass(&self) {
-        *self.entered.lock().unwrap() += 1;
-        self.arrived.notify_all();
-        let guard = self.open.lock().unwrap();
-        let (_guard, timeout) = self
-            .opened
-            .wait_timeout_while(guard, HANG, |open| !*open)
-            .unwrap();
-        assert!(!timeout.timed_out(), "gate never opened");
-    }
-
-    fn open(&self) {
-        *self.open.lock().unwrap() = true;
-        self.opened.notify_all();
-    }
-
-    /// Block until `n` callers have arrived at the gate.
-    fn await_arrivals(&self, n: usize) {
-        let guard = self.entered.lock().unwrap();
-        let (_guard, timeout) = self
-            .arrived
-            .wait_timeout_while(guard, HANG, |entered| *entered < n)
-            .unwrap();
-        assert!(!timeout.timed_out(), "only {} arrivals", n);
-    }
-}
-
-/// Wraps HT, parking every `recommend_into` on the gate — what makes the
-/// "worker mid-request" state constructible.
-struct GatedRecommender {
-    inner: HittingTimeRecommender,
-    gate: Arc<Gate>,
-}
-
-impl Recommender for GatedRecommender {
-    fn name(&self) -> &'static str {
-        "gated"
-    }
-
-    fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
-        self.inner.score_into(user, ctx, out);
-    }
-
-    fn recommend_into(
-        &self,
-        user: u32,
-        k: usize,
-        opts: &RecommendOptions<'_>,
-        ctx: &mut ScoringContext,
-        out: &mut Vec<ScoredItem>,
-    ) {
-        self.gate.pass();
-        self.inner.recommend_into(user, k, opts, ctx, out);
-    }
-
-    fn rated_items(&self, user: u32) -> &[u32] {
-        self.inner.rated_items(user)
-    }
-
-    fn n_items(&self) -> usize {
-        self.inner.n_items()
-    }
-}
-
-/// A long user-item chain (user `i` rates items `i` and `i+1`): the HT
-/// walk's values keep moving for many iterations, so no fixed point can
-/// preempt the cooperative deadline check.
-fn chain_dataset() -> Dataset {
-    let mut ratings = Vec::new();
-    for u in 0..24u32 {
-        for item in [u, u + 1] {
-            ratings.push(Rating {
-                user: u,
-                item,
-                value: 4.0,
-            });
-        }
-    }
-    Dataset::from_ratings(24, 25, &ratings)
-}
-
-fn tiny_dataset() -> Dataset {
-    Dataset::from_ratings(
-        2,
-        2,
-        &[
-            Rating {
-                user: 0,
-                item: 0,
-                value: 5.0,
-            },
-            Rating {
-                user: 1,
-                item: 1,
-                value: 4.0,
-            },
-        ],
-    )
-}
-
 /// A 1-worker engine over the gated model with the worker provably parked
 /// inside a request and the queue provably empty — the setup every
 /// saturation test starts from.
 fn gated_engine(capacity: usize, policy: AdmissionPolicy) -> (Engine, Arc<Gate>, PendingResponse) {
     let gate = Gate::closed();
-    let model: SharedRecommender = Arc::new(GatedRecommender {
-        inner: HittingTimeRecommender::new(&tiny_dataset(), GraphRecConfig::default()),
-        gate: Arc::clone(&gate),
-    });
+    let model: SharedRecommender = Arc::new(GatedRecommender::new(
+        HittingTimeRecommender::new(&tiny_dataset(), GraphRecConfig::default()),
+        Arc::clone(&gate),
+    ));
     let engine = Engine::builder()
         .model("gated", model)
         .workers(1)
@@ -319,10 +197,10 @@ fn deadline_expiring_mid_request_cancels_the_walk() {
     // passed forces the expiry onto the DP's cooperative cancellation
     // path.
     let gate = Gate::closed();
-    let model: SharedRecommender = Arc::new(GatedRecommender {
-        inner: HittingTimeRecommender::new(&chain_dataset(), GraphRecConfig::default()),
-        gate: Arc::clone(&gate),
-    });
+    let model: SharedRecommender = Arc::new(GatedRecommender::new(
+        HittingTimeRecommender::new(&chain_dataset(), GraphRecConfig::default()),
+        Arc::clone(&gate),
+    ));
     let engine = Engine::builder().model("gated", model).workers(1).build();
     let deadline = Instant::now() + Duration::from_millis(200);
     let pending = engine

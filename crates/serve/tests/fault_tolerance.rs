@@ -11,14 +11,18 @@
 //!   (submit-time [`ServeError::CircuitOpen`] without spending a queue
 //!   slot), and a successful half-open probe fully closes it;
 //! * **retry** — a transient panic is retried on a fresh context and the
-//!   request still answers non-degraded;
+//!   request still answers non-degraded; a retry is abandoned only when
+//!   the deadline has already passed (an oversized backoff is skipped, not
+//!   fatal), and deadline-free requests stop at `max_attempts`;
 //! * **fallback** — an unavailable primary serves the registered fallback
 //!   with [`RecommendResponse::degraded`] set, exactly the fallback's own
 //!   ranking; once the breaker opens, the primary is not even attempted;
 //! * **poison refusal** — NaN/−∞ scores are refused typed and feed the
 //!   breaker;
 //! * **supervision** — a kill-marked worker death is detected and the
-//!   worker respawned, keeping the configured pool size.
+//!   worker respawned, keeping the configured pool size; a probe that
+//!   kills its worker re-opens the breaker (never wedging it HalfOpen)
+//!   and the respawned worker's next probe closes it.
 //!
 //! Case counts honour `PROPTEST_CASES` (see `vendor/proptest`), which CI
 //! pins so the suite stays bounded.
@@ -146,6 +150,70 @@ fn retry_recovers_from_transient_panic() {
     assert_eq!(stats.retries, 1, "one extra attempt");
     assert_eq!(stats.contexts_discarded, 1, "panicked context dropped");
     assert_eq!(stats.panicked, 0, "the request did not fail");
+}
+
+#[test]
+fn retry_starts_within_deadline_even_when_backoff_would_not_fit() {
+    // Regression for the over-eager abandon guard: the old check refused
+    // to retry whenever `now + backoff >= deadline`, turning a perfectly
+    // servable retry into a guaranteed failure. A retry only needs to
+    // *start* before the deadline (the DP cancels cooperatively if it then
+    // expires), so an oversized backoff is skipped — the retry runs
+    // immediately — rather than abandoned.
+    let d = corpus();
+    let plan = FaultPlan::new().fault_on_call(0, FaultKind::Panic);
+    let pop = Arc::new(PopularityRecommender::train(&d));
+    let engine = Engine::builder()
+        .workers(0)
+        .model(
+            "POP",
+            Arc::new(FaultyRecommender::new(pop.clone(), plan)) as SharedRecommender,
+        )
+        .build();
+
+    let started = std::time::Instant::now();
+    let resp = engine
+        .recommend(
+            &RecommendRequest::new("POP", 0, 3)
+                .with_retry(RetryPolicy::attempts(2).with_backoff(Duration::from_secs(10)))
+                .deadline_in(Duration::from_secs(2)),
+        )
+        .expect("the retry fits the deadline; the backoff must not");
+    assert!(!resp.degraded);
+    assert_eq!(resp.items, pop.recommend(0, 3));
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "the 10s backoff must have been skipped, not slept"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.expired_at_dequeue + stats.expired_in_dp, 0);
+}
+
+#[test]
+fn deadline_free_requests_retry_exactly_max_attempts_times() {
+    // The boundary's other side: with no deadline there is no time-based
+    // abandon at all, so `max_attempts` must be what stops a persistently
+    // failing request — never an unbounded spin.
+    let d = corpus();
+    let faulty = Arc::new(FaultyRecommender::new(
+        Arc::new(PopularityRecommender::train(&d)),
+        FaultPlan::new().fault_every(1, 0, FaultKind::Panic),
+    ));
+    let engine = Engine::builder()
+        .workers(0)
+        .model("POP", faulty.clone() as SharedRecommender)
+        .build();
+
+    let err = engine
+        .recommend(&RecommendRequest::new("POP", 0, 3).with_retry(RetryPolicy::attempts(3)))
+        .unwrap_err();
+    assert!(matches!(err, ServeError::RequestPanicked(_)));
+    assert_eq!(faulty.calls_made(), 3, "exactly max_attempts attempts");
+    let stats = engine.stats();
+    assert_eq!(stats.retries, 2);
+    assert_eq!(stats.panicked, 1, "one failed request, not one per attempt");
 }
 
 #[test]
@@ -358,6 +426,77 @@ fn killed_worker_is_respawned_by_supervision() {
         .expect("respawned worker must serve");
     assert!(!resp.degraded);
     assert_eq!(engine.stats().workers_restarted, 1);
+}
+
+#[test]
+fn probe_that_kills_its_worker_reopens_breaker_and_recovers() {
+    // Chaos regression for the wedged-HalfOpen bug: the half-open state
+    // holds a single probe token, and a probe whose worker dies must hand
+    // it back (breaker → Open) rather than leave the breaker HalfOpen
+    // forever with the token leaked — which would refuse every future
+    // request with no path back to Closed.
+    let d = corpus();
+    // Calls 0 and 1 trip the breaker; call 2 is the probe, which takes its
+    // worker down; call 3 (the respawned worker's probe) serves cleanly.
+    let plan = FaultPlan::new()
+        .fault_on_call(0, FaultKind::Panic)
+        .fault_on_call(1, FaultKind::Panic)
+        .fault_on_call(2, FaultKind::KillWorker);
+    let pop = Arc::new(PopularityRecommender::train(&d));
+    let engine = Engine::builder()
+        .workers(1)
+        .model(
+            "POP",
+            Arc::new(FaultyRecommender::new(pop.clone(), plan)) as SharedRecommender,
+        )
+        .breakers(BreakerConfig {
+            window: 4,
+            failure_threshold: 2,
+            cooldown: Duration::ZERO,
+        })
+        .build();
+
+    let send = |user| {
+        engine
+            .submit(RecommendRequest::new("POP", user, 3))
+            .unwrap()
+            .wait()
+    };
+    assert!(send(0).is_err());
+    assert!(send(1).is_err()); // breaker trips (threshold 2)
+
+    // Zero cooldown: this request is the half-open probe — and it kills
+    // the worker on its way out.
+    let err = send(2).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::RequestPanicked(msg)
+            if msg.contains(longtail_serve::WORKER_KILL_MARK)),
+        "unexpected error: {err:?}"
+    );
+    // The dead probe must not wedge the breaker HalfOpen: it is Open
+    // again, cooling down toward the next probe.
+    let state = engine.health().models[0].breakers[0];
+    assert_eq!(state, BreakerState::Open, "probe death must re-open");
+
+    // Supervision respawns the killed worker (poll as the thread unwinds).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while engine.stats().workers_restarted == 0 {
+        engine.health();
+        assert!(
+            std::time::Instant::now() < deadline,
+            "supervision never respawned the killed worker"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The engine recovered end to end: the next request is a fresh probe
+    // on the respawned worker; it serves and fully closes the breaker.
+    let resp = send(3).expect("recovered probe must serve");
+    assert!(!resp.degraded);
+    assert_eq!(resp.items, pop.recommend(3, 3));
+    let health = engine.health();
+    assert_eq!(health.models[0].breakers, vec![BreakerState::Closed]);
+    assert!(health.all_healthy());
 }
 
 #[test]

@@ -1,0 +1,143 @@
+//! QoS scheduling tour: priority classes, earliest-deadline-first dequeue,
+//! slack shedding and the per-class ledgers they are accounted in.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example qos_scheduling
+//! ```
+
+use longtail::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    // 1. Two engines over the same HT model, one worker each — overload is
+    //    the point. The only difference is the dequeue policy: plain FIFO
+    //    vs the QoS scheduler (strict priority classes, EDF within a
+    //    class, slack-based shedding).
+    let config = SyntheticConfig {
+        n_users: 300,
+        n_items: 240,
+        ..SyntheticConfig::movielens_like()
+    };
+    let data = SyntheticData::generate(&config);
+    let ht: Arc<dyn Recommender + Send + Sync> = Arc::new(HittingTimeRecommender::new(
+        &data.dataset,
+        GraphRecConfig {
+            max_items: 160,
+            iterations: 120,
+        },
+    ));
+    let build = |sched: SchedPolicy| {
+        Engine::builder()
+            .model("HT", Arc::clone(&ht))
+            .workers(1)
+            .queue_capacity(256)
+            .scheduling(sched)
+            .build()
+    };
+    let fifo = build(SchedPolicy::Fifo);
+    let qos = build(SchedPolicy::Qos);
+
+    // 2. Calibration: a closed-loop pass measures the per-request service
+    //    time — and trains the QoS engine's per-model EWMA, the evidence
+    //    its slack shedder consults (no estimate, no shedding).
+    let start = Instant::now();
+    for u in 0..32u32 {
+        fifo.recommend(&RecommendRequest::new("HT", u, 5)).unwrap();
+        qos.recommend(&RecommendRequest::new("HT", u, 5)).unwrap();
+    }
+    let estimate = start.elapsed().as_secs_f64() / 64.0;
+    println!("calibrated: ~{:.2} ms per request", estimate * 1e3);
+
+    // 3. The same overload mix through both engines: 60 requests against
+    //    one worker — every third Interactive with a deadline at half the
+    //    total demand, Batch with a generous one, Background with none.
+    //    FIFO serves in arrival order, so Interactive requests that arrive
+    //    late miss; the QoS scheduler serves the whole Interactive class
+    //    first.
+    let n = 60usize;
+    let demand = estimate * n as f64;
+    let mix = |engine: &Engine| -> Vec<(Priority, Result<RecommendResponse, ServeError>)> {
+        let now = Instant::now();
+        let pending: Vec<_> = (0..n)
+            .map(|i| {
+                let req = RecommendRequest::new("HT", (i % 300) as u32, 5);
+                let (class, req) = match i % 3 {
+                    0 => (
+                        Priority::Interactive,
+                        req.deadline_at(now + Duration::from_secs_f64(0.5 * demand)),
+                    ),
+                    1 => (
+                        Priority::Batch,
+                        req.with_priority(Priority::Batch)
+                            .deadline_at(now + Duration::from_secs_f64(1.25 * demand)),
+                    ),
+                    _ => (
+                        Priority::Background,
+                        req.with_priority(Priority::Background),
+                    ),
+                };
+                (class, engine.submit(req).expect("capacity 256 admits all"))
+            })
+            .collect();
+        pending.into_iter().map(|(c, p)| (c, p.wait())).collect()
+    };
+    for (label, engine) in [("FIFO", &fifo), ("QoS ", &qos)] {
+        let outcomes = mix(engine);
+        let rate = |class: Priority| {
+            let total = outcomes.iter().filter(|(c, _)| *c == class).count();
+            let hit = outcomes
+                .iter()
+                .filter(|(c, r)| *c == class && r.is_ok())
+                .count();
+            format!("{hit}/{total}")
+        };
+        println!(
+            "{label} under overload: interactive {} in deadline, batch {}, background {}",
+            rate(Priority::Interactive),
+            rate(Priority::Batch),
+            rate(Priority::Background),
+        );
+    }
+
+    // 4. Slack shedding: the EWMA says a request takes ~`estimate`; a
+    //    deadline far below that is provably unmeetable, so the QoS engine
+    //    drops it at dequeue — a typed failure in microseconds instead of
+    //    a worker burning a full service time on an answer nobody can use.
+    let doomed = qos
+        .submit(
+            RecommendRequest::new("HT", 7, 5).deadline_in(Duration::from_secs_f64(estimate * 0.2)),
+        )
+        .expect("admission is separate from expiry")
+        .wait();
+    assert_eq!(doomed, Err(ServeError::DeadlineExceeded));
+    let stats: EngineStats = qos.stats();
+    println!(
+        "\nunmeetable deadline -> DeadlineExceeded ({} slack-shed, {} expired at dequeue)",
+        stats.shed_unmeetable, stats.expired_at_dequeue
+    );
+
+    // 5. Every class keeps its own ledger (plus a latency histogram): each
+    //    admitted request lands in exactly one outcome bucket.
+    println!("\nper-class ledgers (QoS engine):");
+    for (class, priority) in stats.per_class.iter().zip(Priority::ALL) {
+        let p99 = class
+            .latency_p99()
+            .map_or("-".into(), |s| format!("{:.1} ms", s * 1e3));
+        println!(
+            "  {:11} {} submitted = {} served + {} shed + {} expired + {} failed (p99 {p99})",
+            priority.name(),
+            class.submitted,
+            class.served,
+            class.shed,
+            class.expired,
+            class.failed,
+        );
+        assert_eq!(
+            class.submitted,
+            class.served + class.shed + class.expired + class.failed
+        );
+    }
+}

@@ -84,10 +84,10 @@ pub mod prelude {
     };
     pub use longtail_graph::{BipartiteGraph, GraphStats};
     pub use longtail_serve::{
-        AdmissionPolicy, BreakerConfig, BreakerState, Engine, EngineBuilder, EngineHealth,
-        EngineStats, FaultKind, FaultPlan, FaultyRecommender, ModelHealth, ModuloRouter,
-        PendingResponse, RangeRouter, RecommendRequest, RecommendResponse, RetryPolicy, ServeError,
-        ShardRouter,
+        AdmissionPolicy, BreakerConfig, BreakerState, ClassStats, Engine, EngineBuilder,
+        EngineHealth, EngineStats, FaultKind, FaultPlan, FaultyRecommender, ModelHealth,
+        ModuloRouter, PendingResponse, Priority, RangeRouter, RecommendRequest, RecommendResponse,
+        RetryPolicy, SchedPolicy, ServeError, ShardRouter,
     };
     pub use longtail_topics::{LdaConfig, LdaModel};
 }
