@@ -398,6 +398,137 @@ fn measure_serving_engine(
     }
 }
 
+struct ModelLifecycle {
+    snapshot_bytes: u64,
+    save_seconds: f64,
+    load_seconds: f64,
+    deploy_publish_seconds: f64,
+    requests: usize,
+    served: u64,
+    requests_lost: u64,
+    served_during_swap_correct: bool,
+    reloaded_rankings_identical: bool,
+}
+
+/// The model lifecycle on the serving corpus: snapshot save/load wall
+/// time, the publish latency of an atomic hot swap, and the
+/// served-during-swap correctness gates — every request submitted across
+/// the deploy boundary must complete on exactly one version (none lost,
+/// none torn), and the reloaded model must serve bit-identical rankings.
+fn measure_model_lifecycle<R>(label: &'static str, users: &[u32], model: &R) -> ModelLifecycle
+where
+    R: longtail_core::Persistable + Clone + Send + Sync + 'static,
+{
+    let dir = std::env::temp_dir().join(format!("longtail_bench_lifecycle_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    let path = dir.join(format!("{label}.snap"));
+
+    let save_seconds = time_best(|| {
+        model.save_to_file(&path).expect("snapshot save");
+    });
+    let snapshot_bytes = std::fs::metadata(&path).expect("stat snapshot").len();
+    let mut loaded = None;
+    let load_seconds = time_best(|| {
+        loaded = Some(R::load_from_file(&path).expect("snapshot load"));
+    });
+    let loaded = loaded.expect("at least one load ran");
+
+    // Bit-identity gate: the reloaded model must reproduce every ranking
+    // (items, ranks and f64 bit patterns) of the trained original.
+    let mut ctx = ScoringContext::new();
+    let opts = RecommendOptions::default();
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    let mut reloaded_rankings_identical = true;
+    for &u in users {
+        model.recommend_into(u, TOP_K, &opts, &mut ctx, &mut a);
+        loaded.recommend_into(u, TOP_K, &opts, &mut ctx, &mut b);
+        if a.len() != b.len()
+            || a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.item != y.item || x.score.to_bits() != y.score.to_bits())
+        {
+            reloaded_rankings_identical = false;
+        }
+    }
+
+    // Hot swap under load: a wave of in-flight requests straddles the
+    // deploy; afterwards a second wave must serve on the new version only.
+    let engine = Engine::builder()
+        .model(label, Arc::new(model.clone()))
+        .workers(ENGINE_WORKERS)
+        .build();
+    let wave = |out: &mut Vec<longtail_serve::PendingResponse>| {
+        for &u in users {
+            out.push(
+                engine
+                    .submit(RecommendRequest::new(label, u, TOP_K))
+                    .expect("registered model"),
+            );
+        }
+    };
+    let mut first = Vec::new();
+    wave(&mut first);
+    let deploy_start = Instant::now();
+    engine
+        .deploy_from(
+            label,
+            Arc::new(loaded),
+            longtail_serve::ModelProvenance::Snapshot(path.clone()),
+        )
+        .expect("registered model");
+    let deploy_publish_seconds = deploy_start.elapsed().as_secs_f64();
+    let mut second = Vec::new();
+    wave(&mut second);
+
+    let mut served = 0u64;
+    let mut requests_lost = 0u64;
+    let mut served_during_swap_correct = true;
+    for (wave_no, pending) in [(1u32, first), (2u32, second)] {
+        for p in pending {
+            match p.wait() {
+                Ok(r) => {
+                    served += 1;
+                    // Exactly one version per response; post-deploy
+                    // submissions must not serve stale.
+                    let version_ok = match wave_no {
+                        2 => r.version == 2,
+                        _ => r.version == 1 || r.version == 2,
+                    };
+                    if !version_ok {
+                        served_during_swap_correct = false;
+                    }
+                }
+                Err(_) => requests_lost += 1,
+            }
+        }
+    }
+    if requests_lost > 0 {
+        served_during_swap_correct = false;
+    }
+    let requests = 2 * users.len();
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "\n{label} model lifecycle: snapshot {snapshot_bytes} B, save {:.3} ms, \
+         load {:.3} ms, hot-swap publish {:.3} ms, {served}/{requests} served across \
+         the swap (lost {requests_lost}), swap correct: {served_during_swap_correct}, \
+         reload bit-identical: {reloaded_rankings_identical}",
+        save_seconds * 1e3,
+        load_seconds * 1e3,
+        deploy_publish_seconds * 1e3,
+    );
+    ModelLifecycle {
+        snapshot_bytes,
+        save_seconds,
+        load_seconds,
+        deploy_publish_seconds,
+        requests,
+        served,
+        requests_lost,
+        served_during_swap_correct,
+        reloaded_rankings_identical,
+    }
+}
+
 struct AsyncServing {
     open_loop_seconds: f64,
     closed_loop_seconds: f64,
@@ -947,6 +1078,11 @@ fn main() {
     let ht_async = measure_async_serving("HT", &serve_users, Arc::new(serve_ht.clone()));
     let ac_async = measure_async_serving("AC1", &serve_users, Arc::new(serve_ac1.clone()));
 
+    // The model lifecycle on the same serving corpus: snapshot save/load,
+    // hot-swap publish latency, and the served-during-swap gates.
+    let ht_lifecycle = measure_model_lifecycle("HT", &serve_users, &serve_ht);
+    let ac_lifecycle = measure_model_lifecycle("AC1", &serve_users, &serve_ac1);
+
     // Deadline-hit rates under a seeded overload mix: the QoS scheduler
     // (strict priority + EDF + slack shedding) vs the FIFO baseline.
     let ht_qos = measure_qos_scheduling("HT", &serve_users, Arc::new(serve_ht.clone()));
@@ -1030,6 +1166,8 @@ fn main() {
         &ac_engine,
         &ht_async,
         &ac_async,
+        &ht_lifecycle,
+        &ac_lifecycle,
         &ht_qos,
         &ac_qos,
         &ht_fault,
@@ -1058,6 +1196,8 @@ fn render_json(
     ac_engine: &ServingEngine,
     ht_async: &AsyncServing,
     ac_async: &AsyncServing,
+    ht_lifecycle: &ModelLifecycle,
+    ac_lifecycle: &ModelLifecycle,
     ht_qos: &QosScheduling,
     ac_qos: &QosScheduling,
     ht_fault: &FaultTolerance,
@@ -1104,6 +1244,23 @@ fn render_json(
             a.expired_in_dp,
             a.deadline_completed,
             a.counts_consistent
+        )
+    }
+    fn model_lifecycle(m: &ModelLifecycle) -> String {
+        format!(
+            "{{\"snapshot_bytes\": {}, \"save_seconds\": {:.6e}, \"load_seconds\": {:.6e}, \
+             \"deploy_publish_seconds\": {:.6e}, \"requests\": {}, \"served\": {}, \
+             \"requests_lost\": {}, \"served_during_swap_correct\": {}, \
+             \"reloaded_rankings_identical\": {}}}",
+            m.snapshot_bytes,
+            m.save_seconds,
+            m.load_seconds,
+            m.deploy_publish_seconds,
+            m.requests,
+            m.served,
+            m.requests_lost,
+            m.served_during_swap_correct,
+            m.reloaded_rankings_identical
         )
     }
     fn qos_scheduling(q: &QosScheduling) -> String {
@@ -1203,6 +1360,8 @@ fn render_json(
          \"queue_capacity\": {ASYNC_QUEUE_CAPACITY},\n    \
          \"rounds\": {ENGINE_ROUNDS},\n    \"requests\": {},\n    \
          \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
+         \"model_lifecycle\": {{\n    \"workers\": {ENGINE_WORKERS},\n    \
+         \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
          \"qos_scheduling\": {{\n    \"workers\": 1,\n    \
          \"requests\": {QOS_REQUESTS},\n    \
          \"interactive_slack\": {QOS_INTERACTIVE_SLACK},\n    \
@@ -1232,6 +1391,8 @@ fn render_json(
         ht_async.requests,
         async_serving(ht_async),
         async_serving(ac_async),
+        model_lifecycle(ht_lifecycle),
+        model_lifecycle(ac_lifecycle),
         qos_scheduling(ht_qos),
         qos_scheduling(ac_qos),
         fault_tolerance(ht_fault),

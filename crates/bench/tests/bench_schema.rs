@@ -32,6 +32,7 @@ fn walk_scoring_summary_keeps_its_schema() {
         "\"recommend_topk\"",
         "\"serving_engine\"",
         "\"async_serving\"",
+        "\"model_lifecycle\"",
         "\"qos_scheduling\"",
         "\"fault_tolerance\"",
         "\"early_termination\"",
@@ -117,6 +118,39 @@ fn walk_scoring_summary_keeps_its_schema() {
     assert!(
         !json.contains("\"rankings_match_blocking\": false"),
         "a serving path diverged from the blocking batch path"
+    );
+
+    // Model lifecycle: snapshot save/load wall time, hot-swap publish
+    // latency, and the served-during-swap gates, for both algorithms.
+    for key in [
+        "\"snapshot_bytes\"",
+        "\"save_seconds\"",
+        "\"load_seconds\"",
+        "\"deploy_publish_seconds\"",
+        "\"requests_lost\"",
+        "\"served_during_swap_correct\"",
+        "\"reloaded_rankings_identical\"",
+    ] {
+        assert_eq!(
+            json.matches(key).count(),
+            2,
+            "schema drift: model-lifecycle field {key} missing for an algorithm"
+        );
+    }
+    // The committed summary must never record a hot swap that lost or tore
+    // a request, or a snapshot reload that perturbed a ranking.
+    assert_eq!(
+        json.matches("\"requests_lost\": 0").count(),
+        2,
+        "a hot swap lost an in-flight request"
+    );
+    assert!(
+        !json.contains("\"served_during_swap_correct\": false"),
+        "a request served on an ambiguous version across a hot swap"
+    );
+    assert!(
+        !json.contains("\"reloaded_rankings_identical\": false"),
+        "a snapshot round trip changed a served ranking"
     );
 
     // QoS scheduling: per-class deadline-hit rates under the seeded

@@ -40,6 +40,7 @@
 pub mod config;
 pub mod context;
 pub mod parallel;
+pub mod persist;
 pub mod recommenders;
 pub mod topk;
 mod walk_common;
@@ -47,6 +48,7 @@ mod walk_common;
 pub use config::{AbsorbingCostConfig, DpStopping, GraphRecConfig, RecommendOptions};
 pub use context::{with_thread_context, DpTelemetry, ScoringContext};
 pub use parallel::{parallel_map_indexed, parallel_map_indexed_with_states};
+pub use persist::Persistable;
 pub use recommenders::{
     AbsorbingCostRecommender, AbsorbingTimeRecommender, AssociationRuleRecommender, EntropySource,
     HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor, PageRankRecommender,

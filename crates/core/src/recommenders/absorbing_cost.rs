@@ -83,6 +83,33 @@ impl AbsorbingCostRecommender {
         Self::topic_entropy(train, &model, config)
     }
 
+    /// Reassemble from persisted state — the snapshot load path. The
+    /// entropies were computed at training time (AC2's depend on an LDA
+    /// model that is not persisted), so they are restored verbatim.
+    pub(crate) fn from_parts(
+        graph: BipartiteGraph,
+        user_entropy: Vec<f64>,
+        source: EntropySource,
+        config: AbsorbingCostConfig,
+    ) -> Self {
+        Self {
+            graph,
+            user_entropy,
+            source,
+            config,
+        }
+    }
+
+    /// Training configuration (the snapshot save path persists it).
+    pub(crate) fn config(&self) -> AbsorbingCostConfig {
+        self.config
+    }
+
+    /// Training matrix (the snapshot save path persists it).
+    pub(crate) fn user_items(&self) -> &longtail_graph::CsrMatrix {
+        self.graph.user_items()
+    }
+
     /// Which entropy estimator this instance uses.
     pub fn entropy_source(&self) -> EntropySource {
         self.source

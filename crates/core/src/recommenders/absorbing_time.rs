@@ -37,6 +37,11 @@ impl AbsorbingTimeRecommender {
         &self.graph
     }
 
+    /// Training configuration (the snapshot save path persists it).
+    pub(crate) fn config(&self) -> GraphRecConfig {
+        self.config
+    }
+
     /// Absorbing times of every item for `user` (lower = better), `+∞` for
     /// unreachable items. Exposed for tests and the µ-sweep experiment.
     pub fn absorbing_times(&self, user: u32) -> Vec<f64> {

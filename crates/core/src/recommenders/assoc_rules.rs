@@ -82,6 +82,13 @@ impl AssociationRuleRecommender {
         }
     }
 
+    /// Reassemble from persisted state — the snapshot load path. Rule
+    /// lists are restored verbatim (confidences depend only on the mined
+    /// counts, but re-mining is the work snapshots exist to avoid).
+    pub(crate) fn from_parts(user_items: CsrMatrix, rules: Vec<Vec<(u32, f64)>>) -> Self {
+        Self { user_items, rules }
+    }
+
     /// The mined rules with `antecedent` on the left side, as
     /// `(consequent, confidence)`.
     pub fn rules_from(&self, antecedent: u32) -> &[(u32, f64)] {
@@ -91,6 +98,17 @@ impl AssociationRuleRecommender {
     /// Total number of mined rules.
     pub fn n_rules(&self) -> usize {
         self.rules.iter().map(|r| r.len()).sum()
+    }
+
+    /// Training matrix (the snapshot save path persists it).
+    pub(crate) fn user_items(&self) -> &CsrMatrix {
+        &self.user_items
+    }
+
+    /// All rule lists, indexed by antecedent item (the snapshot save path
+    /// persists them).
+    pub(crate) fn rule_lists(&self) -> &[Vec<(u32, f64)>] {
+        &self.rules
     }
 }
 

@@ -37,6 +37,11 @@ impl HittingTimeRecommender {
         &self.graph
     }
 
+    /// Training configuration (the snapshot save path persists it).
+    pub(crate) fn config(&self) -> GraphRecConfig {
+        self.config
+    }
+
     /// Run the hitting-time walk for `user` under `mode` and the request's
     /// `stopping` policy, leaving the per-node times in `ctx.walk`. Returns
     /// `false` when the query user reaches nothing (an unrated, isolated

@@ -79,9 +79,29 @@ impl KnnRecommender {
         }
     }
 
+    /// Reassemble from persisted state — the snapshot load path. The
+    /// neighbor lists are restored verbatim (recomputing them would be the
+    /// quadratic pass snapshots exist to avoid).
+    pub(crate) fn from_parts(user_items: CsrMatrix, neighbors: Vec<Vec<(u32, f64)>>) -> Self {
+        Self {
+            user_items,
+            neighbors,
+        }
+    }
+
     /// The neighbor list of `user` as `(user, similarity)` pairs.
     pub fn neighbors_of(&self, user: u32) -> &[(u32, f64)] {
         &self.neighbors[user as usize]
+    }
+
+    /// Training matrix (the snapshot save path persists it).
+    pub(crate) fn user_items(&self) -> &CsrMatrix {
+        &self.user_items
+    }
+
+    /// All neighbor lists (the snapshot save path persists them).
+    pub(crate) fn neighbor_lists(&self) -> &[Vec<(u32, f64)>] {
+        &self.neighbors
     }
 }
 

@@ -52,6 +52,11 @@ impl LdaRecommender {
     pub fn model(&self) -> &LdaModel {
         &self.model
     }
+
+    /// Training matrix (the snapshot save path persists it).
+    pub(crate) fn user_items(&self) -> &CsrMatrix {
+        &self.user_items
+    }
 }
 
 impl Recommender for LdaRecommender {

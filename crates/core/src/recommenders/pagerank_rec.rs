@@ -59,6 +59,16 @@ impl PageRankRecommender {
         }
     }
 
+    /// Training configuration (the snapshot save path persists it).
+    pub(crate) fn config(&self) -> PageRankConfig {
+        self.config
+    }
+
+    /// Training matrix (the snapshot save path persists it).
+    pub(crate) fn user_items(&self) -> &longtail_graph::CsrMatrix {
+        self.graph.user_items()
+    }
+
     /// The flavor in use.
     pub fn flavor(&self) -> PageRankFlavor {
         self.flavor

@@ -44,6 +44,11 @@ impl PopularityRecommender {
         }
     }
 
+    /// Training matrix (the snapshot save path persists it).
+    pub(crate) fn user_items(&self) -> &CsrMatrix {
+        &self.user_items
+    }
+
     /// The training rating count of `item`.
     pub fn popularity_of(&self, item: u32) -> u32 {
         self.counts[item as usize]

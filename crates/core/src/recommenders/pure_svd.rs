@@ -70,10 +70,32 @@ impl PureSvdRecommender {
         }
     }
 
+    /// Reassemble from persisted state — the snapshot load path. The
+    /// factor matrix is restored bit-exactly; re-running the randomized
+    /// SVD would yield a different (sign/rotation-equivalent) basis.
+    pub(crate) fn from_parts(user_items: CsrMatrix, item_factors: Vec<f64>, rank: usize) -> Self {
+        Self {
+            item_factors,
+            rank,
+            user_items,
+        }
+    }
+
     /// Effective factor rank (can be lower than requested for low-rank
     /// training data).
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Training matrix (the snapshot save path persists it).
+    pub(crate) fn user_items(&self) -> &CsrMatrix {
+        &self.user_items
+    }
+
+    /// The flat row-major item factor matrix (the snapshot save path
+    /// persists it bit-exactly).
+    pub(crate) fn item_factors_flat(&self) -> &[f64] {
+        &self.item_factors
     }
 
     /// Item factor row of item `i`.

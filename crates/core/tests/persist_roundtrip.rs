@@ -1,0 +1,102 @@
+//! Property tests: snapshot persistence is a bit-identity for every
+//! [`Persistable`] family on arbitrary corpora.
+//!
+//! The unit tests in `persist.rs` pin the round trip on one fixture; this
+//! suite drives it over random datasets — save to snapshot bytes, load
+//! back, and require every user's ranking *and every score's bit pattern*
+//! to survive unchanged. Case counts honour `PROPTEST_CASES` (see
+//! `vendor/proptest`), which CI pins so the suite stays bounded.
+
+use longtail_core::{
+    AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
+    AssociationRuleRecommender, GraphRecConfig, HittingTimeRecommender, KnnRecommender,
+    LdaRecommender, PageRankRecommender, Persistable, PopularityRecommender, PureSvdRecommender,
+    RuleConfig, UserSimilarity,
+};
+use longtail_data::{Dataset, Rating};
+use longtail_topics::LdaConfig;
+use proptest::prelude::*;
+
+const N_USERS: usize = 8;
+const N_ITEMS: usize = 10;
+
+fn ratings() -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (0..N_USERS as u32, 0..N_ITEMS as u32, 1.0f64..5.0).prop_map(|(user, item, value)| {
+            Rating {
+                user,
+                item,
+                value: value.round().max(1.0),
+            }
+        }),
+        1..60,
+    )
+}
+
+/// Round-trip `rec` through snapshot bytes and require served output to be
+/// bit-identical: same items, same ranks, same `f64` bit patterns.
+fn check_round_trip<R: Persistable>(rec: &R, d: &Dataset) -> Result<(), TestCaseError> {
+    let bytes = rec.to_snapshot_bytes();
+    let loaded = R::load_from_bytes(bytes).expect("round trip must load");
+    prop_assert_eq!(loaded.name(), rec.name());
+    prop_assert_eq!(loaded.n_items(), rec.n_items());
+    for u in 0..d.n_users() as u32 {
+        prop_assert_eq!(rec.rated_items(u), loaded.rated_items(u), "user {}", u);
+        let a = rec.recommend(u, 5);
+        let b = loaded.recommend(u, 5);
+        prop_assert_eq!(a.len(), b.len(), "{} user {}", rec.name(), u);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.item, y.item, "{} user {}", rec.name(), u);
+            prop_assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "{} user {}: score drifted through the snapshot",
+                rec.name(),
+                u
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn walk_family_round_trips(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        let graph = GraphRecConfig::default();
+        check_round_trip(&HittingTimeRecommender::new(&d, graph), &d)?;
+        check_round_trip(&AbsorbingTimeRecommender::new(&d, graph), &d)?;
+        let ac = AbsorbingCostConfig::default();
+        check_round_trip(&AbsorbingCostRecommender::item_entropy(&d, ac), &d)?;
+        check_round_trip(
+            &AbsorbingCostRecommender::topic_entropy_auto(&d, 2, ac),
+            &d,
+        )?;
+    }
+
+    #[test]
+    fn baseline_family_round_trips(rs in ratings()) {
+        let d = Dataset::from_ratings(N_USERS, N_ITEMS, &rs);
+        check_round_trip(&PopularityRecommender::train(&d), &d)?;
+        check_round_trip(&KnnRecommender::train(&d, 3, UserSimilarity::Cosine), &d)?;
+        check_round_trip(
+            &AssociationRuleRecommender::train(
+                &d,
+                &RuleConfig { min_support: 1, min_confidence: 0.0 },
+            ),
+            &d,
+        )?;
+        check_round_trip(&PureSvdRecommender::train(&d, 4), &d)?;
+        check_round_trip(&PageRankRecommender::plain(&d), &d)?;
+        check_round_trip(&PageRankRecommender::discounted(&d), &d)?;
+        check_round_trip(
+            &LdaRecommender::train_with(
+                &d,
+                &LdaConfig { iterations: 15, ..LdaConfig::with_topics(2) },
+            ),
+            &d,
+        )?;
+    }
+}

@@ -144,6 +144,45 @@ impl Dataset {
     pub fn to_graph(&self) -> BipartiteGraph {
         BipartiteGraph::from_user_item_matrix(self.user_items.clone())
     }
+
+    /// Partition the corpus into `n_shards` user-disjoint views, each a
+    /// full-size dataset (same `n_users` × `n_items` dimensions) whose
+    /// rating rows are kept only for the users `route` assigns to that
+    /// shard. `route(user, n_shards)` is the same signature a serving
+    /// `ShardRouter` exposes, so training shards line up with the shards a
+    /// sharded engine routes requests to — shard `s` trains on exactly the
+    /// users whose queries shard `s` will serve.
+    ///
+    /// Global dimensions are preserved on purpose: every shard's model
+    /// scores the same item catalog and indexes the same user ids, so
+    /// per-shard models are drop-in deployable behind one router with no
+    /// id remapping. Users routed elsewhere simply have empty rows (a
+    /// shard's model treats them as unrated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is 0, or if `route` sends any user to a shard
+    /// index `>= n_shards`.
+    pub fn shard_by_user(&self, n_shards: usize, route: impl Fn(u32, usize) -> usize) -> Vec<Self> {
+        assert!(n_shards > 0, "cannot shard into 0 shards");
+        let mut per_shard: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); n_shards];
+        for u in 0..self.n_users() {
+            let shard = route(u as u32, n_shards);
+            assert!(
+                shard < n_shards,
+                "route sent user {u} to shard {shard} of {n_shards}"
+            );
+            for (i, v) in self.user_items.iter_row(u) {
+                per_shard[shard].push((u as u32, i, v));
+            }
+        }
+        per_shard
+            .into_iter()
+            .map(|triplets| Self {
+                user_items: CsrMatrix::from_triplets(self.n_users(), self.n_items(), &triplets),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +255,31 @@ mod tests {
         let g = d.to_graph();
         assert_eq!(g.rating(0, 0), Some(5.0));
         assert_eq!(g.n_edges(), 4);
+    }
+
+    #[test]
+    fn shard_by_user_partitions_rows_and_keeps_dims() {
+        let d = sample();
+        let shards = d.shard_by_user(2, |u, n| u as usize % n);
+        assert_eq!(shards.len(), 2);
+        for s in &shards {
+            assert_eq!(s.n_users(), d.n_users());
+            assert_eq!(s.n_items(), d.n_items());
+        }
+        // Users 0 and 2 land on shard 0, user 1 on shard 1 — rows are
+        // disjoint and together reproduce the corpus.
+        assert_eq!(shards[0].rated_items(0), d.rated_items(0));
+        assert_eq!(shards[0].rated_items(2), d.rated_items(2));
+        assert!(shards[0].rated_items(1).is_empty());
+        assert_eq!(shards[1].rated_items(1), d.rated_items(1));
+        assert!(shards[1].rated_items(0).is_empty());
+        assert_eq!(shards[0].n_ratings() + shards[1].n_ratings(), d.n_ratings());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard")]
+    fn shard_by_user_rejects_out_of_range_route() {
+        sample().shard_by_user(2, |_, n| n);
     }
 
     #[test]

@@ -309,6 +309,101 @@ impl CsrMatrix {
         }
         out
     }
+
+    /// Serialize this matrix into a snapshot under `prefix`: sections
+    /// `{prefix}.dims` (`[rows, cols]` as `u64`), `{prefix}.row_ptr`
+    /// (`u64`), `{prefix}.col_idx` (`u32`) and `{prefix}.values` (`f64`).
+    pub fn save_into(&self, w: &mut crate::snapshot::SnapshotWriter, prefix: &str) {
+        w.put_u64s(
+            &format!("{prefix}.dims"),
+            &[self.rows as u64, self.cols as u64],
+        );
+        let row_ptr: Vec<u64> = self.row_ptr.iter().map(|&p| p as u64).collect();
+        w.put_u64s(&format!("{prefix}.row_ptr"), &row_ptr);
+        w.put_u32s(&format!("{prefix}.col_idx"), &self.col_idx);
+        w.put_f64s(&format!("{prefix}.values"), &self.values);
+    }
+
+    /// Deserialize a matrix written by [`CsrMatrix::save_into`] under the
+    /// same `prefix`, validating every CSR invariant fallibly: a snapshot
+    /// whose arrays are well-formed bytes but violate the structure (bad
+    /// `row_ptr` monotonicity, out-of-range or unsorted columns, length
+    /// mismatches) fails with
+    /// [`SnapshotError::InvalidSection`](crate::snapshot::SnapshotError::InvalidSection)
+    /// rather than panicking.
+    pub fn load_from(
+        snap: &crate::snapshot::Snapshot,
+        prefix: &str,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let invalid =
+            |section: String, reason: String| SnapshotError::InvalidSection { section, reason };
+        let dims_name = format!("{prefix}.dims");
+        let dims = snap.usizes(&dims_name)?;
+        let [rows, cols] = dims[..] else {
+            return Err(invalid(
+                dims_name,
+                format!("expected [rows, cols], found {} element(s)", dims.len()),
+            ));
+        };
+        let ptr_name = format!("{prefix}.row_ptr");
+        let row_ptr = snap.usizes(&ptr_name)?;
+        let col_idx = snap.u32s(&format!("{prefix}.col_idx"))?;
+        let values = snap.f64s(&format!("{prefix}.values"))?;
+
+        if row_ptr.len() != rows + 1 {
+            return Err(invalid(
+                ptr_name,
+                format!("length {} != rows + 1 = {}", row_ptr.len(), rows + 1),
+            ));
+        }
+        if row_ptr[0] != 0 {
+            return Err(invalid(ptr_name, "row_ptr must start at 0".to_string()));
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(invalid(
+                ptr_name,
+                "row_ptr must be non-decreasing".to_string(),
+            ));
+        }
+        let nnz = *row_ptr.last().unwrap();
+        if col_idx.len() != nnz || values.len() != nnz {
+            return Err(invalid(
+                format!("{prefix}.col_idx"),
+                format!(
+                    "row_ptr promises {nnz} entries, found {} columns / {} values",
+                    col_idx.len(),
+                    values.len()
+                ),
+            ));
+        }
+        for r in 0..rows {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(invalid(
+                    format!("{prefix}.col_idx"),
+                    format!("columns must be strictly increasing in row {r}"),
+                ));
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= cols {
+                    return Err(invalid(
+                        format!("{prefix}.col_idx"),
+                        format!("column {last} out of bounds in row {r} ({cols} columns)"),
+                    ));
+                }
+            }
+        }
+        // Every invariant from_raw asserts was just checked fallibly, so
+        // this construction cannot panic.
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -421,5 +516,53 @@ mod tests {
     fn to_dense_layout() {
         let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 7.0), (1, 0, 8.0)]);
         assert_eq!(m.to_dense(), vec![0.0, 7.0, 8.0, 0.0]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_exact() {
+        use crate::snapshot::{Snapshot, SnapshotWriter};
+        let m = sample();
+        let mut w = SnapshotWriter::new("CSR", 1);
+        m.save_into(&mut w, "m");
+        let snap = Snapshot::from_bytes(w.to_bytes()).unwrap();
+        let back = CsrMatrix::load_from(&snap, "m").unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn snapshot_load_rejects_invariant_violations_fallibly() {
+        use crate::snapshot::{Snapshot, SnapshotError, SnapshotWriter};
+        let m = sample();
+        // Well-formed container, structurally invalid CSR: row_ptr that
+        // does not end at nnz.
+        let mut w = SnapshotWriter::new("CSR", 1);
+        w.put_u64s("m.dims", &[m.rows() as u64, m.cols() as u64]);
+        w.put_u64s("m.row_ptr", &[0, 2, 3, 99]);
+        w.put_u32s("m.col_idx", &m.col_idx);
+        w.put_f64s("m.values", &m.values);
+        let snap = Snapshot::from_bytes(w.to_bytes()).unwrap();
+        assert!(matches!(
+            CsrMatrix::load_from(&snap, "m"),
+            Err(SnapshotError::InvalidSection { .. })
+        ));
+        // Missing section is its own typed error.
+        let mut w = SnapshotWriter::new("CSR", 1);
+        w.put_u64s("m.dims", &[3, 4]);
+        let snap = Snapshot::from_bytes(w.to_bytes()).unwrap();
+        assert!(matches!(
+            CsrMatrix::load_from(&snap, "m"),
+            Err(SnapshotError::MissingSection(_))
+        ));
+        // Out-of-range column.
+        let mut w = SnapshotWriter::new("CSR", 1);
+        w.put_u64s("m.dims", &[1, 2]);
+        w.put_u64s("m.row_ptr", &[0, 1]);
+        w.put_u32s("m.col_idx", &[5]);
+        w.put_f64s("m.values", &[1.0]);
+        let snap = Snapshot::from_bytes(w.to_bytes()).unwrap();
+        assert!(matches!(
+            CsrMatrix::load_from(&snap, "m"),
+            Err(SnapshotError::InvalidSection { .. })
+        ));
     }
 }

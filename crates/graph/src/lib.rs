@@ -15,7 +15,9 @@
 //!   (Algorithm 1, step 2);
 //! * [`SubgraphScratch`] — reusable, epoch-stamped buffers that extract the
 //!   same neighborhoods with zero `O(n_nodes)` allocations per query;
-//! * [`stats`] — dataset-level descriptive statistics (Figure 1 shape).
+//! * [`stats`] — dataset-level descriptive statistics (Figure 1 shape);
+//! * [`snapshot`] — the versioned, checksummed binary snapshot format that
+//!   persists trained model state ([`SnapshotWriter`] / [`Snapshot`]).
 
 #![warn(missing_docs)]
 
@@ -23,6 +25,7 @@ pub mod adjacency;
 pub mod bipartite;
 pub mod csr;
 pub mod scratch;
+pub mod snapshot;
 pub mod stats;
 pub mod subgraph;
 pub mod transition;
@@ -31,6 +34,7 @@ pub use adjacency::Adjacency;
 pub use bipartite::{BipartiteGraph, Node};
 pub use csr::CsrMatrix;
 pub use scratch::SubgraphScratch;
+pub use snapshot::{Snapshot, SnapshotError, SnapshotWriter};
 pub use stats::GraphStats;
 pub use subgraph::Subgraph;
 pub use transition::TransitionMatrix;

@@ -1,0 +1,720 @@
+//! Versioned, checksummed binary snapshot format for trained model state.
+//!
+//! A snapshot is a single flat buffer with a fixed header, a named section
+//! table, and 8-byte-aligned little-endian payload sections — no serde, no
+//! self-describing encoding, nothing between the reader and the raw arrays.
+//! The layout is designed so a future reader can `mmap` the file and hand
+//! out zero-copy slices: every section payload starts on an 8-byte boundary
+//! relative to the start of the file, so `f64`/`u64` sections are properly
+//! aligned in place. The current reader copies into owned `Vec`s (safe code
+//! only); the alignment guarantee is what keeps the lazy-paging upgrade a
+//! reader-side change.
+//!
+//! ## Layout
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 8    | magic `b"LTSNAP\r\n"` |
+//! | 8      | 4    | format version (`u32` LE, currently 1) |
+//! | 12     | 8    | FNV-1a-64 checksum (`u64` LE) of every byte from offset 20 to EOF |
+//! | 20     | var  | kind string (`u32` LE length + UTF-8 bytes) |
+//! | …      | 4    | state version (`u32` LE, per-model-family schema version) |
+//! | …      | 4    | section count (`u32` LE) |
+//! | …      | var  | section table: per section a name (`u32` LE length + UTF-8), dtype code (`u32` LE), payload offset (`u64` LE, from payload start), payload length in bytes (`u64` LE) |
+//! | …      | 0–7  | zero padding to the next 8-byte boundary |
+//! | …      | var  | payload sections, each starting on an 8-byte boundary |
+//!
+//! Corrupt or truncated input always surfaces as a typed [`SnapshotError`]
+//! — mangling the magic, the version fields, the checksum, the section
+//! table, or the payload each hits its own variant, never a panic.
+
+use std::fmt;
+use std::path::Path;
+
+/// The 8-byte magic at offset 0 of every snapshot. The trailing `\r\n`
+/// catches accidental newline translation by transfer tools.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"LTSNAP\r\n";
+
+/// The container format version this build writes and reads.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Byte offset where the checksummed region starts (magic, format version
+/// and the checksum itself are excluded from the checksum).
+const CHECKSUM_START: usize = 20;
+
+/// Section element-type codes stored in the section table.
+const DTYPE_U32: u32 = 1;
+const DTYPE_U64: u32 = 2;
+const DTYPE_F64: u32 = 3;
+const DTYPE_BYTES: u32 = 4;
+
+fn dtype_name(code: u32) -> &'static str {
+    match code {
+        DTYPE_U32 => "u32",
+        DTYPE_U64 => "u64",
+        DTYPE_F64 => "f64",
+        DTYPE_BYTES => "bytes",
+        _ => "unknown",
+    }
+}
+
+/// FNV-1a-64 over `bytes` — small, dependency-free, and strong enough to
+/// catch the bit flips and truncations a storage layer produces.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Typed failure loading (or decoding) a snapshot. Every way a corrupt,
+/// truncated, or mismatched snapshot can fail maps to exactly one variant;
+/// loading never panics.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The first 8 bytes are not [`SNAPSHOT_MAGIC`] — this is not a
+    /// snapshot file at all.
+    BadMagic,
+    /// The container format version is one this build does not read.
+    UnsupportedFormat {
+        /// Format version found in the header.
+        found: u32,
+        /// Format version this build supports.
+        supported: u32,
+    },
+    /// The stored checksum does not match the bytes — the snapshot was
+    /// corrupted after it was written.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the actual bytes.
+        computed: u64,
+    },
+    /// The buffer ends before a field or section it promises — a short
+    /// read or truncated file.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The snapshot holds a different model family than the caller asked
+    /// to load.
+    KindMismatch {
+        /// Kind the caller expected.
+        expected: &'static str,
+        /// Kind recorded in the snapshot.
+        found: String,
+    },
+    /// The snapshot's per-family state schema version is not the one this
+    /// build reads.
+    StateVersionMismatch {
+        /// Model family kind.
+        kind: String,
+        /// State version found in the snapshot.
+        found: u32,
+        /// State version this build supports.
+        supported: u32,
+    },
+    /// A section the loader requires is absent from the section table.
+    MissingSection(String),
+    /// A section is present but its contents are not usable (wrong dtype,
+    /// bad length, or values that violate the model's invariants).
+    InvalidSection {
+        /// Name of the offending section.
+        section: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "bad magic: not a snapshot file"),
+            SnapshotError::UnsupportedFormat { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads {supported})"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: header says {stored:#018x}, bytes hash to {computed:#018x}"
+            ),
+            SnapshotError::Truncated { needed, available } => write!(
+                f,
+                "truncated snapshot: needed {needed} more byte(s), only {available} available"
+            ),
+            SnapshotError::KindMismatch { expected, found } => {
+                write!(f, "snapshot holds a {found:?} model, expected {expected:?}")
+            }
+            SnapshotError::StateVersionMismatch {
+                kind,
+                found,
+                supported,
+            } => write!(
+                f,
+                "snapshot {kind:?} state version {found} is not the supported version {supported}"
+            ),
+            SnapshotError::MissingSection(name) => {
+                write!(f, "snapshot is missing required section {name:?}")
+            }
+            SnapshotError::InvalidSection { section, reason } => {
+                write!(f, "snapshot section {section:?} is invalid: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Builder that assembles a snapshot buffer: name each flat array, then
+/// [`SnapshotWriter::to_bytes`] lays out header, section table, padding and
+/// 8-byte-aligned payloads in one pass.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    kind: String,
+    state_version: u32,
+    sections: Vec<(String, u32, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Start a snapshot for model family `kind` with the family's state
+    /// schema version.
+    pub fn new(kind: &str, state_version: u32) -> Self {
+        Self {
+            kind: kind.to_string(),
+            state_version,
+            sections: Vec::new(),
+        }
+    }
+
+    fn put_raw(&mut self, name: &str, dtype: u32, bytes: Vec<u8>) {
+        debug_assert!(
+            self.sections.iter().all(|(n, _, _)| n != name),
+            "duplicate snapshot section {name:?}"
+        );
+        self.sections.push((name.to_string(), dtype, bytes));
+    }
+
+    /// Add a named `u32` array section (stored little-endian).
+    pub fn put_u32s(&mut self, name: &str, data: &[u32]) {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.put_raw(name, DTYPE_U32, bytes);
+    }
+
+    /// Add a named `u64` array section (stored little-endian).
+    pub fn put_u64s(&mut self, name: &str, data: &[u64]) {
+        let mut bytes = Vec::with_capacity(data.len() * 8);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.put_raw(name, DTYPE_U64, bytes);
+    }
+
+    /// Add a named `f64` array section (stored as little-endian IEEE 754
+    /// bit patterns — round-trips NaN payloads and signed zeros exactly).
+    pub fn put_f64s(&mut self, name: &str, data: &[f64]) {
+        let mut bytes = Vec::with_capacity(data.len() * 8);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.put_raw(name, DTYPE_F64, bytes);
+    }
+
+    /// Add a named opaque byte section.
+    pub fn put_bytes(&mut self, name: &str, data: &[u8]) {
+        self.put_raw(name, DTYPE_BYTES, data.to_vec());
+    }
+
+    /// Serialize the snapshot to its on-disk byte layout (see the module
+    /// docs for the exact format).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        // Header skeleton; checksum patched in at the end.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        buf.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // checksum placeholder
+
+        // Body: kind, state version, section table.
+        buf.extend_from_slice(&(self.kind.len() as u32).to_le_bytes());
+        buf.extend_from_slice(self.kind.as_bytes());
+        buf.extend_from_slice(&self.state_version.to_le_bytes());
+        buf.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+
+        // Payload offsets: each section starts on an 8-byte boundary
+        // relative to the payload start (which is itself 8-byte aligned
+        // relative to the file start).
+        let mut offsets = Vec::with_capacity(self.sections.len());
+        let mut cursor = 0u64;
+        for (_, _, bytes) in &self.sections {
+            offsets.push(cursor);
+            cursor += bytes.len() as u64;
+            cursor = cursor.div_ceil(8) * 8;
+        }
+        for ((name, dtype, bytes), offset) in self.sections.iter().zip(&offsets) {
+            buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            buf.extend_from_slice(name.as_bytes());
+            buf.extend_from_slice(&dtype.to_le_bytes());
+            buf.extend_from_slice(&offset.to_le_bytes());
+            buf.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        }
+
+        // Pad to the payload start, then emit sections with inter-section
+        // padding matching the offsets computed above.
+        while buf.len() % 8 != 0 {
+            buf.push(0);
+        }
+        let payload_start = buf.len();
+        for ((_, _, bytes), offset) in self.sections.iter().zip(&offsets) {
+            debug_assert_eq!(buf.len() - payload_start, *offset as usize);
+            buf.extend_from_slice(bytes);
+            while (buf.len() - payload_start) % 8 != 0 {
+                buf.push(0);
+            }
+        }
+
+        // Patch the checksum over everything after the header.
+        let checksum = fnv1a_64(&buf[CHECKSUM_START..]);
+        buf[12..20].copy_from_slice(&checksum.to_le_bytes());
+        buf
+    }
+
+    /// Serialize and write the snapshot to `path` (create or truncate).
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+}
+
+/// One parsed section-table entry: where the payload lives in the buffer.
+#[derive(Debug)]
+struct SectionMeta {
+    name: String,
+    dtype: u32,
+    start: usize,
+    len: usize,
+}
+
+/// Forward-only reader over a snapshot buffer that turns every short read
+/// into [`SnapshotError::Truncated`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let available = self.buf.len() - self.pos;
+        if available < n {
+            return Err(SnapshotError::Truncated {
+                needed: n,
+                available,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::InvalidSection {
+            section: what.to_string(),
+            reason: "string is not valid UTF-8".to_string(),
+        })
+    }
+}
+
+/// A parsed, checksum-verified snapshot. Section contents are decoded on
+/// demand through the typed accessors, each of which validates the
+/// section's declared element type and length.
+#[derive(Debug)]
+pub struct Snapshot {
+    bytes: Vec<u8>,
+    kind: String,
+    state_version: u32,
+    sections: Vec<SectionMeta>,
+}
+
+impl Snapshot {
+    /// Parse a snapshot from `bytes`, validating magic, format version,
+    /// checksum, and the section table before returning.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SnapshotError> {
+        if bytes.len() < CHECKSUM_START {
+            return Err(SnapshotError::Truncated {
+                needed: CHECKSUM_START,
+                available: bytes.len(),
+            });
+        }
+        if bytes[0..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let format = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if format != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedFormat {
+                found: format,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            });
+        }
+        let stored = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        let computed = fnv1a_64(&bytes[CHECKSUM_START..]);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut cursor = Cursor {
+            buf: &bytes,
+            pos: CHECKSUM_START,
+        };
+        let kind = cursor.string("kind")?;
+        let state_version = cursor.u32()?;
+        let n_sections = cursor.u32()? as usize;
+        let mut table = Vec::new();
+        for _ in 0..n_sections {
+            let name = cursor.string("section table")?;
+            let dtype = cursor.u32()?;
+            let offset = cursor.u64()?;
+            let len = cursor.u64()?;
+            table.push((name, dtype, offset, len));
+        }
+        let payload_start = cursor.pos.div_ceil(8) * 8;
+
+        let mut sections = Vec::with_capacity(table.len());
+        for (name, dtype, offset, len) in table {
+            let start = payload_start
+                .checked_add(usize::try_from(offset).ok().ok_or_else(|| {
+                    SnapshotError::InvalidSection {
+                        section: name.clone(),
+                        reason: "section offset overflows usize".to_string(),
+                    }
+                })?)
+                .ok_or_else(|| SnapshotError::InvalidSection {
+                    section: name.clone(),
+                    reason: "section offset overflows usize".to_string(),
+                })?;
+            let len = usize::try_from(len)
+                .ok()
+                .ok_or_else(|| SnapshotError::InvalidSection {
+                    section: name.clone(),
+                    reason: "section length overflows usize".to_string(),
+                })?;
+            let end = start
+                .checked_add(len)
+                .ok_or_else(|| SnapshotError::InvalidSection {
+                    section: name.clone(),
+                    reason: "section end overflows usize".to_string(),
+                })?;
+            if end > bytes.len() {
+                return Err(SnapshotError::Truncated {
+                    needed: end - bytes.len(),
+                    available: 0,
+                });
+            }
+            sections.push(SectionMeta {
+                name,
+                dtype,
+                start,
+                len,
+            });
+        }
+
+        Ok(Self {
+            bytes,
+            kind,
+            state_version,
+            sections,
+        })
+    }
+
+    /// Read and parse a snapshot file.
+    pub fn read_from_file(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Self::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Model family kind recorded in the header (e.g. `"HT"`, `"SVD"`).
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Per-family state schema version recorded in the header.
+    pub fn state_version(&self) -> u32 {
+        self.state_version
+    }
+
+    /// Names of every section, in table order.
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    fn section(&self, name: &str, dtype: u32) -> Result<&[u8], SnapshotError> {
+        let meta = self
+            .sections
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| SnapshotError::MissingSection(name.to_string()))?;
+        if meta.dtype != dtype {
+            return Err(SnapshotError::InvalidSection {
+                section: name.to_string(),
+                reason: format!(
+                    "expected a {} section, found {}",
+                    dtype_name(dtype),
+                    dtype_name(meta.dtype)
+                ),
+            });
+        }
+        Ok(&self.bytes[meta.start..meta.start + meta.len])
+    }
+
+    fn elems(&self, name: &str, dtype: u32, width: usize) -> Result<&[u8], SnapshotError> {
+        let bytes = self.section(name, dtype)?;
+        if bytes.len() % width != 0 {
+            return Err(SnapshotError::InvalidSection {
+                section: name.to_string(),
+                reason: format!(
+                    "length {} is not a multiple of the {}-byte element size",
+                    bytes.len(),
+                    width
+                ),
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Decode a `u32` array section.
+    pub fn u32s(&self, name: &str) -> Result<Vec<u32>, SnapshotError> {
+        Ok(self
+            .elems(name, DTYPE_U32, 4)?
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Decode a `u64` array section.
+    pub fn u64s(&self, name: &str) -> Result<Vec<u64>, SnapshotError> {
+        Ok(self
+            .elems(name, DTYPE_U64, 8)?
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Decode a `f64` array section (bit-exact round trip).
+    pub fn f64s(&self, name: &str) -> Result<Vec<f64>, SnapshotError> {
+        Ok(self
+            .elems(name, DTYPE_F64, 8)?
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Decode a `u64` array section into `usize`s, failing with a typed
+    /// error if any element overflows the platform's `usize`.
+    pub fn usizes(&self, name: &str) -> Result<Vec<usize>, SnapshotError> {
+        self.u64s(name)?
+            .into_iter()
+            .map(|v| {
+                usize::try_from(v).map_err(|_| SnapshotError::InvalidSection {
+                    section: name.to_string(),
+                    reason: format!("value {v} overflows usize on this platform"),
+                })
+            })
+            .collect()
+    }
+
+    /// Raw bytes of an opaque byte section.
+    pub fn bytes(&self, name: &str) -> Result<&[u8], SnapshotError> {
+        self.section(name, DTYPE_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SnapshotWriter::new("TEST", 3);
+        w.put_u32s("ids", &[1, 2, 3, u32::MAX]);
+        w.put_u64s("ptr", &[0, 2, 4]);
+        w.put_f64s("vals", &[1.5, -0.0, f64::MIN_POSITIVE]);
+        w.put_bytes("blob", b"hello");
+        w.to_bytes()
+    }
+
+    #[test]
+    fn round_trips_every_section_type() {
+        let snap = Snapshot::from_bytes(sample()).unwrap();
+        assert_eq!(snap.kind(), "TEST");
+        assert_eq!(snap.state_version(), 3);
+        assert_eq!(snap.section_names(), vec!["ids", "ptr", "vals", "blob"]);
+        assert_eq!(snap.u32s("ids").unwrap(), vec![1, 2, 3, u32::MAX]);
+        assert_eq!(snap.u64s("ptr").unwrap(), vec![0, 2, 4]);
+        assert_eq!(snap.usizes("ptr").unwrap(), vec![0, 2, 4]);
+        let vals = snap.f64s("vals").unwrap();
+        assert_eq!(vals, vec![1.5, -0.0, f64::MIN_POSITIVE]);
+        assert!(vals[1].is_sign_negative(), "-0.0 must round-trip exactly");
+        assert_eq!(snap.bytes("blob").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn payload_sections_are_eight_byte_aligned() {
+        let bytes = sample();
+        let snap = Snapshot::from_bytes(bytes).unwrap();
+        for meta in &snap.sections {
+            assert_eq!(meta.start % 8, 0, "section {:?} misaligned", meta.name);
+        }
+    }
+
+    #[test]
+    fn mangled_magic_is_bad_magic() {
+        let mut bytes = sample();
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn mangled_format_version_is_unsupported_format() {
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::UnsupportedFormat {
+                found: 99,
+                supported: SNAPSHOT_FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn any_body_bit_flip_is_checksum_mismatch() {
+        let reference = sample();
+        // Flip one bit in several body positions: header fields, section
+        // table, payload. Every one must be caught by the checksum.
+        for pos in [20, 25, 40, reference.len() - 1] {
+            let mut bytes = reference.clone();
+            bytes[pos] ^= 0x01;
+            assert!(
+                matches!(
+                    Snapshot::from_bytes(bytes),
+                    Err(SnapshotError::ChecksumMismatch { .. })
+                ),
+                "bit flip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn short_reads_are_truncated_never_panics() {
+        let full = sample();
+        // Every proper prefix must fail with a typed error (Truncated once
+        // past the magic; shorter prefixes can't even hold the header).
+        for cut in 0..full.len() {
+            let err = Snapshot::from_bytes(full[..cut].to_vec()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::ChecksumMismatch { .. }
+                ),
+                "prefix of {cut} bytes gave unexpected error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn section_overrunning_payload_is_truncated() {
+        // Hand-repair the checksum after inflating a section length so the
+        // failure is attributed to the table, not the checksum.
+        let mut bytes = sample();
+        // Section table entry for "ids": kind(4+4) + state(4) + count(4)
+        // puts the first name length at offset 36.
+        let name_len_at = 36;
+        assert_eq!(
+            u32::from_le_bytes(bytes[name_len_at..name_len_at + 4].try_into().unwrap()),
+            3,
+            "expected the \"ids\" name length here"
+        );
+        let len_at = name_len_at + 4 + 3 + 4 + 8; // name, dtype, offset
+        bytes[len_at..len_at + 8].copy_from_slice(&(1u64 << 20).to_le_bytes());
+        let checksum = fnv1a_64(&bytes[CHECKSUM_START..]);
+        bytes[12..20].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_and_mistyped_sections_are_typed_errors() {
+        let snap = Snapshot::from_bytes(sample()).unwrap();
+        assert!(matches!(
+            snap.u32s("nope"),
+            Err(SnapshotError::MissingSection(name)) if name == "nope"
+        ));
+        assert!(matches!(
+            snap.f64s("ids"),
+            Err(SnapshotError::InvalidSection { .. })
+        ));
+        assert!(matches!(
+            snap.bytes("vals"),
+            Err(SnapshotError::InvalidSection { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_io_error() {
+        let dir = std::env::temp_dir().join("longtail_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.snap");
+        let mut w = SnapshotWriter::new("FILE", 1);
+        w.put_u64s("x", &[7]);
+        w.write_to_file(&path).unwrap();
+        let snap = Snapshot::read_from_file(&path).unwrap();
+        assert_eq!(snap.kind(), "FILE");
+        assert_eq!(snap.u64s("x").unwrap(), vec![7]);
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            Snapshot::read_from_file(&path),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let w = SnapshotWriter::new("EMPTY", 0);
+        let snap = Snapshot::from_bytes(w.to_bytes()).unwrap();
+        assert_eq!(snap.kind(), "EMPTY");
+        assert!(snap.section_names().is_empty());
+    }
+}

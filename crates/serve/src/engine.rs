@@ -14,8 +14,9 @@ use crate::submit::{EngineCounters, EngineStats, PendingResponse};
 use longtail_core::{DpStopping, DpTelemetry, RecommendOptions, Recommender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -24,16 +25,156 @@ use std::time::Instant;
 /// model after construction, hence `Send + Sync`.
 pub type SharedRecommender = Arc<dyn Recommender + Send + Sync>;
 
-/// One servable unit: a recommender plus the circuit breaker guarding it
-/// (disabled unless the engine was built with breakers).
-struct ModelSlot {
+/// Where a deployed model version came from — snapshot provenance for
+/// operators ([`ModelHealth`]) to tell what is actually serving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelProvenance {
+    /// Trained (or constructed) in this process and registered directly.
+    InProcess,
+    /// Loaded from a snapshot file at this path.
+    Snapshot(PathBuf),
+}
+
+impl std::fmt::Display for ModelProvenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelProvenance::InProcess => write!(f, "trained in-process"),
+            ModelProvenance::Snapshot(path) => write!(f, "snapshot {}", path.display()),
+        }
+    }
+}
+
+/// One *published version* of a servable unit: the recommender, its
+/// provenance, and the circuit breaker guarding it (disabled unless the
+/// engine was built with breakers).
+///
+/// Versions are immutable once published. Requests pin the version they
+/// resolved at dequeue by holding its `Arc` across execution, so a deploy
+/// never changes what an in-flight request serves; the old version retires
+/// when its last borrow drops.
+///
+/// **Breaker policy:** each version gets a *fresh* breaker — failure
+/// evidence against version `v` says nothing about version `v+1`, and a
+/// rollback deserves a clean slate too.
+struct ModelVersion {
+    version: u32,
     rec: SharedRecommender,
     breaker: CircuitBreaker,
 }
 
+/// One deploy-history entry. The `Weak` handle is the retirement witness:
+/// once the version is no longer active and its last in-flight borrow
+/// drops, the strong count hits zero and the model's memory is freed — the
+/// history row stays, the model does not.
+struct DeployRecord {
+    version: u32,
+    provenance: ModelProvenance,
+    handle: Weak<ModelVersion>,
+}
+
+/// One deploy-history row of a servable unit, as reported by
+/// [`ModelHealth::deploy_history`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionRecord {
+    /// Version number (1 is the build-time registration; each deploy
+    /// increments).
+    pub version: u32,
+    /// Where this version came from.
+    pub provenance: ModelProvenance,
+    /// `true` once the version is fully retired: no longer active *and*
+    /// no in-flight request still holds it.
+    pub retired: bool,
+}
+
+/// One servable unit as a *version chain*: the atomically swappable active
+/// version plus the deploy history. This is arc-swap semantics with a
+/// `Mutex<Arc<_>>`: readers clone the `Arc` under a lock held for
+/// nanoseconds, writers swap the `Arc` in place — no reader ever blocks on
+/// model execution, and no deploy ever waits for in-flight requests.
+struct ModelSlot {
+    active: Mutex<Arc<ModelVersion>>,
+    /// Every version ever published for this unit, oldest first (the
+    /// active one is the last entry).
+    history: Mutex<Vec<DeployRecord>>,
+}
+
+impl ModelSlot {
+    fn new(
+        rec: SharedRecommender,
+        breaker_config: Option<BreakerConfig>,
+        provenance: ModelProvenance,
+    ) -> Self {
+        let version = Arc::new(ModelVersion {
+            version: 1,
+            rec,
+            breaker: CircuitBreaker::new(breaker_config),
+        });
+        let record = DeployRecord {
+            version: 1,
+            provenance,
+            handle: Arc::downgrade(&version),
+        };
+        Self {
+            active: Mutex::new(version),
+            history: Mutex::new(vec![record]),
+        }
+    }
+
+    /// The currently active version, pinned: the returned `Arc` keeps this
+    /// exact version alive for as long as the caller holds it, across any
+    /// number of concurrent deploys.
+    fn active(&self) -> Arc<ModelVersion> {
+        Arc::clone(&self.active.lock())
+    }
+
+    /// Atomically publish a new version: requests that resolve after this
+    /// call route to it, requests already holding the previous `Arc`
+    /// finish on the version they resolved. Returns the new version
+    /// number.
+    fn publish(
+        &self,
+        rec: SharedRecommender,
+        breaker_config: Option<BreakerConfig>,
+        provenance: ModelProvenance,
+    ) -> u32 {
+        // Lock order: history before active (matched by `records`, the
+        // only other place both are held).
+        let mut history = self.history.lock();
+        let version = history.last().map_or(0, |r| r.version) + 1;
+        let fresh = Arc::new(ModelVersion {
+            version,
+            rec,
+            breaker: CircuitBreaker::new(breaker_config),
+        });
+        history.push(DeployRecord {
+            version,
+            provenance,
+            handle: Arc::downgrade(&fresh),
+        });
+        *self.active.lock() = fresh;
+        version
+    }
+
+    /// The deploy history as public rows, plus the active version number.
+    fn records(&self) -> (u32, Vec<VersionRecord>) {
+        let history = self.history.lock();
+        let active = self.active.lock().version;
+        let rows = history
+            .iter()
+            .map(|r| VersionRecord {
+                version: r.version,
+                provenance: r.provenance.clone(),
+                retired: r.version != active && r.handle.strong_count() == 0,
+            })
+            .collect();
+        (active, rows)
+    }
+}
+
 /// One registry slot: a single model, or a user-sharded group of them.
-/// Sharded groups carry one breaker per shard — a down shard stops taking
-/// its users' traffic without opening the whole group.
+/// Sharded groups carry one version chain (and therefore one breaker) per
+/// shard — a down shard stops taking its users' traffic without opening
+/// the whole group, and each shard deploys independently.
 enum ModelEntry {
     Single(ModelSlot),
     Sharded {
@@ -43,11 +184,13 @@ enum ModelEntry {
 }
 
 impl ModelEntry {
-    /// The slot (and shard index, for sharded entries) owning `user`'s
-    /// requests.
-    fn resolve(&self, user: u32) -> (&ModelSlot, Option<usize>) {
+    /// Pin the active version (and shard index, for sharded entries)
+    /// owning `user`'s requests. The returned `Arc` is the request's
+    /// version for its whole execution — deploys that land later swap the
+    /// slot, not this pin.
+    fn resolve(&self, user: u32) -> (Arc<ModelVersion>, Option<usize>) {
         match self {
-            Self::Single(slot) => (slot, None),
+            Self::Single(slot) => (slot.active(), None),
             Self::Sharded { router, shards } => {
                 let shard = router.route(user, shards.len());
                 assert!(
@@ -55,25 +198,36 @@ impl ModelEntry {
                     "router returned shard {shard} for {} shards",
                     shards.len()
                 );
-                (&shards[shard], Some(shard))
+                (shards[shard].active(), Some(shard))
             }
         }
     }
 
-    /// Breaker state per servable unit (length 1 for unsharded models).
-    fn breaker_states(&self) -> Vec<BreakerState> {
+    /// The unit slots (length 1 for unsharded models).
+    fn slots(&self) -> Vec<&ModelSlot> {
         match self {
-            Self::Single(slot) => vec![slot.breaker.state()],
-            Self::Sharded { shards, .. } => shards.iter().map(|s| s.breaker.state()).collect(),
+            Self::Single(slot) => vec![slot],
+            Self::Sharded { shards, .. } => shards.iter().collect(),
         }
     }
 
-    /// Lifetime Closed→Open trips summed over the entry's breakers.
+    /// Breaker state per servable unit's *active version* (length 1 for
+    /// unsharded models).
+    fn breaker_states(&self) -> Vec<BreakerState> {
+        self.slots()
+            .into_iter()
+            .map(|s| s.active().breaker.state())
+            .collect()
+    }
+
+    /// Lifetime Closed→Open trips of the entry's *active* breakers.
+    /// Breakers reset per deploy, so this counts trips since each unit's
+    /// last deploy.
     fn breaker_trips(&self) -> u64 {
-        match self {
-            Self::Single(slot) => slot.breaker.trips(),
-            Self::Sharded { shards, .. } => shards.iter().map(|s| s.breaker.trips()).sum(),
-        }
+        self.slots()
+            .into_iter()
+            .map(|s| s.active().breaker.trips())
+            .sum()
     }
 }
 
@@ -85,6 +239,10 @@ struct EngineCore {
     /// name, consulted when the primary's breaker is open or its retries
     /// are exhausted.
     fallbacks: HashMap<String, String>,
+    /// The engine-wide breaker configuration, kept so every deployed
+    /// version gets a fresh breaker armed the same way as build-time ones
+    /// (`None` = breakers disabled, including on deployed versions).
+    breaker_config: Option<BreakerConfig>,
     default_stopping: DpStopping,
     default_retry: RetryPolicy,
     contexts: ContextPool,
@@ -182,12 +340,16 @@ impl EngineCore {
             .models
             .get(&req.model)
             .ok_or_else(|| ServeError::UnknownModel(req.model.clone()))?;
-        let (slot, shard) = entry.resolve(req.user);
+        // Version pinning: this `Arc` is the request's model for its whole
+        // execution — retries included. A deploy landing mid-request swaps
+        // the slot's active version, never this pin, so the response is
+        // served entirely by (and attributed to) one version.
+        let (version, shard) = entry.resolve(req.user);
 
         // Breaker admission happens before any queueing cost is sunk into
         // the request — an open breaker costs neither a ScoringContext nor
         // a scoring attempt.
-        let decision = slot.breaker.admit();
+        let decision = version.breaker.admit();
         if decision == BreakerDecision::Refuse {
             return self.answer_unavailable(req, ServeError::CircuitOpen);
         }
@@ -199,7 +361,7 @@ impl EngineCore {
         // breaker to Open instead of leaving it wedged HalfOpen forever
         // with its only probe slot leaked.
         let mut pledge = ProbePledge {
-            breaker: &slot.breaker,
+            breaker: &version.breaker,
             armed: probe,
         };
 
@@ -229,14 +391,14 @@ impl EngineCore {
             // evidence about the model. Only the first attempt can be the
             // half-open probe.
             let probe = probe && attempt_no == 1;
-            match self.attempt(slot, shard, req, &opts) {
+            match self.attempt(&version, shard, req, &opts) {
                 Ok(resp) => {
-                    slot.breaker.record_success(probe);
+                    version.breaker.record_success(probe);
                     pledge.settle();
                     return Ok(resp);
                 }
                 Err(err) => {
-                    slot.breaker.record_failure(probe);
+                    version.breaker.record_failure(probe);
                     pledge.settle();
                     if !retryable(&err) || attempt_no >= retry.max_attempts {
                         break err;
@@ -295,7 +457,7 @@ impl EngineCore {
             }
             return Err(why);
         };
-        let (slot, shard) = entry.resolve(req.user);
+        let (version, shard) = entry.resolve(req.user);
         let opts = RecommendOptions {
             stopping: req.stopping.unwrap_or(self.default_stopping),
             exclude: &[],
@@ -314,7 +476,9 @@ impl EngineCore {
                 ..opts
             }
         };
-        match self.attempt(slot, shard, req, &opts) {
+        match self.attempt(&version, shard, req, &opts) {
+            // The struct update keeps the fallback's own `version` field:
+            // the response reports the version that actually served it.
             Ok(resp) => Ok(RecommendResponse {
                 degraded: true,
                 ..resp
@@ -329,7 +493,7 @@ impl EngineCore {
     /// poisoned scores, detect cooperative deadline cancellation.
     fn attempt(
         &self,
-        slot: &ModelSlot,
+        version: &ModelVersion,
         shard: Option<usize>,
         req: &RecommendRequest,
         opts: &RecommendOptions<'_>,
@@ -345,7 +509,8 @@ impl EngineCore {
         // catch (pool, aggregate) is only ever locked around non-panicking
         // code, so observing it after an unwind is sound.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            slot.rec
+            version
+                .rec
                 .recommend_into(req.user, req.k, opts, &mut ctx, &mut items);
         }));
         if let Err(payload) = outcome {
@@ -373,7 +538,8 @@ impl EngineCore {
 
         Ok(RecommendResponse {
             items,
-            model: slot.rec.name(),
+            model: version.rec.name(),
+            version: version.version,
             shard,
             telemetry,
             degraded: false,
@@ -468,13 +634,24 @@ pub struct ModelHealth {
     pub name: String,
     /// Breaker state per servable unit: one entry for unsharded models,
     /// one per shard for sharded groups. All-`Closed` when breakers are
-    /// disabled.
+    /// disabled. Reflects each unit's *active version* (breakers reset per
+    /// deploy).
     pub breakers: Vec<BreakerState>,
     /// Registry name of the fallback that answers (degraded) when this
     /// model is unavailable, if one is registered.
     pub fallback: Option<String>,
-    /// Lifetime Closed→Open breaker trips, summed over shards.
+    /// Closed→Open breaker trips of the active versions, summed over
+    /// shards (since each unit's last deploy — breakers reset per deploy).
     pub breaker_trips: u64,
+    /// Active version per servable unit, parallel to `breakers` (`name@v`
+    /// in operator-speak: entry `i` serves as `name@versions[i]`).
+    pub versions: Vec<u32>,
+    /// Provenance of each unit's active version, parallel to `versions`.
+    pub provenance: Vec<ModelProvenance>,
+    /// Full deploy history per servable unit, oldest first — every version
+    /// ever published, with its provenance and whether it has fully
+    /// retired (no longer active, last in-flight borrow dropped).
+    pub deploy_history: Vec<Vec<VersionRecord>>,
 }
 
 /// Point-in-time health snapshot of an [`Engine`], read via
@@ -624,8 +801,8 @@ impl Engine {
         // the worker's admit().
         if !self.core.fallbacks.contains_key(&request.model) {
             if let Some(entry) = self.core.models.get(&request.model) {
-                let (slot, _) = entry.resolve(request.user);
-                if slot.breaker.would_refuse() {
+                let (version, _) = entry.resolve(request.user);
+                if version.breaker.would_refuse() {
                     EngineCounters::bump(&self.core.counters.circuit_open);
                     return Err(ServeError::CircuitOpen);
                 }
@@ -693,6 +870,106 @@ impl Engine {
         names
     }
 
+    /// Atomically publish a new version of the unsharded model `name`,
+    /// returning the version number it is now serving as (`name@v`).
+    ///
+    /// Hot swap semantics: requests already executing (or dequeued)
+    /// finished resolving their version and complete on it; requests that
+    /// resolve after this call route to the new version; the old version
+    /// retires — is dropped — when its last in-flight pin releases.
+    /// Nothing in flight is lost or torn between versions.
+    ///
+    /// Carryover policy, per state kind:
+    ///
+    /// * **circuit breaker** — *resets*: the new version gets a fresh
+    ///   breaker armed with the engine's build-time config, because
+    ///   failure evidence against the old model says nothing about the
+    ///   new one;
+    /// * **service-time EWMA** (slack shedding) — *carries over*: it is
+    ///   keyed by model name and the old estimate is a better prior than
+    ///   cold-starting deadline admission;
+    /// * **stats ledgers** ([`EngineStats`], per-class ledgers) — *carry
+    ///   over*: they are engine-lifetime monotone counters, diffable with
+    ///   [`EngineStats::since`].
+    ///
+    /// Errors with [`ServeError::UnknownModel`] if `name` was never
+    /// registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a sharded group — shard deploys
+    /// must name their shard via [`Engine::deploy_shard`] (deploying one
+    /// model over N shards is a topology change, not a version bump).
+    pub fn deploy(&self, name: &str, rec: SharedRecommender) -> Result<u32, ServeError> {
+        self.deploy_from(name, rec, ModelProvenance::InProcess)
+    }
+
+    /// [`Engine::deploy`] with explicit provenance — pass
+    /// [`ModelProvenance::Snapshot`] when the model was loaded from a
+    /// snapshot file so [`Engine::health`] can report where each live
+    /// version came from.
+    pub fn deploy_from(
+        &self,
+        name: &str,
+        rec: SharedRecommender,
+        provenance: ModelProvenance,
+    ) -> Result<u32, ServeError> {
+        match self.core.models.get(name) {
+            None => Err(ServeError::UnknownModel(name.to_string())),
+            Some(ModelEntry::Single(slot)) => {
+                Ok(slot.publish(rec, self.core.breaker_config, provenance))
+            }
+            Some(ModelEntry::Sharded { .. }) => {
+                panic!("model {name:?} is sharded; deploy per shard with deploy_shard")
+            }
+        }
+    }
+
+    /// Atomically publish a new version of shard `shard` of the sharded
+    /// group `name`. Same swap semantics and carryover policy as
+    /// [`Engine::deploy`]; each shard's version chain advances
+    /// independently.
+    ///
+    /// Errors with [`ServeError::UnknownModel`] if `name` was never
+    /// registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is unsharded or `shard` is out of range (topology
+    /// mismatches are programming errors, consistent with the builder's
+    /// shape asserts).
+    pub fn deploy_shard(
+        &self,
+        name: &str,
+        shard: usize,
+        rec: SharedRecommender,
+    ) -> Result<u32, ServeError> {
+        self.deploy_shard_from(name, shard, rec, ModelProvenance::InProcess)
+    }
+
+    /// [`Engine::deploy_shard`] with explicit provenance (see
+    /// [`Engine::deploy_from`]).
+    pub fn deploy_shard_from(
+        &self,
+        name: &str,
+        shard: usize,
+        rec: SharedRecommender,
+        provenance: ModelProvenance,
+    ) -> Result<u32, ServeError> {
+        match self.core.models.get(name) {
+            None => Err(ServeError::UnknownModel(name.to_string())),
+            Some(ModelEntry::Single(_)) => {
+                panic!("model {name:?} is not sharded; use deploy")
+            }
+            Some(ModelEntry::Sharded { shards, .. }) => {
+                let slot = shards.get(shard).unwrap_or_else(|| {
+                    panic!("shard {shard} out of range for {} shards", shards.len())
+                });
+                Ok(slot.publish(rec, self.core.breaker_config, provenance))
+            }
+        }
+    }
+
     /// Number of live worker threads (the configured count, except in the
     /// window between a worker dying and supervision respawning it).
     pub fn n_workers(&self) -> usize {
@@ -741,11 +1018,31 @@ impl Engine {
             .core
             .models
             .iter()
-            .map(|(name, entry)| ModelHealth {
-                name: name.clone(),
-                breakers: entry.breaker_states(),
-                fallback: self.core.fallbacks.get(name).cloned(),
-                breaker_trips: entry.breaker_trips(),
+            .map(|(name, entry)| {
+                let mut versions = Vec::new();
+                let mut provenance = Vec::new();
+                let mut deploy_history = Vec::new();
+                for slot in entry.slots() {
+                    let (active, records) = slot.records();
+                    versions.push(active);
+                    provenance.push(
+                        records
+                            .iter()
+                            .find(|r| r.version == active)
+                            .map(|r| r.provenance.clone())
+                            .unwrap_or(ModelProvenance::InProcess),
+                    );
+                    deploy_history.push(records);
+                }
+                ModelHealth {
+                    name: name.clone(),
+                    breakers: entry.breaker_states(),
+                    fallback: self.core.fallbacks.get(name).cloned(),
+                    breaker_trips: entry.breaker_trips(),
+                    versions,
+                    provenance,
+                    deploy_history,
+                }
             })
             .collect();
         models.sort_by(|a, b| a.name.cmp(&b.name));
@@ -879,12 +1176,14 @@ pub struct EngineBuilder {
 }
 
 /// Builder-side registry entries (breakers attach at build, once the
-/// engine-wide [`BreakerConfig`] is known).
+/// engine-wide [`BreakerConfig`] is known). Each carries the provenance
+/// version 1 will report — `InProcess` unless registered via the `_from`
+/// variants.
 enum BuilderEntry {
-    Single(SharedRecommender),
+    Single(SharedRecommender, ModelProvenance),
     Sharded {
         router: Arc<dyn ShardRouter>,
-        shards: Vec<SharedRecommender>,
+        shards: Vec<(SharedRecommender, ModelProvenance)>,
     },
 }
 
@@ -914,23 +1213,58 @@ impl EngineBuilder {
     }
 
     /// Register `rec` under `name`, replacing any previous registration of
-    /// that name.
-    pub fn model(mut self, name: impl Into<String>, rec: SharedRecommender) -> Self {
-        self.models.insert(name.into(), BuilderEntry::Single(rec));
+    /// that name. Provenance reports as "trained in-process"; use
+    /// [`EngineBuilder::model_from`] for snapshot-loaded models.
+    pub fn model(self, name: impl Into<String>, rec: SharedRecommender) -> Self {
+        self.model_from(name, rec, ModelProvenance::InProcess)
+    }
+
+    /// [`EngineBuilder::model`] with explicit provenance — pass
+    /// [`ModelProvenance::Snapshot`] when `rec` was loaded from a snapshot
+    /// file so [`Engine::health`] reports where version 1 came from.
+    pub fn model_from(
+        mut self,
+        name: impl Into<String>,
+        rec: SharedRecommender,
+        provenance: ModelProvenance,
+    ) -> Self {
+        self.models
+            .insert(name.into(), BuilderEntry::Single(rec, provenance));
         self
     }
 
     /// Register a user-sharded model group under `name`: requests route to
-    /// `shards[router.route(user, shards.len())]`.
+    /// `shards[router.route(user, shards.len())]`. Provenance reports as
+    /// "trained in-process"; use [`EngineBuilder::sharded_model_from`] for
+    /// snapshot-loaded shards.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is empty.
     pub fn sharded_model(
-        mut self,
+        self,
         name: impl Into<String>,
         router: Arc<dyn ShardRouter>,
         shards: Vec<SharedRecommender>,
+    ) -> Self {
+        let shards = shards
+            .into_iter()
+            .map(|rec| (rec, ModelProvenance::InProcess))
+            .collect();
+        self.sharded_model_from(name, router, shards)
+    }
+
+    /// [`EngineBuilder::sharded_model`] with per-shard provenance (see
+    /// [`EngineBuilder::model_from`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn sharded_model_from(
+        mut self,
+        name: impl Into<String>,
+        router: Arc<dyn ShardRouter>,
+        shards: Vec<(SharedRecommender, ModelProvenance)>,
     ) -> Self {
         assert!(!shards.is_empty(), "a sharded model needs at least 1 shard");
         self.models
@@ -1058,16 +1392,17 @@ impl EngineBuilder {
             );
         }
         let breakers = self.breakers;
-        let slot = |rec: SharedRecommender| ModelSlot {
-            rec,
-            breaker: CircuitBreaker::new(breakers),
+        // Build-time registrations start every version chain at version 1,
+        // with the provenance the registration declared.
+        let slot = |(rec, provenance): (SharedRecommender, ModelProvenance)| {
+            ModelSlot::new(rec, breakers, provenance)
         };
         let models = self
             .models
             .into_iter()
             .map(|(name, entry)| {
                 let entry = match entry {
-                    BuilderEntry::Single(rec) => ModelEntry::Single(slot(rec)),
+                    BuilderEntry::Single(rec, prov) => ModelEntry::Single(slot((rec, prov))),
                     BuilderEntry::Sharded { router, shards } => ModelEntry::Sharded {
                         router,
                         shards: shards.into_iter().map(slot).collect(),
@@ -1082,6 +1417,7 @@ impl EngineBuilder {
         let core = Arc::new(EngineCore {
             models,
             fallbacks: self.fallbacks,
+            breaker_config: breakers,
             default_stopping: self.default_stopping,
             default_retry: self.default_retry,
             contexts: ContextPool::new(self.max_idle_contexts.unwrap_or(workers + 2)),

@@ -76,7 +76,10 @@ mod sched;
 mod submit;
 
 pub use breaker::{BreakerConfig, BreakerState};
-pub use engine::{Engine, EngineBuilder, EngineHealth, ModelHealth, SharedRecommender};
+pub use engine::{
+    Engine, EngineBuilder, EngineHealth, ModelHealth, ModelProvenance, SharedRecommender,
+    VersionRecord,
+};
 pub use faults::{FaultKind, FaultPlan, FaultyRecommender, WORKER_KILL_MARK};
 pub use pool::ContextPool;
 pub use queue::AdmissionPolicy;

@@ -172,6 +172,11 @@ pub struct RecommendResponse {
     pub model: &'static str,
     /// Which shard served the request; `None` for unsharded models.
     pub shard: Option<usize>,
+    /// Version of the model that answered (`1` = the build-time
+    /// registration; each [`crate::Engine::deploy`] increments it). A
+    /// request is pinned to the version it resolved at execution start —
+    /// this field proves which side of a hot swap it landed on.
+    pub version: u32,
     /// DP iteration counters of exactly this request's query (all-zero for
     /// non-walk models), diffed off the pooled context that served it.
     pub telemetry: DpTelemetry,

@@ -200,6 +200,36 @@ impl LdaModel {
         }
     }
 
+    /// Reassemble a model from its persisted posterior means — the load
+    /// path of the model-lifecycle snapshot format. `theta` is the
+    /// `n_users x n_topics` row-major user-topic matrix, `phi` the
+    /// `n_topics x n_items` row-major topic-item matrix, and
+    /// `log_likelihood` the per-sweep convergence trace (may be empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix lengths do not match the stated dimensions —
+    /// fallible loaders must validate lengths before calling this.
+    pub fn from_parts(
+        n_topics: usize,
+        n_users: usize,
+        n_items: usize,
+        theta: Vec<f64>,
+        phi: Vec<f64>,
+        log_likelihood: Vec<f64>,
+    ) -> Self {
+        assert_eq!(theta.len(), n_users * n_topics, "theta length mismatch");
+        assert_eq!(phi.len(), n_topics * n_items, "phi length mismatch");
+        Self {
+            n_topics,
+            n_users,
+            n_items,
+            theta,
+            phi,
+            log_likelihood,
+        }
+    }
+
     /// Number of topics `K`.
     #[inline]
     pub fn n_topics(&self) -> usize {
@@ -229,6 +259,20 @@ impl LdaModel {
     #[inline]
     pub fn phi(&self, z: usize) -> &[f64] {
         &self.phi[z * self.n_items..(z + 1) * self.n_items]
+    }
+
+    /// The whole `θ̂` matrix as one flat `n_users x n_topics` row-major
+    /// slice — the save path of the snapshot format.
+    #[inline]
+    pub fn theta_flat(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// The whole `φ̂` matrix as one flat `n_topics x n_items` row-major
+    /// slice — the save path of the snapshot format.
+    #[inline]
+    pub fn phi_flat(&self) -> &[f64] {
+        &self.phi
     }
 
     /// Predictive score `p(i|u) = Σ_z θ̂_u[z] · φ̂_z[i]` — the LDA

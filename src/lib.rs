@@ -71,8 +71,9 @@ pub mod prelude {
         AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
         AssociationRuleRecommender, DpStopping, DpTelemetry, EntropySource, GraphRecConfig,
         HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor,
-        PageRankRecommender, PopularityRecommender, PureSvdRecommender, RecommendOptions,
-        Recommender, RuleConfig, ScoredItem, ScoringContext, TopKCollector, UserSimilarity,
+        PageRankRecommender, Persistable, PopularityRecommender, PureSvdRecommender,
+        RecommendOptions, Recommender, RuleConfig, ScoredItem, ScoringContext, TopKCollector,
+        UserSimilarity,
     };
     pub use longtail_data::{
         holdout_longtail_favorites, Dataset, LongTailSplit, Ontology, ProtocolSplit, Rating,
@@ -82,12 +83,12 @@ pub mod prelude {
         diversity, mean_popularity, mean_similarity, popularity_at_n, recall_at_n,
         sample_test_users, simulate_study, RecallConfig, RecommendationLists, StudyConfig,
     };
-    pub use longtail_graph::{BipartiteGraph, GraphStats};
+    pub use longtail_graph::{BipartiteGraph, GraphStats, Snapshot, SnapshotError, SnapshotWriter};
     pub use longtail_serve::{
         AdmissionPolicy, BreakerConfig, BreakerState, ClassStats, Engine, EngineBuilder,
         EngineHealth, EngineStats, FaultKind, FaultPlan, FaultyRecommender, ModelHealth,
-        ModuloRouter, PendingResponse, Priority, RangeRouter, RecommendRequest, RecommendResponse,
-        RetryPolicy, SchedPolicy, ServeError, ShardRouter,
+        ModelProvenance, ModuloRouter, PendingResponse, Priority, RangeRouter, RecommendRequest,
+        RecommendResponse, RetryPolicy, SchedPolicy, ServeError, ShardRouter, VersionRecord,
     };
     pub use longtail_topics::{LdaConfig, LdaModel};
 }

@@ -283,6 +283,131 @@ fn engine_serves_the_golden_rankings() {
     assert_eq!(got.lines().count(), expected.lines().count());
 }
 
+/// The full model lifecycle must be ranking-preserving: every fixture
+/// family is trained, saved to a binary snapshot, loaded back from the
+/// file, hot-deployed into a live engine (replacing the trained original
+/// as version 2), and served — and the served lists must match the
+/// committed fixture byte-for-byte. Pins save→load→deploy→serve as a
+/// bit-identity, not an approximation.
+#[test]
+fn snapshot_lifecycle_serves_the_golden_rankings() {
+    let train = fixture_dataset();
+    let expected = std::fs::read_to_string(golden_dir().join("expected_top10.tsv"))
+        .expect("tests/golden/expected_top10.tsv is committed with the repo");
+    let dir = std::env::temp_dir().join(format!("longtail_golden_snap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Save each trained fixture model to a snapshot file and load it back.
+    fn round_trip<R>(rec: R, dir: &std::path::Path) -> longtail::serve::SharedRecommender
+    where
+        R: Persistable + Send + Sync + 'static,
+    {
+        let path = dir.join(format!("{}.snap", rec.name()));
+        rec.save_to_file(&path).expect("snapshot save");
+        std::sync::Arc::new(R::load_from_file(&path).expect("snapshot load"))
+    }
+    let graph = GraphRecConfig {
+        max_items: 40,
+        iterations: 25,
+    };
+    let ac = AbsorbingCostConfig {
+        graph,
+        item_entry_cost: 1.0,
+    };
+    let reloaded: Vec<longtail::serve::SharedRecommender> = vec![
+        round_trip(HittingTimeRecommender::new(&train, graph), &dir),
+        round_trip(AbsorbingTimeRecommender::new(&train, graph), &dir),
+        round_trip(AbsorbingCostRecommender::item_entropy(&train, ac), &dir),
+        round_trip(
+            AbsorbingCostRecommender::topic_entropy_auto(&train, 4, ac),
+            &dir,
+        ),
+        round_trip(
+            KnnRecommender::train(&train, 5, UserSimilarity::Cosine),
+            &dir,
+        ),
+        round_trip(
+            AssociationRuleRecommender::train(
+                &train,
+                &RuleConfig {
+                    min_support: 2,
+                    min_confidence: 0.05,
+                },
+            ),
+            &dir,
+        ),
+        round_trip(PureSvdRecommender::train(&train, 8), &dir),
+        round_trip(
+            LdaRecommender::train_with(&train, &LdaConfig::with_topics(4)),
+            &dir,
+        ),
+        round_trip(PageRankRecommender::plain(&train), &dir),
+        round_trip(PageRankRecommender::discounted(&train), &dir),
+    ];
+
+    // Register the trained originals, then hot-deploy every reloaded model
+    // over them — all traffic below serves on version 2, the snapshot copy.
+    let originals = fixture_roster(&train);
+    let mut builder = Engine::builder().workers(2);
+    for rec in &originals {
+        builder = builder.model(rec.name(), std::sync::Arc::clone(rec));
+    }
+    let engine = builder.build();
+    for rec in &reloaded {
+        let snap = dir.join(format!("{}.snap", rec.name()));
+        let v = engine
+            .deploy_from(
+                rec.name(),
+                std::sync::Arc::clone(rec),
+                ModelProvenance::Snapshot(snap),
+            )
+            .expect("fixture model is registered");
+        assert_eq!(v, 2);
+    }
+
+    let requests: Vec<RecommendRequest> = reloaded
+        .iter()
+        .flat_map(|rec| {
+            (0..train.n_users() as u32)
+                .map(|u| RecommendRequest::new(rec.name(), u, 10).with_stopping(DpStopping::Fixed))
+        })
+        .collect();
+    let keys: Vec<(&'static str, u32)> = reloaded
+        .iter()
+        .flat_map(|rec| (0..train.n_users() as u32).map(move |u| (rec.name(), u)))
+        .collect();
+    let mut got = String::from(
+        "# algorithm\tuser\ttop-10 as item:score (10 significant digits), '-' when empty\n",
+    );
+    for ((name, u), response) in keys.iter().zip(engine.recommend_batch(requests)) {
+        let response = response.expect("fixture model is registered");
+        assert_eq!(response.model, *name);
+        assert_eq!(response.version, 2, "{name}: request served pre-deploy");
+        write!(got, "{}\t{}\t", name, u).unwrap();
+        if response.items.is_empty() {
+            got.push('-');
+        } else {
+            for (j, s) in response.items.iter().enumerate() {
+                if j > 0 {
+                    got.push(' ');
+                }
+                write!(got, "{}:{:.10e}", s.item, s.score).unwrap();
+            }
+        }
+        got.push('\n');
+    }
+    for (lineno, (g, e)) in got.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(
+            g,
+            e,
+            "snapshot lifecycle diverged from the golden fixture at line {}",
+            lineno + 1
+        );
+    }
+    assert_eq!(got.lines().count(), expected.lines().count());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn fixture_covers_every_family_and_some_tail() {
     // Sanity on the committed corpus itself: all 8 families present in the
