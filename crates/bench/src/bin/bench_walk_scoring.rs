@@ -22,8 +22,9 @@ use longtail_data::{SyntheticConfig, SyntheticData};
 use longtail_eval::{sample_test_users, time_open_loop_submission, TimingStats};
 use longtail_graph::BipartiteGraph;
 use longtail_serve::{
-    BreakerConfig, Engine, FaultKind, FaultPlan, FaultyRecommender, Priority, RecommendRequest,
-    RecommendResponse, RetryPolicy, SchedPolicy, ServeError, SharedRecommender,
+    BreakerConfig, DeltaConfig, DeltaRating, DeltaStore, Engine, FaultKind, FaultPlan,
+    FaultyRecommender, Priority, RecommendRequest, RecommendResponse, RetryPolicy, SchedPolicy,
+    ServeError, SharedRecommender,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -67,6 +68,14 @@ const QOS_REQUESTS: usize = 96;
 const QOS_INTERACTIVE_SLACK: f64 = 0.5;
 /// Batch deadline fraction: generous enough that both schedulers meet it.
 const QOS_BATCH_SLACK: f64 = 1.25;
+
+/// Appends per published epoch of the streaming-ingest pass: the store's
+/// auto-publish cadence, so visibility latency is bounded without paying
+/// an epoch per append.
+const INGEST_PUBLISH_EVERY: usize = 64;
+/// Streamed appends of the ingest pass: enough for dozens of epochs and a
+/// delta whose overlay merge is real per-query work.
+const INGEST_APPENDS: usize = 2048;
 
 /// τ budget of the early-termination comparison: a *high-fidelity* serving
 /// tier whose truncation error is negligible (the paper's τ=15 trades
@@ -526,6 +535,173 @@ where
         requests_lost,
         served_during_swap_correct,
         reloaded_rankings_identical,
+    }
+}
+
+struct StreamingIngest {
+    appends: usize,
+    append_seconds: f64,
+    epochs_published: u64,
+    base_query_seconds: f64,
+    overlay_query_seconds: f64,
+    compaction_total_seconds: f64,
+    compaction_publish_seconds: f64,
+    folded: usize,
+    remaining: usize,
+    requests: usize,
+    requests_lost: u64,
+    overlay_matches_rebuild: bool,
+}
+
+/// Streaming ingest on the serving corpus: append throughput into the
+/// delta store, per-query cost of overlay scoring vs the frozen base,
+/// the compaction fold-rebuild-publish cycle with a request wave
+/// straddling it (zero lost requests is a gate), and the rank-identity
+/// gate — overlay answers must be bit-identical to a model rebuilt on
+/// the union of base + streamed ratings.
+fn measure_streaming_ingest(
+    label: &'static str,
+    users: &[u32],
+    base: &longtail_data::Dataset,
+    build: &dyn Fn(&longtail_data::Dataset) -> SharedRecommender,
+) -> StreamingIngest {
+    let store = Arc::new(DeltaStore::new(
+        base.clone(),
+        DeltaConfig {
+            publish_every: INGEST_PUBLISH_EVERY,
+            ..DeltaConfig::default()
+        },
+    ));
+    let engine = Engine::builder()
+        .model(label, build(base))
+        .ingest(label, Arc::clone(&store))
+        .workers(ENGINE_WORKERS)
+        .build();
+    let query_round = || {
+        for &u in users {
+            std::hint::black_box(
+                engine
+                    .recommend(&RecommendRequest::new(label, u, TOP_K))
+                    .expect("registered model"),
+            );
+        }
+    };
+
+    // Frozen base: the delta is empty, so this is the overlay fast path.
+    let base_query_seconds = time_best(query_round) / users.len() as f64;
+
+    // The stream. Deterministic, so the union can be rebuilt exactly for
+    // the rank gate below. Timed once — appends mutate the store.
+    let (n_users, n_items) = (base.n_users() as u32, base.n_items() as u32);
+    let stream = |i: u32| DeltaRating {
+        user: (i * 7) % n_users,
+        item: (i * 13) % n_items,
+        value: 1.0 + (i % 5) as f64,
+        timestamp: i as f64,
+    };
+    let append_start = Instant::now();
+    for i in 0..INGEST_APPENDS as u32 {
+        store.append(stream(i));
+    }
+    store.publish();
+    let append_seconds = append_start.elapsed().as_secs_f64();
+    let epochs_published = store.stats().epochs_published;
+
+    // Live overlay: every query now merges the delta rows into the walk.
+    let overlay_query_seconds = time_best(query_round) / users.len() as f64;
+
+    // Rank-identity gate: overlay ≡ rebuilt-on-union, bit for bit, under
+    // deterministic stopping.
+    let mut union_ratings = base.to_ratings();
+    union_ratings.extend((0..INGEST_APPENDS as u32).map(|i| {
+        let d = stream(i);
+        longtail_data::Rating {
+            user: d.user,
+            item: d.item,
+            value: d.value,
+        }
+    }));
+    let union =
+        longtail_data::Dataset::from_ratings(n_users as usize, n_items as usize, &union_ratings);
+    let rebuilt = build(&union);
+    let opts = RecommendOptions::with_stopping(DpStopping::Fixed);
+    let mut ctx = ScoringContext::new();
+    let mut want = Vec::new();
+    let mut overlay_matches_rebuild = true;
+    for &u in users {
+        let got = engine
+            .recommend(&RecommendRequest::new(label, u, TOP_K).with_stopping(DpStopping::Fixed))
+            .expect("registered model");
+        rebuilt.recommend_into(u, TOP_K, &opts, &mut ctx, &mut want);
+        if got.items.len() != want.len()
+            || got
+                .items
+                .iter()
+                .zip(&want)
+                .any(|(x, y)| x.item != y.item || x.score.to_bits() != y.score.to_bits())
+        {
+            overlay_matches_rebuild = false;
+        }
+    }
+
+    // Compaction with a request wave straddling it: fold the delta into a
+    // fresh base, rebuild, publish through the hot-swap path. No request
+    // may be lost, and afterwards the residual delta must be empty (the
+    // stream stopped, so nothing can race the rebuild).
+    let wave = |out: &mut Vec<longtail_serve::PendingResponse>| {
+        for &u in users {
+            out.push(
+                engine
+                    .submit(RecommendRequest::new(label, u, TOP_K))
+                    .expect("registered model"),
+            );
+        }
+    };
+    let mut pending = Vec::new();
+    wave(&mut pending);
+    let compact_start = Instant::now();
+    let report = engine
+        .compact_and_deploy(label, |union| build(union))
+        .expect("registered ingest model");
+    let compaction_total_seconds = compact_start.elapsed().as_secs_f64();
+    wave(&mut pending);
+    let requests = pending.len();
+    let mut requests_lost = 0u64;
+    for p in pending {
+        if p.wait().is_err() {
+            requests_lost += 1;
+        }
+    }
+
+    println!(
+        "\n{label} streaming ingest: {} appends in {:.3} ms ({:.0}/s), {epochs_published} epochs, \
+         query {:.4} -> {:.4} ms (overlay {:.2}x), compaction fold {} + rebuild {:.1} ms \
+         (publish {:.3} ms, residual {}), {requests} requests across the swap (lost \
+         {requests_lost}), overlay == rebuild: {overlay_matches_rebuild}",
+        INGEST_APPENDS,
+        append_seconds * 1e3,
+        INGEST_APPENDS as f64 / append_seconds,
+        base_query_seconds * 1e3,
+        overlay_query_seconds * 1e3,
+        overlay_query_seconds / base_query_seconds,
+        report.folded,
+        compaction_total_seconds * 1e3,
+        report.publish_seconds * 1e3,
+        report.remaining,
+    );
+    StreamingIngest {
+        appends: INGEST_APPENDS,
+        append_seconds,
+        epochs_published,
+        base_query_seconds,
+        overlay_query_seconds,
+        compaction_total_seconds,
+        compaction_publish_seconds: report.publish_seconds,
+        folded: report.folded,
+        remaining: report.remaining,
+        requests,
+        requests_lost,
+        overlay_matches_rebuild,
     }
 }
 
@@ -1083,6 +1259,22 @@ fn main() {
     let ht_lifecycle = measure_model_lifecycle("HT", &serve_users, &serve_ht);
     let ac_lifecycle = measure_model_lifecycle("AC1", &serve_users, &serve_ac1);
 
+    // Streaming ingest on the same serving corpus: append throughput,
+    // overlay query cost vs the frozen base, the compaction redeploy
+    // cycle under a request wave, and the overlay ≡ rebuild rank gate.
+    let ht_ingest = measure_streaming_ingest("HT", &serve_users, serve_train, &|d| {
+        Arc::new(HittingTimeRecommender::new(d, walk_config))
+    });
+    let ac_ingest = measure_streaming_ingest("AC1", &serve_users, serve_train, &|d| {
+        Arc::new(AbsorbingCostRecommender::item_entropy(
+            d,
+            AbsorbingCostConfig {
+                graph: walk_config,
+                item_entry_cost: 1.0,
+            },
+        ))
+    });
+
     // Deadline-hit rates under a seeded overload mix: the QoS scheduler
     // (strict priority + EDF + slack shedding) vs the FIFO baseline.
     let ht_qos = measure_qos_scheduling("HT", &serve_users, Arc::new(serve_ht.clone()));
@@ -1168,6 +1360,8 @@ fn main() {
         &ac_async,
         &ht_lifecycle,
         &ac_lifecycle,
+        &ht_ingest,
+        &ac_ingest,
         &ht_qos,
         &ac_qos,
         &ht_fault,
@@ -1198,6 +1392,8 @@ fn render_json(
     ac_async: &AsyncServing,
     ht_lifecycle: &ModelLifecycle,
     ac_lifecycle: &ModelLifecycle,
+    ht_ingest: &StreamingIngest,
+    ac_ingest: &StreamingIngest,
     ht_qos: &QosScheduling,
     ac_qos: &QosScheduling,
     ht_fault: &FaultTolerance,
@@ -1261,6 +1457,30 @@ fn render_json(
             m.requests_lost,
             m.served_during_swap_correct,
             m.reloaded_rankings_identical
+        )
+    }
+    fn streaming_ingest(s: &StreamingIngest) -> String {
+        format!(
+            "{{\"appends\": {}, \"append_seconds\": {:.6e}, \"appends_per_sec\": {:.1}, \
+             \"epochs_published\": {}, \"base_query_seconds\": {:.6e}, \
+             \"overlay_query_seconds\": {:.6e}, \"overlay_overhead\": {:.3}, \
+             \"compaction_total_seconds\": {:.6e}, \"compaction_publish_seconds\": {:.6e}, \
+             \"folded\": {}, \"remaining\": {}, \"requests\": {}, \"requests_lost\": {}, \
+             \"overlay_matches_rebuild\": {}}}",
+            s.appends,
+            s.append_seconds,
+            s.appends as f64 / s.append_seconds,
+            s.epochs_published,
+            s.base_query_seconds,
+            s.overlay_query_seconds,
+            s.overlay_query_seconds / s.base_query_seconds,
+            s.compaction_total_seconds,
+            s.compaction_publish_seconds,
+            s.folded,
+            s.remaining,
+            s.requests,
+            s.requests_lost,
+            s.overlay_matches_rebuild
         )
     }
     fn qos_scheduling(q: &QosScheduling) -> String {
@@ -1362,6 +1582,9 @@ fn render_json(
          \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
          \"model_lifecycle\": {{\n    \"workers\": {ENGINE_WORKERS},\n    \
          \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
+         \"streaming_ingest\": {{\n    \"workers\": {ENGINE_WORKERS},\n    \
+         \"publish_every\": {INGEST_PUBLISH_EVERY},\n    \
+         \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
          \"qos_scheduling\": {{\n    \"workers\": 1,\n    \
          \"requests\": {QOS_REQUESTS},\n    \
          \"interactive_slack\": {QOS_INTERACTIVE_SLACK},\n    \
@@ -1393,6 +1616,8 @@ fn render_json(
         async_serving(ac_async),
         model_lifecycle(ht_lifecycle),
         model_lifecycle(ac_lifecycle),
+        streaming_ingest(ht_ingest),
+        streaming_ingest(ac_ingest),
         qos_scheduling(ht_qos),
         qos_scheduling(ac_qos),
         fault_tolerance(ht_fault),

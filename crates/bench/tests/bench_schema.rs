@@ -33,6 +33,7 @@ fn walk_scoring_summary_keeps_its_schema() {
         "\"serving_engine\"",
         "\"async_serving\"",
         "\"model_lifecycle\"",
+        "\"streaming_ingest\"",
         "\"qos_scheduling\"",
         "\"fault_tolerance\"",
         "\"early_termination\"",
@@ -127,7 +128,6 @@ fn walk_scoring_summary_keeps_its_schema() {
         "\"save_seconds\"",
         "\"load_seconds\"",
         "\"deploy_publish_seconds\"",
-        "\"requests_lost\"",
         "\"served_during_swap_correct\"",
         "\"reloaded_rankings_identical\"",
     ] {
@@ -137,12 +137,19 @@ fn walk_scoring_summary_keeps_its_schema() {
             "schema drift: model-lifecycle field {key} missing for an algorithm"
         );
     }
-    // The committed summary must never record a hot swap that lost or tore
-    // a request, or a snapshot reload that perturbed a ranking.
+    // Both lifecycle and streaming-ingest waves account for lost requests,
+    // per algorithm — and the committed summary must never record one, nor
+    // a hot swap that tore a request, nor a snapshot reload that perturbed
+    // a ranking.
+    assert_eq!(
+        json.matches("\"requests_lost\"").count(),
+        4,
+        "schema drift: requests_lost missing for a section/algorithm"
+    );
     assert_eq!(
         json.matches("\"requests_lost\": 0").count(),
-        2,
-        "a hot swap lost an in-flight request"
+        4,
+        "a hot swap or compaction lost an in-flight request"
     );
     assert!(
         !json.contains("\"served_during_swap_correct\": false"),
@@ -151,6 +158,40 @@ fn walk_scoring_summary_keeps_its_schema() {
     assert!(
         !json.contains("\"reloaded_rankings_identical\": false"),
         "a snapshot round trip changed a served ranking"
+    );
+
+    // Streaming ingest: append throughput into the delta store, overlay
+    // query cost vs the frozen base, the compaction redeploy cycle, and
+    // the overlay ≡ rebuilt-on-union rank gate, for both algorithms.
+    assert!(
+        json.contains("\"publish_every\""),
+        "schema drift: streaming_ingest.publish_every"
+    );
+    for key in [
+        "\"appends\"",
+        "\"append_seconds\"",
+        "\"appends_per_sec\"",
+        "\"epochs_published\"",
+        "\"base_query_seconds\"",
+        "\"overlay_query_seconds\"",
+        "\"overlay_overhead\"",
+        "\"compaction_total_seconds\"",
+        "\"compaction_publish_seconds\"",
+        "\"folded\"",
+        "\"remaining\"",
+        "\"overlay_matches_rebuild\"",
+    ] {
+        assert_eq!(
+            json.matches(key).count(),
+            2,
+            "schema drift: streaming-ingest field {key} missing for an algorithm"
+        );
+    }
+    // The committed summary must never record an overlay ranking that
+    // diverges from a model rebuilt on the union of base + stream.
+    assert!(
+        !json.contains("\"overlay_matches_rebuild\": false"),
+        "overlay serving diverged from the rebuilt-on-union model"
     );
 
     // QoS scheduling: per-class deadline-hit rates under the seeded

@@ -121,6 +121,16 @@ pub struct RecommendOptions<'a> {
     /// deadline: their queries have no iteration loop to interrupt.
     /// `None` (the default) never cancels.
     pub deadline: Option<std::time::Instant>,
+    /// Optional recency-decay edge weighting for the walk families: when
+    /// set, every edge weight is scaled by
+    /// [`RecencyDecay::factor`](longtail_graph::RecencyDecay::factor) of its
+    /// timestamp before the walk kernel is built, de-emphasizing stale
+    /// ratings per query without touching the stored graph. Graphs built
+    /// without timestamps read every edge as t = 0 (maximally stale), which
+    /// scales all weights uniformly — the renormalized kernel, and hence
+    /// the ranking, is then unchanged. Ignored by the non-walk families.
+    /// `None` (the default) serves undecayed weights.
+    pub recency: Option<longtail_graph::RecencyDecay>,
 }
 
 impl<'a> RecommendOptions<'a> {
@@ -141,6 +151,13 @@ impl<'a> RecommendOptions<'a> {
     /// [`RecommendOptions::deadline`] for the cancelled-query contract).
     pub fn deadline_at(mut self, deadline: std::time::Instant) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// These options with recency-decay edge weighting (see
+    /// [`RecommendOptions::recency`]).
+    pub fn with_recency(mut self, decay: longtail_graph::RecencyDecay) -> Self {
+        self.recency = Some(decay);
         self
     }
 

@@ -141,6 +141,9 @@ pub struct ScoringContext {
     pub(crate) accum: Vec<f64>,
     /// Item ids whose [`ScoringContext::accum`] slot the current query set.
     pub(crate) touched: Vec<u32>,
+    /// Sorted item ids the query user has rated across base + delta, for
+    /// the streaming-overlay serving path (exclusion + absorbing seeds).
+    pub(crate) merged_rated: Vec<u32>,
     /// Bounded heap the rank-stability probe collects the provisional
     /// top-(k+1) into (distinct from `topk`, which belongs to the final
     /// collection).

@@ -56,6 +56,8 @@ pub use recommenders::{
 };
 pub use topk::{rank_of, top_k, ScoredItem, TopKCollector};
 
+pub use longtail_graph::{EdgeDelta, RecencyDecay};
+
 /// A top-N recommendation algorithm over a fixed training dataset.
 ///
 /// The single required scoring method is [`Recommender::score_into`], which
@@ -180,6 +182,34 @@ pub trait Recommender: Sync {
         }
         ctx.topk.drain_sorted_into(out);
         ctx.score_buf = scores;
+    }
+
+    /// [`Recommender::recommend_into`] with a streamed [`EdgeDelta`] of
+    /// rating appends overlaid on the model's base graph — the serving
+    /// primitive behind `longtail-serve`'s ingest path.
+    ///
+    /// The contract, pinned by the overlay-equivalence property tests: the
+    /// list is identical to what a model **rebuilt from scratch on the
+    /// union** of base and delta ratings would serve (for the walk family;
+    /// bit-identical when the weights are exact-sum values like integer
+    /// stars). The user's exclusion set is the merged base + delta rated
+    /// set, and `delta`-only users and items are first-class: a user who
+    /// exists only in the delta is served off their appended ratings alone.
+    ///
+    /// The default implementation ignores the delta and serves the frozen
+    /// base model — correct-but-stale for the non-walk families, which
+    /// would need retraining to absorb new ratings. HT/AT/AC override it
+    /// with the true merge, scoring base + delta without any rebuild.
+    fn recommend_delta_into(
+        &self,
+        _delta: &EdgeDelta,
+        user: u32,
+        k: usize,
+        opts: &RecommendOptions<'_>,
+        ctx: &mut ScoringContext,
+        out: &mut Vec<ScoredItem>,
+    ) {
+        self.recommend_into(user, k, opts, ctx, out);
     }
 
     /// Top-`k` lists for a batch of users, sharding the queries over

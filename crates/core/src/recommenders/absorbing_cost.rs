@@ -18,7 +18,7 @@ use crate::walk_common::{
 };
 use crate::{Recommender, ScoredItem};
 use longtail_data::Dataset;
-use longtail_graph::{BipartiteGraph, Node};
+use longtail_graph::{BipartiteGraph, Decayed, EdgeDelta, GraphView, OverlayGraph};
 use longtail_topics::{item_based_entropy, topic_based_entropy, LdaConfig, LdaModel};
 
 /// Which entropy estimator an [`AbsorbingCostRecommender`] uses.
@@ -121,18 +121,72 @@ impl AbsorbingCostRecommender {
     }
 
     /// Fill `costs` with per-local-node entry costs for the current
-    /// subgraph: entering user `u` costs `E(u)`, entering an item costs the
-    /// constant `C` (Eq. 9).
-    fn fill_local_costs(&self, global_ids: &[usize], costs: &mut Vec<f64>) {
+    /// subgraph: entering user `u` costs `entropy_of(u)`, entering an item
+    /// costs the constant `C` (Eq. 9). `n_users` is the view's user count
+    /// (which may exceed the base graph's when a delta adds users).
+    fn fill_local_costs(
+        &self,
+        n_users: usize,
+        entropy_of: &dyn Fn(u32) -> f64,
+        global_ids: &[usize],
+        costs: &mut Vec<f64>,
+    ) {
         costs.clear();
-        costs.extend(
-            global_ids
-                .iter()
-                .map(|&global| match self.graph.node(global) {
-                    Node::User(u) => self.user_entropy[u as usize],
-                    Node::Item(_) => self.config.item_entry_cost,
-                }),
-        );
+        costs.extend(global_ids.iter().map(|&global| {
+            if global < n_users {
+                entropy_of(global as u32)
+            } else {
+                self.config.item_entry_cost
+            }
+        }));
+    }
+
+    /// Entry cost of `user` when serving over a base + `overlay` merge.
+    ///
+    /// * **AC1** — a user untouched by the delta keeps their precomputed
+    ///   Eq. 10 entropy; a touched (or delta-only) user's entropy is
+    ///   recomputed from the merged rating row, term-for-term in the same
+    ///   ascending-item order as
+    ///   [`item_based_entropy`], so it matches a full rebuild exactly.
+    /// * **AC2** — topic entropies come from the fixed LDA model, which the
+    ///   delta does not retrain: base users keep their model entropy (what
+    ///   a rebuild sharing the model computes); delta-only users, absent
+    ///   from the model, fall back to the mean base entropy — neutral
+    ///   until the next compaction retrains.
+    fn overlay_entropy(&self, overlay: &OverlayGraph<'_>, user: u32) -> f64 {
+        let in_base = (user as usize) < self.graph.n_users();
+        match self.source {
+            EntropySource::ItemBased => {
+                if in_base && !overlay.delta().touches_user(user) {
+                    return self.user_entropy[user as usize];
+                }
+                let mut total = 0.0;
+                overlay.for_each_rated(user, |_, w| total += w);
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                let mut h = 0.0;
+                overlay.for_each_rated(user, |_, w| {
+                    if w > 0.0 {
+                        let p = w / total;
+                        h += -p * p.ln();
+                    }
+                });
+                h
+            }
+            EntropySource::TopicBased => {
+                if in_base {
+                    self.user_entropy[user as usize]
+                } else {
+                    let n = self.user_entropy.len();
+                    if n == 0 {
+                        0.0
+                    } else {
+                        self.user_entropy.iter().sum::<f64>() / n as f64
+                    }
+                }
+            }
+        }
     }
 
     /// Run the entropy-biased absorbing-cost walk for `user` under `mode`
@@ -141,20 +195,28 @@ impl AbsorbingCostRecommender {
     /// absorbing set), or
     /// when the request's deadline cancelled the walk (the values then
     /// rank nothing — see [`crate::RecommendOptions::deadline`]).
-    fn run_walk(
+    #[allow(clippy::too_many_arguments)]
+    fn run_walk<G: GraphView>(
         &self,
+        view: &G,
+        entropy_of: &dyn Fn(u32) -> f64,
         user: u32,
         mode: WalkMode<'_>,
         stopping: DpStopping,
         deadline: Option<std::time::Instant>,
         ctx: &mut ScoringContext,
     ) -> bool {
-        if !grow_absorbing_subgraph(&self.graph, user, self.config.graph.max_items, ctx) {
+        if !grow_absorbing_subgraph(view, user, self.config.graph.max_items, ctx) {
             return false;
         }
-        self.fill_local_costs(ctx.subgraph.global_ids(), &mut ctx.entry_costs);
+        self.fill_local_costs(
+            view.n_users(),
+            entropy_of,
+            ctx.subgraph.global_ids(),
+            &mut ctx.entry_costs,
+        );
         let run = run_truncated_walk(
-            &self.graph,
+            view,
             WalkCostModel::EntryCosts,
             self.config.graph.iterations,
             mode,
@@ -166,6 +228,50 @@ impl AbsorbingCostRecommender {
         // report it like an empty walk so no caller ever collects a
         // garbage list (the telemetry records the cancellation).
         !run.cancelled
+    }
+
+    /// The fused serving path over any [`GraphView`] — the frozen base, a
+    /// base + delta overlay, or either under recency decay.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_view<G: GraphView>(
+        &self,
+        view: &G,
+        entropy_of: &dyn Fn(u32) -> f64,
+        user: u32,
+        k: usize,
+        rated: &[u32],
+        opts: &RecommendOptions<'_>,
+        ctx: &mut ScoringContext,
+        out: &mut Vec<ScoredItem>,
+    ) {
+        // Fused: only subgraph-visited items can carry a finite absorbing
+        // cost, so the collector sees the visited neighborhood only.
+        ctx.topk.reset(k);
+        let mode = WalkMode::Serving {
+            k,
+            rated,
+            extra: opts.exclude,
+            rated_absorbing: true,
+        };
+        if self.run_walk(
+            view,
+            entropy_of,
+            user,
+            mode,
+            opts.stopping,
+            opts.deadline,
+            ctx,
+        ) {
+            collect_walk_topk(
+                view,
+                &ctx.subgraph,
+                &ctx.walk,
+                rated,
+                opts.exclude,
+                &mut ctx.topk,
+            );
+        }
+        ctx.topk.drain_sorted_into(out);
     }
 }
 
@@ -179,7 +285,16 @@ impl Recommender for AbsorbingCostRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        if self.run_walk(user, WalkMode::Reference, DpStopping::Fixed, None, ctx) {
+        let base_entropy = |u: u32| self.user_entropy[u as usize];
+        if self.run_walk(
+            &self.graph,
+            &base_entropy,
+            user,
+            WalkMode::Reference,
+            DpStopping::Fixed,
+            None,
+            ctx,
+        ) {
             write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
     }
@@ -192,26 +307,59 @@ impl Recommender for AbsorbingCostRecommender {
         ctx: &mut ScoringContext,
         out: &mut Vec<ScoredItem>,
     ) {
-        // Fused: only subgraph-visited items can carry a finite absorbing
-        // cost, so the collector sees the visited neighborhood only.
-        ctx.topk.reset(k);
-        let mode = WalkMode::Serving {
-            k,
-            rated: self.rated_items(user),
-            extra: opts.exclude,
-            rated_absorbing: true,
-        };
-        if self.run_walk(user, mode, opts.stopping, opts.deadline, ctx) {
-            collect_walk_topk(
-                &self.graph,
-                &ctx.subgraph,
-                &ctx.walk,
-                self.rated_items(user),
-                opts.exclude,
-                &mut ctx.topk,
-            );
+        let rated = self.rated_items(user);
+        let base_entropy = |u: u32| self.user_entropy[u as usize];
+        match opts.recency {
+            None => self.serve_view(&self.graph, &base_entropy, user, k, rated, opts, ctx, out),
+            Some(decay) => self.serve_view(
+                &Decayed::new(&self.graph, decay),
+                &base_entropy,
+                user,
+                k,
+                rated,
+                opts,
+                ctx,
+                out,
+            ),
         }
-        ctx.topk.drain_sorted_into(out);
+    }
+
+    fn recommend_delta_into(
+        &self,
+        delta: &EdgeDelta,
+        user: u32,
+        k: usize,
+        opts: &RecommendOptions<'_>,
+        ctx: &mut ScoringContext,
+        out: &mut Vec<ScoredItem>,
+    ) {
+        if delta.is_empty() {
+            return self.recommend_into(user, k, opts, ctx, out);
+        }
+        let overlay = OverlayGraph::new(&self.graph, delta);
+        // Entropies always come from the *undecayed* merged ratings (Eq. 10
+        // is defined on the rating distribution, not on decayed weights),
+        // matching what a rebuild on the union computes.
+        let entropy = |u: u32| self.overlay_entropy(&overlay, u);
+        // The absorbing set and exclusion list are both the merged base +
+        // delta rated set (the subgraph growth re-reads it off the view).
+        let mut merged = std::mem::take(&mut ctx.merged_rated);
+        merged.clear();
+        overlay.for_each_rated(user, |i, _| merged.push(i));
+        match opts.recency {
+            None => self.serve_view(&overlay, &entropy, user, k, &merged, opts, ctx, out),
+            Some(decay) => self.serve_view(
+                &Decayed::new(&overlay, decay),
+                &entropy,
+                user,
+                k,
+                &merged,
+                opts,
+                ctx,
+                out,
+            ),
+        }
+        ctx.merged_rated = merged;
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {

@@ -14,7 +14,7 @@ use crate::walk_common::{
 };
 use crate::{Recommender, ScoredItem};
 use longtail_data::Dataset;
-use longtail_graph::BipartiteGraph;
+use longtail_graph::{BipartiteGraph, Decayed, EdgeDelta, GraphView, OverlayGraph};
 
 /// The item-based Absorbing Time recommender.
 #[derive(Debug, Clone)]
@@ -53,19 +53,21 @@ impl AbsorbingTimeRecommender {
     /// Returns `false` when the user rated nothing (no absorbing set), or
     /// when the request's deadline cancelled the walk (the values then
     /// rank nothing — see [`crate::RecommendOptions::deadline`]).
-    fn run_walk(
+    #[allow(clippy::too_many_arguments)]
+    fn run_walk<G: GraphView>(
         &self,
+        view: &G,
         user: u32,
         mode: WalkMode<'_>,
         stopping: DpStopping,
         deadline: Option<std::time::Instant>,
         ctx: &mut ScoringContext,
     ) -> bool {
-        if !grow_absorbing_subgraph(&self.graph, user, self.config.max_items, ctx) {
+        if !grow_absorbing_subgraph(view, user, self.config.max_items, ctx) {
             return false;
         }
         let run = run_truncated_walk(
-            &self.graph,
+            view,
             WalkCostModel::Unit,
             self.config.iterations,
             mode,
@@ -78,6 +80,41 @@ impl AbsorbingTimeRecommender {
         // garbage list (the telemetry records the cancellation).
         !run.cancelled
     }
+
+    /// The fused serving path over any [`GraphView`] — the frozen base, a
+    /// base + delta overlay, or either under recency decay.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_view<G: GraphView>(
+        &self,
+        view: &G,
+        user: u32,
+        k: usize,
+        rated: &[u32],
+        opts: &RecommendOptions<'_>,
+        ctx: &mut ScoringContext,
+        out: &mut Vec<ScoredItem>,
+    ) {
+        // Fused: only subgraph-visited items can score; the rated set is
+        // absorbing (time 0) but also excluded, so it never surfaces.
+        ctx.topk.reset(k);
+        let mode = WalkMode::Serving {
+            k,
+            rated,
+            extra: opts.exclude,
+            rated_absorbing: true,
+        };
+        if self.run_walk(view, user, mode, opts.stopping, opts.deadline, ctx) {
+            collect_walk_topk(
+                view,
+                &ctx.subgraph,
+                &ctx.walk,
+                rated,
+                opts.exclude,
+                &mut ctx.topk,
+            );
+        }
+        ctx.topk.drain_sorted_into(out);
+    }
 }
 
 impl Recommender for AbsorbingTimeRecommender {
@@ -87,7 +124,14 @@ impl Recommender for AbsorbingTimeRecommender {
 
     fn score_into(&self, user: u32, ctx: &mut ScoringContext, out: &mut Vec<f64>) {
         reset_scores(&self.graph, out);
-        if self.run_walk(user, WalkMode::Reference, DpStopping::Fixed, None, ctx) {
+        if self.run_walk(
+            &self.graph,
+            user,
+            WalkMode::Reference,
+            DpStopping::Fixed,
+            None,
+            ctx,
+        ) {
             write_scores_from_scratch(&self.graph, &ctx.subgraph, ctx.walk.values(), out);
         }
     }
@@ -100,26 +144,52 @@ impl Recommender for AbsorbingTimeRecommender {
         ctx: &mut ScoringContext,
         out: &mut Vec<ScoredItem>,
     ) {
-        // Fused: only subgraph-visited items can score; the rated set is
-        // absorbing (time 0) but also excluded, so it never surfaces.
-        ctx.topk.reset(k);
-        let mode = WalkMode::Serving {
-            k,
-            rated: self.rated_items(user),
-            extra: opts.exclude,
-            rated_absorbing: true,
-        };
-        if self.run_walk(user, mode, opts.stopping, opts.deadline, ctx) {
-            collect_walk_topk(
-                &self.graph,
-                &ctx.subgraph,
-                &ctx.walk,
-                self.rated_items(user),
-                opts.exclude,
-                &mut ctx.topk,
-            );
+        let rated = self.rated_items(user);
+        match opts.recency {
+            None => self.serve_view(&self.graph, user, k, rated, opts, ctx, out),
+            Some(decay) => self.serve_view(
+                &Decayed::new(&self.graph, decay),
+                user,
+                k,
+                rated,
+                opts,
+                ctx,
+                out,
+            ),
         }
-        ctx.topk.drain_sorted_into(out);
+    }
+
+    fn recommend_delta_into(
+        &self,
+        delta: &EdgeDelta,
+        user: u32,
+        k: usize,
+        opts: &RecommendOptions<'_>,
+        ctx: &mut ScoringContext,
+        out: &mut Vec<ScoredItem>,
+    ) {
+        if delta.is_empty() {
+            return self.recommend_into(user, k, opts, ctx, out);
+        }
+        let overlay = OverlayGraph::new(&self.graph, delta);
+        // The absorbing set and exclusion list are both the merged base +
+        // delta rated set (the subgraph growth re-reads it off the view).
+        let mut merged = std::mem::take(&mut ctx.merged_rated);
+        merged.clear();
+        overlay.for_each_rated(user, |i, _| merged.push(i));
+        match opts.recency {
+            None => self.serve_view(&overlay, user, k, &merged, opts, ctx, out),
+            Some(decay) => self.serve_view(
+                &Decayed::new(&overlay, decay),
+                user,
+                k,
+                &merged,
+                opts,
+                ctx,
+                out,
+            ),
+        }
+        ctx.merged_rated = merged;
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {

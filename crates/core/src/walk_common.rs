@@ -20,7 +20,7 @@
 
 use crate::config::DpStopping;
 use crate::topk::{outranks, ScoredItem, TopKCollector};
-use longtail_graph::{BipartiteGraph, SubgraphScratch};
+use longtail_graph::{GraphView, SubgraphScratch};
 use longtail_markov::{
     truncated_costs_converge_into, truncated_costs_into, CostModel, DpBuffers, DpProbe, DpRun,
     SliceCost, UnitCost,
@@ -67,8 +67,8 @@ pub(crate) enum WalkMode<'a> {
 
 /// Everything the rank-stability probe needs to know about the query,
 /// fixed for the whole DP run.
-pub(crate) struct ProbeTarget<'a> {
-    pub graph: &'a BipartiteGraph,
+pub(crate) struct ProbeTarget<'a, G: GraphView> {
+    pub graph: &'a G,
     pub scratch: &'a SubgraphScratch,
     pub rated: &'a [u32],
     pub extra: &'a [u32],
@@ -108,24 +108,18 @@ type RankProbe<'a> = Option<&'a mut dyn FnMut(&DpProbe<'_>) -> bool>;
 /// Fill `seeds` with the query user's absorbing set `S_q`: the flat
 /// item-node ids of everything the user rated. Empty if the user rated
 /// nothing.
-pub(crate) fn rated_item_nodes_into(graph: &BipartiteGraph, user: u32, seeds: &mut Vec<usize>) {
+pub(crate) fn rated_item_nodes_into<G: GraphView>(graph: &G, user: u32, seeds: &mut Vec<usize>) {
     seeds.clear();
-    seeds.extend(
-        graph
-            .user_items()
-            .row(user as usize)
-            .0
-            .iter()
-            .map(|&i| graph.item_node(i)),
-    );
+    let n_users = graph.n_users();
+    graph.for_each_rated(user, |i, _| seeds.push(n_users + i as usize));
 }
 
 /// Shared AT/AC query setup: seed the context with the user's rated item
 /// nodes, grow the BFS subgraph around them, and flag them absorbing.
 /// Returns `false` (leaving the context untouched beyond `seeds`) when the
 /// user rated nothing and therefore has no absorbing set.
-pub(crate) fn grow_absorbing_subgraph(
-    graph: &BipartiteGraph,
+pub(crate) fn grow_absorbing_subgraph<G: GraphView>(
+    graph: &G,
     user: u32,
     max_items: usize,
     ctx: &mut crate::ScoringContext,
@@ -158,8 +152,8 @@ pub(crate) fn grow_absorbing_subgraph(
 /// `deadline_expired` run in the context's telemetry. The values left in
 /// the buffers then rank nothing; callers must check the telemetry before
 /// serving (see [`crate::RecommendOptions::deadline`]).
-pub(crate) fn run_truncated_walk(
-    graph: &BipartiteGraph,
+pub(crate) fn run_truncated_walk<G: GraphView>(
+    graph: &G,
     cost_model: WalkCostModel,
     iterations: usize,
     mode: WalkMode<'_>,
@@ -299,7 +293,7 @@ pub(crate) fn run_truncated_walk(
 }
 
 /// Reset `out` to an all-unreachable score vector for `graph`'s catalog.
-pub(crate) fn reset_scores(graph: &BipartiteGraph, out: &mut Vec<f64>) {
+pub(crate) fn reset_scores<G: GraphView>(graph: &G, out: &mut Vec<f64>) {
     out.clear();
     out.resize(graph.n_items(), f64::NEG_INFINITY);
 }
@@ -311,8 +305,8 @@ pub(crate) fn reset_scores(graph: &BipartiteGraph, out: &mut Vec<f64>) {
 /// rank first); items never reached keep `-∞`, ranking strictly last and
 /// never entering a top-k. Non-finite local values (unreachable pockets
 /// inside the subgraph) also stay `-∞`.
-pub(crate) fn write_scores_from_scratch(
-    graph: &BipartiteGraph,
+pub(crate) fn write_scores_from_scratch<G: GraphView>(
+    graph: &G,
     scratch: &SubgraphScratch,
     values: &[f64],
     out: &mut [f64],
@@ -338,8 +332,8 @@ pub(crate) fn write_scores_from_scratch(
 /// walked, and the scores pushed are bit-identical to what
 /// [`write_scores_from_scratch`] would have written (`-value` for finite
 /// values, nothing otherwise).
-pub(crate) fn collect_walk_topk(
-    graph: &BipartiteGraph,
+pub(crate) fn collect_walk_topk<G: GraphView>(
+    graph: &G,
     scratch: &SubgraphScratch,
     walk: &DpBuffers,
     rated: &[u32],
@@ -390,8 +384,8 @@ pub(crate) fn collect_walk_topk(
 /// the DP only probes once `δ_t` is finite, after the `∞` front has closed
 /// (see `longtail_markov::dp`), so no item can later appear in or vanish
 /// from the subgraph's finite set.
-pub(crate) fn rank_frozen(
-    target: &ProbeTarget<'_>,
+pub(crate) fn rank_frozen<G: GraphView>(
+    target: &ProbeTarget<'_, G>,
     probe: &DpProbe<'_>,
     collector: &mut TopKCollector,
     items: &mut Vec<ScoredItem>,
@@ -499,6 +493,7 @@ pub(crate) fn rank_frozen(
 mod tests {
     use super::*;
     use crate::ScoringContext;
+    use longtail_graph::BipartiteGraph;
 
     fn graph() -> BipartiteGraph {
         BipartiteGraph::from_ratings(2, 3, &[(0, 0, 5.0), (0, 1, 4.0), (1, 1, 3.0), (1, 2, 5.0)])

@@ -1,0 +1,292 @@
+//! The streaming-overlay contract, property-tested: for every walk family,
+//! serving over base + [`EdgeDelta`] overlay ranks **identically** to a
+//! model rebuilt from scratch on the union of the ratings.
+//!
+//! With integer star values the overlay's merged rows carry exactly the
+//! sums CSR construction produces for the union (f64 integer sums are
+//! exact in any association order), so the per-query kernels are
+//! bit-identical and the comparison below can demand equal scores, not
+//! just equal ranks.
+
+use longtail_core::{
+    AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender, DpStopping, EdgeDelta,
+    GraphRecConfig, HittingTimeRecommender, RecommendOptions, Recommender, ScoringContext,
+};
+use longtail_data::{Dataset, Rating};
+use longtail_topics::{LdaConfig, LdaModel};
+use proptest::prelude::*;
+
+const N_USERS: usize = 6;
+const N_ITEMS: usize = 8;
+
+/// Integer star values keep f64 sums exact — the bit-equality premise.
+fn base_ratings() -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (0..N_USERS as u32, 0..N_ITEMS as u32, 1..6i32).prop_map(|(user, item, v)| Rating {
+            user,
+            item,
+            value: v as f64,
+        }),
+        1..40,
+    )
+}
+
+/// Delta appends confined to the base dimensions (dimension growth has its
+/// own deterministic tests below).
+fn delta_ratings() -> impl Strategy<Value = Vec<Rating>> {
+    prop::collection::vec(
+        (0..N_USERS as u32, 0..N_ITEMS as u32, 1..6i32).prop_map(|(user, item, v)| Rating {
+            user,
+            item,
+            value: v as f64,
+        }),
+        0..15,
+    )
+}
+
+fn build_delta(appends: &[Rating], n_users: usize, n_items: usize) -> EdgeDelta {
+    let mut delta = EdgeDelta::new(n_users, n_items);
+    for r in appends {
+        delta.insert(r.user, r.item, r.value, 0.0);
+    }
+    delta
+}
+
+fn union(base: &[Rating], appends: &[Rating], n_users: usize, n_items: usize) -> Dataset {
+    let mut all = base.to_vec();
+    all.extend_from_slice(appends);
+    Dataset::from_ratings(n_users, n_items, &all)
+}
+
+/// Overlay serving vs. the rebuilt model: same items, same ranks, same
+/// scores, for every user, under both stopping policies.
+fn check_overlay_matches_rebuild(
+    overlay_rec: &dyn Recommender,
+    delta: &EdgeDelta,
+    rebuilt: &dyn Recommender,
+    n_users: usize,
+) -> Result<(), TestCaseError> {
+    let mut ctx_a = ScoringContext::new();
+    let mut ctx_b = ScoringContext::new();
+    let mut got = Vec::new();
+    let mut want = Vec::new();
+    for stopping in [DpStopping::Fixed, DpStopping::default()] {
+        let opts = RecommendOptions::with_stopping(stopping);
+        for u in 0..n_users as u32 {
+            overlay_rec.recommend_delta_into(delta, u, 5, &opts, &mut ctx_a, &mut got);
+            rebuilt.recommend_into(u, 5, &opts, &mut ctx_b, &mut want);
+            let got_items: Vec<u32> = got.iter().map(|s| s.item).collect();
+            let want_items: Vec<u32> = want.iter().map(|s| s.item).collect();
+            prop_assert_eq!(
+                &got_items,
+                &want_items,
+                "{} user {} ({:?}): overlay {:?} vs rebuild {:?}",
+                rebuilt.name(),
+                u,
+                stopping,
+                got_items,
+                want_items
+            );
+            for (a, b) in got.iter().zip(want.iter()) {
+                prop_assert_eq!(
+                    a.score,
+                    b.score,
+                    "{} user {} item {}: overlay score {} != rebuild {}",
+                    rebuilt.name(),
+                    u,
+                    a.item,
+                    a.score,
+                    b.score
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hitting_time_overlay_equals_rebuild(base in base_ratings(), appends in delta_ratings()) {
+        let base_data = Dataset::from_ratings(N_USERS, N_ITEMS, &base);
+        let union_data = union(&base, &appends, N_USERS, N_ITEMS);
+        let delta = build_delta(&appends, N_USERS, N_ITEMS);
+        let cfg = GraphRecConfig::default();
+        let overlay_rec = HittingTimeRecommender::new(&base_data, cfg);
+        let rebuilt = HittingTimeRecommender::new(&union_data, cfg);
+        check_overlay_matches_rebuild(&overlay_rec, &delta, &rebuilt, N_USERS)?;
+    }
+
+    #[test]
+    fn absorbing_time_overlay_equals_rebuild(base in base_ratings(), appends in delta_ratings()) {
+        let base_data = Dataset::from_ratings(N_USERS, N_ITEMS, &base);
+        let union_data = union(&base, &appends, N_USERS, N_ITEMS);
+        let delta = build_delta(&appends, N_USERS, N_ITEMS);
+        let cfg = GraphRecConfig::default();
+        let overlay_rec = AbsorbingTimeRecommender::new(&base_data, cfg);
+        let rebuilt = AbsorbingTimeRecommender::new(&union_data, cfg);
+        check_overlay_matches_rebuild(&overlay_rec, &delta, &rebuilt, N_USERS)?;
+    }
+
+    #[test]
+    fn absorbing_cost_item_overlay_equals_rebuild(
+        base in base_ratings(),
+        appends in delta_ratings(),
+    ) {
+        // AC1 recomputes delta-touched users' Eq. 10 entropies from the
+        // merged rows — the rebuild computes them from the union matrix, so
+        // they must agree term for term.
+        let base_data = Dataset::from_ratings(N_USERS, N_ITEMS, &base);
+        let union_data = union(&base, &appends, N_USERS, N_ITEMS);
+        let delta = build_delta(&appends, N_USERS, N_ITEMS);
+        let cfg = AbsorbingCostConfig::default();
+        let overlay_rec = AbsorbingCostRecommender::item_entropy(&base_data, cfg);
+        let rebuilt = AbsorbingCostRecommender::item_entropy(&union_data, cfg);
+        check_overlay_matches_rebuild(&overlay_rec, &delta, &rebuilt, N_USERS)?;
+    }
+
+    #[test]
+    fn absorbing_cost_topic_overlay_equals_rebuild(
+        base in base_ratings(),
+        appends in delta_ratings(),
+    ) {
+        // AC2's topic entropies come from the LDA model, which streaming
+        // appends do not retrain: the honest rebuild comparison shares the
+        // base model (entropies are a function of the model alone).
+        let base_data = Dataset::from_ratings(N_USERS, N_ITEMS, &base);
+        let union_data = union(&base, &appends, N_USERS, N_ITEMS);
+        let delta = build_delta(&appends, N_USERS, N_ITEMS);
+        let cfg = AbsorbingCostConfig::default();
+        let model = LdaModel::train(base_data.user_items(), &LdaConfig::with_topics(2));
+        let overlay_rec = AbsorbingCostRecommender::topic_entropy(&base_data, &model, cfg);
+        let rebuilt = AbsorbingCostRecommender::topic_entropy(&union_data, &model, cfg);
+        check_overlay_matches_rebuild(&overlay_rec, &delta, &rebuilt, N_USERS)?;
+    }
+}
+
+/// Dimension growth: a delta user and item beyond the base dims are
+/// first-class in the overlay — same ranking as the grown rebuild.
+#[test]
+fn overlay_serves_new_users_and_items() {
+    let base = [
+        Rating {
+            user: 0,
+            item: 0,
+            value: 5.0,
+        },
+        Rating {
+            user: 0,
+            item: 1,
+            value: 3.0,
+        },
+        Rating {
+            user: 1,
+            item: 0,
+            value: 4.0,
+        },
+        Rating {
+            user: 1,
+            item: 2,
+            value: 5.0,
+        },
+    ];
+    // User 2 and item 3 exist only in the delta.
+    let appends = [
+        Rating {
+            user: 2,
+            item: 0,
+            value: 5.0,
+        },
+        Rating {
+            user: 2,
+            item: 3,
+            value: 4.0,
+        },
+        Rating {
+            user: 1,
+            item: 3,
+            value: 5.0,
+        },
+    ];
+    let base_data = Dataset::from_ratings(2, 3, &base);
+    let union_data = union(&base, &appends, 3, 4);
+    let delta = build_delta(&appends, 2, 3);
+    assert_eq!(delta.n_users(), 3, "delta grew the user dim");
+    assert_eq!(delta.n_items(), 4, "delta grew the item dim");
+
+    let cfg = GraphRecConfig::default();
+    let opts = RecommendOptions::with_stopping(DpStopping::Fixed);
+    let mut ctx_a = ScoringContext::new();
+    let mut ctx_b = ScoringContext::new();
+    let mut got = Vec::new();
+    let mut want = Vec::new();
+    for u in 0..3u32 {
+        let overlay_ht = HittingTimeRecommender::new(&base_data, cfg);
+        let rebuilt_ht = HittingTimeRecommender::new(&union_data, cfg);
+        overlay_ht.recommend_delta_into(&delta, u, 4, &opts, &mut ctx_a, &mut got);
+        rebuilt_ht.recommend_into(u, 4, &opts, &mut ctx_b, &mut want);
+        assert_eq!(got, want, "HT user {u}");
+
+        let overlay_at = AbsorbingTimeRecommender::new(&base_data, cfg);
+        let rebuilt_at = AbsorbingTimeRecommender::new(&union_data, cfg);
+        overlay_at.recommend_delta_into(&delta, u, 4, &opts, &mut ctx_a, &mut got);
+        rebuilt_at.recommend_into(u, 4, &opts, &mut ctx_b, &mut want);
+        assert_eq!(got, want, "AT user {u}");
+
+        let acfg = AbsorbingCostConfig::default();
+        let overlay_ac = AbsorbingCostRecommender::item_entropy(&base_data, acfg);
+        let rebuilt_ac = AbsorbingCostRecommender::item_entropy(&union_data, acfg);
+        overlay_ac.recommend_delta_into(&delta, u, 4, &opts, &mut ctx_a, &mut got);
+        rebuilt_ac.recommend_into(u, 4, &opts, &mut ctx_b, &mut want);
+        assert_eq!(got, want, "AC1 user {u}");
+    }
+}
+
+/// The delta must never surface the user's own merged rated set: items
+/// rated only via the delta are excluded like training items.
+#[test]
+fn overlay_excludes_delta_rated_items() {
+    let base = [
+        Rating {
+            user: 0,
+            item: 0,
+            value: 5.0,
+        },
+        Rating {
+            user: 1,
+            item: 0,
+            value: 4.0,
+        },
+        Rating {
+            user: 1,
+            item: 1,
+            value: 5.0,
+        },
+        Rating {
+            user: 1,
+            item: 2,
+            value: 3.0,
+        },
+    ];
+    let base_data = Dataset::from_ratings(2, 3, &base);
+    let mut delta = EdgeDelta::new(2, 3);
+    // User 0 rates item 1 through the stream: it must vanish from their
+    // recommendations even though the base graph says unrated.
+    delta.insert(0, 1, 5.0, 0.0);
+
+    let opts = RecommendOptions::default();
+    let mut ctx = ScoringContext::new();
+    let mut out = Vec::new();
+    let rec = AbsorbingTimeRecommender::new(&base_data, GraphRecConfig::default());
+    rec.recommend_into(0, 3, &opts, &mut ctx, &mut out);
+    assert!(
+        out.iter().any(|s| s.item == 1),
+        "without the delta, item 1 is a candidate: {out:?}"
+    );
+    rec.recommend_delta_into(&delta, 0, 3, &opts, &mut ctx, &mut out);
+    assert!(
+        out.iter().all(|s| s.item != 1),
+        "delta-rated item 1 must be excluded: {out:?}"
+    );
+}

@@ -18,14 +18,34 @@ pub struct Rating {
     pub value: f64,
 }
 
+/// A rating carrying its event timestamp — the streaming-ingest and
+/// temporal-split unit. `timestamp` is in whatever unit the source data uses
+/// (seconds for the MovieLens epochs); `0.0` conventionally means "no
+/// timestamp recorded".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedRating {
+    /// User index, `0..n_users`.
+    pub user: u32,
+    /// Item index, `0..n_items`.
+    pub item: u32,
+    /// Rating value.
+    pub value: f64,
+    /// Event time (0 when the source carries none).
+    pub timestamp: f64,
+}
+
 /// An immutable ratings dataset.
 ///
 /// Stores the user→item matrix in CSR (duplicate ratings are summed at
 /// construction, matching the multigraph-collapsing of §3.1) and exposes the
-/// derived structures used throughout the workspace.
+/// derived structures used throughout the workspace. Datasets built from
+/// [`TimedRating`]s additionally carry a same-structure timestamp matrix
+/// (duplicates keep the latest stamp) that flows into the bipartite graph
+/// for recency-decay serving and the time-based evaluation split.
 #[derive(Debug, Clone)]
 pub struct Dataset {
     user_items: CsrMatrix,
+    times: Option<CsrMatrix>,
 }
 
 impl Dataset {
@@ -49,12 +69,63 @@ impl Dataset {
             .collect();
         Self {
             user_items: CsrMatrix::from_triplets(n_users, n_items, &triplets),
+            times: None,
+        }
+    }
+
+    /// Build from a timestamped rating list. Duplicate `(user, item)` pairs
+    /// sum their values (like [`Dataset::from_ratings`]) and keep the
+    /// **latest** timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rating is out of bounds or non-positive.
+    pub fn from_timed_ratings(n_users: usize, n_items: usize, ratings: &[TimedRating]) -> Self {
+        let mut triplets = Vec::with_capacity(ratings.len());
+        let mut stamps = Vec::with_capacity(ratings.len());
+        for r in ratings {
+            assert!(
+                r.value > 0.0,
+                "rating values must be positive, got {}",
+                r.value
+            );
+            triplets.push((r.user, r.item, r.value));
+            stamps.push((r.user, r.item, r.timestamp));
+        }
+        Self {
+            user_items: CsrMatrix::from_triplets(n_users, n_items, &triplets),
+            times: Some(CsrMatrix::from_triplets_with(
+                n_users,
+                n_items,
+                &stamps,
+                f64::max,
+            )),
         }
     }
 
     /// Wrap an existing user→item matrix.
     pub fn from_matrix(user_items: CsrMatrix) -> Self {
-        Self { user_items }
+        Self {
+            user_items,
+            times: None,
+        }
+    }
+
+    /// Wrap a user→item matrix plus a timestamp matrix with the same
+    /// sparsity structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two matrices store different `(user, item)` pairs.
+    pub fn from_matrix_with_times(user_items: CsrMatrix, times: CsrMatrix) -> Self {
+        assert!(
+            times.same_structure(&user_items),
+            "timestamp matrix structure differs from the rating matrix"
+        );
+        Self {
+            user_items,
+            times: Some(times),
+        }
     }
 
     /// Number of users.
@@ -89,6 +160,13 @@ impl Dataset {
     #[inline]
     pub fn user_items(&self) -> &CsrMatrix {
         &self.user_items
+    }
+
+    /// Per-rating timestamps aligned entry-for-entry with
+    /// [`Dataset::user_items`], when the source data carried them.
+    #[inline]
+    pub fn times(&self) -> Option<&CsrMatrix> {
+        self.times.as_ref()
     }
 
     /// Items rated by `u` with values.
@@ -140,9 +218,32 @@ impl Dataset {
         out
     }
 
-    /// The weighted bipartite graph of §3.1.
+    /// All ratings with their timestamps (0 where none were recorded), in
+    /// row-major order.
+    pub fn to_timed_ratings(&self) -> Vec<TimedRating> {
+        let mut out = Vec::with_capacity(self.n_ratings());
+        for u in 0..self.n_users() {
+            let (items, values) = self.user_items.row(u);
+            let times = self.times.as_ref().map(|t| t.row(u).1);
+            for (k, (&i, &v)) in items.iter().zip(values).enumerate() {
+                out.push(TimedRating {
+                    user: u as u32,
+                    item: i,
+                    value: v,
+                    timestamp: times.map_or(0.0, |t| t[k]),
+                });
+            }
+        }
+        out
+    }
+
+    /// The weighted bipartite graph of §3.1, carrying the dataset's
+    /// timestamps when present (so serving can apply recency decay).
     pub fn to_graph(&self) -> BipartiteGraph {
-        BipartiteGraph::from_user_item_matrix(self.user_items.clone())
+        BipartiteGraph::from_user_item_matrix_with_times(
+            self.user_items.clone(),
+            self.times.clone(),
+        )
     }
 
     /// Partition the corpus into `n_shards` user-disjoint views, each a
@@ -166,6 +267,7 @@ impl Dataset {
     pub fn shard_by_user(&self, n_shards: usize, route: impl Fn(u32, usize) -> usize) -> Vec<Self> {
         assert!(n_shards > 0, "cannot shard into 0 shards");
         let mut per_shard: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); n_shards];
+        let mut stamps_per_shard: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); n_shards];
         for u in 0..self.n_users() {
             let shard = route(u as u32, n_shards);
             assert!(
@@ -175,11 +277,20 @@ impl Dataset {
             for (i, v) in self.user_items.iter_row(u) {
                 per_shard[shard].push((u as u32, i, v));
             }
+            if let Some(times) = &self.times {
+                for (i, t) in times.iter_row(u) {
+                    stamps_per_shard[shard].push((u as u32, i, t));
+                }
+            }
         }
         per_shard
             .into_iter()
-            .map(|triplets| Self {
+            .zip(stamps_per_shard)
+            .map(|(triplets, stamps)| Self {
                 user_items: CsrMatrix::from_triplets(self.n_users(), self.n_items(), &triplets),
+                times: self.times.as_ref().map(|_| {
+                    CsrMatrix::from_triplets_with(self.n_users(), self.n_items(), &stamps, f64::max)
+                }),
             })
             .collect()
     }
@@ -280,6 +391,97 @@ mod tests {
     #[should_panic(expected = "shard")]
     fn shard_by_user_rejects_out_of_range_route() {
         sample().shard_by_user(2, |_, n| n);
+    }
+
+    fn timed_sample() -> Dataset {
+        Dataset::from_timed_ratings(
+            2,
+            3,
+            &[
+                TimedRating {
+                    user: 0,
+                    item: 0,
+                    value: 5.0,
+                    timestamp: 100.0,
+                },
+                TimedRating {
+                    user: 0,
+                    item: 2,
+                    value: 3.0,
+                    timestamp: 50.0,
+                },
+                TimedRating {
+                    user: 1,
+                    item: 1,
+                    value: 4.0,
+                    timestamp: 200.0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn timed_ratings_round_trip() {
+        let d = timed_sample();
+        let times = d.times().expect("timed dataset keeps stamps");
+        assert!(times.same_structure(d.user_items()));
+        assert_eq!(times.get(0, 0), Some(100.0));
+        let back = d.to_timed_ratings();
+        let d2 = Dataset::from_timed_ratings(2, 3, &back);
+        assert_eq!(d.user_items(), d2.user_items());
+        assert_eq!(d.times(), d2.times());
+        // The untimed path reads every stamp as 0.
+        assert!(sample()
+            .to_timed_ratings()
+            .iter()
+            .all(|r| r.timestamp == 0.0));
+    }
+
+    #[test]
+    fn duplicate_timed_ratings_sum_values_and_keep_latest_stamp() {
+        let d = Dataset::from_timed_ratings(
+            1,
+            1,
+            &[
+                TimedRating {
+                    user: 0,
+                    item: 0,
+                    value: 2.0,
+                    timestamp: 10.0,
+                },
+                TimedRating {
+                    user: 0,
+                    item: 0,
+                    value: 3.0,
+                    timestamp: 7.0,
+                },
+            ],
+        );
+        assert_eq!(d.user_items().get(0, 0), Some(5.0));
+        assert_eq!(d.times().unwrap().get(0, 0), Some(10.0));
+    }
+
+    #[test]
+    fn timed_graph_carries_timestamps_both_ways() {
+        let g = timed_sample().to_graph();
+        let ut = g.user_item_times().expect("graph keeps stamps");
+        assert_eq!(ut.get(0, 0), Some(100.0));
+        let it = g.item_user_times().expect("transposed stamps");
+        assert_eq!(it.get(1, 1), Some(200.0));
+        assert!(sample().to_graph().user_item_times().is_none());
+    }
+
+    #[test]
+    fn shard_by_user_carries_timestamps() {
+        let d = timed_sample();
+        let shards = d.shard_by_user(2, |u, n| u as usize % n);
+        assert_eq!(shards[0].times().unwrap().get(0, 0), Some(100.0));
+        assert_eq!(shards[0].times().unwrap().get(1, 1), None);
+        assert_eq!(shards[1].times().unwrap().get(1, 1), Some(200.0));
+        // Untimed datasets shard without inventing stamps.
+        assert!(sample().shard_by_user(2, |u, n| u as usize % n)[0]
+            .times()
+            .is_none());
     }
 
     #[test]

@@ -24,9 +24,11 @@ pub mod sampling;
 pub mod split;
 pub mod synthetic;
 
-pub use dataset::{Dataset, Rating};
+pub use dataset::{Dataset, Rating, TimedRating};
 pub use loader::{load_movielens_100k, load_movielens_1m, DataError, LoadedDataset};
 pub use longtail::LongTailSplit;
 pub use ontology::Ontology;
-pub use split::{holdout_longtail_favorites, ProtocolSplit, SplitConfig, TestCase};
+pub use split::{
+    holdout_latest_favorites, holdout_longtail_favorites, ProtocolSplit, SplitConfig, TestCase,
+};
 pub use synthetic::{SyntheticConfig, SyntheticData};

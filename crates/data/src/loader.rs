@@ -9,7 +9,7 @@
 //! Raw ids are arbitrary (1-based with holes), so both loaders compact them
 //! to dense `0..n` indices and return the mapping.
 
-use crate::dataset::{Dataset, Rating};
+use crate::dataset::{Dataset, TimedRating};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::BufRead;
@@ -82,18 +82,22 @@ pub fn load_movielens_100k(path: &Path) -> Result<LoadedDataset, DataError> {
 
 /// Parse `user<sep>item<sep>rating[<sep>timestamp]` records from a reader.
 ///
-/// Blank lines are skipped; a trailing timestamp field is ignored.
+/// Blank lines are skipped. The timestamp column is optional per line: when
+/// at least one record carries a parseable timestamp the loaded dataset is
+/// timestamped ([`Dataset::times`] is `Some`), with records missing the
+/// field stamped 0; when no record carries one the dataset is untimed.
 ///
 /// # Errors
 ///
 /// Malformed lines (wrong field count, non-numeric fields, ratings outside
-/// `(0, 10]`) or an empty stream.
+/// `(0, 10]`, unparseable timestamps) or an empty stream.
 pub fn parse_ratings<R: BufRead>(reader: R, separator: &str) -> Result<LoadedDataset, DataError> {
     let mut user_index: HashMap<u64, u32> = HashMap::new();
     let mut item_index: HashMap<u64, u32> = HashMap::new();
     let mut user_ids: Vec<u64> = Vec::new();
     let mut item_ids: Vec<u64> = Vec::new();
-    let mut ratings: Vec<Rating> = Vec::new();
+    let mut ratings: Vec<TimedRating> = Vec::new();
+    let mut any_timestamp = false;
 
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
@@ -127,6 +131,17 @@ pub fn parse_ratings<R: BufRead>(reader: R, separator: &str) -> Result<LoadedDat
             });
         }
 
+        let timestamp = if fields.len() >= 4 {
+            let t: f64 = fields[3].parse().map_err(|_| DataError::Parse {
+                line: lineno + 1,
+                reason: format!("bad timestamp {:?}", fields[3]),
+            })?;
+            any_timestamp = true;
+            t
+        } else {
+            0.0
+        };
+
         let user = *user_index.entry(raw_user).or_insert_with(|| {
             user_ids.push(raw_user);
             (user_ids.len() - 1) as u32
@@ -135,13 +150,30 @@ pub fn parse_ratings<R: BufRead>(reader: R, separator: &str) -> Result<LoadedDat
             item_ids.push(raw_item);
             (item_ids.len() - 1) as u32
         });
-        ratings.push(Rating { user, item, value });
+        ratings.push(TimedRating {
+            user,
+            item,
+            value,
+            timestamp,
+        });
     }
 
     if ratings.is_empty() {
         return Err(DataError::Empty);
     }
-    let dataset = Dataset::from_ratings(user_ids.len(), item_ids.len(), &ratings);
+    let dataset = if any_timestamp {
+        Dataset::from_timed_ratings(user_ids.len(), item_ids.len(), &ratings)
+    } else {
+        let plain: Vec<crate::dataset::Rating> = ratings
+            .iter()
+            .map(|r| crate::dataset::Rating {
+                user: r.user,
+                item: r.item,
+                value: r.value,
+            })
+            .collect();
+        Dataset::from_ratings(user_ids.len(), item_ids.len(), &plain)
+    };
     Ok(LoadedDataset {
         dataset,
         user_ids,
@@ -195,6 +227,30 @@ mod tests {
         let input = "1::2::3\n";
         let loaded = parse_ratings(Cursor::new(input), "::").unwrap();
         assert_eq!(loaded.dataset.n_ratings(), 1);
+        assert!(loaded.dataset.times().is_none(), "no stamps, no matrix");
+    }
+
+    #[test]
+    fn timestamp_column_loads_into_dataset() {
+        let input = "1::2::3::978300760\n1::7::4::978300999\n2::2::5\n";
+        let loaded = parse_ratings(Cursor::new(input), "::").unwrap();
+        let times = loaded.dataset.times().expect("timestamped input");
+        assert_eq!(times.get(0, 0), Some(978300760.0));
+        assert_eq!(times.get(0, 1), Some(978300999.0));
+        // The line with no timestamp field defaults to 0.
+        assert_eq!(times.get(1, 0), Some(0.0));
+    }
+
+    #[test]
+    fn garbage_timestamp_is_a_parse_error() {
+        let input = "1::2::3::not-a-time\n";
+        match parse_ratings(Cursor::new(input), "::") {
+            Err(DataError::Parse { line, reason }) => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("timestamp"), "{reason}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

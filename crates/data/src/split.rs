@@ -6,7 +6,7 @@
 //! favourite among 1000 randomly sampled unrated items and record whether it
 //! lands in the top N.
 
-use crate::dataset::{Dataset, Rating};
+use crate::dataset::{Dataset, Rating, TimedRating};
 use crate::longtail::LongTailSplit;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -133,6 +133,84 @@ pub fn holdout_longtail_favorites(
     }
 }
 
+/// Hold out each eligible user's *most recent* long-tail favourite, newest
+/// first — the temporal variant of [`holdout_longtail_favorites`] for the
+/// streaming workload, where the natural question is "would we have
+/// recommended the tail item the user was about to discover?".
+///
+/// Per eligible user the candidate is their latest-stamped tail rating with
+/// value at least `config.min_value` (ties broken by smaller item id, so the
+/// split is deterministic even on untimed data where every stamp is 0).
+/// Candidates are ordered newest-first across users (ties: user id) and at
+/// most `config.n_test` are taken. `config.seed` is unused — recency, not a
+/// shuffle, picks the cases. Training data keeps its timestamps.
+pub fn holdout_latest_favorites(
+    dataset: &Dataset,
+    tail: &LongTailSplit,
+    config: &SplitConfig,
+) -> ProtocolSplit {
+    let activity = dataset.user_activity();
+    let times = dataset.times();
+
+    // (timestamp, user, item): each eligible user's freshest tail favourite.
+    let mut candidates: Vec<(f64, u32, u32)> = Vec::new();
+    for u in 0..dataset.n_users() as u32 {
+        if (activity[u as usize] as usize) < config.min_remaining_activity + 1 {
+            continue;
+        }
+        let mut best: Option<(f64, u32)> = None;
+        for (k, (i, v)) in dataset.ratings_of(u).enumerate() {
+            if v < config.min_value || !tail.is_tail(i) {
+                continue;
+            }
+            let t = times.map_or(0.0, |m| m.row(u as usize).1[k]);
+            let fresher = match best {
+                None => true,
+                Some((bt, bi)) => t > bt || (t == bt && i < bi),
+            };
+            if fresher {
+                best = Some((t, i));
+            }
+        }
+        if let Some((t, i)) = best {
+            candidates.push((t, u, i));
+        }
+    }
+    // Newest first; user id breaks timestamp ties deterministically.
+    candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    candidates.truncate(config.n_test);
+
+    let taken: Vec<TestCase> = candidates
+        .iter()
+        .map(|&(_, user, item)| TestCase { user, item })
+        .collect();
+    let held: std::collections::HashSet<(u32, u32)> =
+        taken.iter().map(|c| (c.user, c.item)).collect();
+    let train_ratings: Vec<TimedRating> = dataset
+        .to_timed_ratings()
+        .into_iter()
+        .filter(|r| !held.contains(&(r.user, r.item)))
+        .collect();
+    let train = if times.is_some() {
+        Dataset::from_timed_ratings(dataset.n_users(), dataset.n_items(), &train_ratings)
+    } else {
+        let plain: Vec<Rating> = train_ratings
+            .iter()
+            .map(|r| Rating {
+                user: r.user,
+                item: r.item,
+                value: r.value,
+            })
+            .collect();
+        Dataset::from_ratings(dataset.n_users(), dataset.n_items(), &plain)
+    };
+
+    ProtocolSplit {
+        train,
+        test_cases: taken,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +308,70 @@ mod tests {
         let (dataset, tail) = setup();
         let a = holdout_longtail_favorites(&dataset, &tail, &SplitConfig::default());
         let b = holdout_longtail_favorites(&dataset, &tail, &SplitConfig::default());
+        assert_eq!(a.test_cases, b.test_cases);
+    }
+
+    #[test]
+    fn latest_split_holds_out_each_users_freshest_tail_favorite() {
+        let (dataset, tail) = setup();
+        let times = dataset.times().expect("synthetic data is timed");
+        let split = holdout_latest_favorites(&dataset, &tail, &SplitConfig::default());
+        assert!(!split.test_cases.is_empty());
+        for case in &split.test_cases {
+            assert!(tail.is_tail(case.item));
+            assert!(!split.train.has_rated(case.user, case.item));
+            // No other eligible rating of this user is strictly fresher.
+            let row = times.row(case.user as usize);
+            let held_t = times.get(case.user as usize, case.item).unwrap();
+            for (k, (i, v)) in dataset.ratings_of(case.user).enumerate() {
+                if v >= 5.0 && tail.is_tail(i) {
+                    assert!(
+                        row.1[k] <= held_t,
+                        "user {} item {i} is fresher than held-out {}",
+                        case.user,
+                        case.item
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latest_split_orders_cases_newest_first_and_keeps_times() {
+        let (dataset, tail) = setup();
+        let times = dataset.times().unwrap();
+        let config = SplitConfig {
+            n_test: 10,
+            ..SplitConfig::default()
+        };
+        let split = holdout_latest_favorites(&dataset, &tail, &config);
+        assert!(split.test_cases.len() <= 10);
+        let stamps: Vec<f64> = split
+            .test_cases
+            .iter()
+            .map(|c| times.get(c.user as usize, c.item).unwrap())
+            .collect();
+        assert!(
+            stamps.windows(2).all(|w| w[0] >= w[1]),
+            "cases not newest-first: {stamps:?}"
+        );
+        // Train keeps the temporal column for downstream recency decay.
+        assert!(split.train.times().is_some());
+    }
+
+    #[test]
+    fn latest_split_is_deterministic_without_a_shuffle() {
+        let (dataset, tail) = setup();
+        let a = holdout_latest_favorites(&dataset, &tail, &SplitConfig::default());
+        let b = holdout_latest_favorites(
+            &dataset,
+            &tail,
+            &SplitConfig {
+                seed: 999,
+                ..SplitConfig::default()
+            },
+        );
+        // Recency, not the seed, picks the cases.
         assert_eq!(a.test_cases, b.test_cases);
     }
 }

@@ -18,7 +18,7 @@
 //!   returned, which is what the simulated user study (Table 6) judges
 //!   against.
 
-use crate::dataset::{Dataset, Rating};
+use crate::dataset::{Dataset, TimedRating};
 use crate::sampling::{dirichlet, gaussian, power_law_integer, zipf_weights, Categorical};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -159,7 +159,10 @@ impl SyntheticData {
             })
             .collect();
 
-        let mut ratings: Vec<Rating> = Vec::new();
+        // Each rating is stamped with its generation-order index, giving the
+        // temporal split and recency-decay paths a deterministic synthetic
+        // timeline (later draws = fresher ratings).
+        let mut ratings: Vec<TimedRating> = Vec::new();
         let mut rated = std::collections::HashSet::new();
         for (u, taste) in user_tastes.iter().enumerate() {
             let activity = power_law_integer(
@@ -188,17 +191,18 @@ impl SyntheticData {
                 let affinity = taste[g] / taste_max;
                 let raw = 2.6 + 2.2 * affinity + config.rating_noise * gaussian(&mut rng);
                 let value = raw.round().clamp(1.0, 5.0);
-                ratings.push(Rating {
+                ratings.push(TimedRating {
                     user: u as u32,
                     item,
                     value,
+                    timestamp: ratings.len() as f64,
                 });
                 placed += 1;
             }
         }
 
         Self {
-            dataset: Dataset::from_ratings(config.n_users, config.n_items, &ratings),
+            dataset: Dataset::from_timed_ratings(config.n_users, config.n_items, &ratings),
             item_genres,
             user_tastes,
         }
@@ -329,6 +333,26 @@ mod tests {
         let config = SyntheticConfig::movielens_like().scaled(0.1);
         assert_eq!(config.n_users, 90);
         assert_eq!(config.n_items, 62);
+    }
+
+    #[test]
+    fn generated_datasets_carry_a_synthetic_timeline() {
+        let data = SyntheticData::generate(&small_config());
+        let times = data.dataset.times().expect("synthetic data is timed");
+        // Stamps are the generation-order indices: distinct, non-negative,
+        // bounded by the rating count.
+        let n = data.dataset.n_ratings() as f64;
+        let mut seen = Vec::new();
+        for r in 0..times.rows() {
+            let (_, vals) = times.row(r);
+            for &t in vals {
+                assert!(t >= 0.0 && t < n, "stamp {t} outside [0, {n})");
+                seen.push(t);
+            }
+        }
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        seen.dedup();
+        assert_eq!(seen.len(), data.dataset.n_ratings(), "stamps not distinct");
     }
 
     #[test]

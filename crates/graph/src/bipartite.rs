@@ -7,6 +7,7 @@
 //! `n_users..n_users + n_items`.
 
 use crate::csr::CsrMatrix;
+use crate::view::GraphView;
 
 /// A node of the bipartite graph, decoded from its flat id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,12 +30,40 @@ pub struct BipartiteGraph {
     user_degree: Vec<f64>,
     item_degree: Vec<f64>,
     total_weight: f64,
+    /// Per-edge timestamps mirroring `user_items` / `item_users` (same
+    /// sparsity structure), when the source data carries them. Timestamps
+    /// never influence walk *structure* — only the optional recency-decay
+    /// weighting ([`crate::Decayed`]) and temporal splits read them.
+    user_item_times: Option<CsrMatrix>,
+    item_user_times: Option<CsrMatrix>,
 }
 
 impl BipartiteGraph {
     /// Build from the user→item weight block (`n_users x n_items`).
     pub fn from_user_item_matrix(user_items: CsrMatrix) -> Self {
+        Self::from_user_item_matrix_with_times(user_items, None)
+    }
+
+    /// Build from the weight block plus an optional per-edge timestamp
+    /// matrix with the **same sparsity structure** (same rated pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timestamp matrix's structure differs from the weights'.
+    pub fn from_user_item_matrix_with_times(
+        user_items: CsrMatrix,
+        times: Option<CsrMatrix>,
+    ) -> Self {
+        if let Some(t) = &times {
+            assert!(
+                t.same_structure(&user_items),
+                "timestamp matrix structure differs from the rating matrix"
+            );
+        }
         let item_users = user_items.transpose();
+        // Transposition order is structure-determined, so the transposed
+        // timestamps stay aligned entry-for-entry with `item_users`.
+        let item_user_times = times.as_ref().map(CsrMatrix::transpose);
         let user_degree: Vec<f64> = (0..user_items.rows())
             .map(|u| user_items.row_sum(u))
             .collect();
@@ -48,6 +77,8 @@ impl BipartiteGraph {
             user_degree,
             item_degree,
             total_weight,
+            user_item_times: times,
+            item_user_times,
         }
     }
 
@@ -96,6 +127,19 @@ impl BipartiteGraph {
     #[inline]
     pub fn item_users(&self) -> &CsrMatrix {
         &self.item_users
+    }
+
+    /// Per-edge timestamps aligned with [`BipartiteGraph::user_items`], if
+    /// the source data carried them.
+    #[inline]
+    pub fn user_item_times(&self) -> Option<&CsrMatrix> {
+        self.user_item_times.as_ref()
+    }
+
+    /// Per-edge timestamps aligned with [`BipartiteGraph::item_users`].
+    #[inline]
+    pub fn item_user_times(&self) -> Option<&CsrMatrix> {
+        self.item_user_times.as_ref()
     }
 
     /// Flat node id of user `u`.
@@ -190,6 +234,53 @@ impl BipartiteGraph {
             return vec![0.0; self.n_nodes()];
         }
         self.degrees().iter().map(|&d| d / total).collect()
+    }
+}
+
+impl GraphView for BipartiteGraph {
+    #[inline]
+    fn n_users(&self) -> usize {
+        BipartiteGraph::n_users(self)
+    }
+
+    #[inline]
+    fn n_items(&self) -> usize {
+        BipartiteGraph::n_items(self)
+    }
+
+    #[inline]
+    fn for_each_edge(&self, node: usize, mut f: impl FnMut(usize, f64)) {
+        let n_users = BipartiteGraph::n_users(self);
+        let ((cols, weights), shift) = if node < n_users {
+            (self.user_items.row(node), n_users)
+        } else {
+            (self.item_users.row(node - n_users), 0)
+        };
+        for (&c, &w) in cols.iter().zip(weights) {
+            f(c as usize + shift, w);
+        }
+    }
+
+    fn for_each_edge_timed(&self, node: usize, mut f: impl FnMut(usize, f64, f64)) {
+        let n_users = BipartiteGraph::n_users(self);
+        let ((cols, weights), times, shift) = if node < n_users {
+            (
+                self.user_items.row(node),
+                self.user_item_times.as_ref().map(|t| t.row(node).1),
+                n_users,
+            )
+        } else {
+            (
+                self.item_users.row(node - n_users),
+                self.item_user_times
+                    .as_ref()
+                    .map(|t| t.row(node - n_users).1),
+                0,
+            )
+        };
+        for (k, (&c, &w)) in cols.iter().zip(weights).enumerate() {
+            f(c as usize + shift, w, times.map_or(0.0, |t| t[k]));
+        }
     }
 }
 

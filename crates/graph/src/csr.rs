@@ -49,6 +49,22 @@ impl CsrMatrix {
     ///
     /// Panics if any triplet lies outside `rows x cols`.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Self {
+        Self::from_triplets_with(rows, cols, triplets, |a, b| a + b)
+    }
+
+    /// Build from `(row, col, value)` triplets with a caller-chosen duplicate
+    /// merge. [`CsrMatrix::from_triplets`] is this with `+`; timestamp
+    /// matrices use `f64::max` so a re-rated pair keeps its latest stamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet lies outside `rows x cols`.
+    pub fn from_triplets_with(
+        rows: usize,
+        cols: usize,
+        triplets: &[(u32, u32, f64)],
+        merge: impl Fn(f64, f64) -> f64,
+    ) -> Self {
         for &(r, c, _) in triplets {
             assert!(
                 (r as usize) < rows && (c as usize) < cols,
@@ -84,7 +100,7 @@ impl CsrMatrix {
             while let Some((c, mut v)) = iter.next() {
                 while let Some(&(c2, v2)) = iter.peek() {
                     if c2 == c {
-                        v += v2;
+                        v = merge(v, v2);
                         iter.next();
                     } else {
                         break;
@@ -207,6 +223,18 @@ impl CsrMatrix {
     /// Sum of every stored value.
     pub fn total_sum(&self) -> f64 {
         self.values.iter().sum()
+    }
+
+    /// Whether `other` stores exactly the same `(row, col)` pairs — same
+    /// shape, same `row_ptr`, same `col_idx` — regardless of values. Two
+    /// same-structure matrices index entry-for-entry into each other, which
+    /// is the alignment contract between a rating matrix and its optional
+    /// timestamp matrix.
+    pub fn same_structure(&self, other: &CsrMatrix) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
     }
 
     /// The transpose as a new CSR matrix. O(nnz + rows + cols).
@@ -439,6 +467,28 @@ mod tests {
         let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)]);
         assert_eq!(m.get(0, 0), Some(3.5));
         assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn from_triplets_with_max_merge_keeps_latest() {
+        let m = CsrMatrix::from_triplets_with(
+            2,
+            2,
+            &[(0, 0, 3.0), (0, 0, 7.0), (0, 0, 5.0), (1, 1, 1.0)],
+            f64::max,
+        );
+        assert_eq!(m.get(0, 0), Some(7.0));
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn same_structure_ignores_values() {
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 1, 2.0), (1, 0, 5.0)]);
+        let b = CsrMatrix::from_triplets(2, 3, &[(0, 1, 9.0), (1, 0, -1.0)]);
+        let c = CsrMatrix::from_triplets(2, 3, &[(0, 1, 2.0), (1, 2, 5.0)]);
+        assert!(a.same_structure(&b));
+        assert!(!a.same_structure(&c));
+        assert!(!a.same_structure(&CsrMatrix::zeros(2, 3)));
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!   (Algorithm 1, step 2);
 //! * [`SubgraphScratch`] — reusable, epoch-stamped buffers that extract the
 //!   same neighborhoods with zero `O(n_nodes)` allocations per query;
+//! * [`GraphView`] — the traversal trait that lets the scratch extractor run
+//!   over the frozen base graph, a streamed-delta overlay, or a
+//!   recency-decayed wrapper, all monomorphized;
+//! * [`EdgeDelta`] / [`OverlayGraph`] — appended ratings merged over the
+//!   base CSR at query time without rebuilding ([`Decayed`] /
+//!   [`RecencyDecay`] add the temporal weighting on top);
 //! * [`stats`] — dataset-level descriptive statistics (Figure 1 shape);
 //! * [`snapshot`] — the versioned, checksummed binary snapshot format that
 //!   persists trained model state ([`SnapshotWriter`] / [`Snapshot`]).
@@ -24,17 +30,21 @@
 pub mod adjacency;
 pub mod bipartite;
 pub mod csr;
+pub mod delta;
 pub mod scratch;
 pub mod snapshot;
 pub mod stats;
 pub mod subgraph;
 pub mod transition;
+pub mod view;
 
 pub use adjacency::Adjacency;
 pub use bipartite::{BipartiteGraph, Node};
 pub use csr::CsrMatrix;
+pub use delta::{EdgeDelta, OverlayGraph};
 pub use scratch::SubgraphScratch;
 pub use snapshot::{Snapshot, SnapshotError, SnapshotWriter};
 pub use stats::GraphStats;
 pub use subgraph::Subgraph;
 pub use transition::TransitionMatrix;
+pub use view::{Decayed, GraphView, RecencyDecay};

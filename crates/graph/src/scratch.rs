@@ -17,8 +17,8 @@
 //! order-independent; only the last-ulp floating-point rounding of row sums
 //! can differ from the owned-`Subgraph` path).
 
-use crate::bipartite::BipartiteGraph;
 use crate::transition::TransitionMatrix;
+use crate::view::GraphView;
 use std::collections::VecDeque;
 
 /// Epoch stamp and local id of one global node, packed together so a
@@ -71,7 +71,7 @@ impl SubgraphScratch {
     /// # Panics
     ///
     /// Panics if any seed id is out of range.
-    pub fn grow(&mut self, graph: &BipartiteGraph, seeds: &[usize], max_items: usize) {
+    pub fn grow<G: GraphView>(&mut self, graph: &G, seeds: &[usize], max_items: usize) {
         let n = graph.n_nodes();
         if self.marks.len() < n {
             self.marks.resize(n, Mark::default());
@@ -81,31 +81,25 @@ impl SubgraphScratch {
         self.n_local_items = 0;
         self.queue.clear();
 
+        let n_users = graph.n_users();
         for &seed in seeds {
             assert!(seed < n, "seed node {seed} out of range");
-            if self.admit(graph, seed) {
+            if self.admit(n_users, seed) {
                 self.queue.push_back(seed);
             }
         }
 
-        let n_users = graph.n_users();
         while let Some(node) = self.queue.pop_front() {
             if self.n_local_items > max_items {
                 // Budget exhausted: stop growing, keep what we have.
                 break;
             }
-            // Raw CSR row access: BFS needs neighbor ids only, not weights.
-            let (cols, shift) = if node < n_users {
-                (graph.user_items().row(node).0, n_users)
-            } else {
-                (graph.item_users().row(node - n_users).0, 0)
-            };
-            for &c in cols {
-                let nbr = c as usize + shift;
-                if self.admit(graph, nbr) {
+            // BFS needs neighbor ids only; weights are read in build_kernel.
+            graph.for_each_edge(node, |nbr, _| {
+                if self.admit(n_users, nbr) {
                     self.queue.push_back(nbr);
                 }
-            }
+            });
         }
 
         self.build_kernel(graph);
@@ -113,7 +107,7 @@ impl SubgraphScratch {
 
     /// Admit `node` if unseen this epoch; returns whether it was new.
     #[inline]
-    fn admit(&mut self, graph: &BipartiteGraph, node: usize) -> bool {
+    fn admit(&mut self, n_users: usize, node: usize) -> bool {
         let mark = &mut self.marks[node];
         if mark.stamp == self.epoch {
             return false;
@@ -121,7 +115,7 @@ impl SubgraphScratch {
         mark.stamp = self.epoch;
         mark.local = self.global_of_local.len() as u32;
         self.global_of_local.push(node);
-        if graph.is_item_node(node) {
+        if node >= n_users {
             self.n_local_items += 1;
         }
         true
@@ -130,36 +124,32 @@ impl SubgraphScratch {
     /// Build the induced kernel over the admitted nodes: keep edges whose
     /// endpoints are both members, renormalize each row by its induced
     /// degree in place.
-    fn build_kernel(&mut self, graph: &BipartiteGraph) {
-        let n_users = graph.n_users();
+    fn build_kernel<G: GraphView>(&mut self, graph: &G) {
         let epoch = self.epoch;
         self.kernel.reset(self.global_of_local.len());
+        let kernel = &mut self.kernel;
+        let marks = &self.marks;
         for &global in &self.global_of_local {
-            let ((cols, weights), shift) = if global < n_users {
-                (graph.user_items().row(global), n_users)
-            } else {
-                (graph.item_users().row(global - n_users), 0)
-            };
-            let start = self.kernel.col_idx.len();
+            let start = kernel.col_idx.len();
             let mut d = 0.0;
-            for (&c, &w) in cols.iter().zip(weights) {
-                let mark = self.marks[c as usize + shift];
+            graph.for_each_edge(global, |nbr, w| {
+                let mark = marks[nbr];
                 if mark.stamp == epoch {
-                    self.kernel.col_idx.push(mark.local);
-                    self.kernel.prob.push(w);
+                    kernel.col_idx.push(mark.local);
+                    kernel.prob.push(w);
                     d += w;
                 }
-            }
-            self.kernel.degree.push(d);
+            });
+            kernel.degree.push(d);
             if d > 0.0 {
                 // Divide (not multiply by a precomputed reciprocal): `w / d`
                 // must round exactly like the textbook formulation so kernel
                 // walks stay bit-compatible with the unnormalized code.
-                for p in &mut self.kernel.prob[start..] {
+                for p in &mut kernel.prob[start..] {
                     *p /= d;
                 }
             }
-            self.kernel.row_ptr.push(self.kernel.col_idx.len());
+            kernel.row_ptr.push(kernel.col_idx.len());
         }
     }
 
@@ -206,6 +196,7 @@ impl Default for SubgraphScratch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bipartite::BipartiteGraph;
     use crate::Subgraph;
 
     /// Same example graph as Figure 2 of the paper.

@@ -5,6 +5,7 @@
 
 use crate::breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
 use crate::faults::WORKER_KILL_MARK;
+use crate::ingest::{CompactionReport, DeltaSnapshot, DeltaStore};
 use crate::pool::ContextPool;
 use crate::queue::{Admission, AdmissionPolicy, Job, JobQueue};
 use crate::request::{RecommendRequest, RecommendResponse, RetryPolicy, ServeError};
@@ -235,6 +236,11 @@ impl ModelEntry {
 /// threads.
 struct EngineCore {
     models: HashMap<String, ModelEntry>,
+    /// Streaming-ingest stores by registry name: requests for these models
+    /// serve base + delta-overlay at a pinned `(version, epoch)` pair, and
+    /// [`Engine::compact_and_deploy`] folds their deltas into rebuilt
+    /// bases.
+    deltas: HashMap<String, Arc<DeltaStore>>,
     /// Degraded-mode routing: primary registry name → fallback registry
     /// name, consulted when the primary's breaker is open or its retries
     /// are exhausted.
@@ -344,7 +350,38 @@ impl EngineCore {
         // execution — retries included. A deploy landing mid-request swaps
         // the slot's active version, never this pin, so the response is
         // served entirely by (and attributed to) one version.
-        let (version, shard) = entry.resolve(req.user);
+        //
+        // With a delta store attached, the pin is the *pair* (version,
+        // delta epoch), taken by the loop below: a delta snapshot is only
+        // accepted when its `base_version` matches the resolved version,
+        // so a request can never score a delta against the wrong base —
+        // not even in the window where a compaction has published the
+        // rebuilt model but not yet committed the residual delta. The
+        // mismatch window is the microseconds between those two steps, so
+        // the loop converges immediately; the bounded fallback (serve the
+        // pinned base without the delta, no epoch claimed) only triggers
+        // if an out-of-band `deploy` permanently desynced the store.
+        let (version, shard, snap) = match self.deltas.get(&req.model) {
+            None => {
+                let (version, shard) = entry.resolve(req.user);
+                (version, shard, None)
+            }
+            Some(store) => {
+                let mut spins = 0u32;
+                loop {
+                    let (version, shard) = entry.resolve(req.user);
+                    let snap = store.snapshot();
+                    if snap.base_version == version.version {
+                        break (version, shard, Some(snap));
+                    }
+                    spins += 1;
+                    if spins >= 1024 {
+                        break (version, shard, None);
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        };
 
         // Breaker admission happens before any queueing cost is sunk into
         // the request — an open breaker costs neither a ScoringContext nor
@@ -381,6 +418,7 @@ impl EngineCore {
             stopping: req.stopping.unwrap_or(self.default_stopping),
             exclude,
             deadline: req.deadline,
+            recency: req.recency,
         };
 
         let retry = req.retry.unwrap_or(self.default_retry);
@@ -391,7 +429,7 @@ impl EngineCore {
             // evidence about the model. Only the first attempt can be the
             // half-open probe.
             let probe = probe && attempt_no == 1;
-            match self.attempt(&version, shard, req, &opts) {
+            match self.attempt(&version, shard, req, &opts, snap.as_ref()) {
                 Ok(resp) => {
                     version.breaker.record_success(probe);
                     pledge.settle();
@@ -462,6 +500,7 @@ impl EngineCore {
             stopping: req.stopping.unwrap_or(self.default_stopping),
             exclude: &[],
             deadline: req.deadline,
+            recency: req.recency,
         };
         // The fallback must honor the request's exclusions too.
         let mut exclude_sorted;
@@ -476,7 +515,10 @@ impl EngineCore {
                 ..opts
             }
         };
-        match self.attempt(&version, shard, req, &opts) {
+        // The fallback serves its own frozen base — no delta snapshot, no
+        // epoch claim — even when the primary had ingest attached: a
+        // degraded answer makes no epoch-consistency promise.
+        match self.attempt(&version, shard, req, &opts, None) {
             // The struct update keeps the fallback's own `version` field:
             // the response reports the version that actually served it.
             Ok(resp) => Ok(RecommendResponse {
@@ -497,6 +539,7 @@ impl EngineCore {
         shard: Option<usize>,
         req: &RecommendRequest,
         opts: &RecommendOptions<'_>,
+        snap: Option<&DeltaSnapshot>,
     ) -> Result<RecommendResponse, ServeError> {
         let mut ctx = self.contexts.checkout();
         let before = ctx.dp_telemetry();
@@ -509,9 +552,23 @@ impl EngineCore {
         // catch (pool, aggregate) is only ever locked around non-panicking
         // code, so observing it after an unwind is sound.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            version
-                .rec
-                .recommend_into(req.user, req.k, opts, &mut ctx, &mut items);
+            match snap {
+                // The streaming path: score over base + the pinned delta
+                // epoch. An empty delta short-circuits to the plain path
+                // inside recommend_delta_into, so the epoch is still
+                // reported without overlay overhead.
+                Some(snap) => version.rec.recommend_delta_into(
+                    &snap.delta,
+                    req.user,
+                    req.k,
+                    opts,
+                    &mut ctx,
+                    &mut items,
+                ),
+                None => version
+                    .rec
+                    .recommend_into(req.user, req.k, opts, &mut ctx, &mut items),
+            }
         }));
         if let Err(payload) = outcome {
             EngineCounters::bump(&self.counters.contexts_discarded);
@@ -541,6 +598,7 @@ impl EngineCore {
             model: version.rec.name(),
             version: version.version,
             shard,
+            epoch: snap.map(|s| s.epoch),
             telemetry,
             degraded: false,
         })
@@ -970,6 +1028,67 @@ impl Engine {
         }
     }
 
+    /// The streaming-ingest store attached to model `name`
+    /// ([`crate::EngineBuilder::ingest`]), for appending ratings and
+    /// reading ingest state; `None` when the model has no ingest.
+    pub fn delta_store(&self, name: &str) -> Option<&Arc<DeltaStore>> {
+        self.core.deltas.get(name)
+    }
+
+    /// Fold model `name`'s accumulated delta into a freshly built base and
+    /// hot-swap it in — the compaction step of the streaming-ingest loop.
+    ///
+    /// Three phases:
+    ///
+    /// 1. **Fold** (store lock, microseconds): publish every pending
+    ///    append, snapshot the union dataset `base ⊎ delta`.
+    /// 2. **Build** (no locks): `build(&union)` constructs the new model —
+    ///    the expensive part; appends and queries proceed untouched, served
+    ///    by the old base + the still-growing delta.
+    /// 3. **Commit** (store lock, microseconds): publish the new model
+    ///    through the [`Engine::deploy`] hot-swap path as version `v+1`,
+    ///    swap in the residual delta (appends that raced the build),
+    ///    advance the epoch and log `(epoch, v+1)`.
+    ///
+    /// Zero lost requests: in-flight queries finish on the `(version,
+    /// epoch)` pair they pinned; queries landing in the publish→commit
+    /// window retry their pin (see `execute`) and come out on the new
+    /// pair; appends racing the build survive as the residual delta.
+    /// Concurrent compactions of one store serialize.
+    ///
+    /// Errors with [`ServeError::UnknownModel`] if `name` has no ingest
+    /// store attached.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `build` (phase 2 holds no locks, so the
+    /// store and engine stay consistent — the compaction just never
+    /// commits).
+    pub fn compact_and_deploy(
+        &self,
+        name: &str,
+        build: impl FnOnce(&longtail_data::Dataset) -> SharedRecommender,
+    ) -> Result<CompactionReport, ServeError> {
+        let store = self
+            .core
+            .deltas
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        let _serialize = store.lock_for_compaction();
+        let (union, folded) = store.begin_compaction();
+        let rec = build(&union);
+        let commit_started = Instant::now();
+        let version = self.deploy(name, rec)?;
+        let (epoch, remaining) = store.commit_compaction(union, version);
+        Ok(CompactionReport {
+            version,
+            epoch,
+            folded,
+            remaining,
+            publish_seconds: commit_started.elapsed().as_secs_f64(),
+        })
+    }
+
     /// Number of live worker threads (the configured count, except in the
     /// window between a worker dying and supervision respawning it).
     pub fn n_workers(&self) -> usize {
@@ -1001,10 +1120,16 @@ impl Engine {
     }
 
     /// Engine-lifetime [`EngineStats`]: submission, saturation, shed,
-    /// deadline and fault counters. Monotone — diff snapshots with
-    /// [`EngineStats::since`] to scope them to a traffic window.
+    /// deadline and fault counters, plus the ingest counters summed over
+    /// every attached [`DeltaStore`]. Monotone (`ingest.delta_edges_live`
+    /// excepted — a gauge) — diff snapshots with [`EngineStats::since`] to
+    /// scope them to a traffic window.
     pub fn stats(&self) -> EngineStats {
-        self.core.counters.snapshot()
+        let mut stats = self.core.counters.snapshot();
+        for store in self.core.deltas.values() {
+            stats.ingest.merge(&store.stats());
+        }
+        stats
     }
 
     /// Health snapshot: per-model breaker states and fallback routing,
@@ -1164,6 +1289,7 @@ fn worker_loop(core: Arc<EngineCore>, queue: Arc<JobQueue>) {
 pub struct EngineBuilder {
     models: HashMap<String, BuilderEntry>,
     fallbacks: HashMap<String, String>,
+    deltas: HashMap<String, Arc<DeltaStore>>,
     workers: Option<usize>,
     max_idle_contexts: Option<usize>,
     default_stopping: DpStopping,
@@ -1200,6 +1326,7 @@ impl EngineBuilder {
         Self {
             models: HashMap::new(),
             fallbacks: HashMap::new(),
+            deltas: HashMap::new(),
             workers: None,
             max_idle_contexts: None,
             default_stopping: DpStopping::default(),
@@ -1269,6 +1396,22 @@ impl EngineBuilder {
         assert!(!shards.is_empty(), "a sharded model needs at least 1 shard");
         self.models
             .insert(name.into(), BuilderEntry::Sharded { router, shards });
+        self
+    }
+
+    /// Attach a streaming-ingest [`DeltaStore`] to the registered model
+    /// `name`: its requests then serve base + delta-overlay at a pinned
+    /// `(version, epoch)` pair (responses carry
+    /// [`RecommendResponse::epoch`]), and
+    /// [`Engine::compact_and_deploy`] folds the delta into rebuilt bases.
+    /// The store should be constructed over the same dataset the model was
+    /// trained on. Keep a clone of the `Arc` (or fetch it back via
+    /// [`Engine::delta_store`]) to append ratings.
+    ///
+    /// Build-time panics if `name` is unregistered or sharded (per-shard
+    /// ingest is a topology question this store does not answer).
+    pub fn ingest(mut self, name: impl Into<String>, store: Arc<DeltaStore>) -> Self {
+        self.deltas.insert(name.into(), store);
         self
     }
 
@@ -1375,8 +1518,19 @@ impl EngineBuilder {
     /// # Panics
     ///
     /// Panics if a [`EngineBuilder::fallback`] registration names an
-    /// unregistered model, or maps a model to itself.
+    /// unregistered model, maps a model to itself, or an
+    /// [`EngineBuilder::ingest`] attachment names an unregistered or
+    /// sharded model.
     pub fn build(self) -> Engine {
+        for name in self.deltas.keys() {
+            match self.models.get(name) {
+                Some(BuilderEntry::Single(..)) => {}
+                Some(BuilderEntry::Sharded { .. }) => {
+                    panic!("ingest store attached to sharded model {name:?}; ingest requires an unsharded registration")
+                }
+                None => panic!("ingest store attached to unknown model {name:?}"),
+            }
+        }
         for (primary, fallback) in &self.fallbacks {
             assert!(
                 self.models.contains_key(primary),
@@ -1416,6 +1570,7 @@ impl EngineBuilder {
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
         let core = Arc::new(EngineCore {
             models,
+            deltas: self.deltas,
             fallbacks: self.fallbacks,
             breaker_config: breakers,
             default_stopping: self.default_stopping,

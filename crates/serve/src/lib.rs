@@ -56,6 +56,15 @@
 //!   [`FaultPlan`]/[`FaultyRecommender`] harness drives all of it in
 //!   chaos tests and the `fault_tolerance` bench section.
 //!
+//! * **Streaming ingest (opt-in)** — attach a [`DeltaStore`]
+//!   ([`EngineBuilder::ingest`]) and the model's requests serve **base +
+//!   delta overlay**: appended `(user, item, weight, timestamp)` ratings
+//!   become visible at published **epochs** without rebuilding the base,
+//!   every response names the `(version, epoch)` pair it scored at, and
+//!   [`Engine::compact_and_deploy`] periodically folds the delta into a
+//!   freshly built base published through the hot-swap deploy path —
+//!   in-flight queries stay pinned to their epoch, zero lost requests.
+//!
 //! Engine output is pinned — by equivalence property tests — to be
 //! identical (items, ranks, scores) to calling the routed recommender's
 //! [`longtail_core::Recommender::recommend_into`] directly, for every
@@ -68,6 +77,7 @@
 mod breaker;
 mod engine;
 mod faults;
+mod ingest;
 mod pool;
 mod queue;
 mod request;
@@ -81,6 +91,9 @@ pub use engine::{
     VersionRecord,
 };
 pub use faults::{FaultKind, FaultPlan, FaultyRecommender, WORKER_KILL_MARK};
+pub use ingest::{
+    CompactionReport, DeltaConfig, DeltaRating, DeltaSnapshot, DeltaStore, IngestStats,
+};
 pub use pool::ContextPool;
 pub use queue::AdmissionPolicy;
 pub use request::{RecommendRequest, RecommendResponse, RetryPolicy, ServeError};

@@ -1,7 +1,7 @@
 //! The typed request/response surface of the serving engine.
 
 use crate::sched::Priority;
-use longtail_core::{DpStopping, DpTelemetry, ScoredItem};
+use longtail_core::{DpStopping, DpTelemetry, RecencyDecay, ScoredItem};
 
 /// Bounded in-place retry of failed attempts, configured per request
 /// ([`RecommendRequest::with_retry`]) or engine-wide
@@ -95,6 +95,12 @@ pub struct RecommendRequest {
     /// Per-request retry override; `None` uses the engine's default policy
     /// (no retries unless [`crate::EngineBuilder::default_retry`] set one).
     pub retry: Option<RetryPolicy>,
+    /// Optional recency-decay weighting for this request: edge weights are
+    /// scaled by `exp(-ln2 · age/half_life)` before the walk, favouring the
+    /// user's fresh tastes. `None` (the default) serves the timeless
+    /// ranking. On untimed training data the decay scales all weights
+    /// uniformly and the ranking is unchanged.
+    pub recency: Option<RecencyDecay>,
     /// QoS class of this request (default [`Priority::Interactive`]).
     /// Under [`crate::SchedPolicy::Qos`] the engine dequeues strictly by
     /// class — every queued `Interactive` request before any `Batch`, every
@@ -116,6 +122,7 @@ impl RecommendRequest {
             exclude: Vec::new(),
             deadline: None,
             retry: None,
+            recency: None,
             priority: Priority::default(),
         }
     }
@@ -157,6 +164,13 @@ impl RecommendRequest {
         self.priority = priority;
         self
     }
+
+    /// Weight edges by recency for this request (see
+    /// [`RecommendRequest::recency`]).
+    pub fn with_recency(mut self, decay: RecencyDecay) -> Self {
+        self.recency = Some(decay);
+        self
+    }
 }
 
 /// The engine's answer to a [`RecommendRequest`].
@@ -177,6 +191,15 @@ pub struct RecommendResponse {
     /// request is pinned to the version it resolved at execution start —
     /// this field proves which side of a hot swap it landed on.
     pub version: u32,
+    /// The streaming-ingest epoch this response was served at: `Some` iff
+    /// the routed model has a [`crate::DeltaStore`] attached
+    /// ([`crate::EngineBuilder::ingest`]), in which case the list scored
+    /// over base + delta-overlay as of exactly this epoch, and the
+    /// `(version, epoch)` pair appears in the store's
+    /// [`crate::DeltaStore::epoch_log`] — the no-torn-epoch witness.
+    /// `None` for models without ingest and for degraded (fallback)
+    /// answers.
+    pub epoch: Option<u64>,
     /// DP iteration counters of exactly this request's query (all-zero for
     /// non-walk models), diffed off the pooled context that served it.
     pub telemetry: DpTelemetry,

@@ -2,6 +2,7 @@
 //! [`PendingResponse`] handles returned by [`crate::Engine::submit`], and
 //! the [`EngineStats`] saturation/shed/deadline counters.
 
+use crate::ingest::IngestStats;
 use crate::request::{RecommendResponse, ServeError};
 use crate::sched::{latency_quantile, LatencyHistogram, Priority, LATENCY_BUCKETS};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -243,6 +244,12 @@ pub struct EngineStats {
     /// [`Priority::index`]), each slice carrying its own served-latency
     /// histogram for [`ClassStats::latency_p50`]/[`ClassStats::latency_p99`].
     pub per_class: [ClassStats; Priority::COUNT],
+    /// Streaming-ingest counters summed over every attached
+    /// [`crate::DeltaStore`] (all-zero when no model has ingest): appends
+    /// accepted, delta edges live, compactions run, epochs published.
+    /// Diffable through [`EngineStats::since`] like the serving ledger
+    /// (the live-edge gauge passes through, see [`IngestStats::since`]).
+    pub ingest: IngestStats,
 }
 
 impl EngineStats {
@@ -273,6 +280,7 @@ impl EngineStats {
                 .saturating_sub(earlier.workers_restarted),
             shed_unmeetable: self.shed_unmeetable.saturating_sub(earlier.shed_unmeetable),
             per_class: std::array::from_fn(|i| self.per_class[i].since(&earlier.per_class[i])),
+            ingest: self.ingest.since(&earlier.ingest),
         }
     }
 
@@ -364,6 +372,9 @@ impl EngineCounters {
             workers_restarted: self.workers_restarted.load(Ordering::Relaxed),
             shed_unmeetable: self.shed_unmeetable.load(Ordering::Relaxed),
             per_class: std::array::from_fn(|i| self.per_class[i].snapshot()),
+            // The stores own their counters; [`crate::Engine::stats`] sums
+            // them in over this zero slot.
+            ingest: IngestStats::default(),
         }
     }
 }
@@ -467,6 +478,23 @@ mod tests {
         assert_eq!(diff.latency_p50(), Some(crate::latency_bucket_bound(4)));
         assert_eq!(diff.latency_p99(), Some(crate::latency_bucket_bound(9)));
         assert_eq!(ClassStats::default().latency_p50(), None);
+    }
+
+    #[test]
+    fn ingest_rides_along_in_engine_stats_since() {
+        let mut earlier = EngineStats::default();
+        earlier.ingest.appends = 10;
+        earlier.ingest.delta_edges_live = 7;
+        let mut later = earlier;
+        later.ingest.appends = 25;
+        later.ingest.delta_edges_live = 3; // compaction shrank the gauge
+        later.ingest.compactions = 1;
+        later.ingest.epochs_published = 4;
+        let diff = later.since(&earlier);
+        assert_eq!(diff.ingest.appends, 15);
+        assert_eq!(diff.ingest.delta_edges_live, 3, "gauge passes through");
+        assert_eq!(diff.ingest.compactions, 1);
+        assert_eq!(diff.ingest.epochs_published, 4);
     }
 
     #[test]

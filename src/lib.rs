@@ -69,15 +69,15 @@ pub use longtail_topics as topics;
 pub mod prelude {
     pub use longtail_core::{
         AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
-        AssociationRuleRecommender, DpStopping, DpTelemetry, EntropySource, GraphRecConfig,
-        HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor,
-        PageRankRecommender, Persistable, PopularityRecommender, PureSvdRecommender,
+        AssociationRuleRecommender, DpStopping, DpTelemetry, EdgeDelta, EntropySource,
+        GraphRecConfig, HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor,
+        PageRankRecommender, Persistable, PopularityRecommender, PureSvdRecommender, RecencyDecay,
         RecommendOptions, Recommender, RuleConfig, ScoredItem, ScoringContext, TopKCollector,
         UserSimilarity,
     };
     pub use longtail_data::{
-        holdout_longtail_favorites, Dataset, LongTailSplit, Ontology, ProtocolSplit, Rating,
-        SplitConfig, SyntheticConfig, SyntheticData,
+        holdout_latest_favorites, holdout_longtail_favorites, Dataset, LongTailSplit, Ontology,
+        ProtocolSplit, Rating, SplitConfig, SyntheticConfig, SyntheticData, TimedRating,
     };
     pub use longtail_eval::{
         diversity, mean_popularity, mean_similarity, popularity_at_n, recall_at_n,
@@ -85,10 +85,11 @@ pub mod prelude {
     };
     pub use longtail_graph::{BipartiteGraph, GraphStats, Snapshot, SnapshotError, SnapshotWriter};
     pub use longtail_serve::{
-        AdmissionPolicy, BreakerConfig, BreakerState, ClassStats, Engine, EngineBuilder,
-        EngineHealth, EngineStats, FaultKind, FaultPlan, FaultyRecommender, ModelHealth,
-        ModelProvenance, ModuloRouter, PendingResponse, Priority, RangeRouter, RecommendRequest,
-        RecommendResponse, RetryPolicy, SchedPolicy, ServeError, ShardRouter, VersionRecord,
+        AdmissionPolicy, BreakerConfig, BreakerState, ClassStats, CompactionReport, DeltaConfig,
+        DeltaRating, DeltaStore, Engine, EngineBuilder, EngineHealth, EngineStats, FaultKind,
+        FaultPlan, FaultyRecommender, IngestStats, ModelHealth, ModelProvenance, ModuloRouter,
+        PendingResponse, Priority, RangeRouter, RecommendRequest, RecommendResponse, RetryPolicy,
+        SchedPolicy, ServeError, ShardRouter, VersionRecord,
     };
     pub use longtail_topics::{LdaConfig, LdaModel};
 }
