@@ -16,10 +16,16 @@ use longtail_bench::baseline;
 use longtail_core::{
     top_k, AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender, DpStopping,
     DpTelemetry, GraphRecConfig, HittingTimeRecommender, PopularityRecommender, RecommendOptions,
-    Recommender, ScoringContext,
+    Recommender, RerankIndex, RerankPolicy, Reranker, ScoringContext,
 };
-use longtail_data::{SyntheticConfig, SyntheticData};
-use longtail_eval::{sample_test_users, time_open_loop_submission, TimingStats};
+use longtail_data::{
+    holdout_longtail_favorites, LongTailSplit, ProtocolSplit, SplitConfig, SyntheticConfig,
+    SyntheticData,
+};
+use longtail_eval::{
+    catalog_coverage, exposure_counts, gini_concentration, list_recall, novelty, sample_test_users,
+    tail_recall_split, time_open_loop_submission, RecommendationLists, TimingStats,
+};
 use longtail_graph::BipartiteGraph;
 use longtail_serve::{
     BreakerConfig, DeltaConfig, DeltaRating, DeltaStore, Engine, FaultKind, FaultPlan,
@@ -1167,6 +1173,123 @@ fn measure_qos_scheduling(
     out
 }
 
+/// Maximum Recall@k an enabled re-rank policy may cost relative to the raw
+/// fused path — the "quality for bounded accuracy" contract the JSON gate
+/// checks.
+const QUALITY_RECALL_DROP: f64 = 0.15;
+
+/// The re-rank policy the on-arm of the quality pass measures: mild MMR
+/// redundancy suppression, a popularity penalty, and a 3-slot tail quota.
+fn quality_policy() -> RerankPolicy {
+    RerankPolicy::new()
+        .mmr(0.3)
+        .popularity_penalty(0.25)
+        .tail_quota(3)
+}
+
+/// One arm (re-rank off or on) of the long-tail quality comparison.
+struct QualityArm {
+    recall: f64,
+    tail_recall: f64,
+    head_recall: f64,
+    coverage: f64,
+    gini: f64,
+    novelty: f64,
+}
+
+struct LongtailQuality {
+    /// Held-out users whose served lists the metrics read.
+    evaluated_users: usize,
+    /// A `Default` (disabled) policy through the full rerank plumbing
+    /// served lists bit-identical to no policy at all.
+    disabled_identical: bool,
+    off: QualityArm,
+    on: QualityArm,
+}
+
+impl LongtailQuality {
+    /// The enabled policy's served-list recall stayed within
+    /// [`QUALITY_RECALL_DROP`] of the raw path.
+    fn recall_drop_bounded(&self) -> bool {
+        self.on.recall >= self.off.recall - QUALITY_RECALL_DROP
+    }
+}
+
+/// Serve each held-out user's top-k list with re-ranking off, disabled,
+/// and on, and read the quality suite (coverage, Gini concentration,
+/// novelty, list-based recall split head/tail) off the same artifacts.
+/// `rec` must be trained on `split.train` (the held-out favourites are the
+/// recall ground truth), and `index` built over the same training data.
+fn measure_longtail_quality(
+    label: &'static str,
+    rec: &dyn Recommender,
+    split: &ProtocolSplit,
+    index: &RerankIndex,
+) -> LongtailQuality {
+    let mut users: Vec<u32> = split.test_cases.iter().map(|c| c.user).collect();
+    users.sort_unstable();
+    let n_items = split.train.n_items();
+    let n_users = split.train.n_users();
+    let pops = split.train.item_popularity();
+    let policy = quality_policy();
+
+    let arm = |lists: &RecommendationLists| {
+        let counts = exposure_counts(lists, n_items);
+        let by_class = tail_recall_split(lists, &split.test_cases, |i| {
+            index.tail(i, policy.tail_cutoff)
+        });
+        QualityArm {
+            recall: list_recall(lists, &split.test_cases),
+            tail_recall: by_class.tail,
+            head_recall: by_class.head,
+            coverage: catalog_coverage(lists, n_items),
+            gini: gini_concentration(&counts),
+            novelty: novelty(lists, &pops, n_users),
+        }
+    };
+
+    let off_lists = RecommendationLists::compute_with(
+        rec,
+        &users,
+        TOP_K,
+        &RecommendOptions::default(),
+        ENGINE_WORKERS,
+    );
+    let disabled_opts =
+        RecommendOptions::new().rerank(Reranker::new(index, RerankPolicy::default()));
+    let disabled_lists =
+        RecommendationLists::compute_with(rec, &users, TOP_K, &disabled_opts, ENGINE_WORKERS);
+    let on_opts = RecommendOptions::new().rerank(Reranker::new(index, policy));
+    let on_lists = RecommendationLists::compute_with(rec, &users, TOP_K, &on_opts, ENGINE_WORKERS);
+
+    let out = LongtailQuality {
+        evaluated_users: users.len(),
+        disabled_identical: off_lists.lists == disabled_lists.lists,
+        off: arm(&off_lists),
+        on: arm(&on_lists),
+    };
+    println!(
+        "\n{label} longtail quality ({} held-out users, k={TOP_K}): \
+         recall {:.3} -> {:.3} (tail {:.3} -> {:.3}), coverage {:.3} -> {:.3}, \
+         gini {:.3} -> {:.3}, novelty {:.2} -> {:.2} bits; \
+         disabled identical: {}, recall drop bounded: {}",
+        out.evaluated_users,
+        out.off.recall,
+        out.on.recall,
+        out.off.tail_recall,
+        out.on.tail_recall,
+        out.off.coverage,
+        out.on.coverage,
+        out.off.gini,
+        out.on.gini,
+        out.off.novelty,
+        out.on.novelty,
+        out.disabled_identical,
+        out.recall_drop_bounded(),
+    );
+    out
+}
+
 fn main() {
     let config = SyntheticConfig {
         n_users: 600,
@@ -1301,6 +1424,23 @@ fn main() {
     );
     std::panic::set_hook(panic_hook);
 
+    // Long-tail quality on the small corpus: hold out tail favourites,
+    // retrain on the remainder, and compare the quality suite with the
+    // re-rank policy off vs on (plus the disabled-policy identity gate).
+    let tail_split = LongTailSplit::by_rating_share(&train.item_popularity(), 0.2);
+    let quality_split = holdout_longtail_favorites(train, &tail_split, &SplitConfig::default());
+    let rerank_index = RerankIndex::from_dataset(&quality_split.train);
+    let q_ht = HittingTimeRecommender::new(&quality_split.train, walk_config);
+    let q_ac1 = AbsorbingCostRecommender::item_entropy(
+        &quality_split.train,
+        AbsorbingCostConfig {
+            graph: walk_config,
+            item_entry_cost: 1.0,
+        },
+    );
+    let ht_quality = measure_longtail_quality("HT", &q_ht, &quality_split, &rerank_index);
+    let ac_quality = measure_longtail_quality("AC1", &q_ac1, &quality_split, &rerank_index);
+
     // Early termination on the same serving corpus at the high-fidelity τ
     // budget (see ET_ITERATIONS): fixed-τ vs the default adaptive policy.
     let et_config = GraphRecConfig {
@@ -1369,6 +1509,8 @@ fn main() {
         &ht_early,
         &at_early,
         &ac_early,
+        &ht_quality,
+        &ac_quality,
         single_pre,
         single_ctx,
     );
@@ -1401,6 +1543,8 @@ fn render_json(
     ht_early: &EarlyTermination,
     at_early: &EarlyTermination,
     ac_early: &EarlyTermination,
+    ht_quality: &LongtailQuality,
+    ac_quality: &LongtailQuality,
     single_pre: f64,
     single_ctx: f64,
 ) -> String {
@@ -1547,6 +1691,25 @@ fn render_json(
             e.lists_identical
         )
     }
+    fn quality_arm(a: &QualityArm) -> String {
+        format!(
+            "{{\"recall_at_k\": {:.4}, \"tail_recall_at_k\": {:.4}, \
+             \"head_recall_at_k\": {:.4}, \"coverage\": {:.4}, \"gini\": {:.4}, \
+             \"novelty_bits\": {:.4}}}",
+            a.recall, a.tail_recall, a.head_recall, a.coverage, a.gini, a.novelty
+        )
+    }
+    fn longtail_quality(q: &LongtailQuality) -> String {
+        format!(
+            "{{\"evaluated_users\": {}, \"rerank_off\": {}, \"rerank_on\": {}, \
+             \"disabled_identical\": {}, \"recall_drop_bounded\": {}}}",
+            q.evaluated_users,
+            quality_arm(&q.off),
+            quality_arm(&q.on),
+            q.disabled_identical,
+            q.recall_drop_bounded()
+        )
+    }
     fn engine(e: &ServingEngine) -> String {
         format!(
             "{{\"engine_pool_seconds\": {:.6e}, \"scoped_threads_seconds\": {:.6e}, \
@@ -1596,6 +1759,11 @@ fn render_json(
          \"early_termination\": {{\n    \"epsilon\": {:e},\n    \"k\": {TOP_K},\n    \
          \"dp_budget\": {ET_ITERATIONS},\n    \
          \"HT\": {},\n    \"AT\": {},\n    \"AC1\": {}\n  }},\n  \
+         \"longtail_quality\": {{\n    \"k\": {TOP_K},\n    \
+         \"policy\": {{\"mmr_lambda\": {}, \"popularity_penalty\": {}, \
+         \"tail_quota\": {}, \"tail_cutoff\": {}}},\n    \
+         \"max_recall_drop\": {QUALITY_RECALL_DROP},\n    \
+         \"HT\": {},\n    \"AC1\": {}\n  }},\n  \
          \"single_query_ht\": {{\"prerefactor_seconds\": {:.6e}, \"context_seconds\": {:.6e}, \"speedup\": {:.3}}}\n}}\n",
         config.n_users,
         config.n_items,
@@ -1626,6 +1794,12 @@ fn render_json(
         early(ht_early),
         early(at_early),
         early(ac_early),
+        quality_policy().mmr_lambda,
+        quality_policy().popularity_penalty,
+        quality_policy().tail_quota,
+        quality_policy().tail_cutoff,
+        longtail_quality(ht_quality),
+        longtail_quality(ac_quality),
         single_pre,
         single_ctx,
         single_pre / single_ctx

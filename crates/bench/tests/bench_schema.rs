@@ -37,6 +37,7 @@ fn walk_scoring_summary_keeps_its_schema() {
         "\"qos_scheduling\"",
         "\"fault_tolerance\"",
         "\"early_termination\"",
+        "\"longtail_quality\"",
         "\"single_query_ht\"",
     ] {
         assert!(json.contains(key), "schema drift: missing {key}");
@@ -338,6 +339,60 @@ fn walk_scoring_summary_keeps_its_schema() {
     assert!(
         !json.contains("\"top10_lists_identical\": false"),
         "early termination diverged from the fixed-τ ranking"
+    );
+
+    // Long-tail quality: the re-rank policy the pass ran under, plus the
+    // off-vs-on quality arms — coverage, Gini exposure concentration,
+    // novelty, and list recall split by head/tail ground truth — for both
+    // algorithms.
+    for key in [
+        "\"mmr_lambda\"",
+        "\"popularity_penalty\"",
+        "\"tail_quota\"",
+        "\"tail_cutoff\"",
+        "\"max_recall_drop\"",
+    ] {
+        assert!(json.contains(key), "schema drift: longtail_quality.{key}");
+    }
+    for key in ["\"rerank_off\"", "\"rerank_on\"", "\"evaluated_users\""] {
+        assert_eq!(
+            json.matches(key).count(),
+            2,
+            "schema drift: longtail-quality field {key} missing for an algorithm"
+        );
+    }
+    // Each quality arm carries the full metric set: 2 algorithms × off/on.
+    for key in [
+        "\"recall_at_k\"",
+        "\"tail_recall_at_k\"",
+        "\"head_recall_at_k\"",
+        "\"coverage\"",
+        "\"gini\"",
+        "\"novelty_bits\"",
+    ] {
+        assert_eq!(
+            json.matches(key).count(),
+            4,
+            "schema drift: quality-arm field {key} missing for an arm"
+        );
+    }
+    for key in ["\"disabled_identical\"", "\"recall_drop_bounded\""] {
+        assert_eq!(
+            json.matches(key).count(),
+            2,
+            "schema drift: longtail-quality gate {key} missing for an algorithm"
+        );
+    }
+    // The committed summary must never record a disabled policy that
+    // perturbed a ranking, nor an enabled policy that pays more than the
+    // bounded recall budget for its diversity gains.
+    assert!(
+        !json.contains("\"disabled_identical\": false"),
+        "a disabled re-rank policy changed a served ranking"
+    );
+    assert!(
+        !json.contains("\"recall_drop_bounded\": false"),
+        "the re-rank policy dropped recall beyond the allowed budget"
     );
 
     // Single-query latency fields.

@@ -75,40 +75,109 @@ impl Default for DpStopping {
     }
 }
 
+/// A checked request-scoped exclusion set: item ids removed from served
+/// lists *in addition to* the user's training items, e.g. items already on
+/// the page or filtered by business rules.
+///
+/// Replaces the old "must be sorted ascending" raw-slice footgun on
+/// [`RecommendOptions::exclude`]: [`ExclusionSet::new`] normalizes (sorts
+/// and dedups) once at construction — the serving engine builds it a
+/// single time per request instead of per retry attempt — and borrowing
+/// it into options is free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExclusionSet {
+    items: Vec<u32>,
+}
+
+static EMPTY_EXCLUSIONS: ExclusionSet = ExclusionSet { items: Vec::new() };
+
+impl ExclusionSet {
+    /// Normalize `items` (sort ascending, deduplicate) into a set.
+    pub fn new(mut items: Vec<u32>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Self { items }
+    }
+
+    /// Wrap an already-normalized list without re-sorting; debug-asserts
+    /// strictly ascending order.
+    pub fn from_sorted(items: Vec<u32>) -> Self {
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "ExclusionSet::from_sorted requires strictly ascending ids"
+        );
+        Self { items }
+    }
+
+    /// The shared empty set ([`RecommendOptions::default`] borrows it).
+    pub fn empty() -> &'static Self {
+        &EMPTY_EXCLUSIONS
+    }
+
+    /// Whether the set excludes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of excluded ids.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether `item` is excluded.
+    #[inline]
+    pub fn contains(&self, item: u32) -> bool {
+        !self.items.is_empty() && self.items.binary_search(&item).is_ok()
+    }
+
+    /// The normalized ids, sorted ascending (the form the walk kernels
+    /// consume).
+    pub fn as_slice(&self) -> &[u32] {
+        &self.items
+    }
+}
+
+impl From<Vec<u32>> for ExclusionSet {
+    fn from(items: Vec<u32>) -> Self {
+        Self::new(items)
+    }
+}
+
 /// Per-request serving parameters of [`crate::Recommender::recommend_into`]
 /// and [`crate::Recommender::recommend_batch`].
 ///
 /// The typed request surface of the serving API: everything that varies per
 /// query but is not the query itself (user, k) lives here, so a context can
 /// be shared by requests with different policies. `Default` is the plain
-/// serving configuration — adaptive stopping, no extra exclusions — and is
-/// what the convenience methods ([`crate::Recommender::recommend`],
+/// serving configuration — adaptive stopping, no extra exclusions, no
+/// re-ranking — and is what the convenience methods
+/// ([`crate::Recommender::recommend`],
 /// [`crate::Recommender::recommend_with`]) use.
 ///
+/// `#[non_exhaustive]` + builder methods: construct with
+/// [`RecommendOptions::new`] and chain setters, so future knobs are
+/// non-breaking.
+///
 /// ```
-/// use longtail_core::{DpStopping, RecommendOptions};
+/// use longtail_core::{DpStopping, ExclusionSet, RecommendOptions};
 ///
 /// // Exact fixed-τ scores, with two request-scoped exclusions on top of
 /// // the user's training items.
-/// let hidden = [3u32, 17];
-/// let opts = RecommendOptions {
-///     stopping: DpStopping::Fixed,
-///     exclude: &hidden,
-///     ..RecommendOptions::default()
-/// };
+/// let hidden = ExclusionSet::new(vec![17, 3]);
+/// let opts = RecommendOptions::new()
+///     .stopping(DpStopping::Fixed)
+///     .exclude(&hidden);
 /// assert!(opts.is_excluded(17) && !opts.is_excluded(4));
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy)]
 pub struct RecommendOptions<'a> {
     /// Stopping policy for the walk family's serving DP (ignored by the
     /// non-walk families). Defaults to [`DpStopping::adaptive`].
     pub stopping: DpStopping,
-    /// Request-scoped exclusions: item ids removed from the list *in
-    /// addition to* the user's training items, e.g. items already on the
-    /// page or filtered by business rules. Must be sorted ascending and
-    /// deduplicated (the serving engine normalizes request exclusion sets
-    /// before building options; direct callers sort their own slice).
-    pub exclude: &'a [u32],
+    /// Request-scoped exclusions (normalized at construction — see
+    /// [`ExclusionSet`]). Defaults to the shared empty set.
+    pub exclude: &'a ExclusionSet,
     /// Cooperative deadline for the walk family's serving DP: once this
     /// instant passes, the truncated walk aborts at its next measured
     /// iteration (the stride-scheduled δ pass, so the hot loop pays
@@ -131,20 +200,44 @@ pub struct RecommendOptions<'a> {
     /// the ranking, is then unchanged. Ignored by the non-walk families.
     /// `None` (the default) serves undecayed weights.
     pub recency: Option<longtail_graph::RecencyDecay>,
+    /// Optional post-scoring long-tail re-ranking: a
+    /// [`RerankPolicy`](crate::RerankPolicy) bound to the model's
+    /// [`RerankIndex`](crate::RerankIndex). When set (and enabled), the
+    /// fused serving path over-fetches a top-M candidate pool
+    /// ([`RecommendOptions::fetch`]) and re-ranks it down to `k`
+    /// ([`RecommendOptions::finalize_topk`]), leaving per-item provenance
+    /// in the context. `None` (the default) serves raw walk order.
+    pub rerank: Option<crate::rerank::Reranker<'a>>,
+}
+
+impl Default for RecommendOptions<'_> {
+    fn default() -> Self {
+        Self {
+            stopping: DpStopping::default(),
+            exclude: ExclusionSet::empty(),
+            deadline: None,
+            recency: None,
+            rerank: None,
+        }
+    }
 }
 
 impl<'a> RecommendOptions<'a> {
-    /// The default options: adaptive stopping, no extra exclusions.
+    /// The default options: adaptive stopping, no extra exclusions, no
+    /// re-ranking.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// These options with an explicit stopping policy.
+    pub fn stopping(mut self, stopping: DpStopping) -> Self {
+        self.stopping = stopping;
+        self
+    }
+
     /// Options with an explicit stopping policy and no extra exclusions.
     pub fn with_stopping(stopping: DpStopping) -> Self {
-        Self {
-            stopping,
-            ..Self::default()
-        }
+        Self::new().stopping(stopping)
     }
 
     /// These options with a cooperative walk-DP deadline (see
@@ -161,18 +254,23 @@ impl<'a> RecommendOptions<'a> {
         self
     }
 
-    /// Options excluding `exclude` (sorted ascending, deduplicated) on top
-    /// of the user's rated items, under the default adaptive stopping.
-    pub fn excluding(exclude: &'a [u32]) -> Self {
-        let opts = Self {
-            exclude,
-            ..Self::default()
-        };
-        debug_assert!(
-            exclude.windows(2).all(|w| w[0] < w[1]),
-            "RecommendOptions::exclude must be sorted ascending and deduplicated"
-        );
-        opts
+    /// These options with the request-scoped exclusion set `exclude`.
+    pub fn exclude(mut self, exclude: &'a ExclusionSet) -> Self {
+        self.exclude = exclude;
+        self
+    }
+
+    /// Options excluding `exclude` on top of the user's rated items, under
+    /// the default adaptive stopping.
+    pub fn excluding(exclude: &'a ExclusionSet) -> Self {
+        Self::new().exclude(exclude)
+    }
+
+    /// These options with post-scoring re-ranking (see
+    /// [`RecommendOptions::rerank`]).
+    pub fn rerank(mut self, reranker: crate::rerank::Reranker<'a>) -> Self {
+        self.rerank = Some(reranker);
+        self
     }
 
     /// Whether `item` is in the request-scoped exclusion set (training-item
@@ -180,7 +278,39 @@ impl<'a> RecommendOptions<'a> {
     /// [`crate::Recommender::recommend_into`]).
     #[inline]
     pub fn is_excluded(&self, item: u32) -> bool {
-        !self.exclude.is_empty() && self.exclude.binary_search(&item).is_ok()
+        self.exclude.contains(item)
+    }
+
+    /// The candidate-pool size the fused path must collect for a final
+    /// top-`k`: `k` itself without an enabled re-rank policy (the strict
+    /// no-op path, bit-identical to pre-rerank serving), otherwise the
+    /// policy's over-fetch M
+    /// ([`RerankPolicy::effective_pool`](crate::RerankPolicy::effective_pool)).
+    #[inline]
+    pub fn fetch(&self, k: usize) -> usize {
+        match &self.rerank {
+            Some(r) => r.policy.effective_pool(k),
+            None => k,
+        }
+    }
+
+    /// Finalize a drained candidate pool into the served top-`k`: apply
+    /// the attached re-rank policy (leaving its provenance trace in
+    /// `ctx`), or a strict no-op without one. Every fused
+    /// `recommend_into` path calls this exactly once, after draining its
+    /// collector.
+    pub fn finalize_topk(
+        &self,
+        k: usize,
+        ctx: &mut crate::context::ScoringContext,
+        out: &mut Vec<crate::topk::ScoredItem>,
+    ) {
+        match &self.rerank {
+            Some(r) => crate::rerank::apply(r, k, &mut ctx.rerank, out),
+            // The trace always describes the *last* query: clear it so a
+            // plain query never surfaces a stale re-rank provenance.
+            None => ctx.rerank.clear_trace(),
+        }
     }
 }
 
@@ -223,15 +353,41 @@ mod tests {
         assert_eq!(opts.stopping, DpStopping::adaptive());
         assert!(opts.exclude.is_empty());
         assert!(!opts.is_excluded(0));
+        assert!(opts.rerank.is_none());
 
         let fixed = RecommendOptions::with_stopping(DpStopping::Fixed);
         assert_eq!(fixed.stopping, DpStopping::Fixed);
 
-        let hidden = [2u32, 5, 9];
+        let hidden = ExclusionSet::new(vec![2, 5, 9]);
         let opts = RecommendOptions::excluding(&hidden);
         assert!(opts.is_excluded(5));
         assert!(!opts.is_excluded(4));
         assert_eq!(opts.stopping, DpStopping::adaptive());
+    }
+
+    #[test]
+    fn exclusion_set_normalizes_once() {
+        let set = ExclusionSet::new(vec![9, 1, 5, 1, 9]);
+        assert_eq!(set.as_slice(), &[1, 5, 9]);
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(5) && !set.contains(2));
+
+        let sorted = ExclusionSet::from_sorted(vec![1, 2, 3]);
+        assert_eq!(sorted.as_slice(), &[1, 2, 3]);
+        assert!(ExclusionSet::empty().is_empty());
+        assert_eq!(ExclusionSet::from(vec![3, 1]).as_slice(), &[1, 3]);
+    }
+
+    #[test]
+    fn builder_chain_sets_every_knob() {
+        let hidden = ExclusionSet::new(vec![7]);
+        let opts = RecommendOptions::new()
+            .stopping(DpStopping::Fixed)
+            .exclude(&hidden);
+        assert_eq!(opts.stopping, DpStopping::Fixed);
+        assert!(opts.is_excluded(7));
+        // Without a re-ranker the fused path fetches exactly k.
+        assert_eq!(opts.fetch(10), 10);
     }
 
     #[test]

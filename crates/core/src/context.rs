@@ -152,6 +152,9 @@ pub struct ScoringContext {
     pub(crate) probe_items: Vec<ScoredItem>,
     /// Cumulative DP iteration counters (see [`DpTelemetry`]).
     pub(crate) dp_telemetry: DpTelemetry,
+    /// Buffers + last-query provenance trace of the post-scoring re-rank
+    /// stage (see [`crate::rerank`]).
+    pub(crate) rerank: crate::rerank::RerankScratch,
 }
 
 impl ScoringContext {
@@ -171,6 +174,14 @@ impl ScoringContext {
     /// Zero the [`DpTelemetry`] counters (e.g. between benchmark phases).
     pub fn reset_dp_telemetry(&mut self) {
         self.dp_telemetry = DpTelemetry::default();
+    }
+
+    /// Per-item provenance of the last re-ranked query this context served
+    /// (empty when that query ran without an enabled
+    /// [`crate::RerankPolicy`]). Read it right after `recommend_into` —
+    /// the next query overwrites it.
+    pub fn rerank_trace(&self) -> &[crate::rerank::ItemProvenance] {
+        self.rerank.trace()
     }
 }
 

@@ -42,10 +42,11 @@ pub mod context;
 pub mod parallel;
 pub mod persist;
 pub mod recommenders;
+pub mod rerank;
 pub mod topk;
 mod walk_common;
 
-pub use config::{AbsorbingCostConfig, DpStopping, GraphRecConfig, RecommendOptions};
+pub use config::{AbsorbingCostConfig, DpStopping, ExclusionSet, GraphRecConfig, RecommendOptions};
 pub use context::{with_thread_context, DpTelemetry, ScoringContext};
 pub use parallel::{parallel_map_indexed, parallel_map_indexed_with_states};
 pub use persist::Persistable;
@@ -54,6 +55,7 @@ pub use recommenders::{
     HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor, PageRankRecommender,
     PopularityRecommender, PureSvdRecommender, RuleConfig, UserSimilarity,
 };
+pub use rerank::{ItemProvenance, RerankIndex, RerankPolicy, Reranker};
 pub use topk::{rank_of, top_k, ScoredItem, TopKCollector};
 
 pub use longtail_graph::{EdgeDelta, RecencyDecay};
@@ -154,6 +156,12 @@ pub trait Recommender: Sync {
     /// Set [`RecommendOptions::stopping`] to [`DpStopping::Fixed`] for
     /// score-for-score identity.
     ///
+    /// With an enabled [`RecommendOptions::rerank`] policy, the path
+    /// instead collects the policy's top-M candidate pool
+    /// ([`RecommendOptions::fetch`]) and re-ranks it down to `k`
+    /// ([`RecommendOptions::finalize_topk`]); a disabled or absent policy
+    /// is a strict no-op, preserving the identity contract above.
+    ///
     /// The default implementation *is* the score-then-sort computation
     /// (through reusable context buffers); recommenders override it with
     /// fused paths that push candidates straight into the context's
@@ -173,7 +181,7 @@ pub trait Recommender: Sync {
         let mut scores = std::mem::take(&mut ctx.score_buf);
         self.score_into(user, ctx, &mut scores);
         let rated = self.rated_items(user);
-        ctx.topk.reset(k);
+        ctx.topk.reset(opts.fetch(k));
         for (i, &s) in scores.iter().enumerate() {
             let i = i as u32;
             if rated.binary_search(&i).is_err() && !opts.is_excluded(i) {
@@ -182,6 +190,7 @@ pub trait Recommender: Sync {
         }
         ctx.topk.drain_sorted_into(out);
         ctx.score_buf = scores;
+        opts.finalize_topk(k, ctx, out);
     }
 
     /// [`Recommender::recommend_into`] with a streamed [`EdgeDelta`] of

@@ -245,12 +245,16 @@ impl AbsorbingCostRecommender {
         out: &mut Vec<ScoredItem>,
     ) {
         // Fused: only subgraph-visited items can carry a finite absorbing
-        // cost, so the collector sees the visited neighborhood only.
-        ctx.topk.reset(k);
+        // cost, so the collector sees the visited neighborhood only. With
+        // an enabled re-rank policy the collector (and the rank-stability
+        // probe, via the mode's k) is armed for the top-M pool instead of
+        // k.
+        let fetch = opts.fetch(k);
+        ctx.topk.reset(fetch);
         let mode = WalkMode::Serving {
-            k,
+            k: fetch,
             rated,
-            extra: opts.exclude,
+            extra: opts.exclude.as_slice(),
             rated_absorbing: true,
         };
         if self.run_walk(
@@ -267,11 +271,12 @@ impl AbsorbingCostRecommender {
                 &ctx.subgraph,
                 &ctx.walk,
                 rated,
-                opts.exclude,
+                opts.exclude.as_slice(),
                 &mut ctx.topk,
             );
         }
         ctx.topk.drain_sorted_into(out);
+        opts.finalize_topk(k, ctx, out);
     }
 }
 

@@ -96,11 +96,15 @@ impl AbsorbingTimeRecommender {
     ) {
         // Fused: only subgraph-visited items can score; the rated set is
         // absorbing (time 0) but also excluded, so it never surfaces.
-        ctx.topk.reset(k);
+        // With an enabled re-rank policy the collector (and the
+        // rank-stability probe, via the mode's k) is armed for the top-M
+        // pool instead of k.
+        let fetch = opts.fetch(k);
+        ctx.topk.reset(fetch);
         let mode = WalkMode::Serving {
-            k,
+            k: fetch,
             rated,
-            extra: opts.exclude,
+            extra: opts.exclude.as_slice(),
             rated_absorbing: true,
         };
         if self.run_walk(view, user, mode, opts.stopping, opts.deadline, ctx) {
@@ -109,11 +113,12 @@ impl AbsorbingTimeRecommender {
                 &ctx.subgraph,
                 &ctx.walk,
                 rated,
-                opts.exclude,
+                opts.exclude.as_slice(),
                 &mut ctx.topk,
             );
         }
         ctx.topk.drain_sorted_into(out);
+        opts.finalize_topk(k, ctx, out);
     }
 }
 

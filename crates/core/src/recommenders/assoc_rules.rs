@@ -146,7 +146,7 @@ impl Recommender for AssociationRuleRecommender {
         // context's all-`-∞` dense scratch (same comparison as
         // `score_into`), then drain the touched slots through the bounded
         // heap, restoring the scratch invariant as we go.
-        ctx.topk.reset(k);
+        ctx.topk.reset(opts.fetch(k));
         let n_items = self.user_items.cols();
         if ctx.accum.len() != n_items {
             ctx.accum.clear();
@@ -173,6 +173,7 @@ impl Recommender for AssociationRuleRecommender {
             }
         }
         ctx.topk.drain_sorted_into(out);
+        opts.finalize_topk(k, ctx, out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {

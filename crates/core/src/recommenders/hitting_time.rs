@@ -101,12 +101,15 @@ impl HittingTimeRecommender {
         // Fused: only subgraph-visited items can score, so collect them
         // straight from the DP state — no global score vector, no full
         // sort; under the adaptive policy the walk also stops the moment
-        // this top-k is provably frozen.
-        ctx.topk.reset(k);
+        // this top-k is provably frozen. With an enabled re-rank policy
+        // the collector (and the rank-stability probe, via the mode's k)
+        // is armed for the top-M pool instead of k.
+        let fetch = opts.fetch(k);
+        ctx.topk.reset(fetch);
         let mode = WalkMode::Serving {
-            k,
+            k: fetch,
             rated,
-            extra: opts.exclude,
+            extra: opts.exclude.as_slice(),
             rated_absorbing: false,
         };
         if self.run_walk(view, user, mode, opts.stopping, opts.deadline, ctx) {
@@ -115,11 +118,12 @@ impl HittingTimeRecommender {
                 &ctx.subgraph,
                 &ctx.walk,
                 rated,
-                opts.exclude,
+                opts.exclude.as_slice(),
                 &mut ctx.topk,
             );
         }
         ctx.topk.drain_sorted_into(out);
+        opts.finalize_topk(k, ctx, out);
     }
 }
 

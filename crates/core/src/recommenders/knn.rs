@@ -200,7 +200,7 @@ impl Recommender for KnnRecommender {
         // arithmetic as `score_into`, so scores are bit-identical), then
         // drain exactly the touched slots through the bounded heap,
         // restoring the scratch invariant as we go.
-        ctx.topk.reset(k);
+        ctx.topk.reset(opts.fetch(k));
         let n_items = self.user_items.cols();
         if ctx.accum.len() != n_items {
             ctx.accum.clear();
@@ -227,6 +227,7 @@ impl Recommender for KnnRecommender {
             }
         }
         ctx.topk.drain_sorted_into(out);
+        opts.finalize_topk(k, ctx, out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {

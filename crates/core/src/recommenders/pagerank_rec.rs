@@ -122,7 +122,7 @@ impl Recommender for PageRankRecommender {
         // Fused: rank once, then stream the item-node masses through the
         // bounded heap — no global score vector, no full sort. DPPR prunes
         // zero-popularity items up front (they carry no walk mass either).
-        ctx.topk.reset(k);
+        ctx.topk.reset(opts.fetch(k));
         rated_item_nodes_into(&self.graph, user, &mut ctx.seeds);
         if !ctx.seeds.is_empty() {
             let rank = personalized_pagerank_into(
@@ -153,6 +153,7 @@ impl Recommender for PageRankRecommender {
             }
         }
         ctx.topk.drain_sorted_into(out);
+        opts.finalize_topk(k, ctx, out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {

@@ -81,7 +81,7 @@ impl Recommender for PopularityRecommender {
         // Fused: walk the precomputed (count desc, id asc) order and stop at
         // the first candidate the collector would reject — everything after
         // it is weaker under the same order, so the early exit is exact.
-        ctx.topk.reset(k);
+        ctx.topk.reset(opts.fetch(k));
         let rated = self.rated_items(user);
         for &i in &self.by_popularity {
             let score = self.counts[i as usize] as f64;
@@ -93,6 +93,7 @@ impl Recommender for PopularityRecommender {
             }
         }
         ctx.topk.drain_sorted_into(out);
+        opts.finalize_topk(k, ctx, out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {
@@ -146,7 +147,7 @@ mod tests {
         let rec = PopularityRecommender::train(&corpus());
         let mut ctx = ScoringContext::new();
         let mut scores = Vec::new();
-        let exclude = [0u32];
+        let exclude = crate::ExclusionSet::new(vec![0]);
         let opts = RecommendOptions::excluding(&exclude);
         for user in 0..3u32 {
             for k in 0..5usize {

@@ -150,7 +150,7 @@ impl Recommender for PureSvdRecommender {
         // product straight into the bounded heap — the catalog expansion
         // vector is never materialized. The dot is the same expression as
         // `score_into`, so scores are bit-identical.
-        ctx.topk.reset(k);
+        ctx.topk.reset(opts.fetch(k));
         self.project_user(user, &mut ctx.scratch);
         let projection = &ctx.scratch;
         let rated = self.rated_items(user);
@@ -167,6 +167,7 @@ impl Recommender for PureSvdRecommender {
             ctx.topk.push(i as u32, score);
         }
         ctx.topk.drain_sorted_into(out);
+        opts.finalize_topk(k, ctx, out);
     }
 
     fn rated_items(&self, user: u32) -> &[u32] {

@@ -23,9 +23,9 @@
 
 use longtail_core::{
     top_k, AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
-    AssociationRuleRecommender, DpStopping, GraphRecConfig, HittingTimeRecommender, KnnRecommender,
-    LdaRecommender, PageRankRecommender, PureSvdRecommender, RecommendOptions, Recommender,
-    RuleConfig, ScoredItem, ScoringContext, UserSimilarity,
+    AssociationRuleRecommender, DpStopping, ExclusionSet, GraphRecConfig, HittingTimeRecommender,
+    KnnRecommender, LdaRecommender, PageRankRecommender, PureSvdRecommender, RecommendOptions,
+    Recommender, RuleConfig, ScoredItem, ScoringContext, UserSimilarity,
 };
 use longtail_data::{Dataset, Rating};
 use longtail_topics::LdaConfig;
@@ -82,19 +82,15 @@ fn check_exclusion_equivalence(rec: &dyn Recommender, d: &Dataset) -> Result<(),
     let mut ctx = ScoringContext::new();
     let mut fused: Vec<ScoredItem> = Vec::new();
     // A deterministic spread: every third item, plus the catalog boundary.
-    let exclude: Vec<u32> = (0..N_ITEMS as u32).step_by(3).collect();
+    let exclude = ExclusionSet::new((0..N_ITEMS as u32).step_by(3).collect());
     for stopping in [DpStopping::Fixed, DpStopping::adaptive()] {
-        let opts = RecommendOptions {
-            stopping,
-            exclude: &exclude,
-            ..RecommendOptions::default()
-        };
+        let opts = RecommendOptions::new().stopping(stopping).exclude(&exclude);
         for u in 0..d.n_users() as u32 {
             let scores = rec.score_items(u);
             let rated = rec.rated_items(u);
             for k in [1usize, 4, N_ITEMS + 3] {
                 let reference = top_k(&scores, k, |i| {
-                    rated.binary_search(&i).is_ok() || exclude.binary_search(&i).is_ok()
+                    rated.binary_search(&i).is_ok() || exclude.contains(i)
                 });
                 rec.recommend_into(u, k, &opts, &mut ctx, &mut fused);
                 let fused_items: Vec<u32> = fused.iter().map(|s| s.item).collect();
@@ -108,9 +104,7 @@ fn check_exclusion_equivalence(rec: &dyn Recommender, d: &Dataset) -> Result<(),
                     k,
                     stopping
                 );
-                prop_assert!(fused
-                    .iter()
-                    .all(|s| exclude.binary_search(&s.item).is_err()));
+                prop_assert!(fused.iter().all(|s| !exclude.contains(s.item)));
                 if stopping == DpStopping::Fixed {
                     prop_assert_eq!(&fused, &reference);
                 }

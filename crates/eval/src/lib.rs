@@ -8,6 +8,9 @@
 //! * [`lists`] — batch top-k lists for a sampled test population;
 //! * [`metrics`] — Popularity@N (Figure 6), Diversity (Eq. 17, Table 2) and
 //!   ontology Similarity (Eq. 18–19, Table 3) over those lists;
+//! * [`quality`] — the long-tail quality suite over *served* lists: catalog
+//!   coverage, Gini exposure concentration, novelty, and list-based recall
+//!   split by head/tail ground truth (the lens for re-rank policies);
 //! * [`timing`] — online per-query latency (Table 5);
 //! * [`user_study`] — the simulated 50-judge study (Table 6; substitution
 //!   documented in `DESIGN.md`);
@@ -18,6 +21,7 @@
 
 pub mod lists;
 pub mod metrics;
+pub mod quality;
 pub mod recall;
 pub mod report;
 pub mod timing;
@@ -25,6 +29,10 @@ pub mod user_study;
 
 pub use lists::{sample_test_users, RecommendationLists};
 pub use metrics::{diversity, mean_popularity, mean_similarity, popularity_at_n};
+pub use quality::{
+    catalog_coverage, exposure_counts, gini_concentration, list_recall, novelty, tail_recall_split,
+    TailRecallSplit,
+};
 pub use recall::{recall_at_n, RecallConfig, RecallCurve};
 pub use report::{format_num, series_to_markdown, Series, Table};
 pub use timing::{

@@ -31,9 +31,30 @@ impl RecommendationLists {
         k: usize,
         n_threads: usize,
     ) -> Self {
+        Self::compute_with(
+            recommender,
+            users,
+            k,
+            &RecommendOptions::default(),
+            n_threads,
+        )
+    }
+
+    /// [`RecommendationLists::compute`] under explicit serving options —
+    /// the entry point for measuring a re-rank policy's effect on the
+    /// list metrics (attach a
+    /// [`Reranker`](longtail_core::Reranker) via
+    /// [`RecommendOptions::rerank`]).
+    pub fn compute_with(
+        recommender: &dyn Recommender,
+        users: &[u32],
+        k: usize,
+        opts: &RecommendOptions<'_>,
+        n_threads: usize,
+    ) -> Self {
         Self {
             users: users.to_vec(),
-            lists: recommender.recommend_batch(users, k, &RecommendOptions::default(), n_threads),
+            lists: recommender.recommend_batch(users, k, opts, n_threads),
             k,
         }
     }

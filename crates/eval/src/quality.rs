@@ -1,0 +1,248 @@
+//! Long-tail quality metrics over served recommendation lists.
+//!
+//! Where [`crate::recall`] measures *accuracy* by ranking a held-out
+//! favourite among sampled distractors (a `score_into` protocol that a
+//! post-scoring re-ranker cannot influence), this module measures what the
+//! paper's long-tail argument is actually about — *which* items the served
+//! lists surface:
+//!
+//! * [`catalog_coverage`] — the fraction of the catalog that appears in at
+//!   least one served list;
+//! * [`gini_concentration`] — the Gini coefficient of per-item exposure
+//!   (0 = every item recommended equally often, →1 = all exposure on a few
+//!   head items);
+//! * [`novelty`] — mean self-information `−log2(popularity/n_users)` of
+//!   the served items, higher = more obscure recommendations;
+//! * [`list_recall`] / [`tail_recall_split`] — the fraction of held-out
+//!   favourites that appear in their user's **served top-k list** (not a
+//!   distractor ranking), overall and split by head/tail ground truth.
+//!
+//! All metrics read the same [`RecommendationLists`] artifact, so an
+//! off-vs-on re-rank comparison holds everything else fixed.
+
+use crate::lists::RecommendationLists;
+use longtail_data::TestCase;
+
+/// Per-item exposure: how many served lists each item appears in.
+pub fn exposure_counts(lists: &RecommendationLists, n_items: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; n_items];
+    for list in &lists.lists {
+        for s in list {
+            counts[s.item as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Fraction of the catalog recommended to at least one user.
+pub fn catalog_coverage(lists: &RecommendationLists, n_items: usize) -> f64 {
+    if n_items == 0 {
+        return 0.0;
+    }
+    let distinct = exposure_counts(lists, n_items)
+        .iter()
+        .filter(|&&c| c > 0)
+        .count();
+    distinct as f64 / n_items as f64
+}
+
+/// Gini coefficient of the exposure distribution `counts` (typically from
+/// [`exposure_counts`], the whole catalog included — unexposed items count
+/// as zeros). `0.0` means perfectly even exposure; values near `1.0` mean
+/// a few head items absorb almost every recommendation slot. Zero total
+/// exposure returns `0.0`.
+pub fn gini_concentration(counts: &[u32]) -> f64 {
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    if counts.is_empty() || total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u32> = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    // G = Σ_i (2(i+1) − n − 1) x_i / (n Σ x), over ascending x.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (2.0 * (i as f64 + 1.0) - n - 1.0) * x as f64)
+        .sum();
+    weighted / (n * total as f64)
+}
+
+/// Mean self-information of the served items:
+/// `−log2(max(popularity, 1) / n_users)` averaged over every filled slot.
+/// Recommending only items everyone already rated scores near 0; surfacing
+/// items few users have seen scores high. Empty lists return `0.0`.
+pub fn novelty(lists: &RecommendationLists, popularity: &[u32], n_users: usize) -> f64 {
+    let n_users = n_users.max(1) as f64;
+    let mut sum = 0.0;
+    let mut slots = 0usize;
+    for list in &lists.lists {
+        for s in list {
+            let pop = popularity[s.item as usize].max(1) as f64;
+            sum -= (pop / n_users).log2();
+            slots += 1;
+        }
+    }
+    if slots == 0 {
+        0.0
+    } else {
+        sum / slots as f64
+    }
+}
+
+/// List-based Recall@k: the fraction of held-out `cases` whose favourite
+/// item appears in that user's **served** top-k list. Cases whose user was
+/// not evaluated in `lists` are skipped (they are no evidence either way).
+/// Unlike [`crate::recall_at_n`], this protocol sees everything the
+/// serving path does to the list — including re-ranking.
+pub fn list_recall(lists: &RecommendationLists, cases: &[TestCase]) -> f64 {
+    let (hits, evaluated) = hits_where(lists, cases, |_| true);
+    if evaluated == 0 {
+        0.0
+    } else {
+        hits as f64 / evaluated as f64
+    }
+}
+
+/// [`list_recall`] split by ground-truth popularity class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailRecallSplit {
+    /// Recall over cases whose held-out item is a tail item.
+    pub tail: f64,
+    /// Recall over the remaining (head) cases.
+    pub head: f64,
+    /// Number of evaluated tail cases.
+    pub n_tail: usize,
+    /// Number of evaluated head cases.
+    pub n_head: usize,
+}
+
+/// Split [`list_recall`] by `is_tail` of the held-out item — e.g. the
+/// re-rank index's percentile cutoff, or a
+/// [`longtail_data::LongTailSplit`]. A class with no evaluated cases
+/// reports recall `0.0` and count `0`.
+pub fn tail_recall_split(
+    lists: &RecommendationLists,
+    cases: &[TestCase],
+    is_tail: impl Fn(u32) -> bool,
+) -> TailRecallSplit {
+    let (tail_hits, n_tail) = hits_where(lists, cases, &is_tail);
+    let (head_hits, n_head) = hits_where(lists, cases, |i| !is_tail(i));
+    let rate = |hits: usize, n: usize| if n == 0 { 0.0 } else { hits as f64 / n as f64 };
+    TailRecallSplit {
+        tail: rate(tail_hits, n_tail),
+        head: rate(head_hits, n_head),
+        n_tail,
+        n_head,
+    }
+}
+
+/// (hits, evaluated) over the cases whose held-out item passes `filter`
+/// and whose user has a list in `lists`.
+fn hits_where(
+    lists: &RecommendationLists,
+    cases: &[TestCase],
+    filter: impl Fn(u32) -> bool,
+) -> (usize, usize) {
+    let mut hits = 0usize;
+    let mut evaluated = 0usize;
+    for case in cases {
+        if !filter(case.item) {
+            continue;
+        }
+        // `users` is sorted (sample_test_users sorts; bench users come from
+        // sorted test cases), but stay robust to arbitrary order.
+        let Some(j) = lists.users.iter().position(|&u| u == case.user) else {
+            continue;
+        };
+        evaluated += 1;
+        if lists.lists[j].iter().any(|s| s.item == case.item) {
+            hits += 1;
+        }
+    }
+    (hits, evaluated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longtail_core::ScoredItem;
+
+    fn lists_of(users: &[u32], lists: &[&[u32]], k: usize) -> RecommendationLists {
+        RecommendationLists {
+            users: users.to_vec(),
+            lists: lists
+                .iter()
+                .map(|l| {
+                    l.iter()
+                        .map(|&item| ScoredItem { item, score: 1.0 })
+                        .collect()
+                })
+                .collect(),
+            k,
+        }
+    }
+
+    #[test]
+    fn coverage_counts_distinct_items() {
+        let lists = lists_of(&[0, 1], &[&[0, 1], &[1, 2]], 2);
+        assert_eq!(catalog_coverage(&lists, 6), 3.0 / 6.0);
+        assert_eq!(catalog_coverage(&lists, 0), 0.0);
+    }
+
+    #[test]
+    fn exposure_counts_every_slot() {
+        let lists = lists_of(&[0, 1], &[&[0, 1], &[1, 2]], 2);
+        assert_eq!(exposure_counts(&lists, 4), vec![1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn gini_is_zero_for_even_exposure_and_high_for_concentration() {
+        assert_eq!(gini_concentration(&[3, 3, 3, 3]), 0.0);
+        let concentrated = gini_concentration(&[12, 0, 0, 0]);
+        assert!(concentrated > 0.7, "got {concentrated}");
+        // More even → strictly lower.
+        assert!(gini_concentration(&[6, 6, 0, 0]) < concentrated);
+        assert_eq!(gini_concentration(&[]), 0.0);
+        assert_eq!(gini_concentration(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn novelty_rewards_obscure_items() {
+        let pops = vec![8, 1];
+        // Item 0: everyone rated it → 0 bits. Item 1: 1 of 8 → 3 bits.
+        let head = lists_of(&[0], &[&[0]], 1);
+        let tail = lists_of(&[0], &[&[1]], 1);
+        assert_eq!(novelty(&head, &pops, 8), 0.0);
+        assert_eq!(novelty(&tail, &pops, 8), 3.0);
+        let empty = lists_of(&[0], &[&[]], 1);
+        assert_eq!(novelty(&empty, &pops, 8), 0.0);
+    }
+
+    #[test]
+    fn list_recall_counts_served_favorites() {
+        let lists = lists_of(&[0, 1, 2], &[&[5, 3], &[4, 1], &[2, 0]], 2);
+        let cases = [
+            TestCase { user: 0, item: 3 }, // hit
+            TestCase { user: 1, item: 9 }, // miss
+            TestCase { user: 7, item: 5 }, // user not evaluated: skipped
+        ];
+        assert_eq!(list_recall(&lists, &cases), 0.5);
+        assert_eq!(list_recall(&lists, &[]), 0.0);
+    }
+
+    #[test]
+    fn tail_split_partitions_cases() {
+        let lists = lists_of(&[0, 1, 2], &[&[5, 3], &[4, 1], &[2, 0]], 2);
+        let cases = [
+            TestCase { user: 0, item: 3 }, // tail, hit
+            TestCase { user: 1, item: 9 }, // tail, miss
+            TestCase { user: 2, item: 2 }, // head, hit
+        ];
+        let split = tail_recall_split(&lists, &cases, |i| i >= 3);
+        assert_eq!(split.n_tail, 2);
+        assert_eq!(split.n_head, 1);
+        assert_eq!(split.tail, 0.5);
+        assert_eq!(split.head, 1.0);
+    }
+}

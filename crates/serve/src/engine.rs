@@ -12,7 +12,9 @@ use crate::request::{RecommendRequest, RecommendResponse, RetryPolicy, ServeErro
 use crate::router::ShardRouter;
 use crate::sched::{Priority, SchedPolicy, ServiceEwma};
 use crate::submit::{EngineCounters, EngineStats, PendingResponse};
-use longtail_core::{DpStopping, DpTelemetry, RecommendOptions, Recommender};
+use longtail_core::{
+    DpStopping, DpTelemetry, RecommendOptions, Recommender, RerankIndex, RerankPolicy, Reranker,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -251,6 +253,16 @@ struct EngineCore {
     breaker_config: Option<BreakerConfig>,
     default_stopping: DpStopping,
     default_retry: RetryPolicy,
+    /// Long-tail re-rank indexes by registry name: a request is only
+    /// re-ranked when its routed model has one (the index is built against
+    /// that model's training graph, so applying it elsewhere would score
+    /// similarity on the wrong bipartite structure).
+    rerank_indexes: HashMap<String, Arc<RerankIndex>>,
+    /// Engine-wide re-rank default, the last resort of the resolution
+    /// chain: request override → QoS-class default → this.
+    default_rerank: Option<RerankPolicy>,
+    /// Per-QoS-class re-rank defaults, indexed by [`Priority::index`].
+    class_rerank: [Option<RerankPolicy>; Priority::COUNT],
     contexts: ContextPool,
     /// Engine-lifetime [`DpTelemetry`], merged across every request served
     /// by any caller thread or pool worker.
@@ -402,24 +414,28 @@ impl EngineCore {
             armed: probe,
         };
 
-        // Normalize the request's exclusion set to the sorted/deduped form
-        // RecommendOptions requires. Only requests that actually exclude
-        // anything pay the copy.
-        let mut exclude_sorted;
-        let exclude: &[u32] = if req.exclude.is_empty() {
-            &[]
-        } else {
-            exclude_sorted = req.exclude.clone();
-            exclude_sorted.sort_unstable();
-            exclude_sorted.dedup();
-            &exclude_sorted
-        };
-        let opts = RecommendOptions {
-            stopping: req.stopping.unwrap_or(self.default_stopping),
-            exclude,
-            deadline: req.deadline,
-            recency: req.recency,
-        };
+        // The request's exclusion set was normalized once at build time
+        // (`RecommendRequest::excluding`), so every attempt — retries
+        // included — borrows it for free.
+        let mut opts = RecommendOptions::new()
+            .stopping(req.stopping.unwrap_or(self.default_stopping))
+            .exclude(&req.exclude);
+        opts.deadline = req.deadline;
+        opts.recency = req.recency;
+        // Resolve the effective re-rank policy: request override → the
+        // request's QoS-class default → the engine-wide default. It binds
+        // only when the routed model has a rerank index registered — the
+        // index is built on that model's training graph.
+        if let Some(policy) = req
+            .rerank
+            .or(self.class_rerank[req.priority.index()])
+            .or(self.default_rerank)
+            .filter(|p| p.is_enabled())
+        {
+            if let Some(index) = self.rerank_indexes.get(&req.model) {
+                opts = opts.rerank(Reranker::new(index, policy));
+            }
+        }
 
         let retry = req.retry.unwrap_or(self.default_retry);
         let mut attempt_no: u32 = 0;
@@ -496,25 +512,15 @@ impl EngineCore {
             return Err(why);
         };
         let (version, shard) = entry.resolve(req.user);
-        let opts = RecommendOptions {
-            stopping: req.stopping.unwrap_or(self.default_stopping),
-            exclude: &[],
-            deadline: req.deadline,
-            recency: req.recency,
-        };
-        // The fallback must honor the request's exclusions too.
-        let mut exclude_sorted;
-        let opts = if req.exclude.is_empty() {
-            opts
-        } else {
-            exclude_sorted = req.exclude.clone();
-            exclude_sorted.sort_unstable();
-            exclude_sorted.dedup();
-            RecommendOptions {
-                exclude: &exclude_sorted,
-                ..opts
-            }
-        };
+        // The fallback honors the request's exclusions (already normalized
+        // at build time) but is never re-ranked: a degraded answer is the
+        // availability floor, and no rerank index binds to the fallback's
+        // graph anyway.
+        let mut opts = RecommendOptions::new()
+            .stopping(req.stopping.unwrap_or(self.default_stopping))
+            .exclude(&req.exclude);
+        opts.deadline = req.deadline;
+        opts.recency = req.recency;
         // The fallback serves its own frozen base — no delta snapshot, no
         // epoch claim — even when the primary had ingest attached: a
         // degraded answer makes no epoch-consistency promise.
@@ -577,6 +583,9 @@ impl EngineCore {
             // miss the real payload.
             return Err(ServeError::RequestPanicked(panic_message(&*payload)));
         }
+        // Read the re-rank provenance off the context before it goes back
+        // to the pool — the next query overwrites the trace.
+        let provenance = opts.rerank.is_some().then(|| ctx.rerank_trace().to_vec());
         let telemetry = ctx.dp_telemetry().since(&before);
         self.contexts.checkin(ctx);
         self.aggregate.lock().merge(&telemetry);
@@ -600,6 +609,7 @@ impl EngineCore {
             shard,
             epoch: snap.map(|s| s.epoch),
             telemetry,
+            provenance,
             degraded: false,
         })
     }
@@ -1294,6 +1304,9 @@ pub struct EngineBuilder {
     max_idle_contexts: Option<usize>,
     default_stopping: DpStopping,
     default_retry: RetryPolicy,
+    rerank_indexes: HashMap<String, Arc<RerankIndex>>,
+    default_rerank: Option<RerankPolicy>,
+    class_rerank: [Option<RerankPolicy>; Priority::COUNT],
     breakers: Option<BreakerConfig>,
     queue_capacity: usize,
     policy: AdmissionPolicy,
@@ -1331,6 +1344,9 @@ impl EngineBuilder {
             max_idle_contexts: None,
             default_stopping: DpStopping::default(),
             default_retry: RetryPolicy::default(),
+            rerank_indexes: HashMap::new(),
+            default_rerank: None,
+            class_rerank: [None; Priority::COUNT],
             breakers: None,
             queue_capacity: Self::DEFAULT_QUEUE_CAPACITY,
             policy: AdmissionPolicy::default(),
@@ -1440,6 +1456,37 @@ impl EngineBuilder {
         self
     }
 
+    /// Attach a long-tail [`RerankIndex`] to the registered model `name`.
+    /// Requests routed to that model are re-ranked whenever an enabled
+    /// [`RerankPolicy`] resolves for them (request override →
+    /// [`EngineBuilder::class_rerank`] → [`EngineBuilder::default_rerank`]);
+    /// models without an index always serve raw fused order. The index
+    /// must be built over the same training data as the model — its
+    /// similarity and popularity statistics describe that graph.
+    ///
+    /// Build-time panics if `name` is unregistered.
+    pub fn rerank_index(mut self, name: impl Into<String>, index: Arc<RerankIndex>) -> Self {
+        self.rerank_indexes.insert(name.into(), index);
+        self
+    }
+
+    /// The engine-wide default [`RerankPolicy`], applied to requests that
+    /// carry no override and whose QoS class sets none. Defaults to no
+    /// re-ranking.
+    pub fn default_rerank(mut self, policy: RerankPolicy) -> Self {
+        self.default_rerank = Some(policy);
+        self
+    }
+
+    /// The default [`RerankPolicy`] of one QoS class — e.g. re-rank
+    /// `Batch`/`Background` list regeneration for catalog coverage while
+    /// `Interactive` traffic stays on the raw low-latency path. A request's
+    /// own [`RecommendRequest::with_rerank`] still wins.
+    pub fn class_rerank(mut self, class: Priority, policy: RerankPolicy) -> Self {
+        self.class_rerank[class.index()] = Some(policy);
+        self
+    }
+
     /// Number of persistent worker threads backing [`Engine::submit`] and
     /// [`Engine::recommend_batch`]. `0` disables the pool (submissions and
     /// batches run inline on the calling thread). Defaults to the
@@ -1518,10 +1565,17 @@ impl EngineBuilder {
     /// # Panics
     ///
     /// Panics if a [`EngineBuilder::fallback`] registration names an
-    /// unregistered model, maps a model to itself, or an
+    /// unregistered model, maps a model to itself, an
     /// [`EngineBuilder::ingest`] attachment names an unregistered or
-    /// sharded model.
+    /// sharded model, or a [`EngineBuilder::rerank_index`] attachment
+    /// names an unregistered model.
     pub fn build(self) -> Engine {
+        for name in self.rerank_indexes.keys() {
+            assert!(
+                self.models.contains_key(name),
+                "rerank index attached to unknown model {name:?}"
+            );
+        }
         for name in self.deltas.keys() {
             match self.models.get(name) {
                 Some(BuilderEntry::Single(..)) => {}
@@ -1575,6 +1629,9 @@ impl EngineBuilder {
             breaker_config: breakers,
             default_stopping: self.default_stopping,
             default_retry: self.default_retry,
+            rerank_indexes: self.rerank_indexes,
+            default_rerank: self.default_rerank,
+            class_rerank: self.class_rerank,
             contexts: ContextPool::new(self.max_idle_contexts.unwrap_or(workers + 2)),
             aggregate: Mutex::new(DpTelemetry::default()),
             counters: EngineCounters::default(),

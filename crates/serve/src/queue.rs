@@ -146,7 +146,10 @@ pub(crate) enum Admission {
     Enqueued,
     /// The job is queued and the returned victim job was shed to make room
     /// ([`AdmissionPolicy::ShedOldest`]); the caller resolves the victim.
-    Shed(Job),
+    /// Boxed: a `Job` carries a full request, and the shed path is the
+    /// rare one — keeping the other variants a pointer wide keeps every
+    /// admission return cheap.
+    Shed(Box<Job>),
     /// The queue (or the job's model quota) was full and
     /// [`AdmissionPolicy::Reject`] refused the job (dropped here; the
     /// submitter still holds the reply receiver).
@@ -246,7 +249,7 @@ impl JobQueue {
                     self.enqueue_locked(&mut state, job);
                     // Occupancy is unchanged (one out, one in): no
                     // not_full wakeup.
-                    return Admission::Shed(victim);
+                    return Admission::Shed(Box::new(victim));
                 }
             }
         }

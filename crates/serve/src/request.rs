@@ -1,7 +1,9 @@
 //! The typed request/response surface of the serving engine.
 
 use crate::sched::Priority;
-use longtail_core::{DpStopping, DpTelemetry, RecencyDecay, ScoredItem};
+use longtail_core::{
+    DpStopping, DpTelemetry, ExclusionSet, ItemProvenance, RecencyDecay, RerankPolicy, ScoredItem,
+};
 
 /// Bounded in-place retry of failed attempts, configured per request
 /// ([`RecommendRequest::with_retry`]) or engine-wide
@@ -68,7 +70,15 @@ impl RetryPolicy {
 ///     .excluding(vec![7, 3, 7]); // any order, duplicates fine
 /// assert_eq!(req.model, "AC2");
 /// ```
+///
+/// The struct is `#[non_exhaustive]`: construct through [`new`] plus the
+/// builder methods so new knobs (like [`with_rerank`]) can land without
+/// breaking callers.
+///
+/// [`new`]: RecommendRequest::new
+/// [`with_rerank`]: RecommendRequest::with_rerank
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct RecommendRequest {
     /// The query user id (must be a user of the routed model's training
     /// data; ids outside it are a caller bug, like indexing out of bounds).
@@ -81,9 +91,11 @@ pub struct RecommendRequest {
     /// Per-request stopping override for the walk family's serving DP;
     /// `None` uses the engine's default policy.
     pub stopping: Option<DpStopping>,
-    /// Request-scoped exclusions merged with the user's training items —
-    /// any order, duplicates allowed; the engine normalizes before scoring.
-    pub exclude: Vec<u32>,
+    /// Request-scoped exclusions merged with the user's training items.
+    /// [`RecommendRequest::excluding`] accepts any order and duplicates and
+    /// normalizes **once at build time** — retries and fallback attempts
+    /// borrow the already-sorted set instead of re-normalizing per attempt.
+    pub exclude: ExclusionSet,
     /// Deadline for this request, `None` for no time bound. An expired
     /// deadline is checked twice: at dequeue — the request is shed with
     /// [`ServeError::DeadlineExceeded`] *without* running any scoring — and
@@ -101,6 +113,16 @@ pub struct RecommendRequest {
     /// ranking. On untimed training data the decay scales all weights
     /// uniformly and the ranking is unchanged.
     pub recency: Option<RecencyDecay>,
+    /// Per-request re-rank override for the long-tail quality stage.
+    /// `None` defers to the engine's per-class and engine-wide defaults
+    /// ([`crate::EngineBuilder::class_rerank`] /
+    /// [`crate::EngineBuilder::default_rerank`]); a `Some` policy with
+    /// [`RerankPolicy::is_enabled`]` == false` explicitly turns re-ranking
+    /// *off* for this request. Re-ranking only applies to models the engine
+    /// holds a [`longtail_core::RerankIndex`] for
+    /// ([`crate::EngineBuilder::rerank_index`]); degraded fallback answers
+    /// are never re-ranked.
+    pub rerank: Option<RerankPolicy>,
     /// QoS class of this request (default [`Priority::Interactive`]).
     /// Under [`crate::SchedPolicy::Qos`] the engine dequeues strictly by
     /// class — every queued `Interactive` request before any `Batch`, every
@@ -119,10 +141,11 @@ impl RecommendRequest {
             k,
             model: model.into(),
             stopping: None,
-            exclude: Vec::new(),
+            exclude: ExclusionSet::default(),
             deadline: None,
             retry: None,
             recency: None,
+            rerank: None,
             priority: Priority::default(),
         }
     }
@@ -134,9 +157,10 @@ impl RecommendRequest {
     }
 
     /// Exclude `items` (any order, duplicates allowed) on top of the
-    /// user's training items.
-    pub fn excluding(mut self, items: Vec<u32>) -> Self {
-        self.exclude = items;
+    /// user's training items. Normalized (sorted, deduplicated) **once**
+    /// here — retries borrow the same [`ExclusionSet`].
+    pub fn excluding(mut self, items: impl Into<ExclusionSet>) -> Self {
+        self.exclude = items.into();
         self
     }
 
@@ -171,6 +195,15 @@ impl RecommendRequest {
         self.recency = Some(decay);
         self
     }
+
+    /// Override the engine's re-rank defaults for this request (see
+    /// [`RecommendRequest::rerank`]). Pass [`RerankPolicy::default`] to
+    /// explicitly disable re-ranking even when the engine has one
+    /// configured.
+    pub fn with_rerank(mut self, policy: RerankPolicy) -> Self {
+        self.rerank = Some(policy);
+        self
+    }
 }
 
 /// The engine's answer to a [`RecommendRequest`].
@@ -203,6 +236,14 @@ pub struct RecommendResponse {
     /// DP iteration counters of exactly this request's query (all-zero for
     /// non-walk models), diffed off the pooled context that served it.
     pub telemetry: DpTelemetry,
+    /// Per-item provenance of the long-tail re-rank stage, aligned with
+    /// [`RecommendResponse::items`]: `Some` iff an enabled
+    /// [`RerankPolicy`] resolved for this request *and* the routed model
+    /// has a [`longtail_core::RerankIndex`] registered. Each entry carries
+    /// the item's popularity percentile, its tail flag and how far the
+    /// re-ranker moved it relative to pure relevance order. `None` means
+    /// the list is the raw fused top-k (including all degraded answers).
+    pub provenance: Option<Vec<ItemProvenance>>,
     /// `true` when the registered **fallback** model produced this list
     /// because the requested primary was unavailable (breaker open, or its
     /// retries exhausted); [`RecommendResponse::model`] then names the
@@ -279,15 +320,19 @@ mod tests {
     fn builder_sets_fields() {
         let req = RecommendRequest::new("HT", 3, 5)
             .with_stopping(DpStopping::Fixed)
-            .excluding(vec![9, 1]);
+            .excluding(vec![9, 1, 9]);
         assert_eq!(req.user, 3);
         assert_eq!(req.k, 5);
         assert_eq!(req.model, "HT");
         assert_eq!(req.stopping, Some(DpStopping::Fixed));
-        assert_eq!(req.exclude, vec![9, 1]);
+        // Normalized once at build time: sorted ascending, deduplicated.
+        assert_eq!(req.exclude.as_slice(), &[1, 9]);
         assert_eq!(req.priority, Priority::Interactive, "default class");
+        assert_eq!(req.rerank, None, "no re-rank override by default");
         let req = req.with_priority(Priority::Background);
         assert_eq!(req.priority, Priority::Background);
+        let req = req.with_rerank(RerankPolicy::new().mmr(0.3));
+        assert!(req.rerank.unwrap().is_enabled());
     }
 
     #[test]

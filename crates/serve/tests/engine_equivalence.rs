@@ -19,7 +19,7 @@
 //! pins so the suite stays bounded.
 
 use longtail_core::{
-    DpStopping, GraphRecConfig, HittingTimeRecommender, RecommendOptions, ScoredItem,
+    DpStopping, ExclusionSet, GraphRecConfig, HittingTimeRecommender, RecommendOptions, ScoredItem,
     ScoringContext,
 };
 use longtail_data::{Dataset, Rating};
@@ -84,11 +84,10 @@ proptest! {
         let engine = builder.build();
         let mut ctx = ScoringContext::new();
         let mut direct = Vec::new();
-        // Unsorted, duplicated on purpose: the engine must normalize.
+        // Unsorted, duplicated on purpose: the request builder normalizes
+        // once at construction.
         let raw_exclude = vec![7u32, 2, 7, 4];
-        let mut sorted_exclude = raw_exclude.clone();
-        sorted_exclude.sort_unstable();
-        sorted_exclude.dedup();
+        let sorted_exclude = ExclusionSet::new(raw_exclude.clone());
 
         let mut batch = Vec::new();
         let mut expected_items = Vec::new();
@@ -105,11 +104,7 @@ proptest! {
                     ),
                     (
                         RecommendRequest::new(*name, u, 5).excluding(raw_exclude.clone()),
-                        RecommendOptions {
-                            stopping: DpStopping::default(),
-                            exclude: &sorted_exclude,
-                            ..RecommendOptions::default()
-                        },
+                        RecommendOptions::excluding(&sorted_exclude),
                     ),
                 ] {
                     let response = engine.recommend(&req).unwrap();
@@ -170,6 +165,91 @@ proptest! {
             );
         }
     }
+}
+
+#[test]
+fn engine_rerank_threads_policy_and_provenance_end_to_end() {
+    use longtail_core::{RerankIndex, RerankPolicy};
+    use longtail_serve::Priority;
+
+    // A corpus with a clear head/tail split so the policy has something
+    // to act on.
+    let mut rs = Vec::new();
+    for u in 0..8u32 {
+        for i in 0..10u32 {
+            // Item popularity decays with id: item 0 rated by all, item 9
+            // by one user.
+            if u <= 9 - i {
+                rs.push(Rating {
+                    user: u,
+                    item: i,
+                    value: 4.0,
+                });
+            }
+        }
+    }
+    let d = Dataset::from_ratings(8, 10, &rs);
+    let rec: SharedRecommender =
+        Arc::new(HittingTimeRecommender::new(&d, GraphRecConfig::default()));
+    let index = Arc::new(RerankIndex::from_dataset(&d));
+    let policy = RerankPolicy::new().mmr(0.3).popularity_penalty(0.25);
+
+    // Engine A: no rerank configured — the raw fused baseline.
+    let raw = Engine::builder()
+        .model("HT", Arc::clone(&rec))
+        .workers(0)
+        .build();
+    // Engine B: index attached, policy set as the Batch-class default.
+    let engine = Engine::builder()
+        .model("HT", Arc::clone(&rec))
+        .rerank_index("HT", Arc::clone(&index))
+        .class_rerank(Priority::Batch, policy)
+        .workers(0)
+        .build();
+
+    let mut served = 0usize;
+    for u in 0..8u32 {
+        let baseline = raw.recommend(&RecommendRequest::new("HT", u, 4)).unwrap();
+        assert!(baseline.provenance.is_none(), "no policy, no provenance");
+        if baseline.items.is_empty() {
+            // User 0 rated the whole reachable catalog: nothing to rank.
+            continue;
+        }
+        served += 1;
+
+        // Interactive (default class): no class policy resolves — raw order.
+        let plain = engine
+            .recommend(&RecommendRequest::new("HT", u, 4))
+            .unwrap();
+        assert_eq!(plain.items, baseline.items, "user {u}: must be raw");
+        assert!(plain.provenance.is_none());
+
+        // Batch class: the class default applies and provenance arrives.
+        let req = RecommendRequest::new("HT", u, 4).with_priority(Priority::Batch);
+        let reranked = engine.recommend(&req).unwrap();
+        let prov = reranked.provenance.as_ref().expect("re-ranked response");
+        assert_eq!(prov.len(), reranked.items.len());
+        for (item, p) in reranked.items.iter().zip(prov) {
+            assert_eq!(p.popularity_percentile, index.percentile(item.item));
+            assert_eq!(p.tail, index.tail(item.item, policy.tail_cutoff));
+        }
+        // Same pool, same scores: the re-ranked list is a permutation of a
+        // prefix of the over-fetched pool, so every served item must score
+        // no better than the raw winner.
+        assert!(reranked.items[0].score <= baseline.items[0].score + 1e-12);
+
+        // A per-request disabled override beats the class default.
+        let req = RecommendRequest::new("HT", u, 4)
+            .with_priority(Priority::Batch)
+            .with_rerank(RerankPolicy::default());
+        let off = engine.recommend(&req).unwrap();
+        assert_eq!(off.items, baseline.items, "user {u}: override must win");
+        assert!(off.provenance.is_none());
+    }
+    assert!(
+        served >= 6,
+        "corpus must exercise the re-rank path: {served}"
+    );
 }
 
 #[test]

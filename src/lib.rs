@@ -70,18 +70,20 @@ pub mod prelude {
     pub use longtail_core::{
         AbsorbingCostConfig, AbsorbingCostRecommender, AbsorbingTimeRecommender,
         AssociationRuleRecommender, DpStopping, DpTelemetry, EdgeDelta, EntropySource,
-        GraphRecConfig, HittingTimeRecommender, KnnRecommender, LdaRecommender, PageRankFlavor,
-        PageRankRecommender, Persistable, PopularityRecommender, PureSvdRecommender, RecencyDecay,
-        RecommendOptions, Recommender, RuleConfig, ScoredItem, ScoringContext, TopKCollector,
-        UserSimilarity,
+        ExclusionSet, GraphRecConfig, HittingTimeRecommender, ItemProvenance, KnnRecommender,
+        LdaRecommender, PageRankFlavor, PageRankRecommender, Persistable, PopularityRecommender,
+        PureSvdRecommender, RecencyDecay, RecommendOptions, Recommender, RerankIndex, RerankPolicy,
+        Reranker, RuleConfig, ScoredItem, ScoringContext, TopKCollector, UserSimilarity,
     };
     pub use longtail_data::{
         holdout_latest_favorites, holdout_longtail_favorites, Dataset, LongTailSplit, Ontology,
         ProtocolSplit, Rating, SplitConfig, SyntheticConfig, SyntheticData, TimedRating,
     };
     pub use longtail_eval::{
-        diversity, mean_popularity, mean_similarity, popularity_at_n, recall_at_n,
-        sample_test_users, simulate_study, RecallConfig, RecommendationLists, StudyConfig,
+        catalog_coverage, diversity, exposure_counts, gini_concentration, list_recall,
+        mean_popularity, mean_similarity, novelty, popularity_at_n, recall_at_n, sample_test_users,
+        simulate_study, tail_recall_split, RecallConfig, RecommendationLists, StudyConfig,
+        TailRecallSplit,
     };
     pub use longtail_graph::{BipartiteGraph, GraphStats, Snapshot, SnapshotError, SnapshotWriter};
     pub use longtail_serve::{
